@@ -1,0 +1,79 @@
+// Performance microbenchmarks (google-benchmark): simulator event throughput
+// per policy, scaling in n and m, and the LP solver's cost.  These guard the
+// engine's O(events * n_alive) behaviour -- regressions here make the
+// experiment suite unusable at scale.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "lpsolve/flowtime_lp.h"
+#include "policies/registry.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace tempofair;
+
+Instance make_instance(std::size_t n, int machines, std::uint64_t seed) {
+  workload::Rng rng(seed);
+  return workload::poisson_load(n, machines, 0.9,
+                                workload::ExponentialSize{1.5}, rng);
+}
+
+void BM_SimulatePolicy(benchmark::State& state, const char* spec) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = make_instance(n, 1, 42);
+  EngineOptions eo;
+  eo.record_trace = false;
+  for (auto _ : state) {
+    auto policy = make_policy(spec);
+    benchmark::DoNotOptimize(simulate(inst, *policy, eo));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_SimulateRrMultiMachine(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const Instance inst = make_instance(2000, m, 7);
+  EngineOptions eo;
+  eo.record_trace = false;
+  eo.machines = m;
+  for (auto _ : state) {
+    auto policy = make_policy("rr");
+    benchmark::DoNotOptimize(simulate(inst, *policy, eo));
+  }
+}
+
+void BM_SimulateRrWithTrace(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = make_instance(n, 1, 42);
+  EngineOptions eo;
+  eo.record_trace = true;
+  for (auto _ : state) {
+    auto policy = make_policy("rr");
+    benchmark::DoNotOptimize(simulate(inst, *policy, eo));
+  }
+}
+
+void BM_FlowtimeLp(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = make_instance(n, 1, 11);
+  lpsolve::FlowtimeLpOptions opt;
+  opt.k = 2.0;
+  opt.slot = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lpsolve::solve_flowtime_lp(inst, opt));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SimulatePolicy, rr, "rr")->Arg(500)->Arg(2000)->Arg(8000);
+BENCHMARK_CAPTURE(BM_SimulatePolicy, srpt, "srpt")->Arg(500)->Arg(2000)->Arg(8000);
+BENCHMARK_CAPTURE(BM_SimulatePolicy, setf, "setf")->Arg(500)->Arg(2000);
+BENCHMARK_CAPTURE(BM_SimulatePolicy, wrr, "wrr")->Arg(500)->Arg(2000);
+BENCHMARK_CAPTURE(BM_SimulatePolicy, qrr, "qrr:0.5")->Arg(500)->Arg(2000);
+BENCHMARK_CAPTURE(BM_SimulatePolicy, mlfq, "mlfq")->Arg(500)->Arg(2000);
+BENCHMARK(BM_SimulateRrMultiMachine)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_SimulateRrWithTrace)->Arg(500)->Arg(2000);
+BENCHMARK(BM_FlowtimeLp)->Arg(30)->Arg(60)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,50 @@
+#include "common.h"
+
+#include "workload/adversarial.h"
+
+namespace tempofair::bench {
+
+std::vector<NamedInstance> standard_workloads(std::size_t n, int machines,
+                                              std::uint64_t seed) {
+  workload::Rng rng(seed);
+  std::vector<NamedInstance> out;
+  out.push_back({"poisson-exp-0.7",
+                 workload::poisson_load(n, machines, 0.7,
+                                        workload::ExponentialSize{1.5}, rng),
+                 machines});
+  out.push_back({"poisson-exp-0.9",
+                 workload::poisson_load(n, machines, 0.9,
+                                        workload::ExponentialSize{1.5}, rng),
+                 machines});
+  out.push_back({"poisson-pareto-0.9",
+                 workload::poisson_load(n, machines, 0.9,
+                                        workload::ParetoSize{1.8, 0.5, 50.0}, rng),
+                 machines});
+  out.push_back({"poisson-bimodal-0.95",
+                 workload::poisson_load(n, machines, 0.95,
+                                        workload::BimodalSize{0.9, 1.0, 20.0}, rng),
+                 machines});
+  out.push_back({"adv-batch-stream",
+                 workload::rr_l2_hard(std::max<std::size_t>(n / 8, 4)), machines});
+  out.push_back({"adv-geometric", workload::geometric_levels(8), machines});
+  return out;
+}
+
+void banner(const std::string& id, const std::string& claim,
+            const std::string& expectation) {
+  std::cout << "\n#############################################################\n"
+            << "# " << id << "\n"
+            << "# Claim:    " << claim << "\n"
+            << "# Expected: " << expectation << "\n"
+            << "#############################################################\n";
+}
+
+void emit(const analysis::Table& table, const harness::Cli& cli) {
+  if (cli.csv()) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+}  // namespace tempofair::bench

@@ -1,0 +1,43 @@
+// Shared scaffolding for the experiment binaries.
+//
+// Every experiment binary:
+//   * prints a short banner mapping it to its EXPERIMENTS.md entry,
+//   * accepts --csv (machine-readable payload) and --seed <n>,
+//   * builds its workloads through the helpers here so all experiments draw
+//     from the same, documented instance families.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "core/instance.h"
+#include "harness/cli.h"
+#include "workload/generators.h"
+#include "workload/rng.h"
+
+namespace tempofair::bench {
+
+/// A named instance plus the machine count it was calibrated for.
+struct NamedInstance {
+  std::string name;
+  Instance instance;
+  int machines = 1;
+};
+
+/// The standard mixed workload set used by T1/T2/T7/F4: Poisson loads at
+/// several utilizations and size distributions, plus the adversarial
+/// families.  `n` controls the stream lengths.
+[[nodiscard]] std::vector<NamedInstance> standard_workloads(std::size_t n,
+                                                            int machines,
+                                                            std::uint64_t seed);
+
+/// Prints the experiment banner (id, claim, expected shape).
+void banner(const std::string& id, const std::string& claim,
+            const std::string& expectation);
+
+/// Prints `table` as text or CSV depending on --csv.
+void emit(const analysis::Table& table, const harness::Cli& cli);
+
+}  // namespace tempofair::bench

@@ -1,0 +1,55 @@
+// A2 (ablation) -- discretization of the Section 3.1 LP: how the lower
+// bound tightens as the slot width shrinks, against the trivial bound and
+// the SRPT/SJF proxy, with solve cost.  Justifies the default auto-grid
+// (<= 600 slots) used by every ratio bracket in the suite.
+// Expected: monotone increase of the LP value as slots shrink, with
+// diminishing returns well before the default grid resolution; cost grows
+// superlinearly.
+#include <chrono>
+
+#include "common.h"
+#include "lpsolve/lower_bounds.h"
+
+using namespace tempofair;
+
+int main(int argc, char** argv) {
+  const harness::Cli cli(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 60));
+
+  bench::banner("A2 (LP resolution ablation)",
+                "LP lower bound vs slot width: tightness and solve cost",
+                "monotone in resolution, diminishing returns; default grid "
+                "captures most of the bound");
+
+  workload::Rng rng(31);
+  const Instance inst =
+      workload::poisson_load(n, 1, 0.9, workload::UniformSize{0.5, 2.0}, rng);
+
+  lpsolve::OptBoundsOptions base;
+  base.k = 2.0;
+  base.with_lp = false;
+  const auto nolp = lpsolve::opt_bounds(inst, base);
+
+  analysis::Table table(
+      "A2: LP/2 vs slot width (k=2, n=" + std::to_string(n) +
+          "); trivial_lb=" + analysis::Table::num(nolp.trivial_lb) +
+          ", proxy=" + analysis::Table::num(nolp.proxy_ub),
+      {"slot", "slots", "lp_half", "lp_half/proxy", "solve_ms"});
+
+  for (double slot : {8.0, 4.0, 2.0, 1.0, 0.5, 0.25, 0.125}) {
+    lpsolve::FlowtimeLpOptions opt;
+    opt.k = 2.0;
+    opt.slot = slot;
+    const auto start = std::chrono::steady_clock::now();
+    const auto r = lpsolve::solve_flowtime_lp(inst, opt);
+    const auto ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    table.add_row({analysis::Table::num(slot), std::to_string(r.slots),
+                   analysis::Table::num(r.opt_power_lb),
+                   analysis::Table::num(r.opt_power_lb / nolp.proxy_ub, 3),
+                   analysis::Table::num(ms, 1)});
+  }
+  bench::emit(table, cli);
+  return 0;
+}

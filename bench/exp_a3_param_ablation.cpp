@@ -1,0 +1,56 @@
+// A3 (ablation) -- sensitivity of the two epsilon-exact policies to their
+// discretization knobs, against exact references:
+//   * WRR's refresh_rel (drift bound of the age-proportional shares): l2
+//     distance between successive refinements, and runtime blow-up.
+//   * SETF's level tolerance: deviation from the tolerance-free reference
+//     and robustness of the event count.
+// Expected: results converge as the knobs shrink (the defaults sit on the
+// flat part); runtime grows roughly as 1/refresh_rel for WRR.
+#include <chrono>
+
+#include "common.h"
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "policies/setf.h"
+#include "policies/weighted_rr.h"
+
+using namespace tempofair;
+
+int main(int argc, char** argv) {
+  const harness::Cli cli(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 120));
+
+  bench::banner("A3 (policy-parameter ablation)",
+                "epsilon-exactness knobs: WRR refresh_rel, SETF tolerance",
+                "l2 converges as knobs shrink; defaults on the flat part");
+
+  workload::Rng rng(41);
+  const Instance inst =
+      workload::poisson_load(n, 1, 0.9, workload::ExponentialSize{1.5}, rng);
+  EngineOptions eo;
+  eo.record_trace = false;
+
+  analysis::Table wrr_table("A3a: WRR refresh_rel sweep (l2 + runtime)",
+                            {"refresh_rel", "l2", "runtime_ms"});
+  for (double refresh : {0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005}) {
+    WeightedRoundRobin wrr(1e-3, refresh);
+    const auto start = std::chrono::steady_clock::now();
+    const double l2 = flow_lk_norm(simulate(inst, wrr, eo), 2.0);
+    const auto ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    wrr_table.add_row({analysis::Table::num(refresh), analysis::Table::num(l2, 3),
+                       analysis::Table::num(ms, 1)});
+  }
+  bench::emit(wrr_table, cli);
+
+  analysis::Table setf_table("A3b: SETF level-tolerance sweep (l2)",
+                             {"tolerance", "l2"});
+  for (double tol : {1e-3, 1e-6, 1e-9, 1e-12}) {
+    Setf setf(tol);
+    setf_table.add_row({analysis::Table::num(tol),
+                        analysis::Table::num(flow_lk_norm(simulate(inst, setf, eo), 2.0), 4)});
+  }
+  bench::emit(setf_table, cli);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// F1 -- the negative side: the cited Bansal-Pruhs lower bound says RR is
+// Omega(n^{2 eps_p})-competitive for l2 at (1+eps)-speed, i.e. NOT
+// O(1)-competitive below speed 3/2.  We sweep the geometric-levels family's
+// depth at speeds {1.0, 1.2, 1.4, 4.4} and report RR's l2 ratio vs the SRPT
+// proxy (an under-estimate of the true ratio, so growth here is genuine).
+// Expected shape: monotone growth in depth at speeds <= 1.4 (slow growth --
+// the published exponent vanishes with the speed advantage), flat and < 1 at
+// speed 4.4.  The batch+stream family is included to document its
+// saturation at ~2 (see EXPERIMENTS.md).
+#include "analysis/competitive.h"
+#include "common.h"
+#include "harness/thread_pool.h"
+#include "policies/round_robin.h"
+#include "workload/adversarial.h"
+
+using namespace tempofair;
+
+int main(int argc, char** argv) {
+  const harness::Cli cli(argc, argv);
+  bench::banner("F1 (lower-bound growth)",
+                "RR is not O(1)-competitive for l2 below speed 3/2 [4]",
+                "ratio grows with depth at speed <= 1.4; flat < 1 at 4.4");
+
+  const std::vector<int> depths{4, 6, 8, 10, 12};
+  const std::vector<double> speeds{1.0, 1.2, 1.4, 4.4};
+
+  analysis::Table geo("F1a: geometric-levels family, RR l2 ratio vs SRPT proxy",
+                      {"depth", "n", "s=1.0", "s=1.2", "s=1.4", "s=4.4"});
+
+  struct Row {
+    int depth;
+    std::size_t n;
+    std::vector<double> ratios;
+  };
+  std::vector<Row> rows(depths.size());
+  harness::ThreadPool pool;
+  pool.parallel_for(depths.size(), [&](std::size_t d) {
+    const Instance inst = workload::geometric_levels(depths[d]);
+    lpsolve::OptBoundsOptions bo;
+    bo.k = 2.0;
+    bo.with_lp = false;  // the proxy is the honest side of this bracket
+    const auto bounds = lpsolve::opt_bounds(inst, bo);
+    Row row{depths[d], inst.n(), {}};
+    for (double s : speeds) {
+      RoundRobin rr;
+      analysis::RatioOptions opt;
+      opt.k = 2.0;
+      opt.speed = s;
+      opt.with_lp = false;
+      row.ratios.push_back(
+          analysis::measure_ratio(inst, rr, opt, bounds).ratio_vs_proxy);
+    }
+    rows[d] = std::move(row);
+  });
+  for (const Row& r : rows) {
+    geo.add_row({std::to_string(r.depth), std::to_string(r.n),
+                 analysis::Table::num(r.ratios[0], 3),
+                 analysis::Table::num(r.ratios[1], 3),
+                 analysis::Table::num(r.ratios[2], 3),
+                 analysis::Table::num(r.ratios[3], 3)});
+  }
+  bench::emit(geo, cli);
+
+  analysis::Table bs("F1b: batch+stream family (documented saturation ~2)",
+                     {"n", "jobs", "s=1.0", "s=4.4"});
+  const std::vector<std::size_t> ns{10, 20, 40, 80, 160};
+  std::vector<Row> rows2(ns.size());
+  pool.parallel_for(ns.size(), [&](std::size_t i) {
+    const Instance inst = workload::rr_l2_hard(ns[i]);
+    lpsolve::OptBoundsOptions bo;
+    bo.k = 2.0;
+    bo.with_lp = false;
+    const auto bounds = lpsolve::opt_bounds(inst, bo);
+    Row row{static_cast<int>(ns[i]), inst.n(), {}};
+    for (double s : {1.0, 4.4}) {
+      RoundRobin rr;
+      analysis::RatioOptions opt;
+      opt.k = 2.0;
+      opt.speed = s;
+      opt.with_lp = false;
+      row.ratios.push_back(
+          analysis::measure_ratio(inst, rr, opt, bounds).ratio_vs_proxy);
+    }
+    rows2[i] = std::move(row);
+  });
+  for (const Row& r : rows2) {
+    bs.add_row({std::to_string(r.depth), std::to_string(r.n),
+                analysis::Table::num(r.ratios[0], 3),
+                analysis::Table::num(r.ratios[1], 3)});
+  }
+  bench::emit(bs, cli);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// F4 -- the speed-ratio crossover for the l2 norm: sweeping the speed from
+// 1 to 5, where does RR's ratio settle?  The paper's positive result kicks
+// in at 4+eps; the cited lower bound rules out O(1) below 3/2.  We plot the
+// worst ratio over the adversarial families and the average over the random
+// families.  Expected: a curve that is high near speed 1, drops steeply
+// through [1.5, 3], and is flat (and small) beyond 4.
+#include <algorithm>
+
+#include "analysis/competitive.h"
+#include "common.h"
+#include "harness/sweep.h"
+#include "harness/thread_pool.h"
+#include "policies/round_robin.h"
+
+using namespace tempofair;
+
+int main(int argc, char** argv) {
+  const harness::Cli cli(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 100));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
+
+  bench::banner("F4 (speed crossover, l2)",
+                "RR's l2 ratio as a function of speed: high below 3/2, "
+                "flat beyond 4+eps",
+                "monotone decreasing curve flattening after ~4");
+
+  const auto workloads = bench::standard_workloads(n, 1, seed);
+  const std::vector<double> speeds = harness::linspace(1.0, 5.0, 17);
+
+  // Precompute bounds once per workload.
+  std::vector<lpsolve::OptBounds> bounds(workloads.size());
+  harness::ThreadPool pool;
+  pool.parallel_for(workloads.size(), [&](std::size_t w) {
+    lpsolve::OptBoundsOptions bo;
+    bo.k = 2.0;
+    bounds[w] = lpsolve::opt_bounds(workloads[w].instance, bo);
+  });
+
+  analysis::Table table("F4: RR l2 ratio_vs_lb by speed (m=1)",
+                        {"speed", "worst_adversarial", "mean_random", "max_all"});
+
+  struct Point {
+    double worst_adv = 0.0, mean_random = 0.0, max_all = 0.0;
+  };
+  std::vector<Point> points(speeds.size());
+  pool.parallel_for(speeds.size(), [&](std::size_t si) {
+    Point p;
+    double random_sum = 0.0;
+    int random_count = 0;
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      RoundRobin rr;
+      analysis::RatioOptions opt;
+      opt.k = 2.0;
+      opt.speed = speeds[si];
+      const double ratio =
+          analysis::measure_ratio(workloads[w].instance, rr, opt, bounds[w])
+              .ratio_vs_lb;
+      const bool adversarial = workloads[w].name.rfind("adv-", 0) == 0;
+      if (adversarial) {
+        p.worst_adv = std::max(p.worst_adv, ratio);
+      } else {
+        random_sum += ratio;
+        ++random_count;
+      }
+      p.max_all = std::max(p.max_all, ratio);
+    }
+    p.mean_random = random_sum / std::max(random_count, 1);
+    points[si] = p;
+  });
+
+  for (std::size_t si = 0; si < speeds.size(); ++si) {
+    table.add_row({analysis::Table::num(speeds[si], 2),
+                   analysis::Table::num(points[si].worst_adv, 2),
+                   analysis::Table::num(points[si].mean_random, 2),
+                   analysis::Table::num(points[si].max_all, 2)});
+  }
+  bench::emit(table, cli);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// F5 -- load sweep: mean and standard deviation of flow time versus
+// utilization (0.3 -> 0.97) for every policy at speed 1.  The queueing-
+// theoretic backdrop of the paper's model: all policies diverge as load ->
+// 1, size-aware ones slower; RR trades a bounded factor on the mean for its
+// fairness.  Expected: monotone growth in load; SRPT lowest mean; FCFS
+// worst; RR between.
+#include "common.h"
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "harness/thread_pool.h"
+#include "policies/registry.h"
+
+using namespace tempofair;
+
+int main(int argc, char** argv) {
+  const harness::Cli cli(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 300));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 12));
+  const int trials = static_cast<int>(cli.get_int("trials", 2));
+
+  bench::banner("F5 (load sweep)",
+                "mean and stddev of flow vs utilization for all policies",
+                "monotone in load; SRPT lowest mean, RR bounded factor above");
+
+  const std::vector<double> loads{0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.97};
+  const auto policies = builtin_policy_specs();
+
+  analysis::Table table("F5: mean flow (stddev) vs utilization, speed 1, m=1",
+                        [&] {
+                          std::vector<std::string> cols{"load"};
+                          for (const auto& p : policies) cols.push_back(p);
+                          return cols;
+                        }());
+
+  struct Cell {
+    double mean = 0.0, stddev = 0.0;
+  };
+  std::vector<std::vector<Cell>> grid(loads.size(),
+                                      std::vector<Cell>(policies.size()));
+
+  harness::ThreadPool pool;
+  pool.parallel_for(loads.size() * policies.size(), [&](std::size_t idx) {
+    const std::size_t li = idx / policies.size();
+    const std::size_t pi = idx % policies.size();
+    double mean = 0.0, stddev = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      workload::Rng rng(seed + 1000 * t + li);
+      const Instance inst = workload::poisson_load(
+          n, 1, loads[li], workload::ExponentialSize{1.0}, rng);
+      auto policy = make_policy(policies[pi]);
+      EngineOptions eo;
+      eo.record_trace = false;
+      const FlowStats st = flow_stats(simulate(inst, *policy, eo));
+      mean += st.mean;
+      stddev += st.stddev;
+    }
+    grid[li][pi] = Cell{mean / trials, stddev / trials};
+  });
+
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    std::vector<std::string> row{analysis::Table::num(loads[li], 2)};
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      row.push_back(analysis::Table::num(grid[li][pi].mean, 2) + " (" +
+                    analysis::Table::num(grid[li][pi].stddev, 2) + ")");
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, cli);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// F7 (extension) -- the backstory of Section 1.2/1.3: in the arbitrary
+// speed-up curves setting, EQUI (the RR of that world) is NOT O(1)-speed
+// O(1)-competitive for the l2 norm [15], while the age-weighted variant
+// (WEQUI/WLAPS [12]) is.  We sweep the parallel+sequential stream length and
+// report l2 ratios against the clairvoyant proxy at speeds 1 and 4.4.
+// Expected: EQUI's ratio grows with n even at speed 4.4 (extra speed cannot
+// recover processors wasted on sequential phases); WEQUI's stays bounded --
+// the qualitative separation that made plain RR's guarantee in the standard
+// setting (Theorem 1) surprising.
+#include "common.h"
+#include "core/metrics.h"
+#include "harness/thread_pool.h"
+#include "parsim/parsim.h"
+
+using namespace tempofair;
+using namespace tempofair::parsim;
+
+int main(int argc, char** argv) {
+  const harness::Cli cli(argc, argv);
+  bench::banner("F7 (speed-up curves, extension)",
+                "EQUI (RR) fails for l2 under arbitrary speed-up curves [15]; "
+                "the latest-arrival-weighted WLAPS [12] does not",
+                "equi ratio grows with n at speed 1; laps/wlaps flat; pure "
+                "age-weighting (wequi) backfires -- it favors jobs stuck in "
+                "sequential phases");
+
+  const std::vector<std::size_t> ns{20, 40, 80, 160, 320};
+
+  analysis::Table table(
+      "F7: l2 ratio vs clairvoyant proxy on par(1)+seq(3) stream, gap 1.3, s=1",
+      {"n", "equi", "wequi(age)", "laps:0.5", "wlaps:0.5", "equi_s4.4"});
+
+  struct Row {
+    std::size_t n;
+    double equi, wequi, laps, wlaps, equi44;
+  };
+  std::vector<Row> rows(ns.size());
+
+  harness::ThreadPool pool;
+  pool.parallel_for(ns.size(), [&](std::size_t i) {
+    const auto jobs = par_seq_stream(ns[i], 1.0, 3.0, 1.3);
+    ParOptProxy proxy;
+    ParSimOptions base;
+    const double proxy_l2 = lk_norm(simulate_par(jobs, proxy, base).flows(), 2.0);
+
+    auto ratio = [&](ParPolicy& p, double speed) {
+      ParSimOptions opt;
+      opt.speed = speed;
+      return lk_norm(simulate_par(jobs, p, opt).flows(), 2.0) / proxy_l2;
+    };
+    Equi equi1, equi2;
+    Wequi wequi;
+    LapsPar laps(0.5);
+    WlapsPar wlaps(0.5);
+    rows[i] = Row{ns[i],          ratio(equi1, 1.0), ratio(wequi, 1.0),
+                  ratio(laps, 1.0), ratio(wlaps, 1.0), ratio(equi2, 4.4)};
+  });
+
+  for (const Row& r : rows) {
+    table.add_row({std::to_string(r.n), analysis::Table::num(r.equi, 2),
+                   analysis::Table::num(r.wequi, 2),
+                   analysis::Table::num(r.laps, 2),
+                   analysis::Table::num(r.wlaps, 2),
+                   analysis::Table::num(r.equi44, 2)});
+  }
+  bench::emit(table, cli);
+  return 0;
+}

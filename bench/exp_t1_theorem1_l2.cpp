@@ -1,0 +1,66 @@
+// T1 -- Theorem 1 specialized to the l2 norm: Round Robin at speed 4+eps is
+// O(1)-competitive.  For each workload we bracket RR's l2 competitive ratio
+// at speeds {1, 1.5, 2, 3, 4, 4.4}:
+//   ratio_vs_proxy <= true ratio <= ratio_vs_lb
+// with lb = max(LP/2, sum p^2) and proxy = min(SRPT, SJF) at speed 1.
+// Expected shape: at speed >= 4 the ratio_vs_lb column is a small constant
+// on every family; at speed 1 the adversarial families push it well above.
+#include "analysis/competitive.h"
+#include "common.h"
+#include "harness/thread_pool.h"
+#include "policies/round_robin.h"
+
+using namespace tempofair;
+
+int main(int argc, char** argv) {
+  const harness::Cli cli(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 120));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  bench::banner("T1 (Theorem 1, l2)",
+                "RR is (4+eps)-speed O(1)-competitive for the l2 norm",
+                "ratio_vs_lb bounded (small constant) at speed >= 4; "
+                "large at speed 1 on adversarial families");
+
+  const auto workloads = bench::standard_workloads(n, 1, seed);
+  const std::vector<double> speeds{1.0, 1.5, 2.0, 3.0, 4.0, 4.4};
+
+  analysis::Table table(
+      "T1: RR l2 competitive-ratio bracket vs speed (m=1)",
+      {"workload", "n", "speed", "rr_l2", "ratio_vs_lb", "ratio_vs_proxy"});
+
+  struct Row {
+    std::string workload;
+    std::size_t n;
+    double speed;
+    analysis::RatioMeasurement m;
+  };
+  std::vector<Row> rows(workloads.size() * speeds.size());
+
+  harness::ThreadPool pool;
+  pool.parallel_for(workloads.size(), [&](std::size_t w) {
+    const auto& wl = workloads[w];
+    lpsolve::OptBoundsOptions bo;
+    bo.k = 2.0;
+    const auto bounds = lpsolve::opt_bounds(wl.instance, bo);
+    for (std::size_t s = 0; s < speeds.size(); ++s) {
+      RoundRobin rr;
+      analysis::RatioOptions opt;
+      opt.k = 2.0;
+      opt.speed = speeds[s];
+      rows[w * speeds.size() + s] =
+          Row{wl.name, wl.instance.n(), speeds[s],
+              analysis::measure_ratio(wl.instance, rr, opt, bounds)};
+    }
+  });
+
+  for (const Row& r : rows) {
+    table.add_row({r.workload, std::to_string(r.n),
+                   analysis::Table::num(r.speed, 1),
+                   analysis::Table::num(r.m.cost_norm),
+                   analysis::Table::num(r.m.ratio_vs_lb, 2),
+                   analysis::Table::num(r.m.ratio_vs_proxy, 2)});
+  }
+  bench::emit(table, cli);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// T2 -- Theorem 1 for general k: RR at speed eta = 2k(1+10 eps) is
+// O((k/eps))-competitive for the l_k norm.  For k in {1, 2, 3} we measure the
+// ratio bracket at exactly eta (eps = 0.05) and at the scalability frontier
+// (1+eps), and attach the dual-fitting certificate's implied bound.
+// Expected: bounded small ratios at eta for every k; certificate valid at
+// eta (certified column = yes).
+#include "analysis/competitive.h"
+#include "analysis/dualfit.h"
+#include "common.h"
+#include "core/engine.h"
+#include "harness/thread_pool.h"
+#include "policies/round_robin.h"
+
+using namespace tempofair;
+
+int main(int argc, char** argv) {
+  const harness::Cli cli(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 100));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 2));
+  const double eps = cli.get_double("eps", 0.05);
+
+  bench::banner("T2 (Theorem 1, general k)",
+                "RR at speed 2k(1+10eps) is O(k/eps)-competitive for l_k",
+                "bounded ratio and valid dual certificate at eta for k=1,2,3");
+
+  const auto workloads = bench::standard_workloads(n, 1, seed);
+  const std::vector<double> ks{1.0, 2.0, 3.0};
+
+  analysis::Table table(
+      "T2: RR l_k ratio at the theorem speed eta=2k(1+10eps), eps=" +
+          analysis::Table::num(eps),
+      {"workload", "k", "eta", "ratio_vs_lb", "ratio_vs_proxy", "certified",
+       "implied_bound"});
+
+  struct Row {
+    std::string workload;
+    double k, eta, vs_lb, vs_proxy, implied;
+    bool certified;
+  };
+  std::vector<Row> rows(workloads.size() * ks.size());
+
+  harness::ThreadPool pool;
+  pool.parallel_for(workloads.size() * ks.size(), [&](std::size_t idx) {
+    const auto& wl = workloads[idx / ks.size()];
+    const double k = ks[idx % ks.size()];
+    const double eta = analysis::theorem1_speed(k, eps);
+
+    RoundRobin rr;
+    analysis::RatioOptions ropt;
+    ropt.k = k;
+    ropt.speed = eta;
+    const auto m = analysis::measure_ratio(wl.instance, rr, ropt);
+
+    RoundRobin rr2;
+    EngineOptions eo;
+    eo.speed = eta;
+    const Schedule sched = simulate(wl.instance, rr2, eo);
+    analysis::DualFitOptions dopt;
+    dopt.k = k;
+    dopt.eps = eps;
+    const auto cert = analysis::dual_fit_certificate(sched, dopt);
+
+    rows[idx] = Row{wl.name,       k,
+                    eta,           m.ratio_vs_lb,
+                    m.ratio_vs_proxy, cert.implied_lk_ratio,
+                    cert.certificate_valid()};
+  });
+
+  for (const Row& r : rows) {
+    table.add_row({r.workload, analysis::Table::num(r.k, 0),
+                   analysis::Table::num(r.eta, 1),
+                   analysis::Table::num(r.vs_lb, 2),
+                   analysis::Table::num(r.vs_proxy, 2),
+                   r.certified ? "yes" : "NO",
+                   analysis::Table::num(r.implied, 0)});
+  }
+  bench::emit(table, cli);
+  return 0;
+}

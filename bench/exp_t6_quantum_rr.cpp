@@ -1,0 +1,62 @@
+// T6 -- from the theorem's idealized processor-sharing RR to the deployable
+// time-slicing RR of operating systems: sweep the quantum (relative to the
+// mean job size) and the context-switch cost, and measure the l2 distance to
+// ideal RR.  Expected: qrr -> ideal RR as quantum -> 0 with zero switch
+// cost; with a switch cost, an interior quantum is optimal (the classic
+// OS-design trade-off, cf. Silberschatz et al.).
+#include "common.h"
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "harness/thread_pool.h"
+#include "policies/quantum_rr.h"
+#include "policies/round_robin.h"
+
+using namespace tempofair;
+
+int main(int argc, char** argv) {
+  const harness::Cli cli(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 200));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 6));
+
+  bench::banner("T6 (quantum RR -> ideal RR)",
+                "ideal processor-sharing RR is the limit of OS time-slice RR",
+                "l2/ideal -> 1 as quantum -> 0 (cs=0); interior optimum with "
+                "cs > 0");
+
+  workload::Rng rng(seed);
+  const Instance inst =
+      workload::poisson_load(n, 1, 0.85, workload::UniformSize{0.5, 2.0}, rng);
+
+  EngineOptions eo;
+  eo.record_trace = false;
+  RoundRobin ideal;
+  const double ideal_l2 = flow_lk_norm(simulate(inst, ideal, eo), 2.0);
+
+  const std::vector<double> quanta{10.0, 3.0, 1.0, 0.3, 0.1, 0.03, 0.01};
+  const std::vector<double> switch_costs{0.0, 0.005, 0.02};
+
+  analysis::Table table("T6: quantum RR l2 relative to ideal RR (mean size 1.25)",
+                        {"quantum", "switch_cost", "l2", "l2/ideal_rr"});
+
+  struct Row {
+    double q, cs, l2;
+  };
+  std::vector<Row> rows(quanta.size() * switch_costs.size());
+  harness::ThreadPool pool;
+  pool.parallel_for(rows.size(), [&](std::size_t i) {
+    const double q = quanta[i / switch_costs.size()];
+    const double cs = switch_costs[i % switch_costs.size()];
+    QuantumRoundRobin qrr(q, cs);
+    EngineOptions opts;
+    opts.record_trace = false;
+    rows[i] = Row{q, cs, flow_lk_norm(simulate(inst, qrr, opts), 2.0)};
+  });
+
+  for (const Row& r : rows) {
+    table.add_row({analysis::Table::num(r.q), analysis::Table::num(r.cs),
+                   analysis::Table::num(r.l2),
+                   analysis::Table::num(r.l2 / ideal_l2, 3)});
+  }
+  bench::emit(table, cli);
+  return 0;
+}

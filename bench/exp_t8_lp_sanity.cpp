@@ -1,0 +1,96 @@
+// T8 -- LP/duality toolkit self-check.  Three independent solvers/bounds
+// must agree in the directions theory dictates:
+//   (1) MCMF and dense simplex solve the SAME discretized LP: equal values.
+//   (2) lower bounds <= proxy upper bound (lb <= OPT^k <= proxy).
+//   (3) weak duality: the dual-fitting objective <= gamma * LP value.
+// Expected: zero violations across random instances -- this certifies the
+// machinery every other experiment relies on.
+#include <cmath>
+
+#include "analysis/dualfit.h"
+#include "common.h"
+#include "core/engine.h"
+#include "harness/thread_pool.h"
+#include "lpsolve/flowtime_lp.h"
+#include "lpsolve/lower_bounds.h"
+#include "policies/round_robin.h"
+
+using namespace tempofair;
+
+int main(int argc, char** argv) {
+  const harness::Cli cli(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 8));
+  const int trials = static_cast<int>(cli.get_int("trials", 8));
+
+  bench::banner("T8 (LP/duality self-check)",
+                "MCMF == simplex on the Section 3.1 LP; lb <= proxy; weak "
+                "duality for the dual certificate",
+                "every check column 'ok'");
+
+  analysis::Table table(
+      "T8: solver cross-validation on random instances (k=2)",
+      {"trial", "n", "mcmf_lp", "simplex_lp", "match", "lb<=proxy",
+       "dual<=gammaLP"});
+
+  struct Row {
+    int trial;
+    std::size_t n;
+    double mcmf, simplex;
+    bool match, ordered, weak_duality;
+  };
+  std::vector<Row> rows(static_cast<std::size_t>(trials));
+
+  harness::ThreadPool pool;
+  pool.parallel_for(rows.size(), [&](std::size_t t) {
+    workload::Rng rng(seed + t);
+    // Tiny integer-ish instances keep the dense simplex tractable.
+    std::vector<std::pair<Time, Work>> pairs;
+    const int n = 4 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int i = 0; i < n; ++i) {
+      pairs.emplace_back(static_cast<double>(rng.uniform_int(0, 4)),
+                         static_cast<double>(rng.uniform_int(1, 3)));
+    }
+    const Instance inst = Instance::from_pairs(pairs);
+
+    lpsolve::FlowtimeLpOptions lp;
+    lp.k = 2.0;
+    lp.slot = 1.0;
+    const double mcmf = lpsolve::solve_flowtime_lp(inst, lp).lp_value;
+    const auto sx = lpsolve::solve_lp(lpsolve::build_flowtime_lp(inst, lp));
+    const bool match = sx.status == lpsolve::SolveStatus::kOptimal &&
+                       std::fabs(sx.objective - mcmf) <= 1e-6 * (1.0 + mcmf);
+
+    lpsolve::OptBoundsOptions bo;
+    bo.k = 2.0;
+    bo.lp_slot = 1.0;
+    const auto bounds = lpsolve::opt_bounds(inst, bo);
+    const bool ordered = bounds.best_lb <= bounds.proxy_ub * (1.0 + 1e-9);
+
+    RoundRobin rr;
+    EngineOptions eo;
+    eo.speed = analysis::theorem1_speed(2.0, 0.05);
+    const Schedule s = simulate(inst, rr, eo);
+    analysis::DualFitOptions dopt;
+    dopt.k = 2.0;
+    dopt.eps = 0.05;
+    const auto cert = analysis::dual_fit_certificate(s, dopt);
+    // The dual is feasible for the continuous LP >= the discretized one;
+    // allow the discretization gap a 15% cushion.
+    const bool weak = !cert.feasible ||
+                      cert.dual_objective <= cert.gamma * mcmf * 1.15;
+
+    rows[t] = Row{static_cast<int>(t), inst.n(), mcmf, sx.objective,
+                  match, ordered, weak};
+  });
+
+  bool all_ok = true;
+  for (const Row& r : rows) {
+    all_ok = all_ok && r.match && r.ordered && r.weak_duality;
+    table.add_row({std::to_string(r.trial), std::to_string(r.n),
+                   analysis::Table::num(r.mcmf), analysis::Table::num(r.simplex),
+                   r.match ? "ok" : "FAIL", r.ordered ? "ok" : "FAIL",
+                   r.weak_duality ? "ok" : "FAIL"});
+  }
+  bench::emit(table, cli);
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+#include "analysis/competitive.h"
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "core/metrics.h"
+
+namespace tempofair::analysis {
+
+RatioMeasurement measure_ratio(const Instance& instance, Policy& policy,
+                               const RatioOptions& options,
+                               const lpsolve::OptBounds& bounds) {
+  EngineOptions eng;
+  eng.machines = options.machines;
+  eng.speed = options.speed;
+  eng.record_trace = false;
+
+  const Schedule sched = simulate(instance, policy, eng);
+
+  RatioMeasurement m;
+  m.policy = std::string(policy.name());
+  m.k = options.k;
+  m.machines = options.machines;
+  m.speed = options.speed;
+  m.cost_power = flow_lk_power(sched, options.k);
+  m.cost_norm = flow_lk_norm(sched, options.k);
+  m.bounds = bounds;
+  if (bounds.best_lb > 0.0) {
+    m.ratio_vs_lb = std::pow(m.cost_power / bounds.best_lb, 1.0 / options.k);
+  }
+  if (bounds.proxy_ub > 0.0) {
+    m.ratio_vs_proxy = std::pow(m.cost_power / bounds.proxy_ub, 1.0 / options.k);
+  }
+  return m;
+}
+
+RatioMeasurement measure_ratio(const Instance& instance, Policy& policy,
+                               const RatioOptions& options) {
+  lpsolve::OptBoundsOptions bopts;
+  bopts.k = options.k;
+  bopts.machines = options.machines;
+  bopts.with_lp = options.with_lp;
+  bopts.lp_slot = options.lp_slot;
+  return measure_ratio(instance, policy, options,
+                       lpsolve::opt_bounds(instance, bopts));
+}
+
+}  // namespace tempofair::analysis

@@ -1,0 +1,55 @@
+// Competitive-ratio estimation.
+//
+// The competitive ratio of a policy at speed s for the l_k norm is
+// sup over instances of  cost_s(policy) / OPT_1,  with OPT measured at speed
+// 1.  OPT is intractable, so each measurement reports a *bracket*:
+//
+//   ratio_vs_proxy = cost / proxy   (proxy >= OPT  =>  an UNDER-estimate)
+//   ratio_vs_lb    = cost / lb      (lb <= OPT     =>  an OVER-estimate)
+//
+// The true ratio lies in [ratio_vs_proxy, ratio_vs_lb].  Experiments report
+// both; "O(1)-competitive" shows up as ratio_vs_lb staying bounded as the
+// instance family grows, and "not O(1)" as ratio_vs_proxy growing.
+#pragma once
+
+#include <string>
+
+#include "core/instance.h"
+#include "core/policy.h"
+#include "lpsolve/lower_bounds.h"
+
+namespace tempofair::analysis {
+
+struct RatioMeasurement {
+  std::string policy;
+  double k = 2.0;
+  int machines = 1;
+  double speed = 1.0;
+  double cost_power = 0.0;     ///< sum_j F_j^k under the policy at `speed`
+  double cost_norm = 0.0;      ///< l_k norm of the policy's flows
+  lpsolve::OptBounds bounds;   ///< OPT^k bracket (speed 1)
+  double ratio_vs_lb = 0.0;    ///< (cost_power / best_lb)^(1/k)
+  double ratio_vs_proxy = 0.0; ///< (cost_power / proxy_ub)^(1/k)
+};
+
+struct RatioOptions {
+  double k = 2.0;
+  int machines = 1;
+  double speed = 1.0;
+  bool with_lp = true;      ///< include the LP lower bound
+  double lp_slot = 0.0;     ///< see OptBoundsOptions
+};
+
+/// Simulates `policy` at `speed` and brackets its l_k competitive ratio.
+[[nodiscard]] RatioMeasurement measure_ratio(const Instance& instance,
+                                             Policy& policy,
+                                             const RatioOptions& options);
+
+/// Same but reuses precomputed OPT bounds (for sweeps over many speeds or
+/// policies on one instance).
+[[nodiscard]] RatioMeasurement measure_ratio(const Instance& instance,
+                                             Policy& policy,
+                                             const RatioOptions& options,
+                                             const lpsolve::OptBounds& bounds);
+
+}  // namespace tempofair::analysis

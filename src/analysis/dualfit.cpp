@@ -1,0 +1,192 @@
+#include "analysis/dualfit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tempofair::analysis {
+
+namespace {
+
+/// integral over [a, b] of k (t - r)^(k-1) dt  =  (b-r)^k - (a-r)^k.
+double age_power_integral(double a, double b, double r, double k) {
+  return std::pow(b - r, k) - std::pow(a - r, k);
+}
+
+}  // namespace
+
+DualFitResult dual_fit_certificate(const Schedule& schedule,
+                                   const DualFitOptions& options) {
+  if (!schedule.has_trace()) {
+    throw std::invalid_argument("dual_fit_certificate: schedule has no trace");
+  }
+  const double k = options.k;
+  const double eps = options.eps;
+  if (!(k >= 1.0)) throw std::invalid_argument("dual_fit_certificate: k must be >= 1");
+  if (!(eps > 0.0) || eps > 0.1) {
+    throw std::invalid_argument("dual_fit_certificate: eps must be in (0, 0.1]");
+  }
+
+  DualFitResult res;
+  res.k = k;
+  res.eps = eps;
+  res.delta = eps;  // the paper sets delta = eps
+  res.gamma = options.gamma > 0.0 ? options.gamma : k * std::pow(k / eps, k);
+  res.speed = schedule.speed();
+  res.machines = schedule.machines();
+
+  const std::size_t n = schedule.n();
+  const int m = schedule.machines();
+
+  std::vector<double> flow(n), fk(n), fkm1(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    flow[j] = schedule.flow(static_cast<JobId>(j));
+    fk[j] = std::pow(flow[j], k);
+    fkm1[j] = std::pow(flow[j], k - 1.0);
+    res.rr_power += fk[j];
+  }
+
+  // ---- alpha_j --------------------------------------------------------------
+  std::vector<double> alpha(n, 0.0);
+  std::vector<JobId> by_arrival;   // alive jobs sorted by (release, id)
+  std::vector<double> prefix;      // prefix sums of per-j' integrals
+  for (const TraceInterval& iv : schedule.trace()) {
+    const std::size_t nt = iv.alive_count();
+    if (nt == 0) continue;
+    const bool overloaded = nt >= static_cast<std::size_t>(m);
+
+    if (!overloaded) {
+      for (const RateShare& s : iv.shares) {
+        alpha[s.job] +=
+            age_power_integral(iv.begin, iv.end, schedule.release(s.job), k);
+      }
+      continue;
+    }
+
+    // Overloaded: alpha_j gains sum_{j' arrived no later} integral of
+    // k (t - r_{j'})^{k-1} / n_t.  Sort the alive set by arrival and use
+    // prefix sums so each interval costs O(n_t log n_t).
+    by_arrival.clear();
+    for (const RateShare& s : iv.shares) by_arrival.push_back(s.job);
+    std::sort(by_arrival.begin(), by_arrival.end(), [&](JobId a, JobId b) {
+      const Time ra = schedule.release(a), rb = schedule.release(b);
+      if (ra != rb) return ra < rb;
+      return a < b;
+    });
+    prefix.assign(nt + 1, 0.0);
+    for (std::size_t i = 0; i < nt; ++i) {
+      prefix[i + 1] =
+          prefix[i] + age_power_integral(iv.begin, iv.end,
+                                         schedule.release(by_arrival[i]), k);
+    }
+    for (std::size_t i = 0; i < nt; ++i) {
+      // by_arrival[i] has rank i+1; it collects the terms of all jobs with
+      // rank <= i+1 (those that arrived no later than it), averaged by n_t.
+      alpha[by_arrival[i]] += prefix[i + 1] / static_cast<double>(nt);
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    alpha[j] -= eps * fk[j];
+    res.alpha_sum += alpha[j];
+  }
+
+  // ---- beta_t ---------------------------------------------------------------
+  // beta is piecewise constant with breakpoints at r_j and C_j + delta F_j.
+  // Build it as a sorted event list; value_scale = (1/2 - 3 eps) / m.
+  const double beta_coeff = (0.5 - 3.0 * eps) / static_cast<double>(m);
+  struct BetaEvent {
+    Time t;
+    double delta_value;
+  };
+  std::vector<BetaEvent> events;
+  events.reserve(2 * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Time start = schedule.release(static_cast<JobId>(j));
+    const Time stop = schedule.completion(static_cast<JobId>(j)) + res.delta * flow[j];
+    events.push_back(BetaEvent{start, beta_coeff * fkm1[j]});
+    events.push_back(BetaEvent{stop, -beta_coeff * fkm1[j]});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const BetaEvent& a, const BetaEvent& b) { return a.t < b.t; });
+
+  // Pieces: (start time, beta value on [start, next start)).
+  std::vector<std::pair<Time, double>> beta_pieces;
+  beta_pieces.reserve(events.size() + 1);
+  double running = 0.0;
+  std::size_t i = 0;
+  double beta_integral = 0.0;
+  Time prev_t = events.empty() ? 0.0 : events.front().t;
+  while (i < events.size()) {
+    const Time t = events[i].t;
+    beta_integral += running * (t - prev_t);
+    prev_t = t;
+    while (i < events.size() && events[i].t == t) {
+      running += events[i].delta_value;
+      ++i;
+    }
+    beta_pieces.emplace_back(t, std::max(running, 0.0));
+  }
+  // (running is ~0 after the last event; the final piece has beta = 0.)
+  res.beta_term = static_cast<double>(m) * beta_integral;
+  res.dual_objective = res.alpha_sum - res.beta_term;
+
+  // ---- Lemmas 1 and 2 -------------------------------------------------------
+  const double tol = 1e-7 * std::max(1.0, res.rr_power);
+  res.lemma1_ok = res.alpha_sum >= (0.5 - eps) * res.rr_power - tol;
+  res.lemma2_ok = res.beta_term <= (0.5 - 2.0 * eps) * res.rr_power + tol;
+
+  // ---- Dual feasibility -----------------------------------------------------
+  // For each job j and each beta piece [t_i, t_{i+1}): the RHS
+  //   gamma ((t - r_j)^k + p_j^k)/p_j + beta(piece)
+  // is nondecreasing in t inside the piece, so its minimum is at
+  // t = max(t_i, r_j); a piece entirely before r_j is skipped.
+  res.min_slack = kInfiniteTime;
+  res.max_relative_violation = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double pj = schedule.size(static_cast<JobId>(j));
+    const double rj = schedule.release(static_cast<JobId>(j));
+    const double lhs = alpha[j] / pj;
+    auto check_at = [&](Time t, double beta_value) {
+      const double rhs =
+          res.gamma * (std::pow(std::max(t - rj, 0.0), k) + std::pow(pj, k)) / pj +
+          beta_value;
+      const double slack = rhs - lhs;
+      res.min_slack = std::min(res.min_slack, slack);
+      if (slack < 0.0) {
+        const double scale = std::max({std::fabs(lhs), std::fabs(rhs), 1e-300});
+        res.max_relative_violation =
+            std::max(res.max_relative_violation, -slack / scale);
+      }
+    };
+    bool any_piece_after_rj = false;
+    for (std::size_t p = 0; p < beta_pieces.size(); ++p) {
+      const Time piece_start = beta_pieces[p].first;
+      const Time piece_end =
+          p + 1 < beta_pieces.size() ? beta_pieces[p + 1].first : kInfiniteTime;
+      if (piece_end <= rj) continue;
+      any_piece_after_rj = true;
+      check_at(std::max(piece_start, rj), beta_pieces[p].second);
+    }
+    // Tail beyond the last event: beta = 0.
+    const Time tail_start =
+        beta_pieces.empty() ? rj : std::max(beta_pieces.back().first, rj);
+    check_at(tail_start, 0.0);
+    if (!any_piece_after_rj) check_at(rj, 0.0);
+  }
+  res.feasible = res.max_relative_violation <= 1e-7;
+
+  // ---- Objective ------------------------------------------------------------
+  if (res.rr_power > 0.0) {
+    res.objective_ratio = res.dual_objective / res.rr_power;
+  }
+  res.objective_ok = res.objective_ratio >= eps - 1e-9;
+  if (res.feasible && res.objective_ratio > 0.0) {
+    res.implied_lk_ratio =
+        std::pow(2.0 * res.gamma / res.objective_ratio, 1.0 / k);
+  }
+  return res;
+}
+
+}  // namespace tempofair::analysis

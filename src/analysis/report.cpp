@@ -1,0 +1,78 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tempofair::analysis {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table: no columns");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count != column count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  std::ostringstream os;
+  os << std::setprecision(4) << v;
+  return os.str();
+}
+
+std::string Table::num(double v, int decimals) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+
+  out << "\n== " << title_ << " ==\n";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << std::left << std::setw(static_cast<int>(width[c]) + 2) << columns_[c];
+  }
+  out << '\n' << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    }
+    out << '\n';
+  }
+  out.flush();
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto emit = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+  out.flush();
+}
+
+}  // namespace tempofair::analysis

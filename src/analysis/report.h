@@ -1,0 +1,39 @@
+// Plain-text table / CSV writers used by the experiment binaries.
+//
+// Every experiment prints a titled, column-aligned table to stdout; `--csv`
+// switches the payload to machine-readable CSV with the same columns.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tempofair::analysis {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Adds one row; must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double compactly (4 significant digits, "inf"/"nan" spelled).
+  [[nodiscard]] static std::string num(double v);
+  /// Formats with fixed decimals.
+  [[nodiscard]] static std::string num(double v, int decimals);
+
+  /// Column-aligned human-readable rendering with title and rule lines.
+  void print(std::ostream& out) const;
+  /// CSV rendering (header + rows, no title).
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tempofair::analysis

@@ -1,0 +1,209 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tempofair {
+
+namespace {
+
+struct LiveJob {
+  JobId id;
+  Time release;
+  Work size;
+  Work remaining;
+  Work attained;
+  double weight;
+};
+
+/// Builds the policy-facing view of the alive set, hiding sizes if requested.
+void build_views(const std::vector<LiveJob>& alive, bool hide,
+                 std::vector<AliveJob>& out) {
+  out.clear();
+  out.reserve(alive.size());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const LiveJob& j : alive) {
+    out.push_back(AliveJob{j.id, j.release, j.attained, hide ? nan : j.size,
+                           hide ? nan : j.remaining, j.weight});
+  }
+}
+
+[[noreturn]] void engine_fail(const std::string& msg) {
+  throw std::runtime_error("tempofair::simulate: " + msg);
+}
+
+}  // namespace
+
+Schedule simulate(const Instance& instance, Policy& policy,
+                  const EngineOptions& options) {
+  if (options.machines < 1) {
+    throw std::invalid_argument("simulate: machines must be >= 1");
+  }
+  if (!(options.speed > 0.0) || !std::isfinite(options.speed)) {
+    throw std::invalid_argument("simulate: speed must be positive and finite");
+  }
+  if (options.hide_sizes && policy.clairvoyant()) {
+    throw std::invalid_argument("simulate: cannot hide sizes from clairvoyant policy " +
+                                std::string(policy.name()));
+  }
+
+  Schedule schedule(instance, options.machines, options.speed);
+  schedule.set_trace_recorded(options.record_trace);
+  policy.reset();
+
+  if (instance.empty()) return schedule;
+
+  // Pending arrivals, consumed in (release, id) order.
+  std::span<const JobId> order = instance.release_order();
+  std::size_t next_arrival = 0;
+
+  std::vector<LiveJob> alive;  // kept sorted by id
+  alive.reserve(instance.n());
+
+  std::vector<AliveJob> views;
+  Time now = instance.job(order[0]).release;
+
+  const double cap = options.speed * options.machines;
+  const double rate_tol = 1e-7 * std::max(1.0, cap);
+
+  auto admit_arrivals = [&](Time t) {
+    while (next_arrival < order.size() &&
+           instance.job(order[next_arrival]).release <= t + kAbsEps) {
+      const Job& j = instance.job(order[next_arrival]);
+      LiveJob lj{j.id, j.release, j.size, j.size, 0.0, j.weight};
+      auto pos = std::lower_bound(
+          alive.begin(), alive.end(), lj,
+          [](const LiveJob& a, const LiveJob& b) { return a.id < b.id; });
+      alive.insert(pos, lj);
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      AliveJob view{j.id, j.release, 0.0, options.hide_sizes ? nan : j.size,
+                    options.hide_sizes ? nan : j.size, j.weight};
+      policy.on_arrival(view, t);
+      ++next_arrival;
+    }
+  };
+
+  admit_arrivals(now);
+
+  std::size_t steps = 0;
+  std::vector<std::size_t> completing;  // indices into `alive`
+
+  while (!alive.empty() || next_arrival < order.size()) {
+    if (++steps > options.max_steps) {
+      engine_fail("exceeded max_steps=" + std::to_string(options.max_steps) +
+                  " with policy " + std::string(policy.name()));
+    }
+
+    if (alive.empty()) {
+      // Idle gap: jump to the next arrival.
+      now = instance.job(order[next_arrival]).release;
+      admit_arrivals(now);
+      continue;
+    }
+
+    build_views(alive, options.hide_sizes, views);
+    SchedulerContext ctx{now, options.machines, options.speed, views,
+                         !options.hide_sizes};
+    RateDecision decision = policy.rates(ctx);
+
+    if (decision.rates.size() != alive.size()) {
+      engine_fail("policy " + std::string(policy.name()) + " returned " +
+                  std::to_string(decision.rates.size()) + " rates for " +
+                  std::to_string(alive.size()) + " alive jobs");
+    }
+    double rate_sum = 0.0;
+    for (double& r : decision.rates) {
+      r = clamp_nonneg(r, rate_tol);
+      if (r < 0.0 || !std::isfinite(r)) engine_fail("policy returned negative/non-finite rate");
+      if (r > options.speed + rate_tol) {
+        engine_fail("policy rate " + std::to_string(r) + " exceeds per-machine speed " +
+                    std::to_string(options.speed));
+      }
+      r = std::min(r, options.speed);
+      rate_sum += r;
+    }
+    if (rate_sum > cap + rate_tol) {
+      engine_fail("policy rates sum " + std::to_string(rate_sum) +
+                  " exceeds capacity " + std::to_string(cap));
+    }
+    if (!(decision.max_duration > 0.0)) {
+      engine_fail("policy returned non-positive max_duration");
+    }
+
+    // Next event: arrival, earliest completion, or policy breakpoint.
+    Time dt = decision.max_duration;
+    if (next_arrival < order.size()) {
+      dt = std::min(dt, instance.job(order[next_arrival]).release - now);
+    }
+    Time completion_dt = kInfiniteTime;
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      if (decision.rates[i] > 0.0) {
+        completion_dt = std::min(completion_dt, alive[i].remaining / decision.rates[i]);
+      }
+    }
+    dt = std::min(dt, completion_dt);
+    if (std::isfinite(options.max_time)) {
+      if (now >= options.max_time) {
+        engine_fail("simulated clock passed max_time");
+      }
+      dt = std::min(dt, options.max_time - now);
+    }
+    if (!std::isfinite(dt)) {
+      engine_fail("deadlock: policy " + std::string(policy.name()) +
+                  " allocates zero rate to all " + std::to_string(alive.size()) +
+                  " alive jobs with no arrival or breakpoint pending");
+    }
+    dt = std::max(dt, 0.0);
+
+    // Advance all jobs analytically.
+    if (dt > 0.0) {
+      if (options.record_trace) {
+        TraceInterval iv;
+        iv.begin = now;
+        iv.end = now + dt;
+        iv.shares.reserve(alive.size());
+        for (std::size_t i = 0; i < alive.size(); ++i) {
+          iv.shares.push_back(RateShare{alive[i].id, decision.rates[i]});
+        }
+        schedule.push_interval(std::move(iv));
+      }
+      for (std::size_t i = 0; i < alive.size(); ++i) {
+        const Work delta = decision.rates[i] * dt;
+        alive[i].attained += delta;
+        alive[i].remaining -= delta;
+      }
+      now += dt;
+    }
+
+    // Collect completions: jobs whose remaining is (numerically) exhausted.
+    completing.clear();
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      if (alive[i].remaining <= kRelEps * alive[i].size + kAbsEps) {
+        completing.push_back(i);
+      }
+    }
+    if (dt == 0.0 && completing.empty()) {
+      // A zero-length step must make progress through arrivals; otherwise the
+      // policy's breakpoint fired immediately without changing anything.
+      // Allow it (quantum policies rotate internal state on the rates() call),
+      // but the step guard above prevents livelock.
+    }
+    // Remove completed jobs (iterate in reverse to keep indices valid).
+    for (auto it = completing.rbegin(); it != completing.rend(); ++it) {
+      const std::size_t i = *it;
+      schedule.set_completion(alive[i].id, now);
+      policy.on_completion(alive[i].id, now);
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    admit_arrivals(now);
+  }
+
+  return schedule;
+}
+
+}  // namespace tempofair

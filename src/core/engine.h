@@ -1,0 +1,42 @@
+// Event-driven continuous-time scheduling engine.
+//
+// Simulates an online policy on m identical machines with speed augmentation
+// s, exactly (up to floating-point rounding): between consecutive events
+// (arrival, completion, policy breakpoint) all rates are constant, so the
+// engine advances analytically to the next event rather than stepping a
+// clock.  The full piecewise-constant rate trace can be recorded for the
+// fairness and dual-fitting analyses.
+#pragma once
+
+#include <cstddef>
+
+#include "core/instance.h"
+#include "core/policy.h"
+#include "core/schedule.h"
+
+namespace tempofair {
+
+struct EngineOptions {
+  int machines = 1;
+  /// Speed augmentation: each machine processes `speed` units of work per
+  /// unit time.  OPT is always measured at speed 1.
+  double speed = 1.0;
+  /// Record the full rate trace (needed by fairness + dual-fitting analyses).
+  bool record_trace = true;
+  /// Hide sizes from the policy (AliveJob::size/remaining = NaN).  Refused
+  /// for clairvoyant policies.
+  bool hide_sizes = false;
+  /// Safety valve: abort if the simulated clock passes this.
+  Time max_time = kInfiniteTime;
+  /// Safety valve: abort after this many engine iterations (guards against a
+  /// policy that returns pathological breakpoints).
+  std::size_t max_steps = 50'000'000;
+};
+
+/// Runs `policy` on `instance` and returns the complete schedule.
+/// Throws std::invalid_argument for bad options and std::runtime_error if the
+/// policy misbehaves (invalid rates, deadlock, step explosion).
+[[nodiscard]] Schedule simulate(const Instance& instance, Policy& policy,
+                                const EngineOptions& options = {});
+
+}  // namespace tempofair

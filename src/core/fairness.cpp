@@ -1,0 +1,106 @@
+#include "core/fairness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace tempofair {
+
+double jain_index(std::span<const double> rates) {
+  if (rates.empty()) return 1.0;
+  double sum = 0.0, sq = 0.0;
+  for (double r : rates) {
+    sum += r;
+    sq += r * r;
+  }
+  if (sq <= 0.0) return 1.0;  // all-zero allocation treated as (vacuously) fair
+  return (sum * sum) / (static_cast<double>(rates.size()) * sq);
+}
+
+FairnessReport fairness_report(const Schedule& schedule) {
+  if (!schedule.has_trace()) {
+    throw std::invalid_argument("fairness_report: schedule has no recorded trace");
+  }
+  FairnessReport rep;
+  rep.jain_min = 1.0;
+
+  double jain_weighted = 0.0;
+  double min_share_weighted = 0.0;
+  double starved_time = 0.0;
+  double busy = 0.0;
+
+  // Service lag per job: integral of fair share minus attained service,
+  // tracked across intervals.
+  std::unordered_map<JobId, double> lag;  // fair-share service minus attained
+  lag.reserve(schedule.n());
+
+  const double speed = schedule.speed();
+  const int m = schedule.machines();
+  std::vector<double> rates;
+
+  for (const TraceInterval& iv : schedule.trace()) {
+    const double len = iv.length();
+    const std::size_t n = iv.alive_count();
+    if (n == 0) continue;
+    busy += len;
+
+    rates.clear();
+    double rate_sum = 0.0;
+    bool any_starved = false;
+    double min_rate = kInfiniteTime;
+    for (const RateShare& s : iv.shares) {
+      rates.push_back(s.rate);
+      rate_sum += s.rate;
+      min_rate = std::min(min_rate, s.rate);
+      if (s.rate <= kAbsEps) any_starved = true;
+    }
+    (void)rate_sum;
+
+    const double fair_share =
+        speed * std::min(1.0, static_cast<double>(m) / static_cast<double>(n));
+
+    const double j = jain_index(rates);
+    jain_weighted += j * len;
+    if (n >= 2) rep.jain_min = std::min(rep.jain_min, j);
+
+    min_share_weighted += (fair_share > 0.0 ? min_rate / fair_share : 1.0) * len;
+    if (any_starved) starved_time += len;
+
+    for (const RateShare& s : iv.shares) {
+      double& l = lag[s.job];
+      l += (fair_share - s.rate) * len;
+      rep.max_service_lag = std::max(rep.max_service_lag, l);
+    }
+  }
+
+  rep.busy_time = busy;
+  if (busy > 0.0) {
+    rep.jain_time_avg = jain_weighted / busy;
+    rep.min_share_time_avg = min_share_weighted / busy;
+    rep.starved_time_fraction = starved_time / busy;
+  }
+  return rep;
+}
+
+std::vector<std::pair<Time, std::size_t>> alive_count_curve(
+    const Schedule& schedule) {
+  if (!schedule.has_trace()) {
+    throw std::invalid_argument("alive_count_curve: schedule has no recorded trace");
+  }
+  std::vector<std::pair<Time, std::size_t>> curve;
+  Time prev_end = -kInfiniteTime;
+  for (const TraceInterval& iv : schedule.trace()) {
+    if (!curve.empty() && !approx_equal(iv.begin, prev_end)) {
+      curve.emplace_back(prev_end, 0);  // idle gap
+    }
+    if (curve.empty() || curve.back().second != iv.alive_count()) {
+      curve.emplace_back(iv.begin, iv.alive_count());
+    }
+    prev_end = iv.end;
+  }
+  if (!curve.empty()) curve.emplace_back(prev_end, 0);
+  return curve;
+}
+
+}  // namespace tempofair

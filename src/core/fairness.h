@@ -1,0 +1,51 @@
+// Instantaneous-fairness metrics computed from a schedule's rate trace.
+//
+// The paper distinguishes *instantaneous* fairness -- resources split evenly
+// among alive jobs at every moment, which Round Robin achieves by definition
+// -- from *temporal* fairness, captured by the l_k norm of flow time.  These
+// metrics quantify the former so experiments F2/F3 can show the trade-off.
+//
+// All quantities are exact time-integrals over the piecewise-constant trace.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace tempofair {
+
+struct FairnessReport {
+  /// Time-average (over busy time, weighted by interval length) of Jain's
+  /// fairness index J = (sum r_i)^2 / (n * sum r_i^2) over alive jobs'
+  /// rates.  1.0 = perfectly equal shares (RR); 1/n = one job hogs all.
+  double jain_time_avg = 1.0;
+  /// Minimum Jain index over all intervals with >= 2 alive jobs.
+  double jain_min = 1.0;
+  /// Time-average of min_j rate_j / fair_share, where fair_share =
+  /// speed * min(1, m / n_t): how close the worst-treated job is to its
+  /// Round-Robin entitlement.  1.0 for RR.
+  double min_share_time_avg = 1.0;
+  /// Worst (largest) service lag over all jobs and times: the maximum of
+  /// fair-share-accumulated service minus actually attained service.  0 for
+  /// RR; large when some job starves while others run.
+  double max_service_lag = 0.0;
+  /// Fraction of busy time during which at least one alive job receives
+  /// exactly zero rate ("some job is starved right now").
+  double starved_time_fraction = 0.0;
+  /// Total busy (traced) time.
+  double busy_time = 0.0;
+};
+
+/// Computes the fairness report from a schedule with a recorded trace.
+/// Throws std::invalid_argument if the schedule has no trace.
+[[nodiscard]] FairnessReport fairness_report(const Schedule& schedule);
+
+/// Jain index of a single rate vector (utility for tests / custom analyses).
+[[nodiscard]] double jain_index(std::span<const double> rates);
+
+/// Piecewise-constant curve of the number of alive jobs over time,
+/// as (time, n_alive) breakpoints: n_alive holds from this time to the next.
+[[nodiscard]] std::vector<std::pair<Time, std::size_t>> alive_count_curve(
+    const Schedule& schedule);
+
+}  // namespace tempofair

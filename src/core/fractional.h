@@ -1,0 +1,35 @@
+// Fractional flow time, computed exactly from the piecewise-constant trace.
+//
+// The fractional flow of job j is  int_{r_j}^{C_j} (remaining_j(t) / p_j) dt
+// -- the flow-time mass weighted by how much of the job is still unfinished.
+// It lower-bounds the integral flow F_j and is the natural objective of the
+// LP relaxation of Section 3.1 (the LP "pays" for each unit of work by the
+// age at which it is processed).  The generalized k-th power version is
+//
+//   fractional F_j^k  =  int_{r_j}^{C_j} k (t - r_j)^{k-1} remaining_j(t)/p_j dt,
+//
+// which coincides with the k = 1 case above and relates the simulator's
+// schedules to the LP lower bounds: for any schedule,
+// fractional cost <= integral cost, and the LP optimum lower-bounds the
+// *fractional* cost of every feasible schedule directly.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace tempofair {
+
+struct FractionalFlowResult {
+  /// Per-job fractional k-th-power flow, indexed by job id.
+  std::vector<double> per_job;
+  /// Sum over jobs.
+  double total = 0.0;
+};
+
+/// Exact fractional k-th-power flows (k >= 1) from a traced schedule.
+/// Throws std::invalid_argument if the schedule has no trace or k < 1.
+[[nodiscard]] FractionalFlowResult fractional_flow_power(
+    const Schedule& schedule, double k = 1.0);
+
+}  // namespace tempofair

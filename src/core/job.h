@@ -1,0 +1,34 @@
+// Job: the unit of demand in the paper's model (Section 2).
+//
+// A job j has a release (arrival) time r_j -- the first moment the online
+// scheduler learns of it -- and a processing requirement p_j.  A schedule on
+// m identical machines assigns each alive job a machine share m_j(t) in [0,1]
+// with sum_j m_j(t) <= m; job j completes once it has accumulated p_j units
+// of processing.
+#pragma once
+
+#include "core/time_types.h"
+
+namespace tempofair {
+
+struct Job {
+  JobId id = kInvalidJob;
+  Time release = 0.0;
+  Work size = 0.0;
+  /// Importance weight for *weighted* flow-time objectives (sum_j w_j F_j^k,
+  /// cf. the weighted-flow literature the paper builds on [1,7,20]).  The
+  /// paper's own objective is unweighted: weight = 1.
+  double weight = 1.0;
+
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+/// Total order used whenever "arrived no later than" must be strict
+/// (e.g. the rank |A(t, r_j)| in the dual-fitting construction): earlier
+/// release first, ties broken by id.
+[[nodiscard]] inline bool arrives_before(const Job& a, const Job& b) noexcept {
+  if (a.release != b.release) return a.release < b.release;
+  return a.id < b.id;
+}
+
+}  // namespace tempofair

@@ -1,0 +1,136 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tempofair {
+
+double lk_power_sum(std::span<const double> values, double k) {
+  if (k < 1.0) throw std::invalid_argument("lk_power_sum: k must be >= 1");
+  double sum = 0.0;
+  for (double v : values) {
+    if (v < 0.0) throw std::invalid_argument("lk_power_sum: negative value");
+    sum += std::pow(v, k);
+  }
+  return sum;
+}
+
+double lk_norm(std::span<const double> values, double k) {
+  if (k < 1.0) throw std::invalid_argument("lk_norm: k must be >= 1");
+  if (values.empty()) return 0.0;
+  double vmax = 0.0;
+  for (double v : values) {
+    if (v < 0.0) throw std::invalid_argument("lk_norm: negative value");
+    vmax = std::max(vmax, v);
+  }
+  if (std::isinf(k)) return vmax;
+  if (vmax <= 0.0) return 0.0;
+  // (sum (v/vmax)^k)^(1/k) * vmax avoids overflow for large k.
+  double sum = 0.0;
+  for (double v : values) sum += std::pow(v / vmax, k);
+  return vmax * std::pow(sum, 1.0 / k);
+}
+
+double linf_norm(std::span<const double> values) {
+  double m = 0.0;
+  for (double v : values) m = std::max(m, v);
+  return m;
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p outside [0,100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+FlowStats flow_stats(std::span<const double> flows) {
+  FlowStats s;
+  s.n = flows.size();
+  if (flows.empty()) return s;
+  double sum = 0.0, sq = 0.0;
+  for (double f : flows) {
+    sum += f;
+    sq += f * f;
+  }
+  s.l1 = sum;
+  s.l2 = lk_norm(flows, 2.0);
+  s.l3 = lk_norm(flows, 3.0);
+  s.linf = linf_norm(flows);
+  s.mean = sum / static_cast<double>(s.n);
+  s.variance = std::max(0.0, sq / static_cast<double>(s.n) - s.mean * s.mean);
+  s.stddev = std::sqrt(s.variance);
+  s.p50 = percentile(flows, 50.0);
+  s.p95 = percentile(flows, 95.0);
+  s.p99 = percentile(flows, 99.0);
+  return s;
+}
+
+FlowStats flow_stats(const Schedule& schedule) {
+  const std::vector<Time> flows = schedule.flows();
+  return flow_stats(flows);
+}
+
+double flow_lk_norm(const Schedule& schedule, double k) {
+  const std::vector<Time> flows = schedule.flows();
+  return lk_norm(flows, k);
+}
+
+double flow_lk_power(const Schedule& schedule, double k) {
+  const std::vector<Time> flows = schedule.flows();
+  return lk_power_sum(flows, k);
+}
+
+double weighted_lk_power(std::span<const double> values,
+                         std::span<const double> weights, double k) {
+  if (k < 1.0) throw std::invalid_argument("weighted_lk_power: k must be >= 1");
+  if (values.size() != weights.size()) {
+    throw std::invalid_argument("weighted_lk_power: size mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] < 0.0 || weights[i] < 0.0) {
+      throw std::invalid_argument("weighted_lk_power: negative value or weight");
+    }
+    sum += weights[i] * std::pow(values[i], k);
+  }
+  return sum;
+}
+
+double weighted_lk_norm(std::span<const double> values,
+                        std::span<const double> weights, double k) {
+  if (k < 1.0) throw std::invalid_argument("weighted_lk_norm: k must be >= 1");
+  if (values.size() != weights.size()) {
+    throw std::invalid_argument("weighted_lk_norm: size mismatch");
+  }
+  if (std::isinf(k)) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (values[i] < 0.0 || weights[i] < 0.0) {
+        throw std::invalid_argument("weighted_lk_norm: negative value or weight");
+      }
+      if (weights[i] > 0.0) m = std::max(m, values[i]);
+    }
+    return m;
+  }
+  const double power = weighted_lk_power(values, weights, k);
+  return std::pow(power, 1.0 / k);
+}
+
+double weighted_flow_lk_power(const Schedule& schedule, double k) {
+  const std::vector<Time> flows = schedule.flows();
+  return weighted_lk_power(flows, schedule.weights(), k);
+}
+
+double weighted_flow_lk_norm(const Schedule& schedule, double k) {
+  const std::vector<Time> flows = schedule.flows();
+  return weighted_lk_norm(flows, schedule.weights(), k);
+}
+
+}  // namespace tempofair

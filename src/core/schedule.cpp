@@ -1,0 +1,113 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace tempofair {
+
+Schedule::Schedule(const Instance& instance, int machines, double speed)
+    : machines_(machines), speed_(speed) {
+  const std::size_t n = instance.n();
+  release_.resize(n);
+  size_.resize(n);
+  weight_.resize(n);
+  completion_.assign(n, kInfiniteTime);
+  for (const Job& j : instance.jobs()) {
+    release_[j.id] = j.release;
+    size_[j.id] = j.size;
+    weight_[j.id] = j.weight;
+  }
+}
+
+void Schedule::set_completion(JobId id, Time t) {
+  completion_.at(id) = t;
+  makespan_ = std::max(makespan_, t);
+}
+
+void Schedule::push_interval(TraceInterval iv) {
+  if (!(iv.end > iv.begin)) return;  // zero-length intervals carry no info
+  trace_.push_back(std::move(iv));
+}
+
+std::vector<Time> Schedule::flows() const {
+  std::vector<Time> out(n());
+  for (std::size_t i = 0; i < n(); ++i) {
+    out[i] = completion_[i] - release_[i];
+  }
+  return out;
+}
+
+Work Schedule::traced_work() const {
+  Work total = 0.0;
+  for (const TraceInterval& iv : trace_) {
+    for (const RateShare& s : iv.shares) total += s.rate * iv.length();
+  }
+  return total;
+}
+
+Work Schedule::traced_work(JobId id) const {
+  Work total = 0.0;
+  for (const TraceInterval& iv : trace_) {
+    for (const RateShare& s : iv.shares) {
+      if (s.job == id) total += s.rate * iv.length();
+    }
+  }
+  return total;
+}
+
+void Schedule::validate() const {
+  auto fail = [](const std::string& msg) { throw std::logic_error("Schedule::validate: " + msg); };
+
+  for (std::size_t i = 0; i < n(); ++i) {
+    if (!std::isfinite(completion_[i])) {
+      fail("job " + std::to_string(i) + " never completed");
+    }
+    // Even owning a full machine at speed s, job i needs size/speed time.
+    const Time earliest = release_[i] + size_[i] / speed_;
+    if (definitely_less(completion_[i], earliest, 1e-6)) {
+      fail("job " + std::to_string(i) + " completed impossibly early");
+    }
+  }
+
+  if (!has_trace_) return;
+
+  const double cap = speed_ * machines_;
+  Time prev_end = -kInfiniteTime;
+  for (const TraceInterval& iv : trace_) {
+    if (!(iv.end > iv.begin)) fail("empty trace interval");
+    if (definitely_less(iv.begin, prev_end, 1e-9)) fail("overlapping trace intervals");
+    prev_end = iv.end;
+    double sum = 0.0;
+    JobId prev = kInvalidJob;
+    for (const RateShare& s : iv.shares) {
+      if (s.rate < -1e-9) fail("negative rate");
+      if (s.rate > speed_ * (1.0 + 1e-6)) fail("per-job rate exceeds machine speed");
+      if (prev != kInvalidJob && s.job <= prev) fail("shares not sorted by id");
+      prev = s.job;
+      sum += s.rate;
+      if (definitely_less(completion_[s.job], iv.end, 1e-9) ||
+          definitely_less(iv.begin, release_[s.job], 1e-9)) {
+        fail("job " + std::to_string(s.job) + " traced outside its lifespan");
+      }
+    }
+    if (sum > cap * (1.0 + 1e-6)) {
+      std::ostringstream os;
+      os << "interval [" << iv.begin << "," << iv.end << ") rate sum " << sum
+         << " exceeds capacity " << cap;
+      fail(os.str());
+    }
+  }
+
+  for (std::size_t i = 0; i < n(); ++i) {
+    const Work w = traced_work(static_cast<JobId>(i));
+    if (!approx_equal(w, size_[i], 1e-6, 1e-6)) {
+      std::ostringstream os;
+      os << "job " << i << " traced work " << w << " != size " << size_[i];
+      fail(os.str());
+    }
+  }
+}
+
+}  // namespace tempofair

@@ -1,0 +1,100 @@
+// Schedule: the complete record of one simulated run.
+//
+// A run of the engine produces, per job, its completion time (hence flow
+// time), and optionally the full piecewise-constant rate trace: a sequence of
+// half-open intervals [begin, end) during which the alive set and all rates
+// are constant.  Every analysis in this library -- l_k norms, fairness
+// curves, and the paper's dual-fitting construction -- is computed from this
+// trace in closed form, without sampling.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/time_types.h"
+
+namespace tempofair {
+
+/// One job's share of the machines during a trace interval.
+struct RateShare {
+  JobId job = kInvalidJob;
+  /// Processing rate in work units per time unit; for a policy running at
+  /// speed s on m machines this lies in [0, s] and rates sum to <= s*m.
+  double rate = 0.0;
+};
+
+/// Maximal interval during which the alive set and all rates are constant.
+/// `shares` lists *every* alive job (rate may be 0), sorted by job id.
+struct TraceInterval {
+  Time begin = 0.0;
+  Time end = 0.0;
+  std::vector<RateShare> shares;
+
+  [[nodiscard]] Time length() const noexcept { return end - begin; }
+  [[nodiscard]] std::size_t alive_count() const noexcept {
+    return shares.size();
+  }
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+  Schedule(const Instance& instance, int machines, double speed);
+
+  // --- mutation (used by the engine) ---------------------------------------
+  void set_completion(JobId id, Time t);
+  void push_interval(TraceInterval iv);
+  void set_trace_recorded(bool recorded) noexcept { has_trace_ = recorded; }
+
+  // --- queries --------------------------------------------------------------
+  [[nodiscard]] std::size_t n() const noexcept { return completion_.size(); }
+  [[nodiscard]] int machines() const noexcept { return machines_; }
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+
+  [[nodiscard]] Time release(JobId id) const { return release_.at(id); }
+  [[nodiscard]] Work size(JobId id) const { return size_.at(id); }
+  [[nodiscard]] double weight(JobId id) const { return weight_.at(id); }
+  /// All job weights, indexed by job id.
+  [[nodiscard]] std::span<const double> weights() const noexcept {
+    return weight_;
+  }
+  [[nodiscard]] Time completion(JobId id) const { return completion_.at(id); }
+  /// Flow (response) time F_j = C_j - r_j.
+  [[nodiscard]] Time flow(JobId id) const {
+    return completion_.at(id) - release_.at(id);
+  }
+  /// All flow times, indexed by job id.
+  [[nodiscard]] std::vector<Time> flows() const;
+
+  [[nodiscard]] Time makespan() const noexcept { return makespan_; }
+
+  [[nodiscard]] bool has_trace() const noexcept { return has_trace_; }
+  [[nodiscard]] std::span<const TraceInterval> trace() const noexcept {
+    return trace_;
+  }
+
+  /// Total work processed according to the trace (for conservation checks).
+  [[nodiscard]] Work traced_work() const;
+  /// Work processed for one job according to the trace.
+  [[nodiscard]] Work traced_work(JobId id) const;
+
+  /// Validates internal consistency: completions present and >= release +
+  /// size/speed-share lower bound, traced work equals sizes (if traced),
+  /// interval rates within machine capacity.  Throws std::logic_error with a
+  /// description on the first violation.
+  void validate() const;
+
+ private:
+  std::vector<Time> release_;
+  std::vector<Work> size_;
+  std::vector<double> weight_;
+  std::vector<Time> completion_;
+  std::vector<TraceInterval> trace_;
+  Time makespan_ = 0.0;
+  int machines_ = 1;
+  double speed_ = 1.0;
+  bool has_trace_ = false;
+};
+
+}  // namespace tempofair

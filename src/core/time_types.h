@@ -1,0 +1,52 @@
+// Core scalar types and numeric conventions used throughout tempofair.
+//
+// The simulator works in continuous time with piecewise-constant processing
+// rates.  Time and work are plain doubles; all comparisons that decide event
+// ordering go through the tolerance helpers below so that simultaneous events
+// (a completion coinciding with an arrival, ties in attained service, ...)
+// are resolved consistently everywhere.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace tempofair {
+
+/// Continuous simulation time (seconds, abstract units).
+using Time = double;
+/// Amount of processing (machine-seconds at speed 1).
+using Work = double;
+/// Dense job identifier; an Instance always uses ids 0..n-1.
+using JobId = std::uint32_t;
+
+inline constexpr Time kInfiniteTime = std::numeric_limits<Time>::infinity();
+inline constexpr JobId kInvalidJob = std::numeric_limits<JobId>::max();
+
+/// Relative tolerance used by the engine and the analysis toolkit.
+inline constexpr double kRelEps = 1e-9;
+/// Absolute floor used when comparing quantities that may legitimately be 0.
+inline constexpr double kAbsEps = 1e-12;
+
+/// True if |a - b| is negligible relative to the magnitudes involved.
+[[nodiscard]] inline bool approx_equal(double a, double b,
+                                       double rel = kRelEps,
+                                       double abs = kAbsEps) noexcept {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs) return true;
+  return diff <= rel * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+/// True if a is definitely smaller than b (outside the tolerance band).
+[[nodiscard]] inline bool definitely_less(double a, double b,
+                                          double rel = kRelEps,
+                                          double abs = kAbsEps) noexcept {
+  return a < b && !approx_equal(a, b, rel, abs);
+}
+
+/// Clamp tiny negative values (accumulated float error) to exactly zero.
+[[nodiscard]] inline double clamp_nonneg(double v, double abs = 1e-9) noexcept {
+  return (v < 0.0 && v > -abs) ? 0.0 : v;
+}
+
+}  // namespace tempofair

@@ -1,0 +1,61 @@
+#include "harness/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tempofair::harness {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      token.erase(0, 2);
+      const std::size_t eq = token.find('=');
+      if (eq != std::string::npos) {
+        options_[token.substr(0, eq)] = token.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[token] = argv[++i];
+      } else {
+        options_[token] = "";
+      }
+    } else {
+      positional_.push_back(std::move(token));
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return options_.count(name) > 0; }
+
+std::optional<std::string> Cli::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end != v->c_str() + v->size()) {
+    throw std::invalid_argument("--" + name + ": expected a number, got '" + *v + "'");
+  }
+  return parsed;
+}
+
+long Cli::get_int(const std::string& name, long fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v->c_str(), &end, 10);
+  if (end != v->c_str() + v->size()) {
+    throw std::invalid_argument("--" + name + ": expected an integer, got '" + *v + "'");
+  }
+  return parsed;
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+}  // namespace tempofair::harness

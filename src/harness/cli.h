@@ -1,0 +1,40 @@
+// Minimal command-line parsing shared by examples and experiment binaries.
+//
+// Supports flags (--csv), valued options (--seed 42 or --seed=42), and
+// reports unknown arguments.  Deliberately tiny; not a general CLI library.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tempofair::harness {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if --name was passed (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Value of --name, if given with one.
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+
+  /// Positional arguments (non --option tokens), in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Experiment binaries call this: true => print CSV instead of tables.
+  [[nodiscard]] bool csv() const { return has("csv"); }
+
+ private:
+  std::map<std::string, std::string> options_;  // value may be empty
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tempofair::harness

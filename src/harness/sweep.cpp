@@ -1,0 +1,22 @@
+#include "harness/sweep.h"
+
+#include <stdexcept>
+
+namespace tempofair::harness {
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  if (count == 0) throw std::invalid_argument("linspace: count must be >= 1");
+  std::vector<double> out;
+  out.reserve(count);
+  if (count == 1) {
+    out.push_back(lo);
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(lo + step * static_cast<double>(i));
+  }
+  return out;
+}
+
+}  // namespace tempofair::harness

@@ -1,0 +1,28 @@
+// Parameter-sweep runner: evaluates a function over a grid of configurations
+// in parallel, preserving result order.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "harness/thread_pool.h"
+
+namespace tempofair::harness {
+
+/// Evaluates `eval(config)` for every config, in parallel on `pool`,
+/// returning results in input order.  Exceptions propagate.
+template <typename Config, typename Result>
+std::vector<Result> run_sweep(ThreadPool& pool,
+                              const std::vector<Config>& configs,
+                              const std::function<Result(const Config&)>& eval) {
+  std::vector<Result> results(configs.size());
+  pool.parallel_for(configs.size(), [&](std::size_t i) {
+    results[i] = eval(configs[i]);
+  });
+  return results;
+}
+
+/// Convenience: linear sweep over [lo, hi] with `count` points (inclusive).
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+}  // namespace tempofair::harness

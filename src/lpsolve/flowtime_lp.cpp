@@ -1,0 +1,171 @@
+#include "lpsolve/flowtime_lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "lpsolve/mincost_flow.h"
+
+namespace tempofair::lpsolve {
+
+namespace {
+
+struct Grid {
+  double t0 = 0.0;       // grid origin (min release)
+  double slot = 1.0;
+  std::size_t slots = 0;
+
+  [[nodiscard]] double slot_start(std::size_t s) const {
+    return t0 + static_cast<double>(s) * slot;
+  }
+  /// Slot containing the release.  Granting the *whole* slot (not just the
+  /// part after r_j) relaxes the LP, and the cost there is evaluated at r_j
+  /// itself (unit_cost clamps t - r_j at 0) -- both effects only lower the
+  /// discrete optimum, keeping it a valid lower bound on the continuous LP.
+  [[nodiscard]] std::size_t first_slot_for(double release) const {
+    const double rel = (release - t0) / slot;
+    return static_cast<std::size_t>(std::floor(rel + 1e-12));
+  }
+};
+
+Grid make_grid(const Instance& instance, const FlowtimeLpOptions& options) {
+  if (instance.empty()) {
+    throw std::invalid_argument("flowtime_lp: empty instance");
+  }
+  if (!(options.slot > 0.0)) {
+    throw std::invalid_argument("flowtime_lp: slot width must be > 0");
+  }
+  if (!(options.k >= 1.0)) {
+    throw std::invalid_argument("flowtime_lp: k must be >= 1");
+  }
+  if (options.machines < 1) {
+    throw std::invalid_argument("flowtime_lp: machines must be >= 1");
+  }
+  Grid g;
+  g.t0 = instance.min_release();
+  g.slot = options.slot;
+  // Any left-compacted LP solution finishes by the horizon bound (capacity m
+  // per unit time at speed 1); add one slot of padding.
+  const double horizon =
+      instance.horizon_bound(options.machines, 1.0) - g.t0;
+  g.slots = static_cast<std::size_t>(std::ceil(horizon / g.slot)) + 1;
+  if (options.max_slots > 0) g.slots = std::min(g.slots, options.max_slots);
+  if (g.slots == 0) throw std::invalid_argument("flowtime_lp: zero slots");
+  return g;
+}
+
+/// Cost per unit of processing of job j in slot s (evaluated at slot start).
+double unit_cost(const Job& j, const Grid& g, std::size_t s, double k) {
+  const double t = std::max(g.slot_start(s) - j.release, 0.0);
+  return (std::pow(t, k) + std::pow(j.size, k)) / j.size;
+}
+
+}  // namespace
+
+FlowtimeLpResult solve_flowtime_lp(const Instance& instance,
+                                   const FlowtimeLpOptions& options) {
+  const Grid g = make_grid(instance, options);
+  const std::size_t n = instance.n();
+
+  // Check the (possibly capped) grid has enough capacity for all the work.
+  const double capacity =
+      static_cast<double>(g.slots) * g.slot * options.machines;
+  if (capacity < instance.total_work() - 1e-6) {
+    throw std::invalid_argument(
+        "flowtime_lp: max_slots leaves insufficient capacity for the work");
+  }
+
+  // Nodes: source | jobs (1..n) | slots (n+1 .. n+slots) | sink.
+  const std::size_t kSource = 0;
+  const std::size_t kJob0 = 1;
+  const std::size_t kSlot0 = kJob0 + n;
+  const std::size_t kSink = kSlot0 + g.slots;
+  MinCostFlow mcf(kSink + 1);
+
+  const double slot_cap = g.slot * options.machines;
+  for (std::size_t s = 0; s < g.slots; ++s) {
+    mcf.add_edge(kSlot0 + s, kSink, slot_cap, 0.0);
+  }
+  std::size_t edges = g.slots;
+  for (const Job& j : instance.jobs()) {
+    mcf.add_edge(kSource, kJob0 + j.id, j.size, 0.0);
+    ++edges;
+    const std::size_t first = g.first_slot_for(j.release);
+    for (std::size_t s = first; s < g.slots; ++s) {
+      // A job can absorb at most the slot's full capacity (the LP of the
+      // paper lets a job run on several machines simultaneously).
+      mcf.add_edge(kJob0 + j.id, kSlot0 + s, slot_cap,
+                   unit_cost(j, g, s, options.k));
+      ++edges;
+    }
+  }
+
+  const MinCostFlow::Result r = mcf.solve(kSource, kSink, instance.total_work());
+  if (r.flow < instance.total_work() - 1e-6) {
+    throw std::runtime_error("flowtime_lp: could not route all work (internal)");
+  }
+
+  FlowtimeLpResult out;
+  out.lp_value = r.cost;
+  out.opt_power_lb = r.cost / 2.0;
+  out.slots = g.slots;
+  out.edges = edges;
+  return out;
+}
+
+LinearProgram build_flowtime_lp(const Instance& instance,
+                                const FlowtimeLpOptions& options) {
+  const Grid g = make_grid(instance, options);
+  const std::size_t n = instance.n();
+
+  // Variable layout: for each job j (in id order), one variable per slot
+  // s >= first_slot_for(r_j).
+  std::vector<std::size_t> var_base(n + 1, 0);
+  std::vector<std::size_t> first_slot(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    first_slot[j] = g.first_slot_for(instance.job(static_cast<JobId>(j)).release);
+    var_base[j + 1] = var_base[j] + (g.slots - first_slot[j]);
+  }
+  const std::size_t num_vars = var_base[n];
+
+  LinearProgram lp;
+  lp.objective.assign(num_vars, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Job& job = instance.job(static_cast<JobId>(j));
+    for (std::size_t s = first_slot[j]; s < g.slots; ++s) {
+      lp.objective[var_base[j] + (s - first_slot[j])] =
+          unit_cost(job, g, s, options.k);
+    }
+  }
+  // sum_t x_{jt} >= p_j
+  for (std::size_t j = 0; j < n; ++j) {
+    LinearProgram::Row row;
+    row.coeffs.assign(num_vars, 0.0);
+    for (std::size_t s = first_slot[j]; s < g.slots; ++s) {
+      row.coeffs[var_base[j] + (s - first_slot[j])] = 1.0;
+    }
+    row.rel = LinearProgram::Rel::kGe;
+    row.rhs = instance.job(static_cast<JobId>(j)).size;
+    lp.rows.push_back(std::move(row));
+  }
+  // sum_j x_{jt} <= m * slot
+  for (std::size_t s = 0; s < g.slots; ++s) {
+    LinearProgram::Row row;
+    row.coeffs.assign(num_vars, 0.0);
+    bool any = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (s >= first_slot[j]) {
+        row.coeffs[var_base[j] + (s - first_slot[j])] = 1.0;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    row.rel = LinearProgram::Rel::kLe;
+    row.rhs = g.slot * options.machines;
+    lp.rows.push_back(std::move(row));
+  }
+  return lp;
+}
+
+}  // namespace tempofair::lpsolve

@@ -1,0 +1,53 @@
+#include "lpsolve/lower_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "policies/priority_policies.h"
+
+namespace tempofair::lpsolve {
+
+OptBounds opt_bounds(const Instance& instance, const OptBoundsOptions& options) {
+  OptBounds out;
+  out.k = options.k;
+  out.machines = options.machines;
+
+  for (const Job& j : instance.jobs()) {
+    out.trivial_lb += std::pow(j.size, options.k);
+  }
+
+  if (options.with_lp && !instance.empty()) {
+    double slot = options.lp_slot;
+    if (slot <= 0.0) {
+      slot = std::min(1.0, instance.min_size());
+      const double horizon =
+          instance.horizon_bound(options.machines, 1.0) - instance.min_release();
+      // The grid dominates the MCMF cost (roughly slots x jobs edges and
+      // slots+jobs augmentations); a coarser grid only loosens the lower
+      // bound, never invalidates it.
+      constexpr double kMaxSlots = 600.0;
+      if (horizon / slot > kMaxSlots) slot = horizon / kMaxSlots;
+    }
+    FlowtimeLpOptions lp_opts;
+    lp_opts.k = options.k;
+    lp_opts.machines = options.machines;
+    lp_opts.slot = slot;
+    out.lp_lb = solve_flowtime_lp(instance, lp_opts).opt_power_lb;
+  }
+  out.best_lb = std::max(out.trivial_lb, out.lp_lb);
+
+  EngineOptions eng;
+  eng.machines = options.machines;
+  eng.speed = 1.0;
+  eng.record_trace = false;
+  Srpt srpt;
+  Sjf sjf;
+  const double srpt_cost = flow_lk_power(simulate(instance, srpt, eng), options.k);
+  const double sjf_cost = flow_lk_power(simulate(instance, sjf, eng), options.k);
+  out.proxy_ub = std::min(srpt_cost, sjf_cost);
+  return out;
+}
+
+}  // namespace tempofair::lpsolve

@@ -1,0 +1,45 @@
+// Bounds on OPT's k-th-power flow time, used to bracket competitive ratios.
+//
+// Since OPT is intractable to compute exactly, every measured ratio is
+// reported against both sides of a bracket:
+//
+//   cost / proxy_ub  <=  true competitive ratio  <=  cost / best_lb
+//
+// where best_lb <= OPT^k <= proxy_ub:
+//  * trivial_lb:  sum_j p_j^k  (every flow is at least the job's size at
+//    speed 1);
+//  * lp_lb:       the Section 3.1 LP solved exactly, divided by 2;
+//  * proxy_ub:    the measured cost of the best clairvoyant heuristic at
+//    speed 1 (min over SRPT and SJF) -- a feasible schedule, hence >= OPT^k.
+#pragma once
+
+#include "core/instance.h"
+#include "lpsolve/flowtime_lp.h"
+
+namespace tempofair::lpsolve {
+
+struct OptBounds {
+  double k = 2.0;
+  int machines = 1;
+  double trivial_lb = 0.0;  ///< sum p_j^k
+  double lp_lb = 0.0;       ///< LP / 2 (0 if LP skipped)
+  double best_lb = 0.0;     ///< max of the lower bounds
+  double proxy_ub = 0.0;    ///< min(SRPT, SJF) cost at speed 1
+};
+
+struct OptBoundsOptions {
+  double k = 2.0;
+  int machines = 1;
+  /// Solve the LP lower bound (can be slow for large instances); the trivial
+  /// bound and the proxy are always computed.
+  bool with_lp = true;
+  /// LP discretization width; 0 = auto (min(1, min_size), coarsened so the
+  /// grid stays under ~4000 slots).
+  double lp_slot = 0.0;
+};
+
+/// Computes the OPT^k bracket for `instance`.
+[[nodiscard]] OptBounds opt_bounds(const Instance& instance,
+                                   const OptBoundsOptions& options);
+
+}  // namespace tempofair::lpsolve

@@ -1,0 +1,119 @@
+#include "lpsolve/mincost_flow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace tempofair::lpsolve {
+
+MinCostFlow::MinCostFlow(std::size_t num_nodes) : graph_(num_nodes) {}
+
+std::size_t MinCostFlow::add_edge(std::size_t u, std::size_t v, double cap,
+                                  double cost) {
+  if (u >= graph_.size() || v >= graph_.size()) {
+    throw std::invalid_argument("MinCostFlow::add_edge: node out of range");
+  }
+  if (cap < 0.0 || cost < 0.0 || !std::isfinite(cap) || !std::isfinite(cost)) {
+    throw std::invalid_argument(
+        "MinCostFlow::add_edge: capacity and cost must be finite and >= 0");
+  }
+  graph_[u].push_back(Edge{v, graph_[v].size(), cap, cost, true});
+  graph_[v].push_back(Edge{u, graph_[u].size() - 1, 0.0, -cost, false});
+  handles_.emplace_back(u, graph_[u].size() - 1);
+  initial_cap_.push_back(cap);
+  max_cost_ = std::max(max_cost_, cost);
+  return handles_.size() - 1;
+}
+
+MinCostFlow::Result MinCostFlow::solve(std::size_t s, std::size_t t,
+                                       double max_flow) {
+  if (s >= graph_.size() || t >= graph_.size() || s == t) {
+    throw std::invalid_argument("MinCostFlow::solve: bad source/sink");
+  }
+  const std::size_t n = graph_.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Tolerances must scale with the cost magnitude: with costs spanning many
+  // orders of magnitude (the flow-time LP's k-th-power costs do), fixed
+  // absolute epsilons let floating-point noise turn reduced costs negative,
+  // which degrades Dijkstra into exponential re-expansion.
+  const double cost_eps = std::max(kFlowEps, 1e-12 * max_cost_);
+
+  std::vector<double> potential(n, 0.0);  // costs are >= 0, so 0 is valid
+  std::vector<double> dist(n);
+  std::vector<std::size_t> prev_node(n), prev_edge(n);
+  Result result;
+
+  using QItem = std::pair<double, std::size_t>;  // (dist, node)
+
+  std::size_t edge_count = 0;
+  for (const auto& adj : graph_) edge_count += adj.size();
+  const std::size_t max_augmentations = 100 * (edge_count + n) + 1000;
+  std::size_t augmentations = 0;
+
+  while (result.flow < max_flow - kFlowEps) {
+    if (++augmentations > max_augmentations) {
+      throw std::runtime_error(
+          "MinCostFlow::solve: augmentation budget exhausted (numerically "
+          "degenerate instance)");
+    }
+    // Dijkstra on reduced costs.
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[s] = 0.0;
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    pq.emplace(0.0, s);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u] + cost_eps) continue;
+      for (std::size_t ei = 0; ei < graph_[u].size(); ++ei) {
+        const Edge& e = graph_[u][ei];
+        if (e.cap <= kFlowEps) continue;
+        // Clamp tiny negative reduced costs (float noise) to preserve
+        // Dijkstra's monotonicity invariant.
+        const double reduced =
+            std::max(e.cost + potential[u] - potential[e.to], 0.0);
+        const double nd = d + reduced;
+        if (nd < dist[e.to] - cost_eps) {
+          dist[e.to] = nd;
+          prev_node[e.to] = u;
+          prev_edge[e.to] = ei;
+          pq.emplace(nd, e.to);
+        }
+      }
+    }
+    if (dist[t] == kInf) break;  // no augmenting path left
+
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] < kInf) potential[v] += dist[v];
+    }
+
+    // Bottleneck along the path.
+    double push = max_flow - result.flow;
+    for (std::size_t v = t; v != s; v = prev_node[v]) {
+      push = std::min(push, graph_[prev_node[v]][prev_edge[v]].cap);
+    }
+    if (push <= kFlowEps) break;  // numerically exhausted
+
+    for (std::size_t v = t; v != s; v = prev_node[v]) {
+      Edge& e = graph_[prev_node[v]][prev_edge[v]];
+      e.cap -= push;
+      graph_[e.to][e.rev].cap += push;
+      result.cost += push * e.cost;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+double MinCostFlow::flow_on(std::size_t handle) const {
+  if (handle >= handles_.size()) {
+    throw std::invalid_argument("MinCostFlow::flow_on: bad handle");
+  }
+  const auto [u, idx] = handles_[handle];
+  return initial_cap_[handle] - graph_[u][idx].cap;
+}
+
+}  // namespace tempofair::lpsolve

@@ -1,0 +1,179 @@
+#include "lpsolve/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tempofair::lpsolve {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Dense tableau in canonical form: rows of equalities over [structural |
+/// slack | artificial] variables, all rhs >= 0, plus a basis.
+struct Tableau {
+  std::size_t rows = 0;
+  std::size_t cols = 0;                 // total variables
+  std::vector<std::vector<double>> a;   // rows x cols
+  std::vector<double> b;                // rhs, >= 0 invariant
+  std::vector<std::size_t> basis;       // basic variable per row
+
+  void pivot(std::size_t r, std::size_t c) {
+    const double p = a[r][c];
+    for (std::size_t j = 0; j < cols; ++j) a[r][j] /= p;
+    b[r] /= p;
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (i == r) continue;
+      const double f = a[i][c];
+      if (std::fabs(f) < kTol) continue;
+      for (std::size_t j = 0; j < cols; ++j) a[i][j] -= f * a[r][j];
+      b[i] -= f * b[r];
+      if (b[i] < 0.0 && b[i] > -kTol) b[i] = 0.0;
+    }
+    basis[r] = c;
+  }
+};
+
+/// Runs the simplex on `t` minimizing cost vector `c` (restricted to
+/// `allowed` columns).  Returns status; on optimal, reduced costs are clean.
+SolveStatus run_simplex(Tableau& t, const std::vector<double>& c,
+                        const std::vector<bool>& allowed, std::size_t max_iters) {
+  // Maintain reduced costs z_j = c_j - c_B . B^{-1} A_j implicitly by
+  // recomputing from the tableau each pivot (fine at these sizes).
+  std::vector<double> reduced(t.cols);
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    // reduced_j = c_j - sum_i c_basis[i] * a[i][j]
+    for (std::size_t j = 0; j < t.cols; ++j) {
+      double z = c[j];
+      for (std::size_t i = 0; i < t.rows; ++i) {
+        const double cb = c[t.basis[i]];
+        if (cb != 0.0) z -= cb * t.a[i][j];
+      }
+      reduced[j] = z;
+    }
+
+    // Entering column: Dantzig rule, Bland tie-break by index for safety.
+    std::size_t enter = t.cols;
+    double best = -kTol;
+    for (std::size_t j = 0; j < t.cols; ++j) {
+      if (!allowed[j]) continue;
+      if (reduced[j] < best - kTol) {
+        best = reduced[j];
+        enter = j;
+      }
+    }
+    if (enter == t.cols) return SolveStatus::kOptimal;
+
+    // Leaving row: minimum ratio, Bland tie-break by basis index.
+    std::size_t leave = t.rows;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < t.rows; ++i) {
+      if (t.a[i][enter] > kTol) {
+        const double ratio = t.b[i] / t.a[i][enter];
+        if (ratio < best_ratio - kTol ||
+            (ratio < best_ratio + kTol &&
+             (leave == t.rows || t.basis[i] < t.basis[leave]))) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+    }
+    if (leave == t.rows) return SolveStatus::kUnbounded;
+    t.pivot(leave, enter);
+  }
+  return SolveStatus::kIterLimit;
+}
+
+}  // namespace
+
+LpSolution solve_lp(const LinearProgram& lp, std::size_t max_iters) {
+  const std::size_t n = lp.num_vars();
+  for (const auto& row : lp.rows) {
+    if (row.coeffs.size() != n) {
+      throw std::invalid_argument("solve_lp: row width != objective size");
+    }
+  }
+  const std::size_t m = lp.rows.size();
+
+  // Count slack variables (one per inequality).
+  std::size_t slacks = 0;
+  for (const auto& row : lp.rows) {
+    if (row.rel != LinearProgram::Rel::kEq) ++slacks;
+  }
+  const std::size_t cols = n + slacks + m;  // + one artificial per row
+  Tableau t;
+  t.rows = m;
+  t.cols = cols;
+  t.a.assign(m, std::vector<double>(cols, 0.0));
+  t.b.assign(m, 0.0);
+  t.basis.assign(m, 0);
+
+  std::size_t slack_at = n;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& row = lp.rows[i];
+    double sign = 1.0;
+    if (row.rhs < 0.0) sign = -1.0;  // normalize rhs >= 0
+    for (std::size_t j = 0; j < n; ++j) t.a[i][j] = sign * row.coeffs[j];
+    t.b[i] = sign * row.rhs;
+    LinearProgram::Rel rel = row.rel;
+    if (sign < 0.0) {
+      if (rel == LinearProgram::Rel::kLe) rel = LinearProgram::Rel::kGe;
+      else if (rel == LinearProgram::Rel::kGe) rel = LinearProgram::Rel::kLe;
+    }
+    if (rel == LinearProgram::Rel::kLe) {
+      t.a[i][slack_at++] = 1.0;
+    } else if (rel == LinearProgram::Rel::kGe) {
+      t.a[i][slack_at++] = -1.0;
+    }
+    // Artificial variable for this row; starts basic.
+    t.a[i][n + slacks + i] = 1.0;
+    t.basis[i] = n + slacks + i;
+  }
+
+  // Phase 1: minimize sum of artificials.
+  std::vector<double> c1(cols, 0.0);
+  for (std::size_t i = 0; i < m; ++i) c1[n + slacks + i] = 1.0;
+  std::vector<bool> allowed(cols, true);
+  SolveStatus st = run_simplex(t, c1, allowed, max_iters);
+  if (st != SolveStatus::kOptimal) return LpSolution{st, 0.0, {}};
+  double phase1 = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (t.basis[i] >= n + slacks) phase1 += t.b[i];
+  }
+  if (phase1 > 1e-6) return LpSolution{SolveStatus::kInfeasible, 0.0, {}};
+
+  // Drive any artificial still basic (at value ~0) out of the basis if a
+  // non-artificial column with a nonzero entry exists; otherwise the row is
+  // redundant and harmless.
+  for (std::size_t i = 0; i < m; ++i) {
+    if (t.basis[i] >= n + slacks) {
+      for (std::size_t j = 0; j < n + slacks; ++j) {
+        if (std::fabs(t.a[i][j]) > kTol) {
+          t.pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2: original objective, artificials barred.
+  std::vector<double> c2(cols, 0.0);
+  for (std::size_t j = 0; j < n; ++j) c2[j] = lp.objective[j];
+  for (std::size_t j = n + slacks; j < cols; ++j) allowed[j] = false;
+  st = run_simplex(t, c2, allowed, max_iters);
+  if (st != SolveStatus::kOptimal) return LpSolution{st, 0.0, {}};
+
+  LpSolution sol;
+  sol.status = SolveStatus::kOptimal;
+  sol.x.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (t.basis[i] < n) sol.x[t.basis[i]] = t.b[i];
+  }
+  sol.objective = 0.0;
+  for (std::size_t j = 0; j < n; ++j) sol.objective += lp.objective[j] * sol.x[j];
+  return sol;
+}
+
+}  // namespace tempofair::lpsolve

@@ -1,0 +1,41 @@
+// Dense two-phase primal simplex for small linear programs.
+//
+// Used by the test suite and experiment T8 to cross-validate the min-cost
+// flow solver on the discretized flow-time LP, and to demonstrate weak
+// duality for the paper's dual-fitting certificates on small instances.
+// Not intended for large LPs (dense tableau, O(rows * cols) per pivot).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tempofair::lpsolve {
+
+/// min objective . x   subject to   rows,   x >= 0.
+struct LinearProgram {
+  enum class Rel { kLe, kGe, kEq };
+  struct Row {
+    std::vector<double> coeffs;
+    Rel rel = Rel::kLe;
+    double rhs = 0.0;
+  };
+
+  std::vector<double> objective;
+  std::vector<Row> rows;
+
+  [[nodiscard]] std::size_t num_vars() const noexcept { return objective.size(); }
+};
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kIterLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves the LP.  Throws std::invalid_argument on dimension mismatches.
+[[nodiscard]] LpSolution solve_lp(const LinearProgram& lp,
+                                  std::size_t max_iters = 100'000);
+
+}  // namespace tempofair::lpsolve

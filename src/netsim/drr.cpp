@@ -1,0 +1,69 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "netsim/schedulers.h"
+
+namespace tempofair::netsim {
+
+DrrScheduler::DrrScheduler(double quantum) : quantum_(quantum) {
+  if (!(quantum > 0.0)) {
+    throw std::invalid_argument("DrrScheduler: quantum must be > 0");
+  }
+}
+
+void DrrScheduler::reset() {
+  queues_.clear();
+  deficit_.clear();
+  active_.clear();
+  backlog_ = 0;
+  front_topped_ = false;
+}
+
+void DrrScheduler::enqueue(const Packet& packet) {
+  auto& q = queues_[packet.flow];
+  if (q.empty()) {
+    active_.push_back(packet.flow);
+    deficit_[packet.flow] = 0.0;  // a newly backlogged flow starts fresh
+  }
+  q.push_back(packet);
+  ++backlog_;
+}
+
+bool DrrScheduler::empty() const noexcept { return backlog_ == 0; }
+
+Packet DrrScheduler::dequeue() {
+  // Visit flows round-robin.  Each *visit* tops the deficit up by one
+  // quantum exactly once, then serves head packets while the deficit covers
+  // them; when it no longer does, the flow rotates to the back and the next
+  // flow's visit begins.  (One packet is returned per call; `front_topped_`
+  // carries the within-visit state across calls.)
+  for (;;) {
+    FlowId flow = active_.front();
+    auto& q = queues_[flow];
+    double& d = deficit_[flow];
+    if (!front_topped_) {
+      d += quantum_;
+      front_topped_ = true;
+    }
+    if (q.front().size > d) {
+      // Visit over: rotate to the back of the round.
+      active_.pop_front();
+      active_.push_back(flow);
+      front_topped_ = false;
+      continue;
+    }
+    Packet p = q.front();
+    q.pop_front();
+    d -= p.size;
+    --backlog_;
+    if (q.empty()) {
+      // Flow leaves the active list; per DRR its deficit is cleared.
+      active_.erase(std::find(active_.begin(), active_.end(), flow));
+      deficit_.erase(flow);
+      front_topped_ = false;
+    }
+    return p;
+  }
+}
+
+}  // namespace tempofair::netsim

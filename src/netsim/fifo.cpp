@@ -1,0 +1,17 @@
+#include "netsim/schedulers.h"
+
+namespace tempofair::netsim {
+
+void FifoScheduler::reset() { queue_.clear(); }
+
+void FifoScheduler::enqueue(const Packet& packet) { queue_.push_back(packet); }
+
+bool FifoScheduler::empty() const noexcept { return queue_.empty(); }
+
+Packet FifoScheduler::dequeue() {
+  Packet p = queue_.front();
+  queue_.pop_front();
+  return p;
+}
+
+}  // namespace tempofair::netsim

@@ -1,0 +1,80 @@
+#include "netsim/link_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tempofair::netsim {
+
+LinkSimResult simulate_link(std::vector<Packet> packets,
+                            LinkScheduler& scheduler, double link_rate,
+                            double share_horizon) {
+  if (!(link_rate > 0.0)) {
+    throw std::invalid_argument("simulate_link: link_rate must be > 0");
+  }
+  std::sort(packets.begin(), packets.end(),
+            [](const Packet& a, const Packet& b) { return a.arrival < b.arrival; });
+
+  scheduler.reset();
+  LinkSimResult result;
+  result.records.reserve(packets.size());
+
+  std::size_t next = 0;
+  double now = 0.0;
+  while (next < packets.size() || !scheduler.empty()) {
+    // Admit everything that has arrived.
+    while (next < packets.size() && packets[next].arrival <= now) {
+      scheduler.enqueue(packets[next++]);
+    }
+    if (scheduler.empty()) {
+      now = packets[next].arrival;  // idle: jump to next arrival
+      continue;
+    }
+    const Packet p = scheduler.dequeue();
+    PacketRecord rec;
+    rec.packet = p;
+    rec.start = now;
+    now += p.size / link_rate;
+    rec.departure = now;
+    result.records.push_back(rec);
+  }
+  result.busy_until = now;
+
+  // Per-flow accounting.
+  const double horizon = share_horizon > 0.0 ? share_horizon : now;
+  std::map<FlowId, double> service_in_window;
+  for (const PacketRecord& r : result.records) {
+    FlowStatsNet& fs = result.per_flow[r.packet.flow];
+    fs.bytes += r.packet.size;
+    const double delay = r.departure - r.packet.arrival;
+    fs.mean_delay += delay;
+    fs.max_delay = std::max(fs.max_delay, delay);
+    ++fs.packets;
+    // Service delivered inside the fairness window (clip the transmission).
+    const double begin = std::min(r.start, horizon);
+    const double end = std::min(r.departure, horizon);
+    if (end > begin) {
+      service_in_window[r.packet.flow] += (end - begin) * link_rate;
+    }
+  }
+  for (auto& [flow, fs] : result.per_flow) {
+    if (fs.packets > 0) fs.mean_delay /= static_cast<double>(fs.packets);
+  }
+
+  if (!service_in_window.empty()) {
+    double sum = 0.0, sq = 0.0, mn = std::numeric_limits<double>::infinity(),
+           mx = 0.0;
+    for (const auto& [flow, s] : service_in_window) {
+      sum += s;
+      sq += s * s;
+      mn = std::min(mn, s);
+      mx = std::max(mx, s);
+    }
+    const double n = static_cast<double>(service_in_window.size());
+    result.jain_throughput = sq > 0.0 ? (sum * sum) / (n * sq) : 1.0;
+    result.min_max_share = mx > 0.0 ? mn / mx : 1.0;
+  }
+  return result;
+}
+
+}  // namespace tempofair::netsim

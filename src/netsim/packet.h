@@ -1,0 +1,31 @@
+// Packet-level single-link scheduling substrate.
+//
+// The paper motivates RR by its use in practice for fairness -- round-robin
+// packet scheduling in data networks (Hahne '91 [17]), tunable-latency
+// round robin (Chaskar-Madhow [8]) and Deficit Round Robin (Shreedhar-
+// Varghese '96 [25]).  This module reproduces that setting: flows emit
+// packets into a single output link of fixed rate; a LinkScheduler decides
+// the transmission order; experiment F6 measures how close each scheduler
+// gets to the max-min fair share.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tempofair::netsim {
+
+using FlowId = std::uint32_t;
+
+struct Packet {
+  FlowId flow = 0;
+  double size = 1.0;     ///< service demand (e.g. bytes)
+  double arrival = 0.0;  ///< time the packet enters the queue
+};
+
+struct PacketRecord {
+  Packet packet;
+  double start = 0.0;      ///< transmission start
+  double departure = 0.0;  ///< transmission end
+};
+
+}  // namespace tempofair::netsim

@@ -1,0 +1,80 @@
+// Link schedulers: FIFO, Deficit Round Robin, and self-clocked fair queueing.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <queue>
+
+#include "netsim/link_sim.h"
+
+namespace tempofair::netsim {
+
+/// Single shared queue, arrival order.
+class FifoScheduler final : public LinkScheduler {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "fifo"; }
+  void reset() override;
+  void enqueue(const Packet& packet) override;
+  [[nodiscard]] bool empty() const noexcept override;
+  [[nodiscard]] Packet dequeue() override;
+
+ private:
+  std::deque<Packet> queue_;
+};
+
+/// Deficit Round Robin (Shreedhar-Varghese '96): per-flow queues visited in
+/// round-robin order; each visit adds `quantum` to the flow's deficit and
+/// sends head packets while the deficit covers them.  O(1) per packet when
+/// quantum >= max packet size; byte-level fair regardless of packet sizes.
+class DrrScheduler final : public LinkScheduler {
+ public:
+  explicit DrrScheduler(double quantum);
+  [[nodiscard]] std::string_view name() const noexcept override { return "drr"; }
+  void reset() override;
+  void enqueue(const Packet& packet) override;
+  [[nodiscard]] bool empty() const noexcept override;
+  [[nodiscard]] Packet dequeue() override;
+
+ private:
+  double quantum_;
+  std::map<FlowId, std::deque<Packet>> queues_;
+  std::map<FlowId, double> deficit_;
+  std::deque<FlowId> active_;  ///< round-robin list of backlogged flows
+  std::size_t backlog_ = 0;
+  /// Whether the current front flow already received its quantum this visit.
+  bool front_topped_ = false;
+};
+
+/// Self-Clocked Fair Queueing (Golestani '94), the practical approximation
+/// of GPS/WFQ: each packet gets finish tag F = max(V, F_last[flow]) +
+/// size / weight where V is the tag of the packet in service; the smallest
+/// tag transmits first.  Weights default to 1 (equal shares).
+class ScfqScheduler final : public LinkScheduler {
+ public:
+  explicit ScfqScheduler(std::map<FlowId, double> weights = {});
+  [[nodiscard]] std::string_view name() const noexcept override { return "wfq"; }
+  void reset() override;
+  void enqueue(const Packet& packet) override;
+  [[nodiscard]] bool empty() const noexcept override;
+  [[nodiscard]] Packet dequeue() override;
+
+ private:
+  struct Tagged {
+    Packet packet;
+    double finish_tag;
+    std::uint64_t seq;  ///< FIFO tie-break
+
+    bool operator>(const Tagged& o) const {
+      if (finish_tag != o.finish_tag) return finish_tag > o.finish_tag;
+      return seq > o.seq;
+    }
+  };
+
+  std::map<FlowId, double> weights_;
+  std::priority_queue<Tagged, std::vector<Tagged>, std::greater<>> heap_;
+  std::map<FlowId, double> last_finish_;
+  double virtual_time_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace tempofair::netsim

@@ -1,0 +1,44 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "netsim/schedulers.h"
+
+namespace tempofair::netsim {
+
+ScfqScheduler::ScfqScheduler(std::map<FlowId, double> weights)
+    : weights_(std::move(weights)) {
+  for (const auto& [flow, w] : weights_) {
+    if (!(w > 0.0)) {
+      throw std::invalid_argument("ScfqScheduler: weights must be > 0");
+    }
+  }
+}
+
+void ScfqScheduler::reset() {
+  heap_ = {};
+  last_finish_.clear();
+  virtual_time_ = 0.0;
+  seq_ = 0;
+}
+
+void ScfqScheduler::enqueue(const Packet& packet) {
+  const auto wit = weights_.find(packet.flow);
+  const double weight = wit == weights_.end() ? 1.0 : wit->second;
+  double& last = last_finish_[packet.flow];
+  const double start_tag = std::max(virtual_time_, last);
+  const double finish = start_tag + packet.size / weight;
+  last = finish;
+  heap_.push(Tagged{packet, finish, seq_++});
+}
+
+bool ScfqScheduler::empty() const noexcept { return heap_.empty(); }
+
+Packet ScfqScheduler::dequeue() {
+  Tagged t = heap_.top();
+  heap_.pop();
+  // Self-clocking: the virtual time is the tag of the packet in service.
+  virtual_time_ = t.finish_tag;
+  return t.packet;
+}
+
+}  // namespace tempofair::netsim

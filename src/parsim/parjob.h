@@ -1,0 +1,42 @@
+// Arbitrary speed-up curves setting (Edmonds [11]; discussed by the paper in
+// Sections 1.2-1.3): each job is a sequence of *phases*, and a phase
+// progresses at rate Gamma(rho) when allocated rho processors:
+//
+//   * PARALLEL phase:   Gamma(rho) = rho          (fully parallelizable)
+//   * SEQUENTIAL phase: Gamma(rho) = 1 always     (cannot be sped up; any
+//                       allocation beyond 0 is wasted)
+//
+// Phase boundaries are invisible to non-clairvoyant policies -- that is what
+// makes the setting hard: EQUI (the RR of this world) wastes processors on
+// sequential phases.  The paper recalls that EQUI is O(1)-speed O(1)-
+// competitive for total flow [13] but NOT for the l2 norm [15], while the
+// age-weighted variant WEQUI/WLAPS is [12] -- the backstory that made plain
+// RR's l2 guarantee in the standard setting surprising.
+#pragma once
+
+#include <vector>
+
+#include "core/time_types.h"
+
+namespace tempofair::parsim {
+
+enum class PhaseKind { kParallel, kSequential };
+
+struct Phase {
+  PhaseKind kind = PhaseKind::kParallel;
+  double work = 1.0;  ///< for sequential phases, work == duration
+};
+
+struct ParJob {
+  JobId id = kInvalidJob;
+  Time release = 0.0;
+  std::vector<Phase> phases;
+
+  [[nodiscard]] double total_work() const noexcept {
+    double w = 0.0;
+    for (const Phase& p : phases) w += p.work;
+    return w;
+  }
+};
+
+}  // namespace tempofair::parsim

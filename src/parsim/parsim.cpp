@@ -1,0 +1,343 @@
+#include "parsim/parsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace tempofair::parsim {
+
+namespace {
+
+struct LivePar {
+  JobId id;
+  Time release;
+  double attained = 0.0;
+  std::size_t phase = 0;
+  double phase_remaining = 0.0;
+  const ParJob* job = nullptr;
+};
+
+[[noreturn]] void par_fail(const std::string& msg) {
+  throw std::runtime_error("parsim::simulate_par: " + msg);
+}
+
+}  // namespace
+
+ParDecision Equi::allocate(const ParContext& ctx) {
+  ParDecision d;
+  d.shares.assign(ctx.alive.size(),
+                  ctx.capacity / static_cast<double>(ctx.alive.size()));
+  return d;
+}
+
+Wequi::Wequi(double age_offset, double refresh_rel)
+    : age_offset_(age_offset), refresh_rel_(refresh_rel) {
+  if (!(age_offset > 0.0) || !(refresh_rel > 0.0)) {
+    throw std::invalid_argument("Wequi: parameters must be > 0");
+  }
+}
+
+ParDecision Wequi::allocate(const ParContext& ctx) {
+  // Shares proportional to ages; no per-job cap in this setting (a parallel
+  // phase can absorb arbitrarily many processors).
+  double weight_sum = 0.0;
+  double min_weight = std::numeric_limits<double>::infinity();
+  std::vector<double> weights(ctx.alive.size());
+  for (std::size_t i = 0; i < ctx.alive.size(); ++i) {
+    weights[i] = (ctx.now - ctx.alive[i].release) + age_offset_;
+    weight_sum += weights[i];
+    min_weight = std::min(min_weight, weights[i]);
+  }
+  ParDecision d;
+  d.shares.resize(ctx.alive.size());
+  for (std::size_t i = 0; i < ctx.alive.size(); ++i) {
+    d.shares[i] = ctx.capacity * weights[i] / weight_sum;
+  }
+  d.max_duration = refresh_rel_ * min_weight;
+  return d;
+}
+
+LapsPar::LapsPar(double beta) : beta_(beta) {
+  if (!(beta > 0.0) || beta > 1.0) {
+    throw std::invalid_argument("LapsPar: beta must lie in (0, 1]");
+  }
+}
+
+ParDecision LapsPar::allocate(const ParContext& ctx) {
+  const std::size_t n = ctx.alive.size();
+  const std::size_t share_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(beta_ * static_cast<double>(n))));
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  auto alive = ctx.alive;
+  std::partial_sort(idx.begin(),
+                    idx.begin() + static_cast<std::ptrdiff_t>(share_count),
+                    idx.end(), [alive](std::size_t a, std::size_t b) {
+                      if (alive[a].release != alive[b].release) {
+                        return alive[a].release > alive[b].release;
+                      }
+                      return alive[a].id > alive[b].id;
+                    });
+  ParDecision d;
+  d.shares.assign(n, 0.0);
+  for (std::size_t i = 0; i < share_count; ++i) {
+    d.shares[idx[i]] = ctx.capacity / static_cast<double>(share_count);
+  }
+  return d;
+}
+
+WlapsPar::WlapsPar(double beta, double age_offset, double refresh_rel)
+    : beta_(beta), age_offset_(age_offset), refresh_rel_(refresh_rel) {
+  if (!(beta > 0.0) || beta > 1.0) {
+    throw std::invalid_argument("WlapsPar: beta must lie in (0, 1]");
+  }
+  if (!(age_offset > 0.0) || !(refresh_rel > 0.0)) {
+    throw std::invalid_argument("WlapsPar: parameters must be > 0");
+  }
+}
+
+ParDecision WlapsPar::allocate(const ParContext& ctx) {
+  const std::size_t n = ctx.alive.size();
+  const std::size_t share_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(beta_ * static_cast<double>(n))));
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  auto alive = ctx.alive;
+  std::partial_sort(idx.begin(),
+                    idx.begin() + static_cast<std::ptrdiff_t>(share_count),
+                    idx.end(), [alive](std::size_t a, std::size_t b) {
+                      if (alive[a].release != alive[b].release) {
+                        return alive[a].release > alive[b].release;
+                      }
+                      return alive[a].id > alive[b].id;
+                    });
+  ParDecision d;
+  d.shares.assign(n, 0.0);
+  double weight_sum = 0.0;
+  double min_weight = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < share_count; ++i) {
+    const double w = (ctx.now - alive[idx[i]].release) + age_offset_;
+    weight_sum += w;
+    min_weight = std::min(min_weight, w);
+  }
+  for (std::size_t i = 0; i < share_count; ++i) {
+    const double w = (ctx.now - alive[idx[i]].release) + age_offset_;
+    d.shares[idx[i]] = ctx.capacity * w / weight_sum;
+  }
+  d.max_duration = refresh_rel_ * min_weight;
+  return d;
+}
+
+ParDecision ParOptProxy::allocate(const ParContext& ctx) {
+  // All processors to the parallel-phase job with least remaining phase
+  // work; sequential phases progress for free.
+  ParDecision d;
+  d.shares.assign(ctx.alive.size(), 0.0);
+  std::size_t best = ctx.alive.size();
+  for (std::size_t i = 0; i < ctx.alive.size(); ++i) {
+    if (!ctx.alive[i].kind_visible) {
+      throw std::logic_error("ParOptProxy: phase kinds are hidden");
+    }
+    if (ctx.alive[i].current_kind != PhaseKind::kParallel) continue;
+    if (best == ctx.alive.size() ||
+        ctx.alive[i].phase_remaining < ctx.alive[best].phase_remaining) {
+      best = i;
+    }
+  }
+  if (best < ctx.alive.size()) d.shares[best] = ctx.capacity;
+  return d;
+}
+
+std::vector<double> ParSchedule::flows() const {
+  std::vector<double> out(completion.size());
+  for (std::size_t i = 0; i < completion.size(); ++i) {
+    out[i] = completion[i] - release[i];
+  }
+  return out;
+}
+
+ParSchedule simulate_par(std::span<const ParJob> jobs, ParPolicy& policy,
+                         const ParSimOptions& options) {
+  if (options.machines < 1) {
+    throw std::invalid_argument("simulate_par: machines must be >= 1");
+  }
+  if (!(options.speed > 0.0)) {
+    throw std::invalid_argument("simulate_par: speed must be > 0");
+  }
+  for (const ParJob& j : jobs) {
+    if (j.phases.empty()) {
+      throw std::invalid_argument("simulate_par: job with no phases");
+    }
+    for (const Phase& p : j.phases) {
+      if (!(p.work > 0.0) || !std::isfinite(p.work)) {
+        throw std::invalid_argument("simulate_par: non-positive phase work");
+      }
+    }
+  }
+
+  ParSchedule schedule;
+  const std::size_t n = jobs.size();
+  schedule.release.assign(n, 0.0);
+  schedule.completion.assign(n, kInfiniteTime);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (jobs[i].id >= n) {
+      throw std::invalid_argument("simulate_par: ids must be 0..n-1");
+    }
+    schedule.release[jobs[i].id] = jobs[i].release;
+  }
+  if (jobs.empty()) return schedule;
+
+  // Arrival order.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (jobs[a].release != jobs[b].release) {
+      return jobs[a].release < jobs[b].release;
+    }
+    return jobs[a].id < jobs[b].id;
+  });
+
+  std::vector<LivePar> alive;
+  std::vector<ParAliveJob> views;
+  std::size_t next_arrival = 0;
+  Time now = jobs[order[0]].release;
+  const double capacity = options.speed * options.machines;
+  const double tol = 1e-7 * std::max(1.0, capacity);
+  const bool clairvoyant = policy.clairvoyant();
+
+  auto admit = [&](Time t) {
+    while (next_arrival < n && jobs[order[next_arrival]].release <= t + kAbsEps) {
+      const ParJob& j = jobs[order[next_arrival]];
+      LivePar lp{j.id, j.release, 0.0, 0, j.phases[0].work, &j};
+      auto pos = std::lower_bound(
+          alive.begin(), alive.end(), lp,
+          [](const LivePar& a, const LivePar& b) { return a.id < b.id; });
+      alive.insert(pos, lp);
+      ++next_arrival;
+    }
+  };
+  admit(now);
+
+  std::size_t steps = 0;
+  while (!alive.empty() || next_arrival < n) {
+    if (++steps > options.max_steps) par_fail("exceeded max_steps");
+    if (alive.empty()) {
+      now = jobs[order[next_arrival]].release;
+      admit(now);
+      continue;
+    }
+
+    views.clear();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (const LivePar& j : alive) {
+      ParAliveJob v;
+      v.id = j.id;
+      v.release = j.release;
+      v.attained = j.attained;
+      v.kind_visible = clairvoyant;
+      if (clairvoyant) {
+        v.current_kind = j.job->phases[j.phase].kind;
+        v.phase_remaining = j.phase_remaining;
+      } else {
+        v.phase_remaining = nan;
+      }
+      views.push_back(v);
+    }
+    ParContext ctx{now, capacity, views};
+    ParDecision d = policy.allocate(ctx);
+    if (d.shares.size() != alive.size()) par_fail("wrong share count");
+    double sum = 0.0;
+    for (double& s : d.shares) {
+      s = clamp_nonneg(s, tol);
+      if (s < 0.0 || !std::isfinite(s)) par_fail("negative/non-finite share");
+      sum += s;
+    }
+    if (sum > capacity + tol) par_fail("shares exceed capacity");
+    if (!(d.max_duration > 0.0)) par_fail("non-positive max_duration");
+
+    // Progress rate per job given its current phase.
+    Time dt = d.max_duration;
+    if (next_arrival < n) {
+      dt = std::min(dt, jobs[order[next_arrival]].release - now);
+    }
+    std::vector<double> rates(alive.size());
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      const Phase& phase = alive[i].job->phases[alive[i].phase];
+      rates[i] = phase.kind == PhaseKind::kParallel
+                     ? d.shares[i]
+                     // Sequential phases progress at the machine's speed
+                     // regardless of the allocation (they hold one
+                     // processor's worth of progress implicitly).
+                     : options.speed;
+      if (rates[i] > 0.0) {
+        dt = std::min(dt, alive[i].phase_remaining / rates[i]);
+      }
+    }
+    if (!std::isfinite(dt)) par_fail("deadlock: no progress and no events");
+    dt = std::max(dt, 0.0);
+
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      const double delta = rates[i] * dt;
+      alive[i].phase_remaining -= delta;
+      alive[i].attained += delta;
+    }
+    now += dt;
+
+    // Phase transitions and completions (iterate in reverse for erasure).
+    for (std::size_t ri = alive.size(); ri-- > 0;) {
+      LivePar& j = alive[ri];
+      while (j.phase_remaining <= kRelEps * j.job->phases[j.phase].work + kAbsEps) {
+        if (j.phase + 1 < j.job->phases.size()) {
+          ++j.phase;
+          j.phase_remaining = j.job->phases[j.phase].work;
+        } else {
+          schedule.completion[j.id] = now;
+          alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(ri));
+          break;
+        }
+      }
+    }
+    admit(now);
+  }
+  return schedule;
+}
+
+std::vector<ParJob> par_seq_stream(std::size_t n, double par, double seq,
+                                   double gap) {
+  if (!(par > 0.0) || !(seq > 0.0) || !(gap > 0.0)) {
+    throw std::invalid_argument("par_seq_stream: parameters must be > 0");
+  }
+  std::vector<ParJob> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ParJob j;
+    j.id = static_cast<JobId>(i);
+    j.release = static_cast<double>(i) * gap;
+    j.phases = {Phase{PhaseKind::kParallel, par},
+                Phase{PhaseKind::kSequential, seq}};
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+std::vector<ParJob> all_parallel(std::span<const double> works,
+                                 std::span<const Time> releases) {
+  if (works.size() != releases.size()) {
+    throw std::invalid_argument("all_parallel: size mismatch");
+  }
+  std::vector<ParJob> jobs;
+  jobs.reserve(works.size());
+  for (std::size_t i = 0; i < works.size(); ++i) {
+    ParJob j;
+    j.id = static_cast<JobId>(i);
+    j.release = releases[i];
+    j.phases = {Phase{PhaseKind::kParallel, works[i]}};
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+}  // namespace tempofair::parsim

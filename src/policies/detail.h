@@ -1,0 +1,29 @@
+// Internal helpers shared by the priority-based policies.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace tempofair::detail {
+
+/// Returns a RateDecision giving a full machine (rate = speed) to the
+/// `ctx.machines` alive jobs that come first under `less` (a strict weak
+/// order on indices into ctx.alive), and zero to the rest.
+template <typename Less>
+RateDecision run_top_m(const SchedulerContext& ctx, Less&& less) {
+  const std::size_t n = ctx.n_alive();
+  RateDecision d;
+  d.rates.assign(n, 0.0);
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  const std::size_t run = std::min<std::size_t>(n, static_cast<std::size_t>(ctx.machines));
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(run),
+                    idx.end(), less);
+  for (std::size_t i = 0; i < run; ++i) d.rates[idx[i]] = ctx.speed;
+  return d;
+}
+
+}  // namespace tempofair::detail

@@ -1,0 +1,32 @@
+// MLFQ -- Multi-Level Feedback Queue, the classic OS approximation of SETF.
+//
+// Non-clairvoyant.  Level thresholds grow geometrically: a job is in level
+// L(a) = number of thresholds T_i = base * growth^i that its attained service
+// a has passed.  The m alive jobs of lexicographically least (level, release,
+// id) run at full speed; a running job is demoted (re-queried via the
+// breakpoint) when its attained service crosses its current threshold.
+#pragma once
+
+#include "core/policy.h"
+
+namespace tempofair {
+
+class Mlfq final : public Policy {
+ public:
+  explicit Mlfq(double base_quantum = 1.0, double growth = 2.0);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "mlfq"; }
+  [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
+  [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+
+  /// Threshold above which a job leaves `level` (T_level).
+  [[nodiscard]] double threshold(int level) const noexcept;
+  /// Level of a job with attained service `attained`.
+  [[nodiscard]] int level_of(double attained) const noexcept;
+
+ private:
+  double base_;
+  double growth_;
+};
+
+}  // namespace tempofair

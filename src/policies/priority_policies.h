@@ -1,0 +1,59 @@
+// Priority-based policies: SRPT, (preemptive) SJF, FCFS, LAPS.
+//
+// All of these dedicate whole machines to the m highest-priority alive jobs
+// (or share among a prefix, for LAPS) and are the comparison points the
+// paper discusses:
+//  - SRPT (clairvoyant): optimal for total flow on one machine; scalable for
+//    l_k norms [Bansal-Pruhs'10, Fox-Moseley'11].
+//  - SJF, here the preemptive variant PSJF ordering by original size
+//    (clairvoyant): scalable for l_k norms.
+//  - FCFS (non-clairvoyant): runs the earliest-arrived jobs; poor for flow
+//    norms when sizes vary, included as a baseline.
+//  - LAPS(beta) (non-clairvoyant): shares the machines equally among the
+//    ceil(beta * n_t) latest-arriving jobs [Edmonds-Pruhs'09]; beta = 1
+//    degenerates to Round Robin.
+#pragma once
+
+#include "core/policy.h"
+
+namespace tempofair {
+
+/// Shortest Remaining Processing Time: the m alive jobs with least remaining
+/// work each get a full machine.  Ties: earlier release, then lower id.
+class Srpt final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "srpt"; }
+  [[nodiscard]] bool clairvoyant() const noexcept override { return true; }
+  [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+};
+
+/// Preemptive Shortest Job First: priority by original size p_j.
+class Sjf final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "sjf"; }
+  [[nodiscard]] bool clairvoyant() const noexcept override { return true; }
+  [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+};
+
+/// First Come First Served: priority by (release, id).
+class Fcfs final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "fcfs"; }
+  [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
+  [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+};
+
+/// Latest Arrival Processor Sharing with parameter beta in (0, 1].
+class Laps final : public Policy {
+ public:
+  explicit Laps(double beta);
+  [[nodiscard]] std::string_view name() const noexcept override { return "laps"; }
+  [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+  [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+
+ private:
+  double beta_;
+};
+
+}  // namespace tempofair

@@ -1,0 +1,98 @@
+#include "policies/quantum_rr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tempofair {
+
+QuantumRoundRobin::QuantumRoundRobin(double quantum, double switch_cost)
+    : quantum_(quantum), switch_cost_(switch_cost) {
+  if (!(quantum > 0.0)) {
+    throw std::invalid_argument("QuantumRoundRobin: quantum must be > 0");
+  }
+  if (switch_cost < 0.0) {
+    throw std::invalid_argument("QuantumRoundRobin: switch_cost must be >= 0");
+  }
+}
+
+void QuantumRoundRobin::reset() {
+  queue_.clear();
+  phase_ = Phase::kRunning;
+  phase_started_ = false;
+  phase_end_ = -kInfiniteTime;
+}
+
+void QuantumRoundRobin::on_arrival(const AliveJob& job, Time /*now*/) {
+  queue_.push_back(job.id);
+}
+
+void QuantumRoundRobin::on_completion(JobId id, Time /*now*/) {
+  // The job may sit anywhere in the queue (front if it was running).
+  const auto it = std::find(queue_.begin(), queue_.end(), id);
+  if (it != queue_.end()) queue_.erase(it);
+}
+
+RateDecision QuantumRoundRobin::rates(const SchedulerContext& ctx) {
+  const std::size_t n = ctx.n_alive();
+  RateDecision d;
+  d.rates.assign(n, 0.0);
+  if (n == 0) return d;
+
+  // Rotation is only meaningful when jobs outnumber machines; otherwise
+  // everyone runs continuously and quanta (and switch costs) do not apply.
+  const std::size_t m = static_cast<std::size_t>(ctx.machines);
+  if (n <= m) {
+    phase_ = Phase::kRunning;
+    phase_started_ = false;
+    for (double& r : d.rates) r = ctx.speed;
+    return d;
+  }
+
+  // Handle an expired phase: rotate after a quantum, resume after a switch.
+  if (phase_started_ && ctx.now >= phase_end_ - kAbsEps) {
+    if (phase_ == Phase::kRunning) {
+      // Move the jobs that just ran to the back of the queue.
+      const std::size_t rotate = std::min(m, queue_.size());
+      for (std::size_t i = 0; i < rotate; ++i) {
+        queue_.push_back(queue_.front());
+        queue_.pop_front();
+      }
+      if (switch_cost_ > 0.0) {
+        phase_ = Phase::kSwitching;
+        phase_end_ = ctx.now + switch_cost_;
+      } else {
+        phase_end_ = ctx.now + quantum_;
+      }
+    } else {
+      phase_ = Phase::kRunning;
+      phase_end_ = ctx.now + quantum_;
+    }
+  } else if (!phase_started_) {
+    phase_ = Phase::kRunning;
+    phase_end_ = ctx.now + quantum_;
+    phase_started_ = true;
+  }
+
+  if (phase_ == Phase::kSwitching) {
+    d.max_duration = std::max(phase_end_ - ctx.now, kAbsEps);
+    return d;  // all machines idle during the context switch
+  }
+
+  // Run the first min(m, n) queued jobs at full speed.
+  const std::size_t run = std::min(m, queue_.size());
+  for (std::size_t i = 0; i < run; ++i) {
+    const JobId id = queue_[i];
+    // ctx.alive is sorted by id: binary search for the index.
+    const auto it = std::lower_bound(
+        ctx.alive.begin(), ctx.alive.end(), id,
+        [](const AliveJob& a, JobId want) { return a.id < want; });
+    if (it == ctx.alive.end() || it->id != id) {
+      throw std::logic_error("QuantumRoundRobin: queued job not alive");
+    }
+    d.rates[static_cast<std::size_t>(it - ctx.alive.begin())] = ctx.speed;
+  }
+  d.max_duration = std::max(phase_end_ - ctx.now, kAbsEps);
+  return d;
+}
+
+}  // namespace tempofair

@@ -1,0 +1,47 @@
+// QuantumRR -- the operating-system flavour of Round Robin.
+//
+// The paper analyzes the idealized processor-sharing RR; real schedulers
+// (Silberschatz-Galvin-Gagne [26]) time-slice instead: the ready queue is
+// cycled, the first m jobs each run on a machine for one quantum q, then are
+// moved to the back.  An optional context-switch overhead models the dead
+// time of each rotation.  Experiment T6 shows QuantumRR converges to ideal
+// RR as q -> 0, bridging the theorem to deployable schedulers.
+//
+// Non-clairvoyant.  Jobs arriving mid-quantum wait for the next rotation; a
+// completion mid-quantum frees its machine for the next queued job
+// immediately.
+#pragma once
+
+#include <deque>
+
+#include "core/policy.h"
+
+namespace tempofair {
+
+class QuantumRoundRobin final : public Policy {
+ public:
+  /// `quantum` > 0: length of each time slice.  `switch_cost` >= 0: dead time
+  /// inserted at each rotation (all machines idle).
+  explicit QuantumRoundRobin(double quantum, double switch_cost = 0.0);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "qrr"; }
+  [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
+  [[nodiscard]] double quantum() const noexcept { return quantum_; }
+
+  void reset() override;
+  void on_arrival(const AliveJob& job, Time now) override;
+  void on_completion(JobId id, Time now) override;
+  [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+
+ private:
+  enum class Phase { kRunning, kSwitching };
+
+  double quantum_;
+  double switch_cost_;
+  std::deque<JobId> queue_;
+  Phase phase_ = Phase::kRunning;
+  Time phase_end_ = -kInfiniteTime;  ///< when the current quantum/switch ends
+  bool phase_started_ = false;
+};
+
+}  // namespace tempofair

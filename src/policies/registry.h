@@ -1,0 +1,29 @@
+// Policy registry: construct any built-in policy from a spec string.
+//
+// Specs:  "rr" | "srpt" | "sjf" | "fcfs" | "setf" | "wrr" | "mlfq"
+//         "hdf" | "hrdf" | "wprr"          (weighted-flow policies)
+//         "laps:<beta>"            e.g. "laps:0.5"
+//         "qrr:<quantum>[,<switch_cost>]"  e.g. "qrr:0.25,0.01"
+//
+// Used by the experiment binaries, the examples' CLIs, and the
+// parameterized test sweeps.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace tempofair {
+
+/// Creates a policy from its spec; throws std::invalid_argument for unknown
+/// names or malformed parameters.
+[[nodiscard]] std::unique_ptr<Policy> make_policy(std::string_view spec);
+
+/// Specs of all parameter-free built-in policies (for sweeps over "every
+/// policy").
+[[nodiscard]] std::vector<std::string> builtin_policy_specs();
+
+}  // namespace tempofair

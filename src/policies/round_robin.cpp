@@ -1,0 +1,16 @@
+#include "policies/round_robin.h"
+
+#include <algorithm>
+
+namespace tempofair {
+
+RateDecision RoundRobin::rates(const SchedulerContext& ctx) {
+  const double n = static_cast<double>(ctx.n_alive());
+  const double share =
+      ctx.speed * std::min(1.0, static_cast<double>(ctx.machines) / n);
+  RateDecision d;
+  d.rates.assign(ctx.n_alive(), share);
+  return d;
+}
+
+}  // namespace tempofair

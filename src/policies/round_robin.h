@@ -1,0 +1,25 @@
+// Round Robin (RR) -- the algorithm the paper analyzes.
+//
+// On m identical machines: when more jobs than machines are alive, every
+// alive job receives an equal share m/n_t of the machines; otherwise each job
+// runs on its own machine.  Equivalently m_j(t) = min(1, m/n_t) for every
+// alive job (Section 2 of the paper), scaled by the speed augmentation s.
+//
+// RR is non-clairvoyant (it never looks at sizes) and instantaneously fair
+// by construction; Theorem 1 shows it is also temporally fair: at speed
+// 2k(1+10eps) it is O((k/eps)^..)-competitive for the l_k norm of flow time.
+#pragma once
+
+#include "core/policy.h"
+
+namespace tempofair {
+
+class RoundRobin final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "rr"; }
+  [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
+
+  [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+};
+
+}  // namespace tempofair

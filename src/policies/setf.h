@@ -1,0 +1,33 @@
+// SETF -- Shortest Elapsed Time First (a.k.a. LAS / foreground-background).
+//
+// Non-clairvoyant: priorities are by *attained* service, least first.  On m
+// machines, machines are handed out to jobs in increasing order of attained
+// service; a group of jobs tied at the same attained level shares whatever
+// machines remain so the tie is preserved (the exact fluid SETF of
+// Barcelo-Im-Moseley-Pruhs, MedAlg'12).
+//
+// Between events the lowest group catches up to the next attained level, so
+// the policy reports a breakpoint at the earliest catch-up time -- the engine
+// then re-queries and the groups merge.  This makes the simulation exact.
+#pragma once
+
+#include "core/policy.h"
+
+namespace tempofair {
+
+class Setf final : public Policy {
+ public:
+  /// `level_tolerance` is the relative tolerance under which two attained-
+  /// service values count as the same level (ties must be grouped or the
+  /// simulation degenerates into infinitely many tiny steps).
+  explicit Setf(double level_tolerance = 1e-9);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "setf"; }
+  [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
+  [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+
+ private:
+  double tol_;
+};
+
+}  // namespace tempofair

@@ -1,0 +1,17 @@
+#include "policies/detail.h"
+#include "policies/priority_policies.h"
+
+namespace tempofair {
+
+RateDecision Sjf::rates(const SchedulerContext& ctx) {
+  auto alive = ctx.alive;
+  return detail::run_top_m(ctx, [alive](std::size_t a, std::size_t b) {
+    if (alive[a].size != alive[b].size) return alive[a].size < alive[b].size;
+    if (alive[a].release != alive[b].release) {
+      return alive[a].release < alive[b].release;
+    }
+    return alive[a].id < alive[b].id;
+  });
+}
+
+}  // namespace tempofair

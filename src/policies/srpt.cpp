@@ -1,0 +1,19 @@
+#include "policies/detail.h"
+#include "policies/priority_policies.h"
+
+namespace tempofair {
+
+RateDecision Srpt::rates(const SchedulerContext& ctx) {
+  auto alive = ctx.alive;
+  return detail::run_top_m(ctx, [alive](std::size_t a, std::size_t b) {
+    if (alive[a].remaining != alive[b].remaining) {
+      return alive[a].remaining < alive[b].remaining;
+    }
+    if (alive[a].release != alive[b].release) {
+      return alive[a].release < alive[b].release;
+    }
+    return alive[a].id < alive[b].id;
+  });
+}
+
+}  // namespace tempofair

@@ -1,0 +1,46 @@
+#include "policies/weighted_policies.h"
+
+#include <vector>
+
+#include "policies/detail.h"
+#include "policies/weighted_rr.h"
+
+namespace tempofair {
+
+RateDecision Hdf::rates(const SchedulerContext& ctx) {
+  auto alive = ctx.alive;
+  return detail::run_top_m(ctx, [alive](std::size_t a, std::size_t b) {
+    const double da = alive[a].weight / alive[a].size;
+    const double db = alive[b].weight / alive[b].size;
+    if (da != db) return da > db;
+    if (alive[a].release != alive[b].release) {
+      return alive[a].release < alive[b].release;
+    }
+    return alive[a].id < alive[b].id;
+  });
+}
+
+RateDecision Hrdf::rates(const SchedulerContext& ctx) {
+  auto alive = ctx.alive;
+  return detail::run_top_m(ctx, [alive](std::size_t a, std::size_t b) {
+    const double da = alive[a].weight / alive[a].remaining;
+    const double db = alive[b].weight / alive[b].remaining;
+    if (da != db) return da > db;
+    if (alive[a].release != alive[b].release) {
+      return alive[a].release < alive[b].release;
+    }
+    return alive[a].id < alive[b].id;
+  });
+}
+
+RateDecision WeightProportionalRoundRobin::rates(const SchedulerContext& ctx) {
+  std::vector<double> weights(ctx.n_alive());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = ctx.alive[i].weight;
+  }
+  RateDecision d;
+  d.rates = waterfill(weights, ctx.capacity(), ctx.speed);
+  return d;  // weights are static: allocation only changes at events
+}
+
+}  // namespace tempofair

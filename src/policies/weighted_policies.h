@@ -1,0 +1,42 @@
+// Policies for *weighted* flow time (sum_j w_j F_j^k), the generalization
+// studied by the weighted-flow literature the paper builds on ([1] Anand-
+// Garg-Kumar, [7] Becchetti et al., [20] Im-Moseley):
+//
+//  * HDF -- Highest Density First: the m alive jobs of largest density
+//    w_j / p_j each get a machine; the clairvoyant benchmark for weighted
+//    l1 flow (O(1+eps)-speed O(1)-competitive [7]).
+//  * HRDF -- Highest Residual Density First: density by *remaining* work
+//    w_j / remaining_j (the weighted analogue of SRPT).
+//  * WPRR -- Weight-Proportional Round Robin: machine shares proportional to
+//    the static weights w_j (water-filled under the one-machine-per-job
+//    cap).  Non-clairvoyant and instantaneously fair *per unit of weight* --
+//    the natural weighted generalization of the paper's algorithm.  With all
+//    weights equal it coincides exactly with RR.
+#pragma once
+
+#include "core/policy.h"
+
+namespace tempofair {
+
+class Hdf final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "hdf"; }
+  [[nodiscard]] bool clairvoyant() const noexcept override { return true; }
+  [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+};
+
+class Hrdf final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "hrdf"; }
+  [[nodiscard]] bool clairvoyant() const noexcept override { return true; }
+  [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+};
+
+class WeightProportionalRoundRobin final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "wprr"; }
+  [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
+  [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+};
+
+}  // namespace tempofair

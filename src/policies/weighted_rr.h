@@ -1,0 +1,41 @@
+// WRR -- age-weighted Round Robin.
+//
+// Section 1.2 of the paper recalls that the *weighted* variant of RR that
+// distributes machines in proportion to job ages is O(1)-speed
+// O(1)-competitive for the l_2 norm [Edmonds-Im-Moseley'11], and that this
+// was the analyzable algorithm before the paper showed plain RR suffices.
+// We implement it as the T7 ablation partner.
+//
+// Allocation at time t: job j gets weight w_j = (t - r_j) + w0, and rates are
+// the water-filling split of the total capacity s*m under the per-job cap s:
+// proportional shares, with any job whose proportional share exceeds a full
+// machine pinned at s and the surplus redistributed.
+//
+// Ages grow continuously, so shares drift between events; the policy bounds
+// each step so that no age changes by more than `refresh_rel` relatively,
+// making the simulation an epsilon-exact approximation of the fluid policy.
+#pragma once
+
+#include "core/policy.h"
+
+namespace tempofair {
+
+class WeightedRoundRobin final : public Policy {
+ public:
+  explicit WeightedRoundRobin(double age_offset = 1e-3, double refresh_rel = 0.02);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "wrr"; }
+  [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
+  [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+
+ private:
+  double age_offset_;
+  double refresh_rel_;
+};
+
+/// Water-filling: splits `capacity` among weights with per-item cap `cap`.
+/// Exposed for direct unit testing.  Returns rates parallel to `weights`.
+[[nodiscard]] std::vector<double> waterfill(std::span<const double> weights,
+                                            double capacity, double cap);
+
+}  // namespace tempofair

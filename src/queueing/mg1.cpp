@@ -1,0 +1,208 @@
+#include "queueing/mg1.h"
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+namespace tempofair::queueing {
+
+namespace {
+
+double simpson(const std::function<double(double)>& f, double a, double b,
+               double fa, double fm, double fb_, double whole, double tol,
+               int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m), rm = 0.5 * (m + b);
+  const double flm = f(lm), frm = f(rm);
+  const double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+  const double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb_);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return simpson(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1) +
+         simpson(f, m, b, fm, frm, fb_, right, 0.5 * tol, depth - 1);
+}
+
+/// Exponential(mean mu).
+class ExpMoments final : public SizeMoments {
+ public:
+  explicit ExpMoments(double mu) : mu_(mu) {
+    if (!(mu > 0.0)) throw std::invalid_argument("ExpMoments: mean must be > 0");
+  }
+  double mean() const override { return mu_; }
+  double second_moment() const override { return 2.0 * mu_ * mu_; }
+  double cdf(double x) const override {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x / mu_);
+  }
+  double partial_mean(double x) const override {
+    if (x <= 0.0) return 0.0;
+    const double e = std::exp(-x / mu_);
+    return mu_ * (1.0 - e) - x * e;
+  }
+  double partial_second(double x) const override {
+    if (x <= 0.0) return 0.0;
+    const double e = std::exp(-x / mu_);
+    return 2.0 * mu_ * partial_mean(x) - x * x * e;
+  }
+  double support_max() const override { return 50.0 * mu_; }  // numeric cutoff
+  bool continuous() const noexcept override { return true; }
+
+ private:
+  double mu_;
+};
+
+/// Deterministic(v).
+class FixedMoments final : public SizeMoments {
+ public:
+  explicit FixedMoments(double v) : v_(v) {
+    if (!(v > 0.0)) throw std::invalid_argument("FixedMoments: value must be > 0");
+  }
+  double mean() const override { return v_; }
+  double second_moment() const override { return v_ * v_; }
+  double cdf(double x) const override { return x >= v_ ? 1.0 : 0.0; }
+  double partial_mean(double x) const override { return x >= v_ ? v_ : 0.0; }
+  double partial_second(double x) const override {
+    return x >= v_ ? v_ * v_ : 0.0;
+  }
+  double support_max() const override { return v_; }
+  bool continuous() const noexcept override { return false; }
+
+ private:
+  double v_;
+};
+
+/// Uniform(a, b).
+class UniformMoments final : public SizeMoments {
+ public:
+  UniformMoments(double a, double b) : a_(a), b_(b) {
+    if (!(0.0 <= a && a < b)) {
+      throw std::invalid_argument("UniformMoments: need 0 <= a < b");
+    }
+  }
+  double mean() const override { return 0.5 * (a_ + b_); }
+  double second_moment() const override {
+    // E[S^2] = (a^2 + ab + b^2) / 3.
+    return (a_ * a_ + a_ * b_ + b_ * b_) / 3.0;
+  }
+  double cdf(double x) const override {
+    if (x <= a_) return 0.0;
+    if (x >= b_) return 1.0;
+    return (x - a_) / (b_ - a_);
+  }
+  double partial_mean(double x) const override {
+    const double c = std::min(std::max(x, a_), b_);
+    return (c * c - a_ * a_) / (2.0 * (b_ - a_));
+  }
+  double partial_second(double x) const override {
+    const double c = std::min(std::max(x, a_), b_);
+    return (c * c * c - a_ * a_ * a_) / (3.0 * (b_ - a_));
+  }
+  double support_max() const override { return b_; }
+  bool continuous() const noexcept override { return true; }
+
+ private:
+  double a_, b_;
+};
+
+/// Numeric pdf via central difference of the cdf (used only inside the
+/// outer E[T(S)] integrals for continuous distributions).
+double pdf(const SizeMoments& m, double x) {
+  const double h = 1e-6 * std::max(1.0, x);
+  return (m.cdf(x + h) - m.cdf(x - h)) / (2.0 * h);
+}
+
+void require_continuous(const SizeMoments& m, const char* what) {
+  // The Schrage-Miller / FB formulas below assume a density; atomic sizes
+  // need the rho(x-) boundary corrections we deliberately do not implement.
+  if (!m.continuous()) {
+    throw std::invalid_argument(std::string(what) +
+                                ": oracle requires a continuous size "
+                                "distribution (atomic sizes unsupported)");
+  }
+}
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol, int max_depth) {
+  if (!(b > a)) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a), fm = f(m), fb_ = f(b);
+  const double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb_);
+  return simpson(f, a, b, fa, fm, fb_, whole, tol, max_depth);
+}
+
+std::unique_ptr<SizeMoments> make_moments(const workload::SizeDist& dist) {
+  return std::visit(
+      [](const auto& d) -> std::unique_ptr<SizeMoments> {
+        using T = std::decay_t<decltype(d)>;
+        if constexpr (std::is_same_v<T, workload::ExponentialSize>) {
+          return std::make_unique<ExpMoments>(d.mean);
+        } else if constexpr (std::is_same_v<T, workload::FixedSize>) {
+          return std::make_unique<FixedMoments>(d.value);
+        } else if constexpr (std::is_same_v<T, workload::UniformSize>) {
+          return std::make_unique<UniformMoments>(d.lo, d.hi);
+        } else {
+          throw std::invalid_argument(
+              "make_moments: only exponential/fixed/uniform sizes have an "
+              "M/G/1 oracle");
+        }
+      },
+      dist);
+}
+
+double Mg1::mean_response_ps() const {
+  const double rho = load();
+  if (!(rho < 1.0)) throw std::invalid_argument("Mg1: load must be < 1");
+  return moments->mean() / (1.0 - rho);
+}
+
+double Mg1::mean_response_fcfs() const {
+  const double rho = load();
+  if (!(rho < 1.0)) throw std::invalid_argument("Mg1: load must be < 1");
+  return moments->mean() +
+         lambda * moments->second_moment() / (2.0 * (1.0 - rho));
+}
+
+double Mg1::mean_response_srpt(double x) const {
+  require_continuous(*moments, "mean_response_srpt");
+  const double rho_x = lambda * moments->partial_mean(x);
+  const double m2 =
+      moments->partial_second(x) + x * x * (1.0 - moments->cdf(x));
+  const double wait = lambda * m2 / (2.0 * (1.0 - rho_x) * (1.0 - rho_x));
+  const double residence = integrate(
+      [this](double t) { return 1.0 / (1.0 - lambda * moments->partial_mean(t)); },
+      0.0, x, 1e-9, 24);
+  return wait + residence;
+}
+
+double Mg1::mean_response_srpt() const {
+  require_continuous(*moments, "mean_response_srpt");
+  const double hi = moments->support_max();
+  return integrate(
+      [this](double x) { return pdf(*moments, x) * mean_response_srpt(x); },
+      1e-9, hi, 1e-6, 18);
+}
+
+double Mg1::mean_response_fb(double x) const {
+  require_continuous(*moments, "mean_response_fb");
+  const double min_mean =
+      moments->partial_mean(x) + x * (1.0 - moments->cdf(x));
+  const double min_second =
+      moments->partial_second(x) + x * x * (1.0 - moments->cdf(x));
+  const double rho_x = lambda * min_mean;
+  return lambda * min_second / (2.0 * (1.0 - rho_x) * (1.0 - rho_x)) +
+         x / (1.0 - rho_x);
+}
+
+double Mg1::mean_response_fb() const {
+  require_continuous(*moments, "mean_response_fb");
+  const double hi = moments->support_max();
+  return integrate(
+      [this](double x) { return pdf(*moments, x) * mean_response_fb(x); },
+      1e-9, hi, 1e-6, 18);
+}
+
+}  // namespace tempofair::queueing

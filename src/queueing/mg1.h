@@ -1,0 +1,83 @@
+// M/G/1 steady-state response-time oracle.
+//
+// For Poisson arrivals (rate lambda) and iid sizes S on one speed-1 machine
+// with load rho = lambda E[S] < 1, classical queueing theory gives the mean
+// response time in closed form for the policies this library simulates:
+//
+//   PS (= Round Robin's fluid limit):  E[T] = E[S] / (1 - rho)
+//       -- famously *insensitive* to the size distribution;
+//   FCFS (Pollaczek-Khinchine):        E[T] = E[S] + lambda E[S^2] / (2(1-rho));
+//   SRPT (Schrage-Miller):   E[T(x)] = lambda m2(x) / (2 (1-rho(x))^2)
+//                                      + int_0^x dt / (1 - rho(t)),
+//       with rho(x) = lambda E[S 1{S<=x}],  m2(x) = E[S^2 1{S<=x}] + x^2 P(S>x);
+//   FB / LAS (= SETF):       E[T(x)] = lambda E[min(S,x)^2] / (2 (1-rho_x)^2)
+//                                      + x / (1 - rho_x),
+//       with rho_x = lambda E[min(S, x)];
+//   and E[T] = E[ T(S) ] in both cases.
+//
+// These oracles validate the simulator end-to-end (experiment F10 and the
+// queueing tests): long Poisson runs of RR / FCFS / SRPT / SETF must
+// converge to these numbers.  Supported size distributions: exponential,
+// deterministic, and uniform (closed-form partial moments; outer integrals
+// by adaptive Simpson).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "workload/generators.h"
+
+namespace tempofair::queueing {
+
+/// Partial-moment interface of a size distribution: everything the M/G/1
+/// formulas need.
+class SizeMoments {
+ public:
+  virtual ~SizeMoments() = default;
+  SizeMoments() = default;
+  SizeMoments(const SizeMoments&) = delete;
+  SizeMoments& operator=(const SizeMoments&) = delete;
+
+  [[nodiscard]] virtual double mean() const = 0;            ///< E[S]
+  [[nodiscard]] virtual double second_moment() const = 0;   ///< E[S^2]
+  [[nodiscard]] virtual double cdf(double x) const = 0;     ///< P(S <= x)
+  /// E[S 1{S <= x}]
+  [[nodiscard]] virtual double partial_mean(double x) const = 0;
+  /// E[S^2 1{S <= x}]
+  [[nodiscard]] virtual double partial_second(double x) const = 0;
+  /// Upper limit of the support (may be +infinity for exponential).
+  [[nodiscard]] virtual double support_max() const = 0;
+  /// True when the distribution has a density (the SRPT/FB oracles require
+  /// it; deterministic sizes put an atom at the support max).
+  [[nodiscard]] virtual bool continuous() const noexcept = 0;
+};
+
+/// Builds the moment oracle for a workload::SizeDist.  Supported:
+/// ExponentialSize, FixedSize, UniformSize.  Throws std::invalid_argument
+/// for Pareto/Bimodal (no oracle implemented).
+[[nodiscard]] std::unique_ptr<SizeMoments> make_moments(
+    const workload::SizeDist& dist);
+
+struct Mg1 {
+  double lambda = 0.5;  ///< Poisson arrival rate
+  const SizeMoments* moments = nullptr;
+
+  [[nodiscard]] double load() const { return lambda * moments->mean(); }
+
+  /// E[T] under processor sharing (Round Robin's fluid limit).
+  [[nodiscard]] double mean_response_ps() const;
+  /// E[T] under FCFS (Pollaczek-Khinchine).
+  [[nodiscard]] double mean_response_fcfs() const;
+  /// E[T(x)] and E[T] under SRPT.
+  [[nodiscard]] double mean_response_srpt(double x) const;
+  [[nodiscard]] double mean_response_srpt() const;
+  /// E[T(x)] and E[T] under FB / LAS (SETF).
+  [[nodiscard]] double mean_response_fb(double x) const;
+  [[nodiscard]] double mean_response_fb() const;
+};
+
+/// Adaptive Simpson quadrature on [a, b] (exposed for tests).
+[[nodiscard]] double integrate(const std::function<double(double)>& f, double a,
+                               double b, double tol = 1e-8, int max_depth = 30);
+
+}  // namespace tempofair::queueing

@@ -1,0 +1,193 @@
+#include "relsim/relsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace tempofair::relsim {
+
+namespace {
+
+[[noreturn]] void rel_fail(const std::string& msg) {
+  throw std::runtime_error("relsim::simulate_related: " + msg);
+}
+
+/// Indices of ctx.alive sorted by `less`, truncated to the machine count.
+template <typename Less>
+std::vector<std::size_t> top_by(const RelContext& ctx, Less&& less) {
+  std::vector<std::size_t> idx(ctx.alive.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  const std::size_t take = std::min(idx.size(), ctx.speeds.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(take),
+                    idx.end(), less);
+  idx.resize(take);
+  return idx;
+}
+
+}  // namespace
+
+RelDecision RelatedRoundRobin::allocate(const RelContext& ctx) {
+  const std::size_t n = ctx.alive.size();
+  // Equal rate r is feasible iff q*r <= S_q for every q <= n, where S_q is
+  // the sum of the min(q, m) fastest speeds.  Prefix averages of a
+  // descending sequence (padded with zero speeds) are non-increasing, so the
+  // binding constraint is q = n.
+  double top_sum = 0.0;
+  for (std::size_t i = 0; i < std::min(n, ctx.speeds.size()); ++i) {
+    top_sum += ctx.speeds[i];
+  }
+  RelDecision d;
+  d.rates.assign(n, top_sum / static_cast<double>(n));
+  return d;
+}
+
+RelDecision RelatedSrpt::allocate(const RelContext& ctx) {
+  auto alive = ctx.alive;
+  const auto idx = top_by(ctx, [alive](std::size_t a, std::size_t b) {
+    if (alive[a].remaining != alive[b].remaining) {
+      return alive[a].remaining < alive[b].remaining;
+    }
+    if (alive[a].release != alive[b].release) {
+      return alive[a].release < alive[b].release;
+    }
+    return alive[a].id < alive[b].id;
+  });
+  RelDecision d;
+  d.rates.assign(ctx.alive.size(), 0.0);
+  for (std::size_t i = 0; i < idx.size(); ++i) d.rates[idx[i]] = ctx.speeds[i];
+  return d;
+}
+
+RelDecision RelatedFcfs::allocate(const RelContext& ctx) {
+  auto alive = ctx.alive;
+  const auto idx = top_by(ctx, [alive](std::size_t a, std::size_t b) {
+    if (alive[a].release != alive[b].release) {
+      return alive[a].release < alive[b].release;
+    }
+    return alive[a].id < alive[b].id;
+  });
+  RelDecision d;
+  d.rates.assign(ctx.alive.size(), 0.0);
+  for (std::size_t i = 0; i < idx.size(); ++i) d.rates[idx[i]] = ctx.speeds[i];
+  return d;
+}
+
+std::vector<double> RelSchedule::flows() const {
+  std::vector<double> out(completion.size());
+  for (std::size_t i = 0; i < completion.size(); ++i) {
+    out[i] = completion[i] - release[i];
+  }
+  return out;
+}
+
+bool rates_feasible(std::span<const double> rates,
+                    std::span<const double> sorted_speeds, double tol) {
+  std::vector<double> sorted(rates.begin(), rates.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double rate_prefix = 0.0, speed_prefix = 0.0;
+  for (std::size_t q = 0; q < sorted.size(); ++q) {
+    rate_prefix += sorted[q];
+    speed_prefix += q < sorted_speeds.size() ? sorted_speeds[q] : 0.0;
+    if (rate_prefix > speed_prefix + tol) return false;
+  }
+  return true;
+}
+
+RelSchedule simulate_related(const Instance& instance, RelPolicy& policy,
+                             const RelSimOptions& options) {
+  if (options.speeds.empty()) {
+    throw std::invalid_argument("simulate_related: no machines");
+  }
+  for (double s : options.speeds) {
+    if (!(s > 0.0) || !std::isfinite(s)) {
+      throw std::invalid_argument("simulate_related: speeds must be positive");
+    }
+  }
+  if (!(options.augment > 0.0)) {
+    throw std::invalid_argument("simulate_related: augment must be > 0");
+  }
+
+  std::vector<double> speeds = options.speeds;
+  for (double& s : speeds) s *= options.augment;
+  std::sort(speeds.begin(), speeds.end(), std::greater<>());
+  const double tol = 1e-7 * std::max(1.0, speeds[0]);
+
+  RelSchedule schedule;
+  schedule.release.assign(instance.n(), 0.0);
+  schedule.completion.assign(instance.n(), kInfiniteTime);
+  for (const Job& j : instance.jobs()) schedule.release[j.id] = j.release;
+  if (instance.empty()) return schedule;
+
+  std::span<const JobId> order = instance.release_order();
+  std::size_t next_arrival = 0;
+  std::vector<RelAliveJob> alive;
+  Time now = instance.job(order[0]).release;
+
+  auto admit = [&](Time t) {
+    while (next_arrival < order.size() &&
+           instance.job(order[next_arrival]).release <= t + kAbsEps) {
+      const Job& j = instance.job(order[next_arrival]);
+      RelAliveJob a{j.id, j.release, j.size, 0.0};
+      auto pos = std::lower_bound(alive.begin(), alive.end(), a,
+                                  [](const RelAliveJob& x, const RelAliveJob& y) {
+                                    return x.id < y.id;
+                                  });
+      alive.insert(pos, a);
+      ++next_arrival;
+    }
+  };
+  admit(now);
+
+  std::size_t steps = 0;
+  while (!alive.empty() || next_arrival < order.size()) {
+    if (++steps > options.max_steps) rel_fail("exceeded max_steps");
+    if (alive.empty()) {
+      now = instance.job(order[next_arrival]).release;
+      admit(now);
+      continue;
+    }
+
+    RelContext ctx{now, speeds, alive};
+    RelDecision d = policy.allocate(ctx);
+    if (d.rates.size() != alive.size()) rel_fail("wrong rate count");
+    for (double& r : d.rates) {
+      r = clamp_nonneg(r, tol);
+      if (r < 0.0 || !std::isfinite(r)) rel_fail("negative/non-finite rate");
+    }
+    if (!rates_feasible(d.rates, speeds, tol)) {
+      rel_fail("rates violate the majorization feasibility condition");
+    }
+    if (!(d.max_duration > 0.0)) rel_fail("non-positive max_duration");
+
+    Time dt = d.max_duration;
+    if (next_arrival < order.size()) {
+      dt = std::min(dt, instance.job(order[next_arrival]).release - now);
+    }
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      if (d.rates[i] > 0.0) dt = std::min(dt, alive[i].remaining / d.rates[i]);
+    }
+    if (!std::isfinite(dt)) rel_fail("deadlock: zero rates, no pending events");
+    dt = std::max(dt, 0.0);
+
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      const double delta = d.rates[i] * dt;
+      alive[i].remaining -= delta;
+      alive[i].attained += delta;
+    }
+    now += dt;
+
+    for (std::size_t ri = alive.size(); ri-- > 0;) {
+      const RelAliveJob& j = alive[ri];
+      if (j.remaining <= kRelEps * (j.remaining + j.attained) + kAbsEps) {
+        schedule.completion[j.id] = now;
+        alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(ri));
+      }
+    }
+    admit(now);
+  }
+  return schedule;
+}
+
+}  // namespace tempofair::relsim

@@ -1,0 +1,107 @@
+// Related (uniformly heterogeneous) machines: machine i has speed s_i.
+//
+// The paper closes its related-work section pointing at heterogeneous
+// machines ([19] SelfishMigrate, [20] l_k norms on unrelated machines, [27]
+// "SRPT optimally utilizes faster machines").  This substrate extends the
+// simulator in that direction: preemption and migration are free, and a
+// policy picks instantaneous processing rates r_j >= 0 whose sorted vector
+// is majorized by the sorted speed vector:
+//
+//     for every q:  sum of the q largest r_j  <=  s_1 + ... + s_q
+//
+// (the classical feasibility condition for fractional schedules on related
+// machines; it is exactly what time-sharing the machines can realize).
+//
+// Policies:
+//  * RelatedRoundRobin -- the natural RR: the largest equal rate r feasible
+//    for all n alive jobs, r = (sum of the min(n,m) fastest speeds) / n.
+//    With identical speeds this is exactly the paper's RR.
+//  * RelatedSrpt -- least remaining work on the fastest machine, second
+//    least on the second fastest, ... (cf. [27]).
+//  * RelatedFcfs -- earliest arrival on the fastest machine.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace tempofair::relsim {
+
+struct RelAliveJob {
+  JobId id = kInvalidJob;
+  Time release = 0.0;
+  Work remaining = 0.0;
+  Work attained = 0.0;
+};
+
+struct RelContext {
+  Time now = 0.0;
+  /// Machine speeds, sorted descending (the engine sorts them once).
+  std::span<const double> speeds;
+  std::span<const RelAliveJob> alive;
+};
+
+struct RelDecision {
+  std::vector<double> rates;
+  Time max_duration = kInfiniteTime;
+};
+
+class RelPolicy {
+ public:
+  virtual ~RelPolicy() = default;
+  RelPolicy() = default;
+  RelPolicy(const RelPolicy&) = delete;
+  RelPolicy& operator=(const RelPolicy&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual RelDecision allocate(const RelContext& ctx) = 0;
+};
+
+class RelatedRoundRobin final : public RelPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "rel-rr"; }
+  [[nodiscard]] RelDecision allocate(const RelContext& ctx) override;
+};
+
+class RelatedSrpt final : public RelPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "rel-srpt"; }
+  [[nodiscard]] RelDecision allocate(const RelContext& ctx) override;
+};
+
+class RelatedFcfs final : public RelPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "rel-fcfs"; }
+  [[nodiscard]] RelDecision allocate(const RelContext& ctx) override;
+};
+
+struct RelSchedule {
+  std::vector<Time> release;
+  std::vector<Time> completion;
+
+  [[nodiscard]] std::vector<double> flows() const;
+};
+
+struct RelSimOptions {
+  /// Machine speeds (any order; must be positive).  Scaled by `augment` to
+  /// express resource augmentation against a speed-1-per-machine OPT.
+  std::vector<double> speeds{1.0};
+  double augment = 1.0;
+  std::size_t max_steps = 20'000'000;
+};
+
+/// Returns true if the sorted-descending rate vector is majorized by the
+/// sorted-descending speed vector (the feasibility test; exposed for tests).
+[[nodiscard]] bool rates_feasible(std::span<const double> rates,
+                                  std::span<const double> sorted_speeds,
+                                  double tol = 1e-7);
+
+/// Simulates `policy` on related machines.
+[[nodiscard]] RelSchedule simulate_related(const Instance& instance,
+                                           RelPolicy& policy,
+                                           const RelSimOptions& options);
+
+}  // namespace tempofair::relsim

@@ -1,0 +1,97 @@
+#include "workload/adversarial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tempofair::workload {
+
+Instance batch_plus_stream(std::size_t batch, std::size_t stream, double gap,
+                           double job_size) {
+  if (!(gap > 0.0)) throw std::invalid_argument("batch_plus_stream: gap must be > 0");
+  if (!(job_size > 0.0)) {
+    throw std::invalid_argument("batch_plus_stream: job_size must be > 0");
+  }
+  std::vector<Job> jobs;
+  jobs.reserve(batch + stream);
+  JobId id = 0;
+  for (std::size_t i = 0; i < batch; ++i) jobs.push_back(Job{id++, 0.0, job_size});
+  for (std::size_t i = 0; i < stream; ++i) {
+    jobs.push_back(Job{id++, static_cast<double>(i + 1) * gap, job_size});
+  }
+  return Instance::from_jobs(std::move(jobs));
+}
+
+Instance rr_l2_hard(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("rr_l2_hard: n must be >= 1");
+  // gap = 1.05 leaves OPT 5% slack: it serves each stream job on arrival and
+  // drains the batch with the leftover capacity, so batch flows are ~20n and
+  // stream flows O(1).  RR splits the machine across the whole population:
+  // with ~n jobs alive, each stream job ages ~n before completing.
+  return batch_plus_stream(n, 4 * n, 1.05);
+}
+
+Instance srpt_starvation(std::size_t stream, double big, double gap) {
+  if (!(big > 0.0)) throw std::invalid_argument("srpt_starvation: big must be > 0");
+  if (!(gap > 0.0)) throw std::invalid_argument("srpt_starvation: gap must be > 0");
+  std::vector<Job> jobs;
+  jobs.reserve(stream + 1);
+  JobId id = 0;
+  jobs.push_back(Job{id++, 0.0, big});
+  for (std::size_t i = 0; i < stream; ++i) {
+    jobs.push_back(Job{id++, static_cast<double>(i) * gap, 1.0});
+  }
+  return Instance::from_jobs(std::move(jobs));
+}
+
+Instance overload_pulse(std::size_t pulses, std::size_t burst, int machines) {
+  if (machines < 1) throw std::invalid_argument("overload_pulse: machines < 1");
+  if (burst == 0) throw std::invalid_argument("overload_pulse: burst must be >= 1");
+  // A burst of `burst` unit jobs drains in ceil(burst/m) time on m speed-1
+  // machines; space pulses 2x that so the system alternates overloaded
+  // (n_t >= m) and fully idle.
+  const double drain =
+      std::ceil(static_cast<double>(burst) / static_cast<double>(machines));
+  const double spacing = 2.0 * std::max(drain, 1.0);
+  std::vector<Job> jobs;
+  jobs.reserve(pulses * burst);
+  JobId id = 0;
+  for (std::size_t p = 0; p < pulses; ++p) {
+    const Time t = static_cast<double>(p) * spacing;
+    for (std::size_t i = 0; i < burst; ++i) jobs.push_back(Job{id++, t, 1.0});
+  }
+  return Instance::from_jobs(std::move(jobs));
+}
+
+Instance geometric_levels(int levels, double spacing) {
+  if (levels < 1) throw std::invalid_argument("geometric_levels: levels must be >= 1");
+  if (levels > 24) throw std::invalid_argument("geometric_levels: levels > 24 (2^levels jobs)");
+  if (!(spacing > 0.0)) {
+    throw std::invalid_argument("geometric_levels: spacing must be > 0");
+  }
+  std::vector<Job> jobs;
+  jobs.reserve((std::size_t{1} << levels) - 1);
+  JobId id = 0;
+  for (int l = 0; l < levels; ++l) {
+    const Time t = static_cast<double>(l) * spacing;
+    const std::size_t count = std::size_t{1} << l;
+    const double size = std::pow(2.0, -l);
+    for (std::size_t i = 0; i < count; ++i) jobs.push_back(Job{id++, t, size});
+  }
+  return Instance::from_jobs(std::move(jobs));
+}
+
+Instance staircase(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("staircase: n must be >= 1");
+  std::vector<Job> jobs;
+  jobs.reserve(n);
+  double size = static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(Job{static_cast<JobId>(i), static_cast<double>(i),
+                       std::max(size, 1.0)});
+    size /= 2.0;
+  }
+  return Instance::from_jobs(std::move(jobs));
+}
+
+}  // namespace tempofair::workload

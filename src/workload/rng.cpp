@@ -1,0 +1,45 @@
+#include "workload/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tempofair::workload {
+
+double Rng::uniform(double lo, double hi) {
+  if (!(lo < hi)) throw std::invalid_argument("Rng::uniform: lo must be < hi");
+  return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo must be <= hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+}
+
+double Rng::exponential(double mean) {
+  if (!(mean > 0.0)) throw std::invalid_argument("Rng::exponential: mean must be > 0");
+  return std::exponential_distribution<double>(1.0 / mean)(gen_);
+}
+
+double Rng::pareto(double alpha, double xmin) {
+  if (!(alpha > 0.0) || !(xmin > 0.0)) {
+    throw std::invalid_argument("Rng::pareto: alpha and xmin must be > 0");
+  }
+  // Inverse CDF: x = xmin * U^(-1/alpha), U in (0,1].
+  const double u = 1.0 - std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+  return xmin * std::pow(u, -1.0 / alpha);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("Rng::bernoulli: p outside [0,1]");
+  return std::bernoulli_distribution(p)(gen_);
+}
+
+Rng Rng::split() {
+  // Two independent draws give the child a seed uncorrelated with the
+  // parent's subsequent output for practical purposes.
+  const std::uint64_t a = gen_();
+  const std::uint64_t b = gen_();
+  return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace tempofair::workload

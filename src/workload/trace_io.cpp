@@ -1,0 +1,93 @@
+#include "workload/trace_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tempofair::workload {
+
+namespace {
+
+double parse_field(std::string_view s, std::size_t line_no, std::string_view what) {
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::runtime_error("trace_io: line " + std::to_string(line_no) +
+                             ": bad " + std::string(what) + " '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_csv(const Instance& instance, std::ostream& out) {
+  out << "id,release,size,weight\n";
+  out.precision(std::numeric_limits<double>::max_digits10);
+  for (const Job& j : instance.jobs()) {
+    out << j.id << ',' << j.release << ',' << j.size << ',' << j.weight << '\n';
+  }
+  if (!out) throw std::runtime_error("trace_io: write failed");
+}
+
+void write_csv_file(const Instance& instance, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("trace_io: cannot open '" + path + "' for writing");
+  write_csv(instance, f);
+}
+
+Instance read_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.find("id") != 0) {
+    throw std::runtime_error("trace_io: missing 'id,release,size' header");
+  }
+  std::vector<Job> jobs;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string_view sv(line);
+    std::vector<std::string_view> fields;
+    std::size_t pos = 0;
+    while (pos <= sv.size()) {
+      const std::size_t comma = sv.find(',', pos);
+      if (comma == std::string_view::npos) {
+        fields.push_back(sv.substr(pos));
+        break;
+      }
+      fields.push_back(sv.substr(pos, comma - pos));
+      pos = comma + 1;
+    }
+    if (fields.size() != 3 && fields.size() != 4) {
+      throw std::runtime_error("trace_io: line " + std::to_string(line_no) +
+                               ": expected 3 or 4 comma-separated fields");
+    }
+    const double id = parse_field(fields[0], line_no, "id");
+    const double release = parse_field(fields[1], line_no, "release");
+    const double size = parse_field(fields[2], line_no, "size");
+    const double weight =
+        fields.size() == 4 ? parse_field(fields[3], line_no, "weight") : 1.0;
+    if (id < 0 || id != static_cast<double>(static_cast<JobId>(id))) {
+      throw std::runtime_error("trace_io: line " + std::to_string(line_no) +
+                               ": id is not a small nonnegative integer");
+    }
+    jobs.push_back(Job{static_cast<JobId>(id), release, size, weight});
+  }
+  try {
+    return Instance::from_jobs(std::move(jobs));
+  } catch (const std::invalid_argument& e) {
+    // Structural problems (duplicate ids, gaps) surface as parse errors.
+    throw std::runtime_error(std::string("trace_io: ") + e.what());
+  }
+}
+
+Instance read_csv_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("trace_io: cannot open '" + path + "' for reading");
+  return read_csv(f);
+}
+
+}  // namespace tempofair::workload

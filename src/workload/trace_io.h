@@ -1,0 +1,24 @@
+// CSV trace input/output for instances.
+//
+// Format: a header line "id,release,size,weight" followed by one job per
+// line; the weight column is optional on input (defaults to 1).
+// Round-trips exactly (fields written with max precision).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.h"
+
+namespace tempofair::workload {
+
+/// Writes `instance` as CSV.  Throws std::runtime_error on I/O failure.
+void write_csv(const Instance& instance, std::ostream& out);
+void write_csv_file(const Instance& instance, const std::string& path);
+
+/// Parses an instance from CSV.  Throws std::runtime_error on malformed
+/// input (bad header, non-numeric fields, duplicate/out-of-range ids).
+[[nodiscard]] Instance read_csv(std::istream& in);
+[[nodiscard]] Instance read_csv_file(const std::string& path);
+
+}  // namespace tempofair::workload

@@ -1,0 +1,77 @@
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace tempofair::analysis {
+namespace {
+
+TEST(Table, RejectsEmptyColumns) {
+  EXPECT_THROW(Table("t", {}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t("t", {"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsTitleHeaderAndRows) {
+  Table t("My Experiment", {"x", "value"});
+  t.add_row({"1", "10"});
+  t.add_row({"2", "20"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("My Experiment"), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+  EXPECT_NE(s.find("20"), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderAndCommas) {
+  Table t("t", {"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table t("t", {"name", "v"});
+  t.add_row({"short", "1"});
+  t.add_row({"a_much_longer_name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  // Both value cells must start at the same column.
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) lines.push_back(line);
+  const std::size_t pos1 = lines[lines.size() - 2].find('1');
+  const std::size_t pos2 = lines[lines.size() - 1].find('2');
+  EXPECT_EQ(pos1, pos2);
+}
+
+TEST(TableNum, FormatsCompactly) {
+  EXPECT_EQ(Table::num(1.0), "1");
+  EXPECT_EQ(Table::num(3.14159), "3.142");
+  EXPECT_EQ(Table::num(2.5, 2), "2.50");
+}
+
+TEST(TableNum, SpellsSpecialValues) {
+  EXPECT_EQ(Table::num(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(Table::num(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(Table::num(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(Table::num(std::numeric_limits<double>::infinity(), 2), "inf");
+}
+
+TEST(Table, RowCountTracked) {
+  Table t("t", {"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace tempofair::analysis

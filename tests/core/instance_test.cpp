@@ -1,0 +1,140 @@
+#include "core/instance.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace tempofair {
+namespace {
+
+TEST(Instance, FromPairsAssignsSequentialIds) {
+  const std::vector<std::pair<Time, Work>> pairs{{0.0, 2.0}, {1.5, 3.0}, {0.5, 1.0}};
+  const Instance inst = Instance::from_pairs(pairs);
+  ASSERT_EQ(inst.n(), 3u);
+  EXPECT_EQ(inst.job(0).release, 0.0);
+  EXPECT_EQ(inst.job(0).size, 2.0);
+  EXPECT_EQ(inst.job(1).release, 1.5);
+  EXPECT_EQ(inst.job(2).size, 1.0);
+}
+
+TEST(Instance, EmptyInstance) {
+  const Instance inst;
+  EXPECT_TRUE(inst.empty());
+  EXPECT_EQ(inst.n(), 0u);
+  EXPECT_EQ(inst.total_work(), 0.0);
+}
+
+TEST(Instance, BatchReleasesAllAtSameTime) {
+  const std::vector<Work> sizes{1.0, 2.0, 3.0};
+  const Instance inst = Instance::batch(sizes, 5.0);
+  ASSERT_EQ(inst.n(), 3u);
+  for (const Job& j : inst.jobs()) EXPECT_EQ(j.release, 5.0);
+  EXPECT_EQ(inst.total_work(), 6.0);
+}
+
+TEST(Instance, RejectsNonPositiveSize) {
+  const std::vector<std::pair<Time, Work>> pairs{{0.0, 0.0}};
+  EXPECT_THROW((void)Instance::from_pairs(pairs), std::invalid_argument);
+  const std::vector<std::pair<Time, Work>> neg{{0.0, -1.0}};
+  EXPECT_THROW((void)Instance::from_pairs(neg), std::invalid_argument);
+}
+
+TEST(Instance, RejectsNegativeOrNonFiniteRelease) {
+  const std::vector<std::pair<Time, Work>> neg{{-1.0, 1.0}};
+  EXPECT_THROW((void)Instance::from_pairs(neg), std::invalid_argument);
+  const std::vector<std::pair<Time, Work>> inf{
+      {std::numeric_limits<double>::infinity(), 1.0}};
+  EXPECT_THROW((void)Instance::from_pairs(inf), std::invalid_argument);
+}
+
+TEST(Instance, RejectsNonFiniteSize) {
+  const std::vector<std::pair<Time, Work>> nan{
+      {0.0, std::numeric_limits<double>::quiet_NaN()}};
+  EXPECT_THROW((void)Instance::from_pairs(nan), std::invalid_argument);
+}
+
+TEST(Instance, FromJobsRequiresIdPermutation) {
+  EXPECT_THROW((void)Instance::from_jobs({Job{0, 0.0, 1.0}, Job{0, 1.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)Instance::from_jobs({Job{1, 0.0, 1.0}, Job{2, 1.0, 1.0}}),
+               std::invalid_argument);
+  const Instance ok = Instance::from_jobs({Job{1, 0.0, 1.0}, Job{0, 1.0, 2.0}});
+  EXPECT_EQ(ok.job(0).release, 1.0);
+  EXPECT_EQ(ok.job(1).release, 0.0);
+}
+
+TEST(Instance, ReleaseOrderSortsByReleaseThenId) {
+  const Instance inst = Instance::from_jobs(
+      {Job{0, 2.0, 1.0}, Job{1, 0.0, 1.0}, Job{2, 0.0, 1.0}, Job{3, 1.0, 1.0}});
+  const auto order = inst.release_order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 3u);
+  EXPECT_EQ(order[3], 0u);
+}
+
+TEST(Instance, AggregateStatistics) {
+  const std::vector<std::pair<Time, Work>> pairs{{1.0, 2.0}, {3.0, 0.5}, {2.0, 4.0}};
+  const Instance inst = Instance::from_pairs(pairs);
+  EXPECT_DOUBLE_EQ(inst.total_work(), 6.5);
+  EXPECT_DOUBLE_EQ(inst.max_size(), 4.0);
+  EXPECT_DOUBLE_EQ(inst.min_size(), 0.5);
+  EXPECT_DOUBLE_EQ(inst.min_release(), 1.0);
+  EXPECT_DOUBLE_EQ(inst.max_release(), 3.0);
+}
+
+TEST(Instance, HorizonBoundCoversSequentialExecution) {
+  const std::vector<std::pair<Time, Work>> pairs{{0.0, 5.0}, {10.0, 5.0}};
+  const Instance inst = Instance::from_pairs(pairs);
+  EXPECT_GE(inst.horizon_bound(1), 20.0);
+  EXPECT_GE(inst.horizon_bound(4, 2.0), 10.0 + 10.0 / 2.0);
+}
+
+TEST(Instance, HorizonBoundValidatesArguments) {
+  const Instance inst = Instance::batch(std::vector<Work>{1.0});
+  EXPECT_THROW((void)inst.horizon_bound(0), std::invalid_argument);
+  EXPECT_THROW((void)inst.horizon_bound(1, 0.0), std::invalid_argument);
+}
+
+TEST(Instance, NormalizedShiftsReleasesToZero) {
+  const std::vector<std::pair<Time, Work>> pairs{{5.0, 1.0}, {7.0, 2.0}};
+  const Instance norm = Instance::from_pairs(pairs).normalized();
+  EXPECT_DOUBLE_EQ(norm.min_release(), 0.0);
+  EXPECT_DOUBLE_EQ(norm.job(1).release, 2.0);
+}
+
+TEST(Instance, MergedWithShiftsIds) {
+  const Instance a = Instance::batch(std::vector<Work>{1.0, 2.0});
+  const Instance b = Instance::batch(std::vector<Work>{3.0}, 1.0);
+  const Instance m = a.merged_with(b);
+  ASSERT_EQ(m.n(), 3u);
+  EXPECT_DOUBLE_EQ(m.job(2).size, 3.0);
+  EXPECT_DOUBLE_EQ(m.job(2).release, 1.0);
+  EXPECT_DOUBLE_EQ(m.total_work(), 6.0);
+}
+
+TEST(Instance, MergedWithEmptyIsIdentity) {
+  const Instance a = Instance::batch(std::vector<Work>{1.0, 2.0});
+  const Instance m = a.merged_with(Instance{});
+  EXPECT_EQ(m.n(), 2u);
+}
+
+TEST(Instance, SummaryMentionsKeyNumbers) {
+  const Instance a = Instance::batch(std::vector<Work>{1.0, 2.0});
+  const std::string s = a.summary();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+}
+
+TEST(Job, ArrivesBeforeOrdersByReleaseThenId) {
+  const Job a{0, 1.0, 1.0}, b{1, 2.0, 1.0}, c{2, 1.0, 1.0};
+  EXPECT_TRUE(arrives_before(a, b));
+  EXPECT_FALSE(arrives_before(b, a));
+  EXPECT_TRUE(arrives_before(a, c));   // same release, lower id
+  EXPECT_FALSE(arrives_before(c, a));
+}
+
+}  // namespace
+}  // namespace tempofair

@@ -1,0 +1,170 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace tempofair {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(LkNorm, L1IsSum) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(lk_norm(v, 1.0), 6.0);
+}
+
+TEST(LkNorm, L2MatchesEuclidean) {
+  const std::vector<double> v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(lk_norm(v, 2.0), 5.0);
+}
+
+TEST(LkNorm, L3HandComputed) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_NEAR(lk_norm(v, 3.0), std::cbrt(9.0), 1e-12);
+}
+
+TEST(LkNorm, InfinityIsMax) {
+  const std::vector<double> v{1.0, 7.0, 3.0};
+  EXPECT_DOUBLE_EQ(lk_norm(v, kInf), 7.0);
+}
+
+TEST(LkNorm, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(lk_norm(std::vector<double>{}, 2.0), 0.0);
+}
+
+TEST(LkNorm, AllZeroIsZero) {
+  const std::vector<double> v{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(lk_norm(v, 2.0), 0.0);
+}
+
+TEST(LkNorm, LargeKDoesNotOverflow) {
+  const std::vector<double> v(100, 1e30);
+  const double norm = lk_norm(v, 50.0);
+  EXPECT_TRUE(std::isfinite(norm));
+  EXPECT_NEAR(norm, 1e30 * std::pow(100.0, 1.0 / 50.0), 1e18);
+}
+
+TEST(LkNorm, MonotoneDecreasingInK) {
+  // For fixed values, the l_k norm is non-increasing in k.
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  double prev = lk_norm(v, 1.0);
+  for (double k : {1.5, 2.0, 3.0, 5.0, 10.0}) {
+    const double cur = lk_norm(v, k);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+  EXPECT_GE(prev, linf_norm(v) - 1e-12);
+}
+
+TEST(LkNorm, RejectsKLessThanOne) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)lk_norm(v, 0.5), std::invalid_argument);
+}
+
+TEST(LkNorm, RejectsNegativeValues) {
+  const std::vector<double> v{-1.0};
+  EXPECT_THROW((void)lk_norm(v, 2.0), std::invalid_argument);
+}
+
+TEST(LkPowerSum, MatchesDirectComputation) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(lk_power_sum(v, 2.0), 14.0);
+  EXPECT_DOUBLE_EQ(lk_power_sum(v, 1.0), 6.0);
+  EXPECT_DOUBLE_EQ(lk_power_sum(v, 3.0), 36.0);
+}
+
+TEST(LkPowerSum, NormConsistency) {
+  const std::vector<double> v{0.5, 1.5, 2.5, 4.0};
+  for (double k : {1.0, 2.0, 3.0}) {
+    EXPECT_NEAR(std::pow(lk_norm(v, k), k), lk_power_sum(v, k), 1e-9);
+  }
+}
+
+TEST(Percentile, Endpoints) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Percentile, RejectsOutOfRange) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)percentile(v, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(v, 101.0), std::invalid_argument);
+}
+
+TEST(FlowStats, SummarizesCorrectly) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const FlowStats s = flow_stats(v);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.l1, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.linf, 4.0);
+  EXPECT_NEAR(s.variance, 1.25, 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);
+}
+
+TEST(FlowStats, EmptyIsAllZero) {
+  const FlowStats s = flow_stats(std::vector<double>{});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.l1, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(FlowStats, SingleValue) {
+  const FlowStats s = flow_stats(std::vector<double>{7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.l2, 7.0);
+  EXPECT_DOUBLE_EQ(s.p99, 7.0);
+}
+
+TEST(LinfNorm, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(linf_norm(std::vector<double>{}), 0.0);
+}
+
+TEST(WeightedLkPower, MatchesDirectComputation) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  const std::vector<double> w{2.0, 1.0, 0.5};
+  EXPECT_DOUBLE_EQ(weighted_lk_power(v, w, 1.0), 2.0 + 2.0 + 1.5);
+  EXPECT_DOUBLE_EQ(weighted_lk_power(v, w, 2.0), 2.0 + 4.0 + 4.5);
+}
+
+TEST(WeightedLkPower, UnitWeightsMatchUnweighted) {
+  const std::vector<double> v{0.5, 1.5, 2.5};
+  const std::vector<double> w{1.0, 1.0, 1.0};
+  for (double k : {1.0, 2.0, 3.0}) {
+    EXPECT_NEAR(weighted_lk_power(v, w, k), lk_power_sum(v, k), 1e-12);
+    EXPECT_NEAR(weighted_lk_norm(v, w, k), lk_norm(v, k), 1e-12);
+  }
+}
+
+TEST(WeightedLkNorm, InfinityFiltersZeroWeights) {
+  const std::vector<double> v{10.0, 3.0};
+  const std::vector<double> w{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_lk_norm(v, w, kInf), 3.0);
+}
+
+TEST(WeightedLkPower, RejectsBadInput) {
+  const std::vector<double> v{1.0};
+  const std::vector<double> w{1.0, 2.0};
+  EXPECT_THROW((void)weighted_lk_power(v, w, 2.0), std::invalid_argument);
+  const std::vector<double> neg{-1.0};
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)weighted_lk_power(neg, one, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)weighted_lk_power(one, neg, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)weighted_lk_power(one, one, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tempofair

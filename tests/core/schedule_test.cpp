@@ -1,0 +1,142 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tempofair {
+namespace {
+
+Instance simple_instance() {
+  return Instance::from_pairs(
+      std::vector<std::pair<Time, Work>>{{0.0, 2.0}, {1.0, 1.0}});
+}
+
+TEST(Schedule, FlowIsCompletionMinusRelease) {
+  Schedule s(simple_instance(), 1, 1.0);
+  s.set_completion(0, 3.0);
+  s.set_completion(1, 2.5);
+  EXPECT_DOUBLE_EQ(s.flow(0), 3.0);
+  EXPECT_DOUBLE_EQ(s.flow(1), 1.5);
+  const auto flows = s.flows();
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_DOUBLE_EQ(flows[0], 3.0);
+  EXPECT_DOUBLE_EQ(flows[1], 1.5);
+}
+
+TEST(Schedule, MakespanTracksLatestCompletion) {
+  Schedule s(simple_instance(), 1, 1.0);
+  s.set_completion(1, 2.5);
+  EXPECT_DOUBLE_EQ(s.makespan(), 2.5);
+  s.set_completion(0, 3.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 3.0);
+}
+
+TEST(Schedule, ZeroLengthIntervalsAreDropped) {
+  Schedule s(simple_instance(), 1, 1.0);
+  s.set_trace_recorded(true);
+  TraceInterval iv;
+  iv.begin = 1.0;
+  iv.end = 1.0;
+  s.push_interval(iv);
+  EXPECT_TRUE(s.trace().empty());
+}
+
+TEST(Schedule, TracedWorkSumsRateTimesLength) {
+  Schedule s(simple_instance(), 1, 1.0);
+  s.set_trace_recorded(true);
+  TraceInterval iv;
+  iv.begin = 0.0;
+  iv.end = 2.0;
+  iv.shares = {RateShare{0, 0.75}, RateShare{1, 0.25}};
+  s.push_interval(iv);
+  EXPECT_DOUBLE_EQ(s.traced_work(), 2.0);
+  EXPECT_DOUBLE_EQ(s.traced_work(0), 1.5);
+  EXPECT_DOUBLE_EQ(s.traced_work(1), 0.5);
+}
+
+TEST(ScheduleValidate, FailsOnMissingCompletion) {
+  Schedule s(simple_instance(), 1, 1.0);
+  s.set_completion(0, 3.0);
+  EXPECT_THROW(s.validate(), std::logic_error);
+}
+
+TEST(ScheduleValidate, FailsOnImpossiblyEarlyCompletion) {
+  Schedule s(simple_instance(), 1, 1.0);
+  s.set_completion(0, 0.5);  // size 2 at speed 1 cannot finish before t=2
+  s.set_completion(1, 2.5);
+  EXPECT_THROW(s.validate(), std::logic_error);
+}
+
+TEST(ScheduleValidate, FailsOnOvercapacityInterval) {
+  Schedule s(simple_instance(), 1, 1.0);
+  s.set_trace_recorded(true);
+  s.set_completion(0, 2.0);
+  s.set_completion(1, 2.0);
+  TraceInterval iv;
+  iv.begin = 0.0;
+  iv.end = 2.0;
+  iv.shares = {RateShare{0, 1.0}, RateShare{1, 0.5}};  // sum 1.5 > m*s = 1
+  s.push_interval(iv);
+  EXPECT_THROW(s.validate(), std::logic_error);
+}
+
+TEST(ScheduleValidate, FailsOnJobTracedBeforeRelease) {
+  Schedule s(simple_instance(), 2, 1.0);
+  s.set_trace_recorded(true);
+  s.set_completion(0, 2.0);
+  s.set_completion(1, 2.0);
+  TraceInterval iv;
+  iv.begin = 0.0;  // job 1 releases at 1.0
+  iv.end = 2.0;
+  iv.shares = {RateShare{0, 1.0}, RateShare{1, 0.5}};
+  s.push_interval(iv);
+  EXPECT_THROW(s.validate(), std::logic_error);
+}
+
+TEST(ScheduleValidate, FailsOnWorkMismatch) {
+  Schedule s(simple_instance(), 2, 1.0);
+  s.set_trace_recorded(true);
+  s.set_completion(0, 2.0);
+  s.set_completion(1, 2.5);
+  TraceInterval iv;
+  iv.begin = 0.0;
+  iv.end = 2.0;
+  iv.shares = {RateShare{0, 0.5}};  // only 1.0 of job 0's 2.0 processed
+  s.push_interval(iv);
+  EXPECT_THROW(s.validate(), std::logic_error);
+}
+
+TEST(ScheduleValidate, FailsOnUnsortedShares) {
+  Schedule s(simple_instance(), 2, 1.0);
+  s.set_trace_recorded(true);
+  s.set_completion(0, 2.0);
+  s.set_completion(1, 2.0);
+  TraceInterval iv;
+  iv.begin = 1.0;
+  iv.end = 2.0;
+  iv.shares = {RateShare{1, 0.5}, RateShare{0, 0.5}};
+  s.push_interval(iv);
+  EXPECT_THROW(s.validate(), std::logic_error);
+}
+
+TEST(ScheduleValidate, AcceptsConsistentSchedule) {
+  Schedule s(simple_instance(), 2, 1.0);
+  s.set_trace_recorded(true);
+  s.set_completion(0, 2.0);
+  s.set_completion(1, 2.0);
+  TraceInterval a;
+  a.begin = 0.0;
+  a.end = 1.0;
+  a.shares = {RateShare{0, 1.0}};
+  s.push_interval(a);
+  TraceInterval b;
+  b.begin = 1.0;
+  b.end = 2.0;
+  b.shares = {RateShare{0, 1.0}, RateShare{1, 1.0}};
+  s.push_interval(b);
+  EXPECT_NO_THROW(s.validate());
+}
+
+}  // namespace
+}  // namespace tempofair

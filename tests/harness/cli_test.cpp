@@ -1,0 +1,67 @@
+#include "harness/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace tempofair::harness {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, FlagWithoutValue) {
+  const Cli cli = make({"--csv"});
+  EXPECT_TRUE(cli.has("csv"));
+  EXPECT_TRUE(cli.csv());
+  EXPECT_FALSE(cli.get("csv").has_value());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  const Cli cli = make({"--seed", "42"});
+  EXPECT_EQ(cli.get_int("seed", 0), 42);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  const Cli cli = make({"--speed=2.5"});
+  EXPECT_DOUBLE_EQ(cli.get_double("speed", 0.0), 2.5);
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const Cli cli = make({});
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(cli.get_string("name", "dflt"), "dflt");
+  EXPECT_FALSE(cli.csv());
+}
+
+TEST(Cli, PositionalArguments) {
+  const Cli cli = make({"input.csv", "--csv", "out.csv"});
+  // "--csv out.csv": out.csv is consumed as the value of --csv.
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.csv");
+  EXPECT_EQ(cli.get_string("csv", ""), "out.csv");
+}
+
+TEST(Cli, FlagFollowedByFlagTakesNoValue) {
+  const Cli cli = make({"--csv", "--seed", "9"});
+  EXPECT_TRUE(cli.has("csv"));
+  EXPECT_FALSE(cli.get("csv").has_value());
+  EXPECT_EQ(cli.get_int("seed", 0), 9);
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const Cli cli = make({"--seed", "abc"});
+  EXPECT_THROW((void)cli.get_int("seed", 0), std::invalid_argument);
+  const Cli cli2 = make({"--x", "1.2.3"});
+  EXPECT_THROW((void)cli2.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, StringValues) {
+  const Cli cli = make({"--policy", "laps:0.5"});
+  EXPECT_EQ(cli.get_string("policy", "rr"), "laps:0.5");
+}
+
+}  // namespace
+}  // namespace tempofair::harness

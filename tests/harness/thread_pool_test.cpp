@@ -1,0 +1,93 @@
+#include "harness/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "harness/sweep.h"
+
+namespace tempofair::harness {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 42; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, FuturePropagatesException) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::logic_error("bad"); });
+  EXPECT_THROW((void)f.get(), std::logic_error);
+}
+
+TEST(ThreadPool, ManySmallTasks) {
+  ThreadPool pool(8);
+  std::atomic<long> sum{0};
+  pool.parallel_for(1000, [&](std::size_t i) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&done] { done++; });
+    }
+  }  // destructor joins
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(RunSweep, PreservesOrder) {
+  ThreadPool pool(4);
+  std::vector<int> configs(20);
+  std::iota(configs.begin(), configs.end(), 0);
+  const auto results = run_sweep<int, int>(
+      pool, configs, [](const int& c) { return c * c; });
+  ASSERT_EQ(results.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(Linspace, EndpointsAndCount) {
+  const auto v = linspace(1.0, 3.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 1.0);
+  EXPECT_DOUBLE_EQ(v.back(), 3.0);
+  EXPECT_DOUBLE_EQ(v[2], 2.0);
+}
+
+TEST(Linspace, SinglePoint) {
+  const auto v = linspace(2.0, 9.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+}
+
+TEST(Linspace, RejectsZeroCount) {
+  EXPECT_THROW((void)linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tempofair::harness

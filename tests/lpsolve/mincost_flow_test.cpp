@@ -1,0 +1,135 @@
+#include "lpsolve/mincost_flow.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tempofair::lpsolve {
+namespace {
+
+TEST(MinCostFlow, SingleEdge) {
+  MinCostFlow g(2);
+  (void)g.add_edge(0, 1, 5.0, 2.0);
+  const auto r = g.solve(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(r.flow, 5.0);
+  EXPECT_DOUBLE_EQ(r.cost, 10.0);
+}
+
+TEST(MinCostFlow, PrefersCheaperPath) {
+  // 0 -> 1 -> 3 (cost 1+1) and 0 -> 2 -> 3 (cost 5+5), caps 1 each.
+  MinCostFlow g(4);
+  (void)g.add_edge(0, 1, 1.0, 1.0);
+  (void)g.add_edge(1, 3, 1.0, 1.0);
+  (void)g.add_edge(0, 2, 1.0, 5.0);
+  (void)g.add_edge(2, 3, 1.0, 5.0);
+  const auto r = g.solve(0, 3, 2.0);
+  EXPECT_DOUBLE_EQ(r.flow, 2.0);
+  EXPECT_DOUBLE_EQ(r.cost, 1.0 * 2 + 5.0 * 2);
+}
+
+TEST(MinCostFlow, RespectsMaxFlowCap) {
+  MinCostFlow g(2);
+  (void)g.add_edge(0, 1, 10.0, 1.0);
+  const auto r = g.solve(0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(r.flow, 3.0);
+  EXPECT_DOUBLE_EQ(r.cost, 3.0);
+}
+
+TEST(MinCostFlow, StopsAtCapacityLimit) {
+  MinCostFlow g(3);
+  (void)g.add_edge(0, 1, 2.0, 1.0);
+  (void)g.add_edge(1, 2, 1.5, 1.0);
+  const auto r = g.solve(0, 2, 100.0);
+  EXPECT_DOUBLE_EQ(r.flow, 1.5);
+}
+
+TEST(MinCostFlow, UsesResidualEdgesForOptimality) {
+  // Classic case where the greedy path must be partially undone.
+  //   0->1 (cap 1, cost 1), 0->2 (cap 1, cost 2),
+  //   1->2 (cap 1, cost 0), 1->3 (cap 1, cost 2), 2->3 (cap 1, cost 1).
+  // Max flow 2 with min cost: 0->1->2->3 (2) and 0->1... need residual logic.
+  MinCostFlow g(4);
+  (void)g.add_edge(0, 1, 1.0, 1.0);
+  (void)g.add_edge(0, 2, 1.0, 2.0);
+  (void)g.add_edge(1, 2, 1.0, 0.0);
+  (void)g.add_edge(1, 3, 1.0, 2.0);
+  (void)g.add_edge(2, 3, 1.0, 1.0);
+  const auto r = g.solve(0, 3, 2.0);
+  EXPECT_DOUBLE_EQ(r.flow, 2.0);
+  // Optimal: 0->1->2->3 (cost 2) + 0->2? cap... 0->2->3 used by first path;
+  // best total is 0->1->2->3 = 2 and 0->2 + 2->3 blocked => 0->1->3? cap of
+  // 0->1 is 1.  Routes: {0->1->2->3, 0->2->(2->3 full)...} -> the two units
+  // must use 0->1->3 and 0->2->3: cost (1+2)+(2+1)=6?  Or 0->1->2->3 (2) and
+  // 0->2->3 is then full on 2->3: 0->2 has no other exit -> so 6 is right
+  // only if sharing impossible; SSP finds min = 6 or better.  Assert exact
+  // optimum computed by hand: paths P1=0->1->2->3 cost 2, P2=0->2->3 cost 3
+  // conflict on 2->3 (cap 1).  Alternatives: P1'=0->1->3 cost 3, P2=0->2->3
+  // cost 3 -> total 6; or P1=2 + P2'=0->2->(1?) no edge.  Optimum = 5:
+  // flow A: 0->1 ->2 ->3 (cost 1+0+1=2); flow B: 0->2 (2), then 2->3 full,
+  // no path -> infeasible; so pairing must be (0->1->3, 0->2->3) = 6 or
+  // (0->1->2->3, 0->2 ... dead end).  Hence 6? But residual: after P1,
+  // augmenting 0->2, then 2->1 (residual of 1->2), then 1->3: cost
+  // 2 + 0 (undo) ... = 2 + (2 - 0 + 2) = hmm.  Let the solver answer and
+  // verify against brute force: total flow 2, min cost is 6 via {0->1->3,
+  // 0->2->3} OR 2+4=6 via residual path 0->2->1->3 (2 + (-0) + 2 = 4).
+  // Both give 6.
+  EXPECT_DOUBLE_EQ(r.cost, 6.0);
+}
+
+TEST(MinCostFlow, FractionalCapacities) {
+  MinCostFlow g(3);
+  (void)g.add_edge(0, 1, 0.3, 1.0);
+  (void)g.add_edge(0, 1, 0.7, 3.0);
+  (void)g.add_edge(1, 2, 1.0, 0.0);
+  const auto r = g.solve(0, 2, 1.0);
+  EXPECT_NEAR(r.flow, 1.0, 1e-9);
+  EXPECT_NEAR(r.cost, 0.3 * 1.0 + 0.7 * 3.0, 1e-9);
+}
+
+TEST(MinCostFlow, FlowOnReportsPerEdgeFlow) {
+  MinCostFlow g(3);
+  const auto cheap = g.add_edge(0, 1, 2.0, 1.0);
+  const auto expensive = g.add_edge(0, 1, 2.0, 10.0);
+  (void)g.add_edge(1, 2, 3.0, 0.0);
+  (void)g.solve(0, 2, 3.0);
+  EXPECT_NEAR(g.flow_on(cheap), 2.0, 1e-9);
+  EXPECT_NEAR(g.flow_on(expensive), 1.0, 1e-9);
+}
+
+TEST(MinCostFlow, TransportationProblem) {
+  // 2 supplies (3, 2), 2 demands (2, 3); cost matrix [[1, 4], [2, 1]].
+  // Optimal: s0->d0: 2, s0->d1: 1, s1->d1: 2 => 2*1 + 1*4 + 2*1 = 8?
+  // Or s0->d0:2, s1->d1:2, s0->d1:1 -> 8; s1->d0? cost2: s0->d1:3(12)... 8.
+  MinCostFlow g(6);  // 0=src, 1,2=supply, 3,4=demand, 5=sink
+  (void)g.add_edge(0, 1, 3.0, 0.0);
+  (void)g.add_edge(0, 2, 2.0, 0.0);
+  (void)g.add_edge(1, 3, 10.0, 1.0);
+  (void)g.add_edge(1, 4, 10.0, 4.0);
+  (void)g.add_edge(2, 3, 10.0, 2.0);
+  (void)g.add_edge(2, 4, 10.0, 1.0);
+  (void)g.add_edge(3, 5, 2.0, 0.0);
+  (void)g.add_edge(4, 5, 3.0, 0.0);
+  const auto r = g.solve(0, 5, 5.0);
+  EXPECT_DOUBLE_EQ(r.flow, 5.0);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0 * 1.0 + 1.0 * 4.0 + 2.0 * 1.0);
+}
+
+TEST(MinCostFlow, RejectsInvalidInput) {
+  MinCostFlow g(2);
+  EXPECT_THROW((void)g.add_edge(0, 5, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)g.add_edge(0, 1, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)g.add_edge(0, 1, 1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)g.solve(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)g.flow_on(99), std::invalid_argument);
+}
+
+TEST(MinCostFlow, DisconnectedGraphDeliversPartialFlow) {
+  MinCostFlow g(4);
+  (void)g.add_edge(0, 1, 5.0, 1.0);
+  // node 2,3 unreachable
+  const auto r = g.solve(0, 3, 5.0);
+  EXPECT_DOUBLE_EQ(r.flow, 0.0);
+}
+
+}  // namespace
+}  // namespace tempofair::lpsolve

@@ -1,0 +1,128 @@
+#include "lpsolve/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace tempofair::lpsolve {
+namespace {
+
+using Rel = LinearProgram::Rel;
+
+TEST(Simplex, SimpleMaximizationAsMinimization) {
+  // max x + y s.t. x + 2y <= 4, 3x + y <= 6  => min -(x+y).
+  LinearProgram lp;
+  lp.objective = {-1.0, -1.0};
+  lp.rows.push_back({{1.0, 2.0}, Rel::kLe, 4.0});
+  lp.rows.push_back({{3.0, 1.0}, Rel::kLe, 6.0});
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  // Optimum at intersection: x = 8/5, y = 6/5, objective -(14/5).
+  EXPECT_NEAR(sol.objective, -2.8, 1e-9);
+  EXPECT_NEAR(sol.x[0], 1.6, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.2, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + 2y s.t. x + y = 3, x <= 2.
+  LinearProgram lp;
+  lp.objective = {1.0, 2.0};
+  lp.rows.push_back({{1.0, 1.0}, Rel::kEq, 3.0});
+  lp.rows.push_back({{1.0, 0.0}, Rel::kLe, 2.0});
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1.
+  LinearProgram lp;
+  lp.objective = {2.0, 3.0};
+  lp.rows.push_back({{1.0, 1.0}, Rel::kGe, 4.0});
+  lp.rows.push_back({{1.0, 0.0}, Rel::kGe, 1.0});
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 4.0, 1e-9);  // push everything onto cheaper x
+  EXPECT_NEAR(sol.x[1], 0.0, 1e-9);
+  EXPECT_NEAR(sol.objective, 8.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x <= 1 and x >= 2.
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.rows.push_back({{1.0}, Rel::kLe, 1.0});
+  lp.rows.push_back({{1.0}, Rel::kGe, 2.0});
+  EXPECT_EQ(solve_lp(lp).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x with no upper bound on x.
+  LinearProgram lp;
+  lp.objective = {-1.0};
+  lp.rows.push_back({{-1.0}, Rel::kLe, 0.0});  // -x <= 0 i.e. x >= 0 (vacuous)
+  EXPECT_EQ(solve_lp(lp).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // min x s.t. -x <= -3  (i.e. x >= 3).
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.rows.push_back({{-1.0}, Rel::kLe, -3.0});
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemStillSolves) {
+  // Multiple constraints active at the optimum.
+  LinearProgram lp;
+  lp.objective = {-1.0, -1.0};
+  lp.rows.push_back({{1.0, 0.0}, Rel::kLe, 1.0});
+  lp.rows.push_back({{0.0, 1.0}, Rel::kLe, 1.0});
+  lp.rows.push_back({{1.0, 1.0}, Rel::kLe, 2.0});  // redundant at optimum
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  LinearProgram lp;
+  lp.objective = {1.0, 1.0};
+  lp.rows.push_back({{1.0, 1.0}, Rel::kEq, 2.0});
+  lp.rows.push_back({{2.0, 2.0}, Rel::kEq, 4.0});  // same constraint doubled
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, ZeroVariableProblem) {
+  LinearProgram lp;  // no variables, no rows
+  const auto sol = solve_lp(lp);
+  EXPECT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(sol.objective, 0.0);
+}
+
+TEST(Simplex, RejectsDimensionMismatch) {
+  LinearProgram lp;
+  lp.objective = {1.0, 1.0};
+  lp.rows.push_back({{1.0}, Rel::kLe, 1.0});
+  EXPECT_THROW((void)solve_lp(lp), std::invalid_argument);
+}
+
+TEST(Simplex, TransportationMatchesKnownOptimum) {
+  // Same transportation instance as the MCMF test: optimum 8.
+  // Variables x00,x01,x10,x11 (supply i -> demand j).
+  LinearProgram lp;
+  lp.objective = {1.0, 4.0, 2.0, 1.0};
+  lp.rows.push_back({{1.0, 1.0, 0.0, 0.0}, Rel::kLe, 3.0});  // supply 0
+  lp.rows.push_back({{0.0, 0.0, 1.0, 1.0}, Rel::kLe, 2.0});  // supply 1
+  lp.rows.push_back({{1.0, 0.0, 1.0, 0.0}, Rel::kEq, 2.0});  // demand 0
+  lp.rows.push_back({{0.0, 1.0, 0.0, 1.0}, Rel::kEq, 3.0});  // demand 1
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 8.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tempofair::lpsolve

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "netsim/schedulers.h"
+#include "workload/rng.h"
+
+namespace tempofair::netsim {
+namespace {
+
+/// `flows` backlogged flows, each emitting `per_flow` packets at time 0 with
+/// the given size; flow f uses size sizes[f % sizes.size()].
+std::vector<Packet> backlog_workload(std::size_t flows, std::size_t per_flow,
+                                     const std::vector<double>& sizes) {
+  std::vector<Packet> packets;
+  packets.reserve(flows * per_flow);
+  for (FlowId f = 0; f < flows; ++f) {
+    for (std::size_t i = 0; i < per_flow; ++i) {
+      packets.push_back(Packet{f, sizes[f % sizes.size()], 0.0});
+    }
+  }
+  return packets;
+}
+
+TEST(Fifo, ServesInArrivalOrder) {
+  FifoScheduler fifo;
+  std::vector<Packet> packets{{0, 2.0, 0.0}, {1, 1.0, 0.5}, {0, 1.0, 0.6}};
+  const auto r = simulate_link(packets, fifo, 1.0);
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_EQ(r.records[0].packet.flow, 0u);
+  EXPECT_DOUBLE_EQ(r.records[0].departure, 2.0);
+  EXPECT_EQ(r.records[1].packet.flow, 1u);
+  EXPECT_EQ(r.records[2].packet.flow, 0u);
+}
+
+TEST(LinkSim, IdleGapsAreSkipped) {
+  FifoScheduler fifo;
+  std::vector<Packet> packets{{0, 1.0, 0.0}, {0, 1.0, 10.0}};
+  const auto r = simulate_link(packets, fifo, 1.0);
+  EXPECT_DOUBLE_EQ(r.records[1].start, 10.0);
+  EXPECT_DOUBLE_EQ(r.busy_until, 11.0);
+}
+
+TEST(LinkSim, LinkRateScalesTransmission) {
+  FifoScheduler fifo;
+  std::vector<Packet> packets{{0, 4.0, 0.0}};
+  const auto r = simulate_link(packets, fifo, 2.0);
+  EXPECT_DOUBLE_EQ(r.records[0].departure, 2.0);
+}
+
+TEST(LinkSim, RejectsBadRate) {
+  FifoScheduler fifo;
+  EXPECT_THROW((void)simulate_link({}, fifo, 0.0), std::invalid_argument);
+}
+
+TEST(Drr, RejectsBadQuantum) {
+  EXPECT_THROW(DrrScheduler(0.0), std::invalid_argument);
+}
+
+TEST(Drr, EqualPacketsAlternateFlows) {
+  DrrScheduler drr(1.0);
+  const auto packets = backlog_workload(2, 3, {1.0});
+  const auto r = simulate_link(packets, drr, 1.0);
+  // Flows alternate: 0,1,0,1,0,1.
+  for (std::size_t i = 0; i < r.records.size(); ++i) {
+    EXPECT_EQ(r.records[i].packet.flow, i % 2) << i;
+  }
+}
+
+TEST(Drr, ByteFairnessWithMixedPacketSizes) {
+  // Flow 0 sends big packets, flow 1 small ones.  DRR still gives each
+  // ~equal BYTES (that is its whole point); FIFO lets the big-packet flow
+  // dominate when it floods more bytes.
+  std::vector<Packet> packets;
+  for (int i = 0; i < 20; ++i) packets.push_back(Packet{0, 10.0, 0.0});
+  for (int i = 0; i < 200; ++i) packets.push_back(Packet{1, 1.0, 0.0});
+  DrrScheduler drr(10.0);
+  const auto r = simulate_link(packets, drr, 1.0, 100.0);
+  EXPECT_GT(r.jain_throughput, 0.99);
+  EXPECT_GT(r.min_max_share, 0.9);
+}
+
+TEST(Drr, UnfairFifoBaselineComparison) {
+  // Same workload as above through FIFO, arrivals interleaved so FIFO's
+  // arrival order favours the flow with more queued bytes.
+  std::vector<Packet> packets;
+  for (int i = 0; i < 20; ++i) packets.push_back(Packet{0, 10.0, 0.0});
+  for (int i = 0; i < 20; ++i) packets.push_back(Packet{1, 1.0, 0.0});
+  FifoScheduler fifo;
+  const auto r = simulate_link(packets, fifo, 1.0, 100.0);
+  EXPECT_LT(r.min_max_share, 0.5);  // flow 0 hogs the first 200 time units
+}
+
+TEST(Drr, DeficitCarriesAcrossRounds) {
+  // Quantum 3, packets of size 2: a flow sends 1 packet in round 1
+  // (deficit 1 left), then 2 packets in round 2 (deficit 3+1=4 covers 2).
+  DrrScheduler drr(3.0);
+  const auto packets = backlog_workload(2, 4, {2.0});
+  const auto r = simulate_link(packets, drr, 1.0);
+  // Count flow-0 packets among the first 3 transmissions: round 1 sends 1
+  // from each flow (deficit 3 covers one size-2 packet), so the sequence
+  // starts 0,1 then round 2 sends 2 from each: 0,0,1,1.
+  EXPECT_EQ(r.records[0].packet.flow, 0u);
+  EXPECT_EQ(r.records[1].packet.flow, 1u);
+  EXPECT_EQ(r.records[2].packet.flow, 0u);
+  EXPECT_EQ(r.records[3].packet.flow, 0u);
+}
+
+TEST(Scfq, EqualWeightsGiveEqualService) {
+  ScfqScheduler wfq;
+  const auto packets = backlog_workload(4, 25, {1.0, 2.0});
+  const auto r = simulate_link(packets, wfq, 1.0, 60.0);
+  EXPECT_GT(r.jain_throughput, 0.95);
+}
+
+TEST(Scfq, WeightsSkewService) {
+  std::map<FlowId, double> w{{0, 3.0}, {1, 1.0}};
+  ScfqScheduler wfq(std::move(w));
+  const auto packets = backlog_workload(2, 200, {1.0});
+  const auto r = simulate_link(packets, wfq, 1.0, 100.0);
+  const double f0 = r.per_flow.at(0).bytes;
+  (void)f0;
+  // During the backlogged window flow 0 should get ~3x flow 1's service.
+  // Reconstruct window service from records.
+  double s0 = 0.0, s1 = 0.0;
+  for (const auto& rec : r.records) {
+    if (rec.departure <= 100.0) {
+      (rec.packet.flow == 0 ? s0 : s1) += rec.packet.size;
+    }
+  }
+  EXPECT_NEAR(s0 / s1, 3.0, 0.2);
+}
+
+TEST(Scfq, RejectsNonPositiveWeight) {
+  std::map<FlowId, double> w{{0, 0.0}};
+  EXPECT_THROW(ScfqScheduler{std::move(w)}, std::invalid_argument);
+}
+
+TEST(Drr, OversizedPacketAccumulatesQuanta) {
+  // A single flow with packets larger than the quantum must still be
+  // served: the deficit accumulates one quantum per (self-)visit.
+  DrrScheduler drr(1.0);
+  std::vector<Packet> packets{{0, 5.0, 0.0}, {0, 5.0, 0.0}};
+  const auto r = simulate_link(packets, drr, 1.0);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.records[1].departure, 10.0);
+}
+
+TEST(Drr, FlowReturningAfterIdleStartsFresh) {
+  // A flow that empties loses its deficit (per the DRR paper); when it
+  // becomes backlogged again it must not inherit stale credit.
+  DrrScheduler drr(2.0);
+  std::vector<Packet> packets{{0, 1.0, 0.0}, {1, 1.0, 0.0}, {0, 1.0, 50.0}};
+  const auto r = simulate_link(packets, drr, 1.0);
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.records[2].start, 50.0);
+}
+
+TEST(Scfq, PacketsWithinAFlowStayFifo) {
+  ScfqScheduler wfq;
+  std::vector<Packet> packets;
+  for (int i = 0; i < 10; ++i) packets.push_back(Packet{0, 1.0, 0.0});
+  const auto r = simulate_link(packets, wfq, 1.0);
+  double prev = -1.0;
+  for (const auto& rec : r.records) {
+    EXPECT_GT(rec.departure, prev);
+    prev = rec.departure;
+  }
+}
+
+TEST(LinkSim, PerFlowDelayAccounting) {
+  FifoScheduler fifo;
+  std::vector<Packet> packets{{0, 1.0, 0.0}, {1, 1.0, 0.0}};
+  const auto r = simulate_link(packets, fifo, 1.0);
+  EXPECT_DOUBLE_EQ(r.per_flow.at(0).mean_delay, 1.0);
+  EXPECT_DOUBLE_EQ(r.per_flow.at(1).mean_delay, 2.0);
+  EXPECT_EQ(r.per_flow.at(0).packets, 1u);
+}
+
+}  // namespace
+}  // namespace tempofair::netsim

@@ -1,0 +1,145 @@
+// Cross-policy property sweeps: invariants every (policy, machines, speed,
+// workload) combination must satisfy.  Parameterized so each combination is
+// its own test case.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "policies/registry.h"
+#include "workload/adversarial.h"
+#include "workload/generators.h"
+
+namespace tempofair {
+namespace {
+
+struct SweepCase {
+  std::string policy;
+  int machines;
+  double speed;
+  std::string workload;  // "poisson" | "bimodal" | "burst" | "adversarial"
+  std::uint64_t seed;
+};
+
+std::string case_name(const SweepCase& c) {
+  std::string p = c.policy;
+  for (char& ch : p) {
+    if (ch == ':' || ch == '.' || ch == ',') ch = '_';
+  }
+  return p + "_m" + std::to_string(c.machines) + "_s" +
+         std::to_string(static_cast<int>(c.speed * 10)) + "_" + c.workload;
+}
+
+Instance make_workload(const SweepCase& c) {
+  workload::Rng rng(c.seed);
+  if (c.workload == "poisson") {
+    return workload::poisson_load(50, c.machines, 0.9,
+                                  workload::ExponentialSize{1.5}, rng);
+  }
+  if (c.workload == "bimodal") {
+    return workload::poisson_load(50, c.machines, 0.85,
+                                  workload::BimodalSize{0.9, 1.0, 25.0}, rng);
+  }
+  if (c.workload == "burst") {
+    return workload::bursty_stream(5, 12, 8.0, workload::UniformSize{0.5, 1.5}, rng);
+  }
+  return workload::rr_l2_hard(15);
+}
+
+class PolicyInvariants : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PolicyInvariants, ScheduleIsConsistent) {
+  const SweepCase& c = GetParam();
+  const Instance inst = make_workload(c);
+  const auto policy = make_policy(c.policy);
+  EngineOptions eo;
+  eo.machines = c.machines;
+  eo.speed = c.speed;
+  const Schedule s = simulate(inst, *policy, eo);
+
+  // (1) Full consistency: completions sane, trace within capacity, work
+  // conserved per job.
+  ASSERT_NO_THROW(s.validate());
+
+  // (2) Every completion at or after release + size/speed.
+  for (JobId j = 0; j < inst.n(); ++j) {
+    EXPECT_GE(s.completion(j),
+              inst.job(j).release + inst.job(j).size / c.speed - 1e-6);
+  }
+
+  // (3) Makespan at least the last release.
+  EXPECT_GE(s.makespan(), inst.max_release() - 1e-9);
+
+  // (4) Work conservation: no idle machine while more jobs than running.
+  //     (Weak form -- total traced work equals total size -- is already in
+  //     validate(); here check the busy time lower bound.)
+  const double total_busy = [&] {
+    double t = 0.0;
+    for (const TraceInterval& iv : s.trace()) t += iv.length();
+    return t;
+  }();
+  EXPECT_GE(total_busy, inst.total_work() / (c.speed * c.machines) - 1e-6);
+}
+
+TEST_P(PolicyInvariants, DeterministicAcrossRuns) {
+  const SweepCase& c = GetParam();
+  const Instance inst = make_workload(c);
+  const auto p1 = make_policy(c.policy);
+  const auto p2 = make_policy(c.policy);
+  EngineOptions eo;
+  eo.machines = c.machines;
+  eo.speed = c.speed;
+  eo.record_trace = false;
+  const Schedule a = simulate(inst, *p1, eo);
+  const Schedule b = simulate(inst, *p2, eo);
+  for (JobId j = 0; j < inst.n(); ++j) {
+    EXPECT_DOUBLE_EQ(a.completion(j), b.completion(j)) << "job " << j;
+  }
+}
+
+TEST_P(PolicyInvariants, NonClairvoyantPoliciesIgnoreSizes) {
+  const SweepCase& c = GetParam();
+  const auto probe = make_policy(c.policy);
+  if (probe->clairvoyant()) GTEST_SKIP() << "clairvoyant policy";
+  const Instance inst = make_workload(c);
+  const auto open = make_policy(c.policy);
+  const auto blind = make_policy(c.policy);
+  EngineOptions eo;
+  eo.machines = c.machines;
+  eo.speed = c.speed;
+  eo.record_trace = false;
+  EngineOptions hidden = eo;
+  hidden.hide_sizes = true;
+  const Schedule a = simulate(inst, *open, eo);
+  const Schedule b = simulate(inst, *blind, hidden);
+  for (JobId j = 0; j < inst.n(); ++j) {
+    EXPECT_NEAR(a.completion(j), b.completion(j), 1e-7) << "job " << j;
+  }
+}
+
+std::vector<SweepCase> all_cases() {
+  std::vector<SweepCase> cases;
+  std::uint64_t seed = 1000;
+  for (const char* policy :
+       {"rr", "srpt", "sjf", "fcfs", "setf", "wrr", "mlfq", "laps:0.5",
+        "qrr:0.5,0.01", "hdf", "hrdf", "wprr"}) {
+    for (int machines : {1, 3}) {
+      for (double speed : {1.0, 2.5}) {
+        for (const char* wl : {"poisson", "bimodal"}) {
+          cases.push_back(SweepCase{policy, machines, speed, wl, seed++});
+        }
+      }
+    }
+    cases.push_back(SweepCase{policy, 1, 1.0, "adversarial", seed++});
+    cases.push_back(SweepCase{policy, 2, 1.0, "burst", seed++});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyInvariants,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& param_info) { return case_name(param_info.param); });
+
+}  // namespace
+}  // namespace tempofair

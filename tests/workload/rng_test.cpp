@@ -1,0 +1,129 @@
+#include "workload/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tempofair::workload {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    any_diff = any_diff || (a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformRejectsBadRange) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(1, 3);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == 1;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, ExponentialRejectsBadMean) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 1.5);
+  }
+}
+
+TEST(Rng, ParetoMeanMatchesTheory) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.pareto(3.0, 1.0);
+  // E[X] = alpha/(alpha-1) * xmin = 1.5.
+  EXPECT_NEAR(sum / n, 1.5, 0.05);
+}
+
+TEST(Rng, ParetoRejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.pareto(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliProbabilityRoughlyRespected) {
+  Rng rng(19);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) heads += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliRejectsBadP) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)rng.bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // The child should not replay the parent's stream.
+  Rng parent_again(23);
+  (void)parent_again.split();
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    differs = differs || (child.uniform(0.0, 1.0) != parent.uniform(0.0, 1.0));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(31), b(31);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(ca.uniform(0.0, 1.0), cb.uniform(0.0, 1.0));
+  }
+}
+
+}  // namespace
+}  // namespace tempofair::workload

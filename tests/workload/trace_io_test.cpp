@@ -1,0 +1,116 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "workload/generators.h"
+
+namespace tempofair::workload {
+namespace {
+
+TEST(TraceIo, RoundTripThroughStream) {
+  Rng rng(1);
+  const Instance inst = poisson_stream(25, 1.3, ExponentialSize{2.7}, rng);
+  std::stringstream ss;
+  write_csv(inst, ss);
+  const Instance back = read_csv(ss);
+  ASSERT_EQ(back.n(), inst.n());
+  for (JobId j = 0; j < inst.n(); ++j) {
+    EXPECT_DOUBLE_EQ(back.job(j).release, inst.job(j).release);
+    EXPECT_DOUBLE_EQ(back.job(j).size, inst.job(j).size);
+  }
+}
+
+TEST(TraceIo, HeaderIsWritten) {
+  const Instance inst = Instance::batch(std::vector<Work>{1.0});
+  std::stringstream ss;
+  write_csv(inst, ss);
+  std::string first_line;
+  std::getline(ss, first_line);
+  EXPECT_EQ(first_line, "id,release,size,weight");
+}
+
+TEST(TraceIo, WeightsRoundTrip) {
+  const Instance inst = Instance::from_jobs(
+      {Job{0, 0.0, 1.0, 2.5}, Job{1, 1.0, 2.0, 0.125}});
+  std::stringstream ss;
+  write_csv(inst, ss);
+  const Instance back = read_csv(ss);
+  EXPECT_DOUBLE_EQ(back.job(0).weight, 2.5);
+  EXPECT_DOUBLE_EQ(back.job(1).weight, 0.125);
+}
+
+TEST(TraceIo, ThreeColumnInputDefaultsWeightToOne) {
+  std::stringstream ss("id,release,size\n0,0.0,1.0\n");
+  const Instance inst = read_csv(ss);
+  EXPECT_DOUBLE_EQ(inst.job(0).weight, 1.0);
+}
+
+TEST(TraceIo, BadWeightRejected) {
+  std::stringstream ss("id,release,size,weight\n0,0.0,1.0,-2\n");
+  EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, MissingHeaderRejected) {
+  std::stringstream ss("0,0.0,1.0\n");
+  EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, MalformedLineRejected) {
+  std::stringstream ss("id,release,size\n0,0.0\n");
+  EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, NonNumericFieldRejected) {
+  std::stringstream ss("id,release,size\n0,zero,1.0\n");
+  EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, NegativeIdRejected) {
+  std::stringstream ss("id,release,size\n-1,0.0,1.0\n");
+  EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, DuplicateIdsRejected) {
+  std::stringstream ss("id,release,size\n0,0.0,1.0\n0,1.0,1.0\n");
+  EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, EmptyLinesSkipped) {
+  std::stringstream ss("id,release,size\n0,0.0,1.0\n\n1,1.0,2.0\n");
+  const Instance inst = read_csv(ss);
+  EXPECT_EQ(inst.n(), 2u);
+}
+
+TEST(TraceIo, BadSizeSurfacesAsParseError) {
+  std::stringstream ss("id,release,size\n0,0.0,-1.0\n");
+  EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "tempofair_trace_test.csv";
+  Rng rng(5);
+  const Instance inst = poisson_stream(10, 1.0, UniformSize{0.5, 2.0}, rng);
+  write_csv_file(inst, path.string());
+  const Instance back = read_csv_file(path.string());
+  EXPECT_EQ(back.n(), inst.n());
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, MissingFileRejected) {
+  EXPECT_THROW((void)read_csv_file("/nonexistent/path/trace.csv"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, UnwritablePathRejected) {
+  const Instance inst = Instance::batch(std::vector<Work>{1.0});
+  EXPECT_THROW(write_csv_file(inst, "/nonexistent/dir/out.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tempofair::workload

@@ -1,0 +1,178 @@
+// tempofair-sim: command-line front end to the library.
+//
+//   tempofair-sim generate --out jobs.csv [--workload poisson|bursty|adv-geometric|adv-batchstream]
+//                 [--n 100] [--load 0.9] [--machines 1] [--dist exp:1.5|fixed:1|uniform:0.5,2|pareto:1.8,0.5|bimodal:0.9,1,20]
+//                 [--seed 1]
+//   tempofair-sim run --instance jobs.csv --policy rr [--machines 1] [--speed 1]
+//                 [--k 2] [--fairness] [--certificate] [--eps 0.05]
+//   tempofair-sim compare --instance jobs.csv [--machines 1] [--k 2]
+//
+// `run` prints the flow-time statistics (and optionally the fairness report
+// and the paper's dual-fitting certificate); `compare` tabulates every
+// built-in policy on the instance.
+#include <iostream>
+#include <string>
+
+#include "analysis/dualfit.h"
+#include "analysis/report.h"
+#include "core/engine.h"
+#include "core/fairness.h"
+#include "core/metrics.h"
+#include "harness/cli.h"
+#include "policies/registry.h"
+#include "workload/adversarial.h"
+#include "workload/generators.h"
+#include "workload/trace_io.h"
+
+using namespace tempofair;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  tempofair-sim generate --out FILE [--workload poisson|bursty|adv-geometric|adv-batchstream]\n"
+         "                [--n N] [--load RHO] [--machines M] [--dist SPEC] [--seed S]\n"
+         "  tempofair-sim run --instance FILE --policy SPEC [--machines M] [--speed S]\n"
+         "                [--k K] [--fairness] [--certificate] [--eps E]\n"
+         "  tempofair-sim compare --instance FILE [--machines M] [--k K]\n"
+         "policy specs: rr srpt sjf fcfs setf wrr mlfq hdf hrdf wprr laps:B qrr:Q[,CS]\n";
+  return 2;
+}
+
+workload::SizeDist parse_dist(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  const std::string args = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  auto nums = [&args] {
+    std::vector<double> out;
+    std::size_t pos = 0;
+    while (pos < args.size()) {
+      std::size_t next = args.find(',', pos);
+      if (next == std::string::npos) next = args.size();
+      out.push_back(std::stod(args.substr(pos, next - pos)));
+      pos = next + 1;
+    }
+    return out;
+  }();
+  if (name == "exp") return workload::ExponentialSize{nums.empty() ? 1.0 : nums[0]};
+  if (name == "fixed") return workload::FixedSize{nums.empty() ? 1.0 : nums[0]};
+  if (name == "uniform" && nums.size() >= 2) return workload::UniformSize{nums[0], nums[1]};
+  if (name == "pareto" && nums.size() >= 2) {
+    return workload::ParetoSize{nums[0], nums[1], nums.size() > 2 ? nums[2] : 0.0};
+  }
+  if (name == "bimodal" && nums.size() >= 3) {
+    return workload::BimodalSize{nums[0], nums[1], nums[2]};
+  }
+  throw std::invalid_argument("unknown --dist spec '" + spec + "'");
+}
+
+int cmd_generate(const harness::Cli& cli) {
+  const std::string out = cli.get_string("out", "");
+  if (out.empty()) return usage();
+  const std::string kind = cli.get_string("workload", "poisson");
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 100));
+  const int machines = static_cast<int>(cli.get_int("machines", 1));
+  workload::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+
+  Instance inst;
+  if (kind == "poisson") {
+    inst = workload::poisson_load(n, machines, cli.get_double("load", 0.9),
+                                  parse_dist(cli.get_string("dist", "exp:1.5")), rng);
+  } else if (kind == "bursty") {
+    inst = workload::bursty_stream(n / 10, 10, cli.get_double("gap", 10.0),
+                                   parse_dist(cli.get_string("dist", "exp:1.5")), rng);
+  } else if (kind == "adv-geometric") {
+    inst = workload::geometric_levels(static_cast<int>(cli.get_int("depth", 8)));
+  } else if (kind == "adv-batchstream") {
+    inst = workload::rr_l2_hard(n);
+  } else {
+    std::cerr << "unknown --workload '" << kind << "'\n";
+    return 2;
+  }
+  workload::write_csv_file(inst, out);
+  std::cout << "wrote " << inst.summary() << " to " << out << "\n";
+  return 0;
+}
+
+int cmd_run(const harness::Cli& cli) {
+  const std::string path = cli.get_string("instance", "");
+  if (path.empty()) return usage();
+  const Instance inst = workload::read_csv_file(path);
+  const auto policy = make_policy(cli.get_string("policy", "rr"));
+  EngineOptions eo;
+  eo.machines = static_cast<int>(cli.get_int("machines", 1));
+  eo.speed = cli.get_double("speed", 1.0);
+  const double k = cli.get_double("k", 2.0);
+
+  const Schedule s = simulate(inst, *policy, eo);
+  s.validate();
+  const FlowStats st = flow_stats(s);
+  std::cout << inst.summary() << "\npolicy " << policy->name() << ", m="
+            << eo.machines << ", speed=" << eo.speed << "\n"
+            << "  total flow (l1): " << st.l1 << "\n  l" << k
+            << " norm:         " << flow_lk_norm(s, k) << "\n  mean / stddev:   "
+            << st.mean << " / " << st.stddev << "\n  p95 / p99 / max: "
+            << st.p95 << " / " << st.p99 << " / " << st.linf << "\n";
+
+  if (cli.has("fairness")) {
+    const FairnessReport fr = fairness_report(s);
+    std::cout << "  jain (time-avg): " << fr.jain_time_avg
+              << "\n  min-share avg:   " << fr.min_share_time_avg
+              << "\n  max service lag: " << fr.max_service_lag
+              << "\n  starved frac:    " << fr.starved_time_fraction << "\n";
+  }
+  if (cli.has("certificate")) {
+    analysis::DualFitOptions opt;
+    opt.k = k;
+    opt.eps = cli.get_double("eps", 0.05);
+    const auto cert = analysis::dual_fit_certificate(s, opt);
+    std::cout << "  dual certificate: "
+              << (cert.certificate_valid() ? "VALID" : "invalid")
+              << " (objective ratio " << cert.objective_ratio
+              << ", implied l" << k << " bound "
+              << analysis::Table::num(cert.implied_lk_ratio, 1) << ")\n";
+  }
+  return 0;
+}
+
+int cmd_compare(const harness::Cli& cli) {
+  const std::string path = cli.get_string("instance", "");
+  if (path.empty()) return usage();
+  const Instance inst = workload::read_csv_file(path);
+  EngineOptions eo;
+  eo.machines = static_cast<int>(cli.get_int("machines", 1));
+  const double k = cli.get_double("k", 2.0);
+
+  analysis::Table table("policies on " + inst.summary(),
+                        {"policy", "l1", "l" + analysis::Table::num(k, 0), "max",
+                         "jain"});
+  for (const std::string& spec : builtin_policy_specs()) {
+    auto policy = make_policy(spec);
+    const Schedule s = simulate(inst, *policy, eo);
+    table.add_row({spec, analysis::Table::num(flow_lk_norm(s, 1.0)),
+                   analysis::Table::num(flow_lk_norm(s, k)),
+                   analysis::Table::num(
+                       flow_lk_norm(s, std::numeric_limits<double>::infinity())),
+                   analysis::Table::num(fairness_report(s).jain_time_avg, 3)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    const harness::Cli cli(argc - 1, argv + 1);
+    if (command == "generate") return cmd_generate(cli);
+    if (command == "run") return cmd_run(cli);
+    if (command == "compare") return cmd_compare(cli);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
