@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_a1_gamma_ablation"
+  "../bench/exp_a1_gamma_ablation.pdb"
+  "CMakeFiles/exp_a1_gamma_ablation.dir/exp_a1_gamma_ablation.cpp.o"
+  "CMakeFiles/exp_a1_gamma_ablation.dir/exp_a1_gamma_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_a1_gamma_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

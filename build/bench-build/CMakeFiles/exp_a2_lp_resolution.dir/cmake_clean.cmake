@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_a2_lp_resolution"
+  "../bench/exp_a2_lp_resolution.pdb"
+  "CMakeFiles/exp_a2_lp_resolution.dir/exp_a2_lp_resolution.cpp.o"
+  "CMakeFiles/exp_a2_lp_resolution.dir/exp_a2_lp_resolution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_a2_lp_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_a2_lp_resolution.
+# This may be replaced when dependencies are built.

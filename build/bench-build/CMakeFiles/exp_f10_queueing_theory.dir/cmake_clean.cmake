@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_f10_queueing_theory"
+  "../bench/exp_f10_queueing_theory.pdb"
+  "CMakeFiles/exp_f10_queueing_theory.dir/exp_f10_queueing_theory.cpp.o"
+  "CMakeFiles/exp_f10_queueing_theory.dir/exp_f10_queueing_theory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f10_queueing_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

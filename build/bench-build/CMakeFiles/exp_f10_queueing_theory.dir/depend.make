@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_f10_queueing_theory.
+# This may be replaced when dependencies are built.

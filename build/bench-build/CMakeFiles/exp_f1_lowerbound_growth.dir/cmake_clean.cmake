@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_f1_lowerbound_growth"
+  "../bench/exp_f1_lowerbound_growth.pdb"
+  "CMakeFiles/exp_f1_lowerbound_growth.dir/exp_f1_lowerbound_growth.cpp.o"
+  "CMakeFiles/exp_f1_lowerbound_growth.dir/exp_f1_lowerbound_growth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f1_lowerbound_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

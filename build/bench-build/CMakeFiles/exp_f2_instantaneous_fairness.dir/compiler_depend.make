@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_f2_instantaneous_fairness.
+# This may be replaced when dependencies are built.

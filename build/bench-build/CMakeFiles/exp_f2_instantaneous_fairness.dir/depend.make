@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_f2_instantaneous_fairness.
+# This may be replaced when dependencies are built.

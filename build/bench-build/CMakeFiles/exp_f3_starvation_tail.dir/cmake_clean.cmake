@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_f3_starvation_tail"
+  "../bench/exp_f3_starvation_tail.pdb"
+  "CMakeFiles/exp_f3_starvation_tail.dir/exp_f3_starvation_tail.cpp.o"
+  "CMakeFiles/exp_f3_starvation_tail.dir/exp_f3_starvation_tail.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f3_starvation_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

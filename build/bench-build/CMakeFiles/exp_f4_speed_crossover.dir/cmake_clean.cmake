@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_f4_speed_crossover"
+  "../bench/exp_f4_speed_crossover.pdb"
+  "CMakeFiles/exp_f4_speed_crossover.dir/exp_f4_speed_crossover.cpp.o"
+  "CMakeFiles/exp_f4_speed_crossover.dir/exp_f4_speed_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f4_speed_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_f4_speed_crossover.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_f5_load_sweep"
+  "../bench/exp_f5_load_sweep.pdb"
+  "CMakeFiles/exp_f5_load_sweep.dir/exp_f5_load_sweep.cpp.o"
+  "CMakeFiles/exp_f5_load_sweep.dir/exp_f5_load_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f5_load_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

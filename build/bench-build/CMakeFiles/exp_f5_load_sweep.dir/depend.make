@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_f5_load_sweep.
+# This may be replaced when dependencies are built.

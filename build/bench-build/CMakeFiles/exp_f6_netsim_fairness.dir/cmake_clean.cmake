@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_f6_netsim_fairness"
+  "../bench/exp_f6_netsim_fairness.pdb"
+  "CMakeFiles/exp_f6_netsim_fairness.dir/exp_f6_netsim_fairness.cpp.o"
+  "CMakeFiles/exp_f6_netsim_fairness.dir/exp_f6_netsim_fairness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f6_netsim_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_f7_speedup_curves"
+  "../bench/exp_f7_speedup_curves.pdb"
+  "CMakeFiles/exp_f7_speedup_curves.dir/exp_f7_speedup_curves.cpp.o"
+  "CMakeFiles/exp_f7_speedup_curves.dir/exp_f7_speedup_curves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f7_speedup_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

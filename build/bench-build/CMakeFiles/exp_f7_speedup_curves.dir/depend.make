@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_f7_speedup_curves.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_f8_fractional_gap"
+  "../bench/exp_f8_fractional_gap.pdb"
+  "CMakeFiles/exp_f8_fractional_gap.dir/exp_f8_fractional_gap.cpp.o"
+  "CMakeFiles/exp_f8_fractional_gap.dir/exp_f8_fractional_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f8_fractional_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_f8_fractional_gap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_f9_related_machines"
+  "../bench/exp_f9_related_machines.pdb"
+  "CMakeFiles/exp_f9_related_machines.dir/exp_f9_related_machines.cpp.o"
+  "CMakeFiles/exp_f9_related_machines.dir/exp_f9_related_machines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f9_related_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

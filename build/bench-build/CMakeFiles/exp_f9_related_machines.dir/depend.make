@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_f9_related_machines.
+# This may be replaced when dependencies are built.

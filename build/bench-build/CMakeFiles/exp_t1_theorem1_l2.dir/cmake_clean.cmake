@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_t1_theorem1_l2"
+  "../bench/exp_t1_theorem1_l2.pdb"
+  "CMakeFiles/exp_t1_theorem1_l2.dir/exp_t1_theorem1_l2.cpp.o"
+  "CMakeFiles/exp_t1_theorem1_l2.dir/exp_t1_theorem1_l2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t1_theorem1_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

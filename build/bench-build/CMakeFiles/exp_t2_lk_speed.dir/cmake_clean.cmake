@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_t2_lk_speed"
+  "../bench/exp_t2_lk_speed.pdb"
+  "CMakeFiles/exp_t2_lk_speed.dir/exp_t2_lk_speed.cpp.o"
+  "CMakeFiles/exp_t2_lk_speed.dir/exp_t2_lk_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t2_lk_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

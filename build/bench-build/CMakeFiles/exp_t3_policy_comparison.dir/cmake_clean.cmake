@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_t3_policy_comparison"
+  "../bench/exp_t3_policy_comparison.pdb"
+  "CMakeFiles/exp_t3_policy_comparison.dir/exp_t3_policy_comparison.cpp.o"
+  "CMakeFiles/exp_t3_policy_comparison.dir/exp_t3_policy_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t3_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

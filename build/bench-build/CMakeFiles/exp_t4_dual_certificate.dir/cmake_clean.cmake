@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_t4_dual_certificate"
+  "../bench/exp_t4_dual_certificate.pdb"
+  "CMakeFiles/exp_t4_dual_certificate.dir/exp_t4_dual_certificate.cpp.o"
+  "CMakeFiles/exp_t4_dual_certificate.dir/exp_t4_dual_certificate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t4_dual_certificate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

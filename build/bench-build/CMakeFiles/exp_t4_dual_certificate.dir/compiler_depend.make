@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_t4_dual_certificate.
+# This may be replaced when dependencies are built.

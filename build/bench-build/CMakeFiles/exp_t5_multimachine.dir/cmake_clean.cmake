@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_t5_multimachine"
+  "../bench/exp_t5_multimachine.pdb"
+  "CMakeFiles/exp_t5_multimachine.dir/exp_t5_multimachine.cpp.o"
+  "CMakeFiles/exp_t5_multimachine.dir/exp_t5_multimachine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t5_multimachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

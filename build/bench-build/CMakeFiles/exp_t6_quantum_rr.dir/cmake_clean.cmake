@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_t6_quantum_rr"
+  "../bench/exp_t6_quantum_rr.pdb"
+  "CMakeFiles/exp_t6_quantum_rr.dir/exp_t6_quantum_rr.cpp.o"
+  "CMakeFiles/exp_t6_quantum_rr.dir/exp_t6_quantum_rr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t6_quantum_rr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

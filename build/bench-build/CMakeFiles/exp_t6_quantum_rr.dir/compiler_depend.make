@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_t6_quantum_rr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_t7_wrr_ablation"
+  "../bench/exp_t7_wrr_ablation.pdb"
+  "CMakeFiles/exp_t7_wrr_ablation.dir/exp_t7_wrr_ablation.cpp.o"
+  "CMakeFiles/exp_t7_wrr_ablation.dir/exp_t7_wrr_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t7_wrr_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

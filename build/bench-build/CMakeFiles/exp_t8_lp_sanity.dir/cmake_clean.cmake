@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_t8_lp_sanity"
+  "../bench/exp_t8_lp_sanity.pdb"
+  "CMakeFiles/exp_t8_lp_sanity.dir/exp_t8_lp_sanity.cpp.o"
+  "CMakeFiles/exp_t8_lp_sanity.dir/exp_t8_lp_sanity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t8_lp_sanity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

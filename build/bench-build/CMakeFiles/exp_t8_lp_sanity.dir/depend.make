@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_t8_lp_sanity.
+# This may be replaced when dependencies are built.

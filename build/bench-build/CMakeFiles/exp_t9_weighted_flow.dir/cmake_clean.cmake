@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_t9_weighted_flow"
+  "../bench/exp_t9_weighted_flow.pdb"
+  "CMakeFiles/exp_t9_weighted_flow.dir/exp_t9_weighted_flow.cpp.o"
+  "CMakeFiles/exp_t9_weighted_flow.dir/exp_t9_weighted_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t9_weighted_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_t9_weighted_flow.
+# This may be replaced when dependencies are built.

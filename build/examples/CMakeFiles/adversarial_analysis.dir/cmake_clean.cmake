@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_analysis.dir/adversarial_analysis.cpp.o"
+  "CMakeFiles/adversarial_analysis.dir/adversarial_analysis.cpp.o.d"
+  "adversarial_analysis"
+  "adversarial_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_timeslice.dir/os_timeslice.cpp.o"
+  "CMakeFiles/os_timeslice.dir/os_timeslice.cpp.o.d"
+  "os_timeslice"
+  "os_timeslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_timeslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

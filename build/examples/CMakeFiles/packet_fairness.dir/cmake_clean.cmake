@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_fairness.dir/packet_fairness.cpp.o"
+  "CMakeFiles/packet_fairness.dir/packet_fairness.cpp.o.d"
+  "packet_fairness"
+  "packet_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_curves.dir/speedup_curves.cpp.o"
+  "CMakeFiles/speedup_curves.dir/speedup_curves.cpp.o.d"
+  "speedup_curves"
+  "speedup_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/competitive.cpp" "src/CMakeFiles/tempofair.dir/analysis/competitive.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/analysis/competitive.cpp.o.d"
+  "/root/repo/src/analysis/dualfit.cpp" "src/CMakeFiles/tempofair.dir/analysis/dualfit.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/analysis/dualfit.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/tempofair.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/tempofair.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/fairness.cpp" "src/CMakeFiles/tempofair.dir/core/fairness.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/core/fairness.cpp.o.d"
+  "/root/repo/src/core/fractional.cpp" "src/CMakeFiles/tempofair.dir/core/fractional.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/core/fractional.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/CMakeFiles/tempofair.dir/core/instance.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/core/instance.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/tempofair.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/tempofair.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/harness/cli.cpp" "src/CMakeFiles/tempofair.dir/harness/cli.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/harness/cli.cpp.o.d"
+  "/root/repo/src/harness/sweep.cpp" "src/CMakeFiles/tempofair.dir/harness/sweep.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/harness/sweep.cpp.o.d"
+  "/root/repo/src/harness/thread_pool.cpp" "src/CMakeFiles/tempofair.dir/harness/thread_pool.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/harness/thread_pool.cpp.o.d"
+  "/root/repo/src/lpsolve/flowtime_lp.cpp" "src/CMakeFiles/tempofair.dir/lpsolve/flowtime_lp.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/lpsolve/flowtime_lp.cpp.o.d"
+  "/root/repo/src/lpsolve/lower_bounds.cpp" "src/CMakeFiles/tempofair.dir/lpsolve/lower_bounds.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/lpsolve/lower_bounds.cpp.o.d"
+  "/root/repo/src/lpsolve/mincost_flow.cpp" "src/CMakeFiles/tempofair.dir/lpsolve/mincost_flow.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/lpsolve/mincost_flow.cpp.o.d"
+  "/root/repo/src/lpsolve/simplex.cpp" "src/CMakeFiles/tempofair.dir/lpsolve/simplex.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/lpsolve/simplex.cpp.o.d"
+  "/root/repo/src/netsim/drr.cpp" "src/CMakeFiles/tempofair.dir/netsim/drr.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/netsim/drr.cpp.o.d"
+  "/root/repo/src/netsim/fifo.cpp" "src/CMakeFiles/tempofair.dir/netsim/fifo.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/netsim/fifo.cpp.o.d"
+  "/root/repo/src/netsim/link_sim.cpp" "src/CMakeFiles/tempofair.dir/netsim/link_sim.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/netsim/link_sim.cpp.o.d"
+  "/root/repo/src/netsim/wfq.cpp" "src/CMakeFiles/tempofair.dir/netsim/wfq.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/netsim/wfq.cpp.o.d"
+  "/root/repo/src/parsim/parsim.cpp" "src/CMakeFiles/tempofair.dir/parsim/parsim.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/parsim/parsim.cpp.o.d"
+  "/root/repo/src/policies/fcfs.cpp" "src/CMakeFiles/tempofair.dir/policies/fcfs.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/policies/fcfs.cpp.o.d"
+  "/root/repo/src/policies/laps.cpp" "src/CMakeFiles/tempofair.dir/policies/laps.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/policies/laps.cpp.o.d"
+  "/root/repo/src/policies/mlfq.cpp" "src/CMakeFiles/tempofair.dir/policies/mlfq.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/policies/mlfq.cpp.o.d"
+  "/root/repo/src/policies/quantum_rr.cpp" "src/CMakeFiles/tempofair.dir/policies/quantum_rr.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/policies/quantum_rr.cpp.o.d"
+  "/root/repo/src/policies/registry.cpp" "src/CMakeFiles/tempofair.dir/policies/registry.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/policies/registry.cpp.o.d"
+  "/root/repo/src/policies/round_robin.cpp" "src/CMakeFiles/tempofair.dir/policies/round_robin.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/policies/round_robin.cpp.o.d"
+  "/root/repo/src/policies/setf.cpp" "src/CMakeFiles/tempofair.dir/policies/setf.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/policies/setf.cpp.o.d"
+  "/root/repo/src/policies/sjf.cpp" "src/CMakeFiles/tempofair.dir/policies/sjf.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/policies/sjf.cpp.o.d"
+  "/root/repo/src/policies/srpt.cpp" "src/CMakeFiles/tempofair.dir/policies/srpt.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/policies/srpt.cpp.o.d"
+  "/root/repo/src/policies/weighted_policies.cpp" "src/CMakeFiles/tempofair.dir/policies/weighted_policies.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/policies/weighted_policies.cpp.o.d"
+  "/root/repo/src/policies/weighted_rr.cpp" "src/CMakeFiles/tempofair.dir/policies/weighted_rr.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/policies/weighted_rr.cpp.o.d"
+  "/root/repo/src/queueing/mg1.cpp" "src/CMakeFiles/tempofair.dir/queueing/mg1.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/queueing/mg1.cpp.o.d"
+  "/root/repo/src/relsim/relsim.cpp" "src/CMakeFiles/tempofair.dir/relsim/relsim.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/relsim/relsim.cpp.o.d"
+  "/root/repo/src/workload/adversarial.cpp" "src/CMakeFiles/tempofair.dir/workload/adversarial.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/workload/adversarial.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/CMakeFiles/tempofair.dir/workload/generators.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/workload/generators.cpp.o.d"
+  "/root/repo/src/workload/rng.cpp" "src/CMakeFiles/tempofair.dir/workload/rng.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/workload/rng.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/CMakeFiles/tempofair.dir/workload/trace_io.cpp.o" "gcc" "src/CMakeFiles/tempofair.dir/workload/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

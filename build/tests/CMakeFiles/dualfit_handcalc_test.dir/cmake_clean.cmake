@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dualfit_handcalc_test.dir/analysis/dualfit_handcalc_test.cpp.o"
+  "CMakeFiles/dualfit_handcalc_test.dir/analysis/dualfit_handcalc_test.cpp.o.d"
+  "dualfit_handcalc_test"
+  "dualfit_handcalc_test.pdb"
+  "dualfit_handcalc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dualfit_handcalc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dualfit_test.dir/analysis/dualfit_test.cpp.o"
+  "CMakeFiles/dualfit_test.dir/analysis/dualfit_test.cpp.o.d"
+  "dualfit_test"
+  "dualfit_test.pdb"
+  "dualfit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dualfit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowtime_lp_test.dir/lpsolve/flowtime_lp_test.cpp.o"
+  "CMakeFiles/flowtime_lp_test.dir/lpsolve/flowtime_lp_test.cpp.o.d"
+  "flowtime_lp_test"
+  "flowtime_lp_test.pdb"
+  "flowtime_lp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowtime_lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractional_test.dir/core/fractional_test.cpp.o"
+  "CMakeFiles/fractional_test.dir/core/fractional_test.cpp.o.d"
+  "fractional_test"
+  "fractional_test.pdb"
+  "fractional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg1_test.dir/queueing/mg1_test.cpp.o"
+  "CMakeFiles/mg1_test.dir/queueing/mg1_test.cpp.o.d"
+  "mg1_test"
+  "mg1_test.pdb"
+  "mg1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mincost_flow_test.dir/lpsolve/mincost_flow_test.cpp.o"
+  "CMakeFiles/mincost_flow_test.dir/lpsolve/mincost_flow_test.cpp.o.d"
+  "mincost_flow_test"
+  "mincost_flow_test.pdb"
+  "mincost_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mincost_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

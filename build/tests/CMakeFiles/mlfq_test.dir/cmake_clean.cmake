@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlfq_test.dir/policies/mlfq_test.cpp.o"
+  "CMakeFiles/mlfq_test.dir/policies/mlfq_test.cpp.o.d"
+  "mlfq_test"
+  "mlfq_test.pdb"
+  "mlfq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlfq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsim_test.dir/parsim/parsim_test.cpp.o"
+  "CMakeFiles/parsim_test.dir/parsim/parsim_test.cpp.o.d"
+  "parsim_test"
+  "parsim_test.pdb"
+  "parsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_policies_test.dir/policies/priority_policies_test.cpp.o"
+  "CMakeFiles/priority_policies_test.dir/policies/priority_policies_test.cpp.o.d"
+  "priority_policies_test"
+  "priority_policies_test.pdb"
+  "priority_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_rr_test.dir/policies/quantum_rr_test.cpp.o"
+  "CMakeFiles/quantum_rr_test.dir/policies/quantum_rr_test.cpp.o.d"
+  "quantum_rr_test"
+  "quantum_rr_test.pdb"
+  "quantum_rr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_rr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

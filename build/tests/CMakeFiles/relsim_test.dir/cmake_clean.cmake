@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relsim_test.dir/relsim/relsim_test.cpp.o"
+  "CMakeFiles/relsim_test.dir/relsim/relsim_test.cpp.o.d"
+  "relsim_test"
+  "relsim_test.pdb"
+  "relsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

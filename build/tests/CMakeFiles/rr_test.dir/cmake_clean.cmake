@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_test.dir/policies/rr_test.cpp.o"
+  "CMakeFiles/rr_test.dir/policies/rr_test.cpp.o.d"
+  "rr_test"
+  "rr_test.pdb"
+  "rr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

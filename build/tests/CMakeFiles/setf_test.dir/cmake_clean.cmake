@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setf_test.dir/policies/setf_test.cpp.o"
+  "CMakeFiles/setf_test.dir/policies/setf_test.cpp.o.d"
+  "setf_test"
+  "setf_test.pdb"
+  "setf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

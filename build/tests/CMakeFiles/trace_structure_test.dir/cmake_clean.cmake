@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_structure_test.dir/core/trace_structure_test.cpp.o"
+  "CMakeFiles/trace_structure_test.dir/core/trace_structure_test.cpp.o.d"
+  "trace_structure_test"
+  "trace_structure_test.pdb"
+  "trace_structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

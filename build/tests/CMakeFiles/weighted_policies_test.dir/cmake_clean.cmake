@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_policies_test.dir/policies/weighted_policies_test.cpp.o"
+  "CMakeFiles/weighted_policies_test.dir/policies/weighted_policies_test.cpp.o.d"
+  "weighted_policies_test"
+  "weighted_policies_test.pdb"
+  "weighted_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

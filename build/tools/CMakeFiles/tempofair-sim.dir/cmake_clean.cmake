@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempofair-sim.dir/tempofair_sim.cpp.o"
+  "CMakeFiles/tempofair-sim.dir/tempofair_sim.cpp.o.d"
+  "tempofair-sim"
+  "tempofair-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempofair-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
