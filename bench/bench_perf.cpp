@@ -4,6 +4,7 @@
 // experiment suite unusable at scale.
 #include <benchmark/benchmark.h>
 
+#include "analysis/dualfit.h"
 #include "core/engine.h"
 #include "lpsolve/flowtime_lp.h"
 #include "policies/registry.h"
@@ -55,6 +56,53 @@ void BM_SimulateRrWithTrace(benchmark::State& state) {
   }
 }
 
+// End-to-end sim -> dual-fit certificate pipeline at heavy traffic (speed
+// 1.0, load 0.9), the configuration BENCH_trace_arena.json tracks.  Counters
+// report the trace arena's footprint: final/peak column bytes and flat
+// (interval, job) entries.
+void BM_PipelineSimDualfit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = make_instance(n, 1, 42);
+  EngineOptions eo;
+  eo.record_trace = true;
+  eo.speed = 1.0;
+  analysis::DualFitOptions dopt;
+  dopt.k = 2.0;
+  dopt.eps = 0.1;
+  EngineCore core;
+  for (auto _ : state) {
+    auto policy = make_policy("rr");
+    const Schedule s = core.run(inst, *policy, eo);
+    benchmark::DoNotOptimize(analysis::dual_fit_certificate(s, dopt));
+    state.counters["trace_bytes"] = static_cast<double>(s.trace_memory_bytes());
+    state.counters["trace_peak_bytes"] =
+        static_cast<double>(s.trace().peak_memory_bytes());
+    state.counters["entries"] = static_cast<double>(s.trace().entry_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+// Per-job traced-work queries via the per-job CSR index: O(intervals
+// containing j) per query after a one-time O(entries) index build, where the
+// AoS layout scanned the whole trace per job.
+void BM_TracedWorkPerJob(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = make_instance(n, 1, 42);
+  EngineOptions eo;
+  eo.record_trace = true;
+  eo.speed = 1.0;
+  auto policy = make_policy("rr");
+  const Schedule s = simulate(inst, *policy, eo);
+  for (auto _ : state) {
+    double total = 0.0;
+    for (JobId j = 0; j < inst.n(); ++j) total += s.traced_work(j);
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
 void BM_FlowtimeLp(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const Instance inst = make_instance(n, 1, 11);
@@ -76,4 +124,9 @@ BENCHMARK_CAPTURE(BM_SimulatePolicy, qrr, "qrr:0.5")->Arg(500)->Arg(2000);
 BENCHMARK_CAPTURE(BM_SimulatePolicy, mlfq, "mlfq")->Arg(500)->Arg(2000);
 BENCHMARK(BM_SimulateRrMultiMachine)->Arg(1)->Arg(4)->Arg(16);
 BENCHMARK(BM_SimulateRrWithTrace)->Arg(500)->Arg(2000);
+BENCHMARK(BM_PipelineSimDualfit)
+    ->Arg(2000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TracedWorkPerJob)->Arg(2000)->Arg(20000);
 BENCHMARK(BM_FlowtimeLp)->Arg(30)->Arg(60)->Unit(benchmark::kMillisecond);

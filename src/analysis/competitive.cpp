@@ -15,7 +15,10 @@ RatioMeasurement measure_ratio(const Instance& instance, Policy& policy,
   eng.speed = options.speed;
   eng.record_trace = false;
 
-  const Schedule sched = simulate(instance, policy, eng);
+  // Ratio sweeps simulate the same policies over many instances; a reusable
+  // engine core keeps its alive-set buffers warm across calls.
+  static thread_local EngineCore core;
+  const Schedule sched = core.run(instance, policy, eng);
 
   RatioMeasurement m;
   m.policy = std::string(policy.name());

@@ -52,15 +52,15 @@ DualFitResult dual_fit_certificate(const Schedule& schedule,
   std::vector<double> alpha(n, 0.0);
   std::vector<JobId> by_arrival;   // alive jobs sorted by (release, id)
   std::vector<double> prefix;      // prefix sums of per-j' integrals
-  for (const TraceInterval& iv : schedule.trace()) {
+  for (const TraceIntervalView iv : schedule.trace()) {
     const std::size_t nt = iv.alive_count();
     if (nt == 0) continue;
     const bool overloaded = nt >= static_cast<std::size_t>(m);
 
     if (!overloaded) {
-      for (const RateShare& s : iv.shares) {
-        alpha[s.job] +=
-            age_power_integral(iv.begin, iv.end, schedule.release(s.job), k);
+      for (const JobId job : iv.jobs()) {
+        alpha[job] +=
+            age_power_integral(iv.begin(), iv.end(), schedule.release(job), k);
       }
       continue;
     }
@@ -68,8 +68,7 @@ DualFitResult dual_fit_certificate(const Schedule& schedule,
     // Overloaded: alpha_j gains sum_{j' arrived no later} integral of
     // k (t - r_{j'})^{k-1} / n_t.  Sort the alive set by arrival and use
     // prefix sums so each interval costs O(n_t log n_t).
-    by_arrival.clear();
-    for (const RateShare& s : iv.shares) by_arrival.push_back(s.job);
+    by_arrival.assign(iv.jobs().begin(), iv.jobs().end());
     std::sort(by_arrival.begin(), by_arrival.end(), [&](JobId a, JobId b) {
       const Time ra = schedule.release(a), rb = schedule.release(b);
       if (ra != rb) return ra < rb;
@@ -78,7 +77,7 @@ DualFitResult dual_fit_certificate(const Schedule& schedule,
     prefix.assign(nt + 1, 0.0);
     for (std::size_t i = 0; i < nt; ++i) {
       prefix[i + 1] =
-          prefix[i] + age_power_integral(iv.begin, iv.end,
+          prefix[i] + age_power_integral(iv.begin(), iv.end(),
                                          schedule.release(by_arrival[i]), k);
     }
     for (std::size_t i = 0; i < nt; ++i) {
@@ -142,38 +141,74 @@ DualFitResult dual_fit_certificate(const Schedule& schedule,
   //   gamma ((t - r_j)^k + p_j^k)/p_j + beta(piece)
   // is nondecreasing in t inside the piece, so its minimum is at
   // t = max(t_i, r_j); a piece entirely before r_j is skipped.
+  //
+  // Windowed scan instead of the naive O(n * pieces) sweep: binary-search
+  // the first piece whose window reaches past r_j, then walk forward and
+  // stop once the beta-free lower bound
+  //   base(t) = gamma ((t - r_j)^k + p_j^k) / p_j
+  // provably exceeds the job's running minimum slack.  base(t) is
+  // nondecreasing in t and beta >= 0 with rhs = base + beta (rounding is
+  // monotone, so rhs >= base bitwise), hence no later piece -- nor the
+  // beta = 0 tail -- can lower this job's min slack once the bound clears
+  // it.  Violations (slack < 0) force 0 < rhs < lhs, so their scale is
+  // lhs and the largest relative violation sits at the min-slack piece,
+  // which the scan has already visited.  The relative margin keeps the
+  // cutoff conservative against pow() rounding wobble between pieces.
   res.min_slack = kInfiniteTime;
   res.max_relative_violation = 0.0;
   for (std::size_t j = 0; j < n; ++j) {
     const double pj = schedule.size(static_cast<JobId>(j));
     const double rj = schedule.release(static_cast<JobId>(j));
     const double lhs = alpha[j] / pj;
-    auto check_at = [&](Time t, double beta_value) {
-      const double rhs =
-          res.gamma * (std::pow(std::max(t - rj, 0.0), k) + std::pow(pj, k)) / pj +
-          beta_value;
+    const double pjk = std::pow(pj, k);
+    double job_min_slack = kInfiniteTime;
+    auto base_at = [&](Time t) {
+      return res.gamma * (std::pow(std::max(t - rj, 0.0), k) + pjk) / pj;
+    };
+    auto check = [&](double base, double beta_value) {
+      const double rhs = base + beta_value;
       const double slack = rhs - lhs;
-      res.min_slack = std::min(res.min_slack, slack);
+      job_min_slack = std::min(job_min_slack, slack);
       if (slack < 0.0) {
         const double scale = std::max({std::fabs(lhs), std::fabs(rhs), 1e-300});
         res.max_relative_violation =
             std::max(res.max_relative_violation, -slack / scale);
       }
     };
-    bool any_piece_after_rj = false;
-    for (std::size_t p = 0; p < beta_pieces.size(); ++p) {
-      const Time piece_start = beta_pieces[p].first;
-      const Time piece_end =
-          p + 1 < beta_pieces.size() ? beta_pieces[p + 1].first : kInfiniteTime;
-      if (piece_end <= rj) continue;
-      any_piece_after_rj = true;
-      check_at(std::max(piece_start, rj), beta_pieces[p].second);
+
+    if (beta_pieces.empty()) {
+      check(base_at(rj), 0.0);
+      res.min_slack = std::min(res.min_slack, job_min_slack);
+      continue;
     }
-    // Tail beyond the last event: beta = 0.
-    const Time tail_start =
-        beta_pieces.empty() ? rj : std::max(beta_pieces.back().first, rj);
-    check_at(tail_start, 0.0);
-    if (!any_piece_after_rj) check_at(rj, 0.0);
+
+    // First piece whose [start, end) reaches past rj: the piece containing
+    // rj, or piece 0 when rj precedes every breakpoint.
+    const auto q = std::upper_bound(
+        beta_pieces.begin(), beta_pieces.end(), rj,
+        [](Time t, const std::pair<Time, double>& piece) {
+          return t < piece.first;
+        });
+    const std::size_t p0 =
+        q == beta_pieces.begin()
+            ? 0
+            : static_cast<std::size_t>(q - beta_pieces.begin()) - 1;
+
+    bool cut_off = false;
+    for (std::size_t p = p0; p < beta_pieces.size(); ++p) {
+      const double base = base_at(std::max(beta_pieces[p].first, rj));
+      if (p > p0 &&
+          base - lhs > job_min_slack + 1e-9 * (std::fabs(base) + std::fabs(lhs))) {
+        cut_off = true;
+        break;
+      }
+      check(base, beta_pieces[p].second);
+    }
+    if (!cut_off) {
+      // Tail beyond the last event: beta = 0.
+      check(base_at(std::max(beta_pieces.back().first, rj)), 0.0);
+    }
+    res.min_slack = std::min(res.min_slack, job_min_slack);
   }
   res.feasible = res.max_relative_violation <= 1e-7;
 

@@ -11,35 +11,14 @@ namespace tempofair {
 
 namespace {
 
-struct LiveJob {
-  JobId id;
-  Time release;
-  Work size;
-  Work remaining;
-  Work attained;
-  double weight;
-};
-
-/// Builds the policy-facing view of the alive set, hiding sizes if requested.
-void build_views(const std::vector<LiveJob>& alive, bool hide,
-                 std::vector<AliveJob>& out) {
-  out.clear();
-  out.reserve(alive.size());
-  const double nan = std::numeric_limits<double>::quiet_NaN();
-  for (const LiveJob& j : alive) {
-    out.push_back(AliveJob{j.id, j.release, j.attained, hide ? nan : j.size,
-                           hide ? nan : j.remaining, j.weight});
-  }
-}
-
 [[noreturn]] void engine_fail(const std::string& msg) {
   throw std::runtime_error("tempofair::simulate: " + msg);
 }
 
 }  // namespace
 
-Schedule simulate(const Instance& instance, Policy& policy,
-                  const EngineOptions& options) {
+Schedule EngineCore::run(const Instance& instance, Policy& policy,
+                         const EngineOptions& options) {
   if (options.machines < 1) {
     throw std::invalid_argument("simulate: machines must be >= 1");
   }
@@ -61,62 +40,79 @@ Schedule simulate(const Instance& instance, Policy& policy,
   std::span<const JobId> order = instance.release_order();
   std::size_t next_arrival = 0;
 
-  std::vector<LiveJob> alive;  // kept sorted by id
-  alive.reserve(instance.n());
+  alive_.clear();
+  views_.clear();
+  ids_.clear();
+  alive_.reserve(instance.n());
+  views_.reserve(instance.n());
+  ids_.reserve(instance.n());
 
-  std::vector<AliveJob> views;
   Time now = instance.job(order[0]).release;
 
   const double cap = options.speed * options.machines;
   const double rate_tol = 1e-7 * std::max(1.0, cap);
+  const bool hide = options.hide_sizes;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
 
-  auto admit_arrivals = [&](Time t) {
+  // Inserts all arrivals due at time t into the alive set (and its
+  // policy-facing views), keeping all three parallel arrays sorted by id.
+  auto admit_arrivals = [&](Time t) -> std::size_t {
+    std::size_t admitted = 0;
     while (next_arrival < order.size() &&
            instance.job(order[next_arrival]).release <= t + kAbsEps) {
       const Job& j = instance.job(order[next_arrival]);
-      LiveJob lj{j.id, j.release, j.size, j.size, 0.0, j.weight};
-      auto pos = std::lower_bound(
-          alive.begin(), alive.end(), lj,
-          [](const LiveJob& a, const LiveJob& b) { return a.id < b.id; });
-      alive.insert(pos, lj);
-      const double nan = std::numeric_limits<double>::quiet_NaN();
-      AliveJob view{j.id, j.release, 0.0, options.hide_sizes ? nan : j.size,
-                    options.hide_sizes ? nan : j.size, j.weight};
+      const auto pos = static_cast<std::ptrdiff_t>(
+          std::lower_bound(ids_.begin(), ids_.end(), j.id) - ids_.begin());
+      ids_.insert(ids_.begin() + pos, j.id);
+      alive_.insert(alive_.begin() + pos,
+                    LiveJob{j.id, j.release, j.size, j.size, 0.0, j.weight});
+      const AliveJob view{j.id, j.release, 0.0, hide ? nan : j.size,
+                          hide ? nan : j.size, j.weight};
+      views_.insert(views_.begin() + pos, view);
       policy.on_arrival(view, t);
       ++next_arrival;
+      ++admitted;
     }
+    return admitted;
   };
 
   admit_arrivals(now);
 
   std::size_t steps = 0;
-  std::vector<std::size_t> completing;  // indices into `alive`
+  std::size_t zero_progress_streak = 0;
 
-  while (!alive.empty() || next_arrival < order.size()) {
+  while (!alive_.empty() || next_arrival < order.size()) {
     if (++steps > options.max_steps) {
       engine_fail("exceeded max_steps=" + std::to_string(options.max_steps) +
                   " with policy " + std::string(policy.name()));
     }
 
-    if (alive.empty()) {
+    if (alive_.empty()) {
       // Idle gap: jump to the next arrival.
       now = instance.job(order[next_arrival]).release;
       admit_arrivals(now);
       continue;
     }
 
-    build_views(alive, options.hide_sizes, views);
-    SchedulerContext ctx{now, options.machines, options.speed, views,
-                         !options.hide_sizes};
+    SchedulerContext ctx{now, options.machines, options.speed, views_,
+                         !hide};
     RateDecision decision = policy.rates(ctx);
 
-    if (decision.rates.size() != alive.size()) {
+    if (decision.rates.size() != alive_.size()) {
       engine_fail("policy " + std::string(policy.name()) + " returned " +
                   std::to_string(decision.rates.size()) + " rates for " +
-                  std::to_string(alive.size()) + " alive jobs");
+                  std::to_string(alive_.size()) + " alive jobs");
     }
+
+    // Single pass over the alive set: validate + clamp rates, find the
+    // earliest predicted completion, and collect the near-minimum
+    // candidates so completion detection after the advance does not need
+    // another full scan.
     double rate_sum = 0.0;
-    for (double& r : decision.rates) {
+    Time completion_dt = kInfiniteTime;
+    candidates_.clear();
+    for (std::size_t i = 0; i < alive_.size(); ++i) {
+      double& r = decision.rates[i];
       r = clamp_nonneg(r, rate_tol);
       if (r < 0.0 || !std::isfinite(r)) engine_fail("policy returned negative/non-finite rate");
       if (r > options.speed + rate_tol) {
@@ -125,6 +121,21 @@ Schedule simulate(const Instance& instance, Policy& policy,
       }
       r = std::min(r, options.speed);
       rate_sum += r;
+
+      const double done_thr = kRelEps * alive_[i].size + kAbsEps;
+      if (r > 0.0) {
+        const Time cdt = alive_[i].remaining / r;
+        if (cdt < completion_dt) completion_dt = cdt;
+        // Candidate iff this job could be (numerically) exhausted by a step
+        // of the current minimum length.  Stale entries collected against an
+        // earlier, larger minimum are filtered by the exact remaining-work
+        // test after the advance.
+        if (cdt <= completion_dt + done_thr / r) candidates_.push_back(i);
+      } else if (alive_[i].remaining <= done_thr) {
+        // Zero rate but already numerically exhausted: completes as soon as
+        // the clock moves (or immediately on a zero-length step).
+        candidates_.push_back(i);
+      }
     }
     if (rate_sum > cap + rate_tol) {
       engine_fail("policy rates sum " + std::to_string(rate_sum) +
@@ -139,12 +150,6 @@ Schedule simulate(const Instance& instance, Policy& policy,
     if (next_arrival < order.size()) {
       dt = std::min(dt, instance.job(order[next_arrival]).release - now);
     }
-    Time completion_dt = kInfiniteTime;
-    for (std::size_t i = 0; i < alive.size(); ++i) {
-      if (decision.rates[i] > 0.0) {
-        completion_dt = std::min(completion_dt, alive[i].remaining / decision.rates[i]);
-      }
-    }
     dt = std::min(dt, completion_dt);
     if (std::isfinite(options.max_time)) {
       if (now >= options.max_time) {
@@ -154,56 +159,77 @@ Schedule simulate(const Instance& instance, Policy& policy,
     }
     if (!std::isfinite(dt)) {
       engine_fail("deadlock: policy " + std::string(policy.name()) +
-                  " allocates zero rate to all " + std::to_string(alive.size()) +
+                  " allocates zero rate to all " + std::to_string(alive_.size()) +
                   " alive jobs with no arrival or breakpoint pending");
     }
     dt = std::max(dt, 0.0);
 
-    // Advance all jobs analytically.
+    const Time step_start = now;
+
+    // Advance all jobs analytically, emitting the trace row straight into
+    // the schedule's columnar arena (no per-interval allocation).
     if (dt > 0.0) {
       if (options.record_trace) {
-        TraceInterval iv;
-        iv.begin = now;
-        iv.end = now + dt;
-        iv.shares.reserve(alive.size());
-        for (std::size_t i = 0; i < alive.size(); ++i) {
-          iv.shares.push_back(RateShare{alive[i].id, decision.rates[i]});
-        }
-        schedule.push_interval(std::move(iv));
+        schedule.push_interval(now, now + dt, ids_, decision.rates);
       }
-      for (std::size_t i = 0; i < alive.size(); ++i) {
+      for (std::size_t i = 0; i < alive_.size(); ++i) {
         const Work delta = decision.rates[i] * dt;
-        alive[i].attained += delta;
-        alive[i].remaining -= delta;
+        alive_[i].attained += delta;
+        alive_[i].remaining -= delta;
+        views_[i].attained += delta;
+        if (!hide) views_[i].remaining -= delta;
       }
       now += dt;
     }
 
-    // Collect completions: jobs whose remaining is (numerically) exhausted.
-    completing.clear();
-    for (std::size_t i = 0; i < alive.size(); ++i) {
-      if (alive[i].remaining <= kRelEps * alive[i].size + kAbsEps) {
-        completing.push_back(i);
+    // Completions: only the candidates can be (numerically) exhausted.
+    completing_.clear();
+    for (const std::size_t i : candidates_) {
+      if (alive_[i].remaining <= kRelEps * alive_[i].size + kAbsEps) {
+        completing_.push_back(i);
       }
     }
-    if (dt == 0.0 && completing.empty()) {
-      // A zero-length step must make progress through arrivals; otherwise the
-      // policy's breakpoint fired immediately without changing anything.
-      // Allow it (quantum policies rotate internal state on the rates() call),
-      // but the step guard above prevents livelock.
-    }
     // Remove completed jobs (iterate in reverse to keep indices valid).
-    for (auto it = completing.rbegin(); it != completing.rend(); ++it) {
+    for (auto it = completing_.rbegin(); it != completing_.rend(); ++it) {
       const std::size_t i = *it;
-      schedule.set_completion(alive[i].id, now);
-      policy.on_completion(alive[i].id, now);
-      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(i));
+      schedule.set_completion(alive_[i].id, now);
+      policy.on_completion(alive_[i].id, now);
+      const auto p = static_cast<std::ptrdiff_t>(i);
+      alive_.erase(alive_.begin() + p);
+      views_.erase(views_.begin() + p);
+      ids_.erase(ids_.begin() + p);
     }
 
-    admit_arrivals(now);
+    const std::size_t admitted = admit_arrivals(now);
+
+    // Livelock guard: a step makes progress if the clock moved, a job
+    // completed, or an arrival was admitted.  A policy can legally take the
+    // occasional zero-progress step (e.g. a breakpoint that fires exactly at
+    // an event boundary while rotating internal state), but an unbounded run
+    // of them means the simulation is stuck -- most commonly a breakpoint so
+    // small that `now + dt == now` in floating point.  Fail fast with a
+    // diagnostic instead of silently burning max_steps.
+    if (now > step_start || !completing_.empty() || admitted > 0) {
+      zero_progress_streak = 0;
+    } else if (++zero_progress_streak >= options.max_zero_progress_steps) {
+      engine_fail(
+          "livelock: " + std::to_string(zero_progress_streak) +
+          " consecutive zero-progress steps (no clock advance, completion, "
+          "or arrival) with policy " + std::string(policy.name()) + " at t=" +
+          std::to_string(now) + " with " + std::to_string(alive_.size()) +
+          " alive jobs; the policy keeps returning a breakpoint too small to "
+          "advance the simulated clock");
+    }
   }
 
+  if (options.record_trace) schedule.finalize_trace();
   return schedule;
+}
+
+Schedule simulate(const Instance& instance, Policy& policy,
+                  const EngineOptions& options) {
+  EngineCore core;
+  return core.run(instance, policy, options);
 }
 
 }  // namespace tempofair

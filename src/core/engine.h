@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "core/instance.h"
 #include "core/policy.h"
@@ -31,11 +32,54 @@ struct EngineOptions {
   /// Safety valve: abort after this many engine iterations (guards against a
   /// policy that returns pathological breakpoints).
   std::size_t max_steps = 50'000'000;
+  /// Fail fast after this many consecutive iterations that make no progress
+  /// at all (clock did not advance, no completion, no arrival) -- e.g. a
+  /// policy whose breakpoint is too small to move the clock in floating
+  /// point.  Produces a livelock diagnostic instead of silently burning
+  /// max_steps.
+  std::size_t max_zero_progress_steps = 1000;
 };
 
-/// Runs `policy` on `instance` and returns the complete schedule.
-/// Throws std::invalid_argument for bad options and std::runtime_error if the
-/// policy misbehaves (invalid rates, deadlock, step explosion).
+/// The engine's inner loop with persistent, reusable buffers.
+///
+/// One EngineCore can run many simulations back to back; the alive-set
+/// arrays, the policy-facing AliveJob views, and the completion-candidate
+/// scratch are kept across runs, so repeated simulations (sweeps,
+/// competitive-ratio measurements) do not reallocate per run.  The alive
+/// views are maintained incrementally on arrival/completion and updated in
+/// place as work is processed -- never rebuilt from scratch per event --
+/// and trace rows are emitted directly into the Schedule's columnar arena.
+///
+/// Not thread-safe; use one EngineCore per thread.
+class EngineCore {
+ public:
+  /// Runs `policy` on `instance` and returns the complete schedule.
+  /// Throws std::invalid_argument for bad options and std::runtime_error if
+  /// the policy misbehaves (invalid rates, deadlock, livelock, step
+  /// explosion).
+  [[nodiscard]] Schedule run(const Instance& instance, Policy& policy,
+                             const EngineOptions& options = {});
+
+ private:
+  struct LiveJob {
+    JobId id;
+    Time release;
+    Work size;
+    Work remaining;
+    Work attained;
+    double weight;
+  };
+
+  std::vector<LiveJob> alive_;   // sorted by id
+  std::vector<AliveJob> views_;  // parallel to alive_; handed to the policy
+  std::vector<JobId> ids_;       // parallel to alive_; trace-row emission
+  /// Near-minimum predicted-completion candidates collected during the
+  /// single rates pass (superset of the jobs that can complete this event).
+  std::vector<std::size_t> candidates_;
+  std::vector<std::size_t> completing_;  // indices into alive_
+};
+
+/// Runs `policy` on `instance` with a fresh EngineCore.
 [[nodiscard]] Schedule simulate(const Instance& instance, Policy& policy,
                                 const EngineOptions& options = {});
 

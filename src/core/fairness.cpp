@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace tempofair {
 
@@ -32,30 +31,27 @@ FairnessReport fairness_report(const Schedule& schedule) {
 
   // Service lag per job: integral of fair share minus attained service,
   // tracked across intervals.
-  std::unordered_map<JobId, double> lag;  // fair-share service minus attained
-  lag.reserve(schedule.n());
+  std::vector<double> lag(schedule.n(), 0.0);
 
   const double speed = schedule.speed();
   const int m = schedule.machines();
   std::vector<double> rates;
 
-  for (const TraceInterval& iv : schedule.trace()) {
+  for (const TraceIntervalView iv : schedule.trace()) {
     const double len = iv.length();
     const std::size_t n = iv.alive_count();
     if (n == 0) continue;
     busy += len;
 
     rates.clear();
-    double rate_sum = 0.0;
     bool any_starved = false;
     double min_rate = kInfiniteTime;
-    for (const RateShare& s : iv.shares) {
-      rates.push_back(s.rate);
-      rate_sum += s.rate;
-      min_rate = std::min(min_rate, s.rate);
-      if (s.rate <= kAbsEps) any_starved = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = iv.rate(i);
+      rates.push_back(r);
+      min_rate = std::min(min_rate, r);
+      if (r <= kAbsEps) any_starved = true;
     }
-    (void)rate_sum;
 
     const double fair_share =
         speed * std::min(1.0, static_cast<double>(m) / static_cast<double>(n));
@@ -67,9 +63,9 @@ FairnessReport fairness_report(const Schedule& schedule) {
     min_share_weighted += (fair_share > 0.0 ? min_rate / fair_share : 1.0) * len;
     if (any_starved) starved_time += len;
 
-    for (const RateShare& s : iv.shares) {
-      double& l = lag[s.job];
-      l += (fair_share - s.rate) * len;
+    for (std::size_t i = 0; i < n; ++i) {
+      double& l = lag[iv.job(i)];
+      l += (fair_share - iv.rate(i)) * len;
       rep.max_service_lag = std::max(rep.max_service_lag, l);
     }
   }
@@ -90,16 +86,42 @@ std::vector<std::pair<Time, std::size_t>> alive_count_curve(
   }
   std::vector<std::pair<Time, std::size_t>> curve;
   Time prev_end = -kInfiniteTime;
-  for (const TraceInterval& iv : schedule.trace()) {
-    if (!curve.empty() && !approx_equal(iv.begin, prev_end)) {
+  for (const TraceIntervalView iv : schedule.trace()) {
+    if (!curve.empty() && !approx_equal(iv.begin(), prev_end)) {
       curve.emplace_back(prev_end, 0);  // idle gap
     }
     if (curve.empty() || curve.back().second != iv.alive_count()) {
-      curve.emplace_back(iv.begin, iv.alive_count());
+      curve.emplace_back(iv.begin(), iv.alive_count());
     }
-    prev_end = iv.end;
+    prev_end = iv.end();
   }
   if (!curve.empty()) curve.emplace_back(prev_end, 0);
+  return curve;
+}
+
+std::vector<std::pair<Time, double>> service_lag_curve(
+    const Schedule& schedule, JobId job) {
+  if (!schedule.has_trace()) {
+    throw std::invalid_argument("service_lag_curve: schedule has no recorded trace");
+  }
+  const double speed = schedule.speed();
+  const int m = schedule.machines();
+  const TraceArena& trace = schedule.trace();
+
+  std::vector<std::pair<Time, double>> curve;
+  const JobTraceView slices = trace.job_trace(job);
+  if (slices.empty()) return curve;
+
+  curve.reserve(slices.size() + 1);
+  curve.emplace_back(slices.front().begin, 0.0);
+  double lag = 0.0;
+  for (const JobSlice s : slices) {
+    const std::size_t n_t = trace[s.interval].alive_count();
+    const double fair_share =
+        speed * std::min(1.0, static_cast<double>(m) / static_cast<double>(n_t));
+    lag += (fair_share - s.rate) * s.length();
+    curve.emplace_back(s.end, lag);
+  }
   return curve;
 }
 

@@ -48,4 +48,13 @@ struct FairnessReport {
 [[nodiscard]] std::vector<std::pair<Time, std::size_t>> alive_count_curve(
     const Schedule& schedule);
 
+/// One job's service-lag curve: samples (t, lag(t)) at the boundaries of the
+/// trace intervals the job is alive in, where lag is the running integral of
+/// fair share (speed * min(1, m / n_t)) minus the job's actual rate.  Always
+/// ~0 for RR; grows while the job is starved under size-based policies.
+/// Costs O(intervals containing the job) via the trace arena's per-job
+/// cursor.  Throws std::invalid_argument if the schedule has no trace.
+[[nodiscard]] std::vector<std::pair<Time, double>> service_lag_curve(
+    const Schedule& schedule, JobId job);
+
 }  // namespace tempofair

@@ -23,16 +23,16 @@ FractionalFlowResult fractional_flow_power(const Schedule& schedule, double k) {
     remaining[j] = schedule.size(static_cast<JobId>(j));
   }
 
-  for (const TraceInterval& iv : schedule.trace()) {
+  for (const TraceIntervalView iv : schedule.trace()) {
     const double len = iv.length();
-    for (const RateShare& s : iv.shares) {
+    for (const RateShare s : iv.shares()) {
       const double p = schedule.size(s.job);
       const double r = schedule.release(s.job);
       // Within the interval, remaining(t) = A - B*(t - r) with
       //   B = rate, A = remaining at iv.begin + rate*(iv.begin - r).
       const double rem_a = remaining[s.job];
-      const double a = iv.begin - r;
-      const double b = iv.end - r;
+      const double a = iv.begin() - r;
+      const double b = iv.end() - r;
       const double A = rem_a + s.rate * a;
       const double B = s.rate;
       // integral over u in [a,b] of k u^{k-1} (A - B u) / p du

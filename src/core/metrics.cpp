@@ -77,14 +77,43 @@ FlowStats flow_stats(const Schedule& schedule) {
   return flow_stats(flows);
 }
 
+// The Schedule overloads below recompute F_j = C_j - r_j from the schedule's
+// columnar completion/release arrays on the fly instead of materializing a
+// flows vector per call.  The value sequence (and hence every rounding step)
+// matches lk_power_sum / lk_norm over flows() exactly.
+
 double flow_lk_norm(const Schedule& schedule, double k) {
-  const std::vector<Time> flows = schedule.flows();
-  return lk_norm(flows, k);
+  if (k < 1.0) throw std::invalid_argument("lk_norm: k must be >= 1");
+  const std::span<const Time> completion = schedule.completions();
+  const std::span<const Time> release = schedule.releases();
+  const std::size_t n = completion.size();
+  if (n == 0) return 0.0;
+  double vmax = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = completion[i] - release[i];
+    if (v < 0.0) throw std::invalid_argument("lk_norm: negative value");
+    vmax = std::max(vmax, v);
+  }
+  if (std::isinf(k)) return vmax;
+  if (vmax <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += std::pow((completion[i] - release[i]) / vmax, k);
+  }
+  return vmax * std::pow(sum, 1.0 / k);
 }
 
 double flow_lk_power(const Schedule& schedule, double k) {
-  const std::vector<Time> flows = schedule.flows();
-  return lk_power_sum(flows, k);
+  if (k < 1.0) throw std::invalid_argument("lk_power_sum: k must be >= 1");
+  const std::span<const Time> completion = schedule.completions();
+  const std::span<const Time> release = schedule.releases();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < completion.size(); ++i) {
+    const double v = completion[i] - release[i];
+    if (v < 0.0) throw std::invalid_argument("lk_power_sum: negative value");
+    sum += std::pow(v, k);
+  }
+  return sum;
 }
 
 double weighted_lk_power(std::span<const double> values,

@@ -26,9 +26,17 @@ void Schedule::set_completion(JobId id, Time t) {
   makespan_ = std::max(makespan_, t);
 }
 
-void Schedule::push_interval(TraceInterval iv) {
-  if (!(iv.end > iv.begin)) return;  // zero-length intervals carry no info
-  trace_.push_back(std::move(iv));
+void Schedule::push_interval(Time begin, Time end,
+                             std::span<const JobId> jobs,
+                             std::span<const double> rates) {
+  if (!(end > begin)) return;  // zero-length intervals carry no info
+  trace_.append(begin, end, jobs, rates);
+}
+
+void Schedule::push_interval(Time begin, Time end,
+                             std::initializer_list<RateShare> shares) {
+  if (!(end > begin)) return;
+  trace_.append(begin, end, shares);
 }
 
 std::vector<Time> Schedule::flows() const {
@@ -41,21 +49,16 @@ std::vector<Time> Schedule::flows() const {
 
 Work Schedule::traced_work() const {
   Work total = 0.0;
-  for (const TraceInterval& iv : trace_) {
-    for (const RateShare& s : iv.shares) total += s.rate * iv.length();
-  }
-  return total;
-}
-
-Work Schedule::traced_work(JobId id) const {
-  Work total = 0.0;
-  for (const TraceInterval& iv : trace_) {
-    for (const RateShare& s : iv.shares) {
-      if (s.job == id) total += s.rate * iv.length();
+  for (const TraceIntervalView iv : trace_) {
+    const Time len = iv.length();
+    for (std::size_t i = 0; i < iv.alive_count(); ++i) {
+      total += iv.rate(i) * len;
     }
   }
   return total;
 }
+
+Work Schedule::traced_work(JobId id) const { return trace_.job_work(id); }
 
 void Schedule::validate() const {
   auto fail = [](const std::string& msg) { throw std::logic_error("Schedule::validate: " + msg); };
@@ -75,31 +78,33 @@ void Schedule::validate() const {
 
   const double cap = speed_ * machines_;
   Time prev_end = -kInfiniteTime;
-  for (const TraceInterval& iv : trace_) {
-    if (!(iv.end > iv.begin)) fail("empty trace interval");
-    if (definitely_less(iv.begin, prev_end, 1e-9)) fail("overlapping trace intervals");
-    prev_end = iv.end;
+  for (const TraceIntervalView iv : trace_) {
+    if (!(iv.end() > iv.begin())) fail("empty trace interval");
+    if (definitely_less(iv.begin(), prev_end, 1e-9)) fail("overlapping trace intervals");
+    prev_end = iv.end();
     double sum = 0.0;
     JobId prev = kInvalidJob;
-    for (const RateShare& s : iv.shares) {
+    for (const RateShare s : iv.shares()) {
       if (s.rate < -1e-9) fail("negative rate");
       if (s.rate > speed_ * (1.0 + 1e-6)) fail("per-job rate exceeds machine speed");
       if (prev != kInvalidJob && s.job <= prev) fail("shares not sorted by id");
       prev = s.job;
       sum += s.rate;
-      if (definitely_less(completion_[s.job], iv.end, 1e-9) ||
-          definitely_less(iv.begin, release_[s.job], 1e-9)) {
+      if (definitely_less(completion_[s.job], iv.end(), 1e-9) ||
+          definitely_less(iv.begin(), release_[s.job], 1e-9)) {
         fail("job " + std::to_string(s.job) + " traced outside its lifespan");
       }
     }
     if (sum > cap * (1.0 + 1e-6)) {
       std::ostringstream os;
-      os << "interval [" << iv.begin << "," << iv.end << ") rate sum " << sum
+      os << "interval [" << iv.begin() << "," << iv.end() << ") rate sum " << sum
          << " exceeds capacity " << cap;
       fail(os.str());
     }
   }
 
+  // Per-job work conservation via the arena's CSR index: O(total entries)
+  // for all jobs together, instead of O(n * entries) full rescans.
   for (std::size_t i = 0; i < n(); ++i) {
     const Work w = traced_work(static_cast<JobId>(i));
     if (!approx_equal(w, size_[i], 1e-6, 1e-6)) {

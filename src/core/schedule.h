@@ -6,36 +6,21 @@
 // are constant.  Every analysis in this library -- l_k norms, fairness
 // curves, and the paper's dual-fitting construction -- is computed from this
 // trace in closed form, without sampling.
+//
+// The trace lives in a columnar TraceArena (see core/trace_arena.h) and is
+// consumed through zero-copy views: TraceIntervalView for interval-major
+// scans and JobTraceView for per-job slicing.
 #pragma once
 
+#include <initializer_list>
 #include <span>
 #include <vector>
 
 #include "core/instance.h"
 #include "core/time_types.h"
+#include "core/trace_arena.h"
 
 namespace tempofair {
-
-/// One job's share of the machines during a trace interval.
-struct RateShare {
-  JobId job = kInvalidJob;
-  /// Processing rate in work units per time unit; for a policy running at
-  /// speed s on m machines this lies in [0, s] and rates sum to <= s*m.
-  double rate = 0.0;
-};
-
-/// Maximal interval during which the alive set and all rates are constant.
-/// `shares` lists *every* alive job (rate may be 0), sorted by job id.
-struct TraceInterval {
-  Time begin = 0.0;
-  Time end = 0.0;
-  std::vector<RateShare> shares;
-
-  [[nodiscard]] Time length() const noexcept { return end - begin; }
-  [[nodiscard]] std::size_t alive_count() const noexcept {
-    return shares.size();
-  }
-};
 
 class Schedule {
  public:
@@ -44,7 +29,15 @@ class Schedule {
 
   // --- mutation (used by the engine) ---------------------------------------
   void set_completion(JobId id, Time t);
-  void push_interval(TraceInterval iv);
+  /// Appends one trace interval row; `jobs` and `rates` are parallel and
+  /// sorted by job id.  Zero-length intervals carry no info and are dropped.
+  void push_interval(Time begin, Time end, std::span<const JobId> jobs,
+                     std::span<const double> rates);
+  /// Convenience for hand-built traces (tests).
+  void push_interval(Time begin, Time end,
+                     std::initializer_list<RateShare> shares);
+  /// Releases trace growth slack; the engine calls this after the last row.
+  void finalize_trace() { trace_.shrink_to_fit(); }
   void set_trace_recorded(bool recorded) noexcept { has_trace_ = recorded; }
 
   // --- queries --------------------------------------------------------------
@@ -55,11 +48,19 @@ class Schedule {
   [[nodiscard]] Time release(JobId id) const { return release_.at(id); }
   [[nodiscard]] Work size(JobId id) const { return size_.at(id); }
   [[nodiscard]] double weight(JobId id) const { return weight_.at(id); }
+  /// All job releases, indexed by job id.
+  [[nodiscard]] std::span<const Time> releases() const noexcept {
+    return release_;
+  }
   /// All job weights, indexed by job id.
   [[nodiscard]] std::span<const double> weights() const noexcept {
     return weight_;
   }
   [[nodiscard]] Time completion(JobId id) const { return completion_.at(id); }
+  /// All job completions, indexed by job id.
+  [[nodiscard]] std::span<const Time> completions() const noexcept {
+    return completion_;
+  }
   /// Flow (response) time F_j = C_j - r_j.
   [[nodiscard]] Time flow(JobId id) const {
     return completion_.at(id) - release_.at(id);
@@ -70,13 +71,22 @@ class Schedule {
   [[nodiscard]] Time makespan() const noexcept { return makespan_; }
 
   [[nodiscard]] bool has_trace() const noexcept { return has_trace_; }
-  [[nodiscard]] std::span<const TraceInterval> trace() const noexcept {
-    return trace_;
+  /// The columnar trace: iterable over TraceIntervalView, random access by
+  /// interval index, and per-job cursors via job_trace().
+  [[nodiscard]] const TraceArena& trace() const noexcept { return trace_; }
+  /// Cursor over the intervals containing `id` (O(intervals containing id)).
+  [[nodiscard]] JobTraceView job_trace(JobId id) const {
+    return trace_.job_trace(id);
+  }
+  /// Bytes held by the trace columns right now (capacity-based).
+  [[nodiscard]] std::size_t trace_memory_bytes() const noexcept {
+    return trace_.memory_bytes();
   }
 
   /// Total work processed according to the trace (for conservation checks).
   [[nodiscard]] Work traced_work() const;
-  /// Work processed for one job according to the trace.
+  /// Work processed for one job according to the trace; O(intervals
+  /// containing id) via the arena's per-job index.
   [[nodiscard]] Work traced_work(JobId id) const;
 
   /// Validates internal consistency: completions present and >= release +
@@ -90,7 +100,7 @@ class Schedule {
   std::vector<Work> size_;
   std::vector<double> weight_;
   std::vector<Time> completion_;
-  std::vector<TraceInterval> trace_;
+  TraceArena trace_;
   Time makespan_ = 0.0;
   int machines_ = 1;
   double speed_ = 1.0;

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "core/metrics.h"
 #include "policies/priority_policies.h"
@@ -115,8 +116,8 @@ TEST(Engine, LateArrivalCreatesIdleGap) {
   EXPECT_DOUBLE_EQ(s.completion(1), 6.0);
   // Trace must contain two disjoint busy intervals.
   ASSERT_TRUE(s.has_trace());
-  EXPECT_DOUBLE_EQ(s.trace().front().begin, 0.0);
-  EXPECT_DOUBLE_EQ(s.trace().back().end, 6.0);
+  EXPECT_DOUBLE_EQ(s.trace().front().begin(), 0.0);
+  EXPECT_DOUBLE_EQ(s.trace().back().end(), 6.0);
 }
 
 TEST(Engine, ArrivalSplitsInterval) {
@@ -249,6 +250,39 @@ TEST(Engine, VisibleSizesAreRealToThePolicy) {
 TEST(Engine, DetectsDeadlock) {
   DeadlockPolicy dead;
   EXPECT_THROW((void)simulate(two_unit_jobs(), dead), std::runtime_error);
+}
+
+// A policy whose breakpoint is so small that `now + dt == now` in floating
+// point once the clock is away from zero: the simulation would spin forever
+// without the zero-progress guard.
+class DenormalBreakpointPolicy final : public Policy {
+ public:
+  std::string_view name() const noexcept override { return "denormal"; }
+  bool clairvoyant() const noexcept override { return false; }
+  RateDecision rates(const SchedulerContext& ctx) override {
+    RateDecision d;
+    d.rates.assign(ctx.n_alive(), ctx.speed / static_cast<double>(ctx.n_alive()));
+    d.max_duration = 5e-324;  // denormal: 1.0 + 5e-324 == 1.0
+    return d;
+  }
+};
+
+TEST(Engine, DetectsLivelockFromVanishingBreakpoints) {
+  // Release at t=1.0 so the clock sits at 1.0 when the denormal steps start;
+  // 1.0 + 5e-324 == 1.0, so no step ever advances time, completes a job, or
+  // admits an arrival.
+  const Instance inst =
+      Instance::from_pairs(std::vector<std::pair<Time, Work>>{{1.0, 1.0}});
+  DenormalBreakpointPolicy policy;
+  EngineOptions eo;
+  eo.max_zero_progress_steps = 50;
+  try {
+    (void)simulate(inst, policy, eo);
+    FAIL() << "expected livelock diagnostic";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("livelock"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Engine, DetectsWrongRateCount) {

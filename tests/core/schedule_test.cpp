@@ -35,21 +35,14 @@ TEST(Schedule, MakespanTracksLatestCompletion) {
 TEST(Schedule, ZeroLengthIntervalsAreDropped) {
   Schedule s(simple_instance(), 1, 1.0);
   s.set_trace_recorded(true);
-  TraceInterval iv;
-  iv.begin = 1.0;
-  iv.end = 1.0;
-  s.push_interval(iv);
+  s.push_interval(1.0, 1.0, {RateShare{0, 1.0}});
   EXPECT_TRUE(s.trace().empty());
 }
 
 TEST(Schedule, TracedWorkSumsRateTimesLength) {
   Schedule s(simple_instance(), 1, 1.0);
   s.set_trace_recorded(true);
-  TraceInterval iv;
-  iv.begin = 0.0;
-  iv.end = 2.0;
-  iv.shares = {RateShare{0, 0.75}, RateShare{1, 0.25}};
-  s.push_interval(iv);
+  s.push_interval(0.0, 2.0, {RateShare{0, 0.75}, RateShare{1, 0.25}});
   EXPECT_DOUBLE_EQ(s.traced_work(), 2.0);
   EXPECT_DOUBLE_EQ(s.traced_work(0), 1.5);
   EXPECT_DOUBLE_EQ(s.traced_work(1), 0.5);
@@ -73,11 +66,8 @@ TEST(ScheduleValidate, FailsOnOvercapacityInterval) {
   s.set_trace_recorded(true);
   s.set_completion(0, 2.0);
   s.set_completion(1, 2.0);
-  TraceInterval iv;
-  iv.begin = 0.0;
-  iv.end = 2.0;
-  iv.shares = {RateShare{0, 1.0}, RateShare{1, 0.5}};  // sum 1.5 > m*s = 1
-  s.push_interval(iv);
+  // sum 1.5 > m*s = 1
+  s.push_interval(0.0, 2.0, {RateShare{0, 1.0}, RateShare{1, 0.5}});
   EXPECT_THROW(s.validate(), std::logic_error);
 }
 
@@ -86,11 +76,8 @@ TEST(ScheduleValidate, FailsOnJobTracedBeforeRelease) {
   s.set_trace_recorded(true);
   s.set_completion(0, 2.0);
   s.set_completion(1, 2.0);
-  TraceInterval iv;
-  iv.begin = 0.0;  // job 1 releases at 1.0
-  iv.end = 2.0;
-  iv.shares = {RateShare{0, 1.0}, RateShare{1, 0.5}};
-  s.push_interval(iv);
+  // job 1 releases at 1.0 but the interval starts at 0.0
+  s.push_interval(0.0, 2.0, {RateShare{0, 1.0}, RateShare{1, 0.5}});
   EXPECT_THROW(s.validate(), std::logic_error);
 }
 
@@ -99,11 +86,8 @@ TEST(ScheduleValidate, FailsOnWorkMismatch) {
   s.set_trace_recorded(true);
   s.set_completion(0, 2.0);
   s.set_completion(1, 2.5);
-  TraceInterval iv;
-  iv.begin = 0.0;
-  iv.end = 2.0;
-  iv.shares = {RateShare{0, 0.5}};  // only 1.0 of job 0's 2.0 processed
-  s.push_interval(iv);
+  // only 1.0 of job 0's 2.0 processed
+  s.push_interval(0.0, 2.0, {RateShare{0, 0.5}});
   EXPECT_THROW(s.validate(), std::logic_error);
 }
 
@@ -112,11 +96,7 @@ TEST(ScheduleValidate, FailsOnUnsortedShares) {
   s.set_trace_recorded(true);
   s.set_completion(0, 2.0);
   s.set_completion(1, 2.0);
-  TraceInterval iv;
-  iv.begin = 1.0;
-  iv.end = 2.0;
-  iv.shares = {RateShare{1, 0.5}, RateShare{0, 0.5}};
-  s.push_interval(iv);
+  s.push_interval(1.0, 2.0, {RateShare{1, 0.5}, RateShare{0, 0.5}});
   EXPECT_THROW(s.validate(), std::logic_error);
 }
 
@@ -125,16 +105,8 @@ TEST(ScheduleValidate, AcceptsConsistentSchedule) {
   s.set_trace_recorded(true);
   s.set_completion(0, 2.0);
   s.set_completion(1, 2.0);
-  TraceInterval a;
-  a.begin = 0.0;
-  a.end = 1.0;
-  a.shares = {RateShare{0, 1.0}};
-  s.push_interval(a);
-  TraceInterval b;
-  b.begin = 1.0;
-  b.end = 2.0;
-  b.shares = {RateShare{0, 1.0}, RateShare{1, 1.0}};
-  s.push_interval(b);
+  s.push_interval(0.0, 1.0, {RateShare{0, 1.0}});
+  s.push_interval(1.0, 2.0, {RateShare{0, 1.0}, RateShare{1, 1.0}});
   EXPECT_NO_THROW(s.validate());
 }
 

@@ -19,25 +19,25 @@ TEST(TraceStructure, RrStaircaseHandComputed) {
   const Schedule s = simulate(inst, rr);
   ASSERT_EQ(s.trace().size(), 3u);
 
-  const TraceInterval& a = s.trace()[0];
-  EXPECT_DOUBLE_EQ(a.begin, 0.0);
-  EXPECT_DOUBLE_EQ(a.end, 1.0);
-  ASSERT_EQ(a.shares.size(), 1u);
-  EXPECT_EQ(a.shares[0].job, 0u);
-  EXPECT_DOUBLE_EQ(a.shares[0].rate, 1.0);
+  const TraceIntervalView a = s.trace()[0];
+  EXPECT_DOUBLE_EQ(a.begin(), 0.0);
+  EXPECT_DOUBLE_EQ(a.end(), 1.0);
+  ASSERT_EQ(a.alive_count(), 1u);
+  EXPECT_EQ(a.job(0), 0u);
+  EXPECT_DOUBLE_EQ(a.rate(0), 1.0);
 
-  const TraceInterval& b = s.trace()[1];
-  EXPECT_DOUBLE_EQ(b.begin, 1.0);
-  EXPECT_DOUBLE_EQ(b.end, 3.0);
-  ASSERT_EQ(b.shares.size(), 2u);
-  EXPECT_DOUBLE_EQ(b.shares[0].rate, 0.5);
-  EXPECT_DOUBLE_EQ(b.shares[1].rate, 0.5);
+  const TraceIntervalView b = s.trace()[1];
+  EXPECT_DOUBLE_EQ(b.begin(), 1.0);
+  EXPECT_DOUBLE_EQ(b.end(), 3.0);
+  ASSERT_EQ(b.alive_count(), 2u);
+  EXPECT_DOUBLE_EQ(b.rate(0), 0.5);
+  EXPECT_DOUBLE_EQ(b.rate(1), 0.5);
 
-  const TraceInterval& c = s.trace()[2];
-  EXPECT_DOUBLE_EQ(c.begin, 3.0);
-  EXPECT_DOUBLE_EQ(c.end, 4.0);
-  ASSERT_EQ(c.shares.size(), 1u);
-  EXPECT_EQ(c.shares[0].job, 1u);
+  const TraceIntervalView c = s.trace()[2];
+  EXPECT_DOUBLE_EQ(c.begin(), 3.0);
+  EXPECT_DOUBLE_EQ(c.end(), 4.0);
+  ASSERT_EQ(c.alive_count(), 1u);
+  EXPECT_EQ(c.job(0), 1u);
 }
 
 TEST(TraceStructure, IntervalsTileWithoutOverlap) {
@@ -49,10 +49,10 @@ TEST(TraceStructure, IntervalsTileWithoutOverlap) {
   eo.machines = 2;
   const Schedule s = simulate(inst, rr, eo);
   Time prev_end = -1.0;
-  for (const TraceInterval& iv : s.trace()) {
-    EXPECT_LT(iv.begin, iv.end);
-    EXPECT_GE(iv.begin, prev_end - 1e-12);  // non-overlapping, ordered
-    prev_end = iv.end;
+  for (const TraceIntervalView iv : s.trace()) {
+    EXPECT_LT(iv.begin(), iv.end());
+    EXPECT_GE(iv.begin(), prev_end - 1e-12);  // non-overlapping, ordered
+    prev_end = iv.end();
   }
   EXPECT_NEAR(prev_end, s.makespan(), 1e-9);
 }
@@ -63,19 +63,19 @@ TEST(TraceStructure, AliveSetMatchesLifespans) {
       workload::poisson_load(40, 1, 0.9, workload::UniformSize{0.5, 2.0}, rng);
   RoundRobin rr;
   const Schedule s = simulate(inst, rr);
-  for (const TraceInterval& iv : s.trace()) {
-    for (const RateShare& share : iv.shares) {
-      EXPECT_GE(iv.begin, s.release(share.job) - 1e-9);
-      EXPECT_LE(iv.end, s.completion(share.job) + 1e-9);
+  for (const TraceIntervalView iv : s.trace()) {
+    for (const RateShare share : iv.shares()) {
+      EXPECT_GE(iv.begin(), s.release(share.job) - 1e-9);
+      EXPECT_LE(iv.end(), s.completion(share.job) + 1e-9);
     }
     // Conversely: every job whose lifespan covers the interval must appear.
     for (JobId j = 0; j < inst.n(); ++j) {
-      if (s.release(j) <= iv.begin + 1e-12 &&
-          s.completion(j) >= iv.end - 1e-12) {
+      if (s.release(j) <= iv.begin() + 1e-12 &&
+          s.completion(j) >= iv.end() - 1e-12) {
         bool found = false;
-        for (const RateShare& share : iv.shares) found = found || share.job == j;
+        for (const RateShare share : iv.shares()) found = found || share.job == j;
         EXPECT_TRUE(found) << "job " << j << " missing from interval at "
-                           << iv.begin;
+                           << iv.begin();
       }
     }
   }
@@ -90,8 +90,8 @@ TEST(TraceStructure, AttainedServiceReconstructsFlows) {
   RoundRobin rr;
   const Schedule s = simulate(inst, rr);
   std::vector<double> attained(inst.n(), 0.0);
-  for (const TraceInterval& iv : s.trace()) {
-    for (const RateShare& share : iv.shares) {
+  for (const TraceIntervalView iv : s.trace()) {
+    for (const RateShare share : iv.shares()) {
       attained[share.job] += share.rate * iv.length();
       EXPECT_LE(attained[share.job], inst.job(share.job).size + 1e-6);
     }

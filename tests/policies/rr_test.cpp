@@ -98,10 +98,10 @@ TEST(RoundRobin, MatchesPaperRateFormula) {
   eo.machines = 3;
   eo.speed = 2.0;
   const Schedule s = simulate(inst, rr, eo);
-  for (const TraceInterval& iv : s.trace()) {
+  for (const TraceIntervalView iv : s.trace()) {
     const double expect =
         2.0 * std::min(1.0, 3.0 / static_cast<double>(iv.alive_count()));
-    for (const RateShare& share : iv.shares) {
+    for (const RateShare share : iv.shares()) {
       EXPECT_NEAR(share.rate, expect, 1e-12);
     }
   }

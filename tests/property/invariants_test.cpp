@@ -76,7 +76,7 @@ TEST_P(PolicyInvariants, ScheduleIsConsistent) {
   //     validate(); here check the busy time lower bound.)
   const double total_busy = [&] {
     double t = 0.0;
-    for (const TraceInterval& iv : s.trace()) t += iv.length();
+    for (const TraceIntervalView iv : s.trace()) t += iv.length();
     return t;
   }();
   EXPECT_GE(total_busy, inst.total_work() / (c.speed * c.machines) - 1e-6);
