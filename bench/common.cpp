@@ -1,5 +1,7 @@
 #include "common.h"
 
+#include <ostream>
+
 #include "workload/adversarial.h"
 
 namespace tempofair::bench {
@@ -30,20 +32,20 @@ std::vector<NamedInstance> standard_workloads(std::size_t n, int machines,
   return out;
 }
 
-void banner(const std::string& id, const std::string& claim,
+void banner(std::ostream& out, const std::string& id, const std::string& claim,
             const std::string& expectation) {
-  std::cout << "\n#############################################################\n"
-            << "# " << id << "\n"
-            << "# Claim:    " << claim << "\n"
-            << "# Expected: " << expectation << "\n"
-            << "#############################################################\n";
+  out << "\n#############################################################\n"
+      << "# " << id << "\n"
+      << "# Claim:    " << claim << "\n"
+      << "# Expected: " << expectation << "\n"
+      << "#############################################################\n";
 }
 
-void emit(const analysis::Table& table, const harness::Cli& cli) {
-  if (cli.csv()) {
-    table.print_csv(std::cout);
+void emit(std::ostream& out, const analysis::Table& table, bool csv) {
+  if (csv) {
+    table.print_csv(out);
   } else {
-    table.print(std::cout);
+    table.print(out);
   }
 }
 

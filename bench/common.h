@@ -1,19 +1,18 @@
-// Shared scaffolding for the experiment binaries.
+// Shared scaffolding for the registered experiments (see registry.h).
 //
-// Every experiment binary:
+// Every experiment:
 //   * prints a short banner mapping it to its EXPERIMENTS.md entry,
-//   * accepts --csv (machine-readable payload) and --seed <n>,
+//   * honors --csv (machine-readable payload) and --seed <n>,
 //   * builds its workloads through the helpers here so all experiments draw
 //     from the same, documented instance families.
 #pragma once
 
-#include <iostream>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "analysis/report.h"
 #include "core/instance.h"
-#include "harness/cli.h"
 #include "workload/generators.h"
 #include "workload/rng.h"
 
@@ -33,11 +32,11 @@ struct NamedInstance {
                                                             int machines,
                                                             std::uint64_t seed);
 
-/// Prints the experiment banner (id, claim, expected shape).
-void banner(const std::string& id, const std::string& claim,
+/// Prints the experiment banner (id, claim, expected shape) to `out`.
+void banner(std::ostream& out, const std::string& id, const std::string& claim,
             const std::string& expectation);
 
-/// Prints `table` as text or CSV depending on --csv.
-void emit(const analysis::Table& table, const harness::Cli& cli);
+/// Prints `table` to `out`, as CSV when `csv` is set.
+void emit(std::ostream& out, const analysis::Table& table, bool csv);
 
 }  // namespace tempofair::bench

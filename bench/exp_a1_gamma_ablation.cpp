@@ -6,11 +6,13 @@
 // Expected: the certificate stays feasible far below the paper's gamma on
 // typical instances (the analysis is worst-case); at speed 1 feasibility
 // dies earlier -- the gap IS the speed requirement.
+#include <cmath>
+
 #include "analysis/dualfit.h"
 #include "common.h"
 #include "core/engine.h"
-#include "harness/thread_pool.h"
 #include "policies/round_robin.h"
+#include "registry.h"
 #include "workload/adversarial.h"
 
 using namespace tempofair;
@@ -24,18 +26,15 @@ Schedule run_rr(const Instance& inst, double speed) {
   return simulate(inst, rr, eo);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
+int run(bench::RunContext& ctx) {
   const double k = 2.0, eps = 0.05;
   const double paper_gamma = k * std::pow(k / eps, k);
 
-  bench::banner("A1 (gamma ablation)",
-                "sensitivity of the dual certificate to the analysis "
-                "constant gamma = k(k/eps)^k",
-                "feasible well below the paper's gamma on concrete "
-                "instances; earlier failure at speed 1");
+  ctx.banner("A1 (gamma ablation)",
+             "sensitivity of the dual certificate to the analysis "
+             "constant gamma = k(k/eps)^k",
+             "feasible well below the paper's gamma on concrete "
+             "instances; earlier failure at speed 1");
 
   workload::Rng rng(21);
   struct Case {
@@ -80,6 +79,16 @@ int main(int argc, char** argv) {
                      analysis::Table::num(implied_at_paper, 1)});
     }
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "a1",
+    "A1 (gamma ablation)",
+    "sensitivity of the dual certificate to gamma = k(k/eps)^k",
+    "(fixed seed 21)",
+    run,
+}};
+
+}  // namespace

@@ -9,17 +9,19 @@
 
 #include "common.h"
 #include "lpsolve/lower_bounds.h"
+#include "registry.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 60));
+namespace {
 
-  bench::banner("A2 (LP resolution ablation)",
-                "LP lower bound vs slot width: tightness and solve cost",
-                "monotone in resolution, diminishing returns; default grid "
-                "captures most of the bound");
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 60);
+
+  ctx.banner("A2 (LP resolution ablation)",
+             "LP lower bound vs slot width: tightness and solve cost",
+             "monotone in resolution, diminishing returns; default grid "
+             "captures most of the bound");
 
   workload::Rng rng(31);
   const Instance inst =
@@ -50,6 +52,16 @@ int main(int argc, char** argv) {
                    analysis::Table::num(r.opt_power_lb / nolp.proxy_ub, 3),
                    analysis::Table::num(ms, 1)});
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "a2",
+    "A2 (LP resolution ablation)",
+    "LP lower bound vs slot width: tightness and solve cost",
+    "n=60 (fixed seed 31)",
+    run,
+}};
+
+}  // namespace

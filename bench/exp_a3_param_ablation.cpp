@@ -13,16 +13,18 @@
 #include "core/metrics.h"
 #include "policies/setf.h"
 #include "policies/weighted_rr.h"
+#include "registry.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 120));
+namespace {
 
-  bench::banner("A3 (policy-parameter ablation)",
-                "epsilon-exactness knobs: WRR refresh_rel, SETF tolerance",
-                "l2 converges as knobs shrink; defaults on the flat part");
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 120);
+
+  ctx.banner("A3 (policy-parameter ablation)",
+             "epsilon-exactness knobs: WRR refresh_rel, SETF tolerance",
+             "l2 converges as knobs shrink; defaults on the flat part");
 
   workload::Rng rng(41);
   const Instance inst =
@@ -42,7 +44,7 @@ int main(int argc, char** argv) {
     wrr_table.add_row({analysis::Table::num(refresh), analysis::Table::num(l2, 3),
                        analysis::Table::num(ms, 1)});
   }
-  bench::emit(wrr_table, cli);
+  ctx.emit(wrr_table);
 
   analysis::Table setf_table("A3b: SETF level-tolerance sweep (l2)",
                              {"tolerance", "l2"});
@@ -51,6 +53,16 @@ int main(int argc, char** argv) {
     setf_table.add_row({analysis::Table::num(tol),
                         analysis::Table::num(flow_lk_norm(simulate(inst, setf, eo), 2.0), 4)});
   }
-  bench::emit(setf_table, cli);
+  ctx.emit(setf_table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "a3",
+    "A3 (policy-parameter ablation)",
+    "epsilon-exactness knobs: WRR refresh_rel, SETF tolerance",
+    "n=120 (fixed seed 41)",
+    run,
+}};
+
+}  // namespace

@@ -8,9 +8,9 @@
 // its mean).
 #include "common.h"
 #include "core/engine.h"
-#include "harness/thread_pool.h"
 #include "policies/registry.h"
 #include "queueing/mg1.h"
+#include "registry.h"
 
 using namespace tempofair;
 
@@ -38,18 +38,15 @@ double simulated_mean_flow(const std::string& policy_name,
   return total / runs;
 }
 
-}  // namespace
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 5000, 500);
+  const std::uint64_t seed = ctx.seed_param(71);
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 5000));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 71));
-
-  bench::banner("F10 (M/G/1 oracle, extension)",
-                "simulated mean flow vs closed-form M/G/1 response times "
-                "(PS = RR, P-K = FCFS, Schrage-Miller = SRPT, FB = SETF)",
-                "sim/theory within a few percent; PS insensitive to the "
-                "size distribution");
+  ctx.banner("F10 (M/G/1 oracle, extension)",
+             "simulated mean flow vs closed-form M/G/1 response times "
+             "(PS = RR, P-K = FCFS, Schrage-Miller = SRPT, FB = SETF)",
+             "sim/theory within a few percent; PS insensitive to the "
+             "size distribution");
 
   const std::vector<std::pair<std::string, workload::SizeDist>> dists{
       {"exp(1)", workload::ExponentialSize{1.0}},
@@ -75,8 +72,7 @@ int main(int argc, char** argv) {
     double load, theory, sim;
   };
   std::vector<Row> rows(dists.size() * loads.size() * policies.size());
-  harness::ThreadPool pool;
-  pool.parallel_for(rows.size(), [&](std::size_t idx) {
+  ctx.pool().parallel_for(rows.size(), [&](std::size_t idx) {
     const auto& [dist_name, dist] = dists[idx / (loads.size() * policies.size())];
     const double load = loads[(idx / policies.size()) % loads.size()];
     const auto& po = policies[idx % policies.size()];
@@ -92,6 +88,16 @@ int main(int argc, char** argv) {
                    analysis::Table::num(r.sim, 3),
                    analysis::Table::num(r.sim / r.theory, 3)});
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "f10",
+    "F10 (M/G/1 oracle, extension)",
+    "simulated mean flow matches closed-form M/G/1 response times",
+    "n=5000 seed=71",
+    run,
+}};
+
+}  // namespace

@@ -9,17 +9,18 @@
 // saturation at ~2 (see EXPERIMENTS.md).
 #include "analysis/competitive.h"
 #include "common.h"
-#include "harness/thread_pool.h"
 #include "policies/round_robin.h"
+#include "registry.h"
 #include "workload/adversarial.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  bench::banner("F1 (lower-bound growth)",
-                "RR is not O(1)-competitive for l2 below speed 3/2 [4]",
-                "ratio grows with depth at speed <= 1.4; flat < 1 at 4.4");
+namespace {
+
+int run(bench::RunContext& ctx) {
+  ctx.banner("F1 (lower-bound growth)",
+             "RR is not O(1)-competitive for l2 below speed 3/2 [4]",
+             "ratio grows with depth at speed <= 1.4; flat < 1 at 4.4");
 
   const std::vector<int> depths{4, 6, 8, 10, 12};
   const std::vector<double> speeds{1.0, 1.2, 1.4, 4.4};
@@ -33,8 +34,7 @@ int main(int argc, char** argv) {
     std::vector<double> ratios;
   };
   std::vector<Row> rows(depths.size());
-  harness::ThreadPool pool;
-  pool.parallel_for(depths.size(), [&](std::size_t d) {
+  ctx.pool().parallel_for(depths.size(), [&](std::size_t d) {
     const Instance inst = workload::geometric_levels(depths[d]);
     lpsolve::OptBoundsOptions bo;
     bo.k = 2.0;
@@ -59,13 +59,13 @@ int main(int argc, char** argv) {
                  analysis::Table::num(r.ratios[2], 3),
                  analysis::Table::num(r.ratios[3], 3)});
   }
-  bench::emit(geo, cli);
+  ctx.emit(geo);
 
   analysis::Table bs("F1b: batch+stream family (documented saturation ~2)",
                      {"n", "jobs", "s=1.0", "s=4.4"});
   const std::vector<std::size_t> ns{10, 20, 40, 80, 160};
   std::vector<Row> rows2(ns.size());
-  pool.parallel_for(ns.size(), [&](std::size_t i) {
+  ctx.pool().parallel_for(ns.size(), [&](std::size_t i) {
     const Instance inst = workload::rr_l2_hard(ns[i]);
     lpsolve::OptBoundsOptions bo;
     bo.k = 2.0;
@@ -88,6 +88,16 @@ int main(int argc, char** argv) {
                 analysis::Table::num(r.ratios[0], 3),
                 analysis::Table::num(r.ratios[1], 3)});
   }
-  bench::emit(bs, cli);
+  ctx.emit(bs);
   return 0;
 }
+
+const bench::Registration reg{{
+    "f1",
+    "F1 (lower-bound growth)",
+    "RR is not O(1)-competitive for l2 below speed 3/2",
+    "(no params)",
+    run,
+}};
+
+}  // namespace

@@ -6,20 +6,21 @@
 #include "common.h"
 #include "core/engine.h"
 #include "core/fairness.h"
-#include "harness/thread_pool.h"
 #include "policies/registry.h"
+#include "registry.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 250));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
+namespace {
 
-  bench::banner("F2 (instantaneous fairness)",
-                "RR is instantaneously fair: equal shares at every moment",
-                "RR row: jain=1, min_share=1, lag=0, starved=0; SRPT/SJF/"
-                "FCFS starve under contention");
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 250);
+  const std::uint64_t seed = ctx.seed_param(9);
+
+  ctx.banner("F2 (instantaneous fairness)",
+             "RR is instantaneously fair: equal shares at every moment",
+             "RR row: jain=1, min_share=1, lag=0, starved=0; SRPT/SJF/"
+             "FCFS starve under contention");
 
   workload::Rng rng(seed);
   const Instance inst =
@@ -31,8 +32,7 @@ int main(int argc, char** argv) {
       {"policy", "jain_avg", "jain_min", "min_share", "max_lag", "starved_frac"});
 
   std::vector<FairnessReport> reports(policies.size());
-  harness::ThreadPool pool;
-  pool.parallel_for(policies.size(), [&](std::size_t i) {
+  ctx.pool().parallel_for(policies.size(), [&](std::size_t i) {
     auto policy = make_policy(policies[i]);
     const Schedule s = simulate(inst, *policy);
     reports[i] = fairness_report(s);
@@ -46,6 +46,16 @@ int main(int argc, char** argv) {
                    analysis::Table::num(r.max_service_lag, 2),
                    analysis::Table::num(r.starved_time_fraction, 3)});
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "f2",
+    "F2 (instantaneous fairness)",
+    "RR is instantaneously fair: equal shares at every moment",
+    "n=250 seed=9",
+    run,
+}};
+
+}  // namespace

@@ -8,24 +8,22 @@
 #include "common.h"
 #include "core/engine.h"
 #include "core/metrics.h"
-#include "harness/thread_pool.h"
 #include "policies/registry.h"
+#include "registry.h"
 #include "workload/adversarial.h"
 
 using namespace tempofair;
 
 namespace {
 
-void run_block(const std::string& title, const Instance& inst,
-               const harness::Cli& cli) {
-  using namespace tempofair::bench;
+void run_block(bench::RunContext& ctx, const std::string& title,
+               const Instance& inst) {
   const auto policies = builtin_policy_specs();
   analysis::Table table(title,
                         {"policy", "mean", "stddev", "p95", "p99", "max",
                          "l2_norm", "stddev/mean"});
   std::vector<FlowStats> stats(policies.size());
-  harness::ThreadPool pool;
-  pool.parallel_for(policies.size(), [&](std::size_t i) {
+  ctx.pool().parallel_for(policies.size(), [&](std::size_t i) {
     auto policy = make_policy(policies[i]);
     EngineOptions eo;
     eo.record_trace = false;
@@ -41,28 +39,35 @@ void run_block(const std::string& title, const Instance& inst,
                    analysis::Table::num(s.l2, 2),
                    analysis::Table::num(s.mean > 0 ? s.stddev / s.mean : 0, 3)});
   }
-  emit(table, cli);
+  ctx.emit(table);
 }
 
-}  // namespace
+int run(bench::RunContext& ctx) {
+  const std::uint64_t seed = ctx.seed_param(10);
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 10));
+  ctx.banner("F3 (starvation / tail of flow times)",
+             "mean-optimal policies starve individual jobs; RR keeps the "
+             "distribution tight (the variance quote from [26])",
+             "SRPT max-flow >> RR max-flow on the starvation family; "
+             "RR stddev/mean among the smallest");
 
-  bench::banner("F3 (starvation / tail of flow times)",
-                "mean-optimal policies starve individual jobs; RR keeps the "
-                "distribution tight (the variance quote from [26])",
-                "SRPT max-flow >> RR max-flow on the starvation family; "
-                "RR stddev/mean among the smallest");
-
-  run_block("F3a: srpt_starvation(120 unit jobs + one size-2 job, zero slack)",
-            workload::srpt_starvation(120, 2.0), cli);
+  run_block(ctx,
+            "F3a: srpt_starvation(120 unit jobs + one size-2 job, zero slack)",
+            workload::srpt_starvation(120, 2.0));
 
   workload::Rng rng(seed);
-  run_block("F3b: Poisson load .95, Pareto(1.8) sizes, m=1",
+  run_block(ctx, "F3b: Poisson load .95, Pareto(1.8) sizes, m=1",
             workload::poisson_load(250, 1, 0.95,
-                                   workload::ParetoSize{1.8, 0.5, 50.0}, rng),
-            cli);
+                                   workload::ParetoSize{1.8, 0.5, 50.0}, rng));
   return 0;
 }
+
+const bench::Registration reg{{
+    "f3",
+    "F3 (starvation / tail of flow times)",
+    "mean-optimal policies starve; RR keeps the distribution tight",
+    "seed=10",
+    run,
+}};
+
+}  // namespace

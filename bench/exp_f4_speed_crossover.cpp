@@ -9,28 +9,28 @@
 #include "analysis/competitive.h"
 #include "common.h"
 #include "harness/sweep.h"
-#include "harness/thread_pool.h"
 #include "policies/round_robin.h"
+#include "registry.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 100));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
+namespace {
 
-  bench::banner("F4 (speed crossover, l2)",
-                "RR's l2 ratio as a function of speed: high below 3/2, "
-                "flat beyond 4+eps",
-                "monotone decreasing curve flattening after ~4");
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 100);
+  const std::uint64_t seed = ctx.seed_param(11);
+
+  ctx.banner("F4 (speed crossover, l2)",
+             "RR's l2 ratio as a function of speed: high below 3/2, "
+             "flat beyond 4+eps",
+             "monotone decreasing curve flattening after ~4");
 
   const auto workloads = bench::standard_workloads(n, 1, seed);
   const std::vector<double> speeds = harness::linspace(1.0, 5.0, 17);
 
   // Precompute bounds once per workload.
   std::vector<lpsolve::OptBounds> bounds(workloads.size());
-  harness::ThreadPool pool;
-  pool.parallel_for(workloads.size(), [&](std::size_t w) {
+  ctx.pool().parallel_for(workloads.size(), [&](std::size_t w) {
     lpsolve::OptBoundsOptions bo;
     bo.k = 2.0;
     bounds[w] = lpsolve::opt_bounds(workloads[w].instance, bo);
@@ -42,31 +42,31 @@ int main(int argc, char** argv) {
   struct Point {
     double worst_adv = 0.0, mean_random = 0.0, max_all = 0.0;
   };
-  std::vector<Point> points(speeds.size());
-  pool.parallel_for(speeds.size(), [&](std::size_t si) {
-    Point p;
-    double random_sum = 0.0;
-    int random_count = 0;
-    for (std::size_t w = 0; w < workloads.size(); ++w) {
-      RoundRobin rr;
-      analysis::RatioOptions opt;
-      opt.k = 2.0;
-      opt.speed = speeds[si];
-      const double ratio =
-          analysis::measure_ratio(workloads[w].instance, rr, opt, bounds[w])
-              .ratio_vs_lb;
-      const bool adversarial = workloads[w].name.rfind("adv-", 0) == 0;
-      if (adversarial) {
-        p.worst_adv = std::max(p.worst_adv, ratio);
-      } else {
-        random_sum += ratio;
-        ++random_count;
-      }
-      p.max_all = std::max(p.max_all, ratio);
-    }
-    p.mean_random = random_sum / std::max(random_count, 1);
-    points[si] = p;
-  });
+  const auto points = harness::run_sweep(
+      ctx.pool(), speeds, [&](const double speed) {
+        Point p;
+        double random_sum = 0.0;
+        int random_count = 0;
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+          RoundRobin rr;
+          analysis::RatioOptions opt;
+          opt.k = 2.0;
+          opt.speed = speed;
+          const double ratio =
+              analysis::measure_ratio(workloads[w].instance, rr, opt, bounds[w])
+                  .ratio_vs_lb;
+          const bool adversarial = workloads[w].name.rfind("adv-", 0) == 0;
+          if (adversarial) {
+            p.worst_adv = std::max(p.worst_adv, ratio);
+          } else {
+            random_sum += ratio;
+            ++random_count;
+          }
+          p.max_all = std::max(p.max_all, ratio);
+        }
+        p.mean_random = random_sum / std::max(random_count, 1);
+        return p;
+      });
 
   for (std::size_t si = 0; si < speeds.size(); ++si) {
     table.add_row({analysis::Table::num(speeds[si], 2),
@@ -74,6 +74,16 @@ int main(int argc, char** argv) {
                    analysis::Table::num(points[si].mean_random, 2),
                    analysis::Table::num(points[si].max_all, 2)});
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "f4",
+    "F4 (speed crossover, l2)",
+    "RR's l2 ratio vs speed: high below 3/2, flat beyond 4+eps",
+    "n=100 seed=11",
+    run,
+}};
+
+}  // namespace

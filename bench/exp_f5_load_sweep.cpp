@@ -7,20 +7,21 @@
 #include "common.h"
 #include "core/engine.h"
 #include "core/metrics.h"
-#include "harness/thread_pool.h"
 #include "policies/registry.h"
+#include "registry.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 300));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 12));
-  const int trials = static_cast<int>(cli.get_int("trials", 2));
+namespace {
 
-  bench::banner("F5 (load sweep)",
-                "mean and stddev of flow vs utilization for all policies",
-                "monotone in load; SRPT lowest mean, RR bounded factor above");
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 300);
+  const std::uint64_t seed = ctx.seed_param(12);
+  const int trials = static_cast<int>(ctx.size_param("trials", 2, 1));
+
+  ctx.banner("F5 (load sweep)",
+             "mean and stddev of flow vs utilization for all policies",
+             "monotone in load; SRPT lowest mean, RR bounded factor above");
 
   const std::vector<double> loads{0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.97};
   const auto policies = builtin_policy_specs();
@@ -38,8 +39,7 @@ int main(int argc, char** argv) {
   std::vector<std::vector<Cell>> grid(loads.size(),
                                       std::vector<Cell>(policies.size()));
 
-  harness::ThreadPool pool;
-  pool.parallel_for(loads.size() * policies.size(), [&](std::size_t idx) {
+  ctx.pool().parallel_for(loads.size() * policies.size(), [&](std::size_t idx) {
     const std::size_t li = idx / policies.size();
     const std::size_t pi = idx % policies.size();
     double mean = 0.0, stddev = 0.0;
@@ -65,6 +65,16 @@ int main(int argc, char** argv) {
     }
     table.add_row(std::move(row));
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "f5",
+    "F5 (load sweep)",
+    "mean and stddev of flow vs utilization for all policies",
+    "n=300 seed=12 trials=2",
+    run,
+}};
+
+}  // namespace

@@ -4,20 +4,21 @@
 // Jain ~1 byte-level fairness regardless of packet sizes (Shreedhar-
 // Varghese's point); FIFO's shares track the offered bytes, not fairness.
 #include "common.h"
-#include "harness/thread_pool.h"
 #include "netsim/schedulers.h"
+#include "registry.h"
 
 using namespace tempofair;
 using namespace tempofair::netsim;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 13));
+namespace {
 
-  bench::banner("F6 (packet fair queueing)",
-                "RR-style packet schedulers give per-flow fair shares on a "
-                "link (the practice the paper cites: [8,17,25])",
-                "DRR/WFQ jain ~1 and min/max ~1; FIFO skewed");
+int run(bench::RunContext& ctx) {
+  const std::uint64_t seed = ctx.seed_param(13);
+
+  ctx.banner("F6 (packet fair queueing)",
+             "RR-style packet schedulers give per-flow fair shares on a "
+             "link (the practice the paper cites: [8,17,25])",
+             "DRR/WFQ jain ~1 and min/max ~1; FIFO skewed");
 
   // Eight flows: packet sizes 1..8 (flow f uses size f+1), each flow
   // continuously backlogged: it offers far more than its fair share.
@@ -61,7 +62,7 @@ int main(int argc, char** argv) {
                    analysis::Table::num(e.result.per_flow.at(0).mean_delay, 1),
                    analysis::Table::num(e.result.per_flow.at(7).mean_delay, 1)});
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
 
   // Weighted WFQ demo: weights 4:2:1:1 over four flows.
   analysis::Table wtable("F6b: weighted SCFQ shares (weights 4:2:1:1)",
@@ -81,6 +82,16 @@ int main(int argc, char** argv) {
     wtable.add_row({std::to_string(f), analysis::Table::num(weights[f], 0),
                     analysis::Table::num(in_window[f], 0)});
   }
-  bench::emit(wtable, cli);
+  ctx.emit(wtable);
   return 0;
 }
+
+const bench::Registration reg{{
+    "f6",
+    "F6 (packet fair queueing)",
+    "RR-style packet schedulers give per-flow fair link shares",
+    "seed=13",
+    run,
+}};
+
+}  // namespace

@@ -9,20 +9,21 @@
 // setting (Theorem 1) surprising.
 #include "common.h"
 #include "core/metrics.h"
-#include "harness/thread_pool.h"
 #include "parsim/parsim.h"
+#include "registry.h"
 
 using namespace tempofair;
 using namespace tempofair::parsim;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  bench::banner("F7 (speed-up curves, extension)",
-                "EQUI (RR) fails for l2 under arbitrary speed-up curves [15]; "
-                "the latest-arrival-weighted WLAPS [12] does not",
-                "equi ratio grows with n at speed 1; laps/wlaps flat; pure "
-                "age-weighting (wequi) backfires -- it favors jobs stuck in "
-                "sequential phases");
+namespace {
+
+int run(bench::RunContext& ctx) {
+  ctx.banner("F7 (speed-up curves, extension)",
+             "EQUI (RR) fails for l2 under arbitrary speed-up curves [15]; "
+             "the latest-arrival-weighted WLAPS [12] does not",
+             "equi ratio grows with n at speed 1; laps/wlaps flat; pure "
+             "age-weighting (wequi) backfires -- it favors jobs stuck in "
+             "sequential phases");
 
   const std::vector<std::size_t> ns{20, 40, 80, 160, 320};
 
@@ -36,8 +37,7 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows(ns.size());
 
-  harness::ThreadPool pool;
-  pool.parallel_for(ns.size(), [&](std::size_t i) {
+  ctx.pool().parallel_for(ns.size(), [&](std::size_t i) {
     const auto jobs = par_seq_stream(ns[i], 1.0, 3.0, 1.3);
     ParOptProxy proxy;
     ParSimOptions base;
@@ -63,6 +63,16 @@ int main(int argc, char** argv) {
                    analysis::Table::num(r.wlaps, 2),
                    analysis::Table::num(r.equi44, 2)});
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "f7",
+    "F7 (speed-up curves, extension)",
+    "EQUI fails for l2 under speed-up curves; WLAPS does not",
+    "(no params)",
+    run,
+}};
+
+}  // namespace

@@ -10,20 +10,21 @@
 #include "core/engine.h"
 #include "core/fractional.h"
 #include "core/metrics.h"
-#include "harness/thread_pool.h"
 #include "policies/registry.h"
+#include "registry.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 200));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 51));
+namespace {
 
-  bench::banner("F8 (integral vs fractional flow, extension)",
-                "the gap between integral flow (the theorem's objective) and "
-                "fractional flow (the LP's)",
-                "integral/fractional around k+1, policy-dependent");
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 200);
+  const std::uint64_t seed = ctx.seed_param(51);
+
+  ctx.banner("F8 (integral vs fractional flow, extension)",
+             "the gap between integral flow (the theorem's objective) and "
+             "fractional flow (the LP's)",
+             "integral/fractional around k+1, policy-dependent");
 
   workload::Rng rng(seed);
   const Instance inst =
@@ -35,8 +36,7 @@ int main(int argc, char** argv) {
         "F8: sum F^k (integral) / fractional, k=" + analysis::Table::num(k, 0),
         {"policy", "integral", "fractional", "ratio"});
     std::vector<std::array<double, 2>> vals(specs.size());
-    harness::ThreadPool pool;
-    pool.parallel_for(specs.size(), [&](std::size_t i) {
+    ctx.pool().parallel_for(specs.size(), [&](std::size_t i) {
       auto policy = make_policy(specs[i]);
       const Schedule s = simulate(inst, *policy);
       vals[i] = {flow_lk_power(s, k), fractional_flow_power(s, k).total};
@@ -46,7 +46,17 @@ int main(int argc, char** argv) {
                      analysis::Table::num(vals[i][1]),
                      analysis::Table::num(vals[i][0] / vals[i][1], 2)});
     }
-    bench::emit(table, cli);
+    ctx.emit(table);
   }
   return 0;
 }
+
+const bench::Registration reg{{
+    "f8",
+    "F8 (integral vs fractional flow, extension)",
+    "the integral/fractional flow gap per policy",
+    "n=200 seed=51",
+    run,
+}};
+
+}  // namespace

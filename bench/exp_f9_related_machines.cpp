@@ -8,22 +8,23 @@
 // with identical speeds the columns reproduce the m-machine T3 picture.
 #include "common.h"
 #include "core/metrics.h"
-#include "harness/thread_pool.h"
+#include "registry.h"
 #include "relsim/relsim.h"
 
 using namespace tempofair;
 using namespace tempofair::relsim;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 200));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 61));
+namespace {
 
-  bench::banner("F9 (related machines, extension)",
-                "RR vs SRPT vs FCFS on related machines of fixed total "
-                "capacity, varying speed skew",
-                "rel-rr / rel-srpt l2 ratio grows mildly with skew; identical "
-                "speeds reproduce the multi-machine landscape");
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 200);
+  const std::uint64_t seed = ctx.seed_param(61);
+
+  ctx.banner("F9 (related machines, extension)",
+             "RR vs SRPT vs FCFS on related machines of fixed total "
+             "capacity, varying speed skew",
+             "rel-rr / rel-srpt l2 ratio grows mildly with skew; identical "
+             "speeds reproduce the multi-machine landscape");
 
   // Speed profiles with total capacity 4 across 4 machines.
   const std::vector<std::pair<std::string, std::vector<double>>> profiles{
@@ -47,8 +48,7 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows(profiles.size() * 3);
 
-  harness::ThreadPool pool;
-  pool.parallel_for(profiles.size(), [&](std::size_t pi) {
+  ctx.pool().parallel_for(profiles.size(), [&](std::size_t pi) {
     RelSimOptions ro;
     ro.speeds = profiles[pi].second;
     std::unique_ptr<RelPolicy> policies[3] = {
@@ -67,6 +67,16 @@ int main(int argc, char** argv) {
     table.add_row({r.profile, r.policy, analysis::Table::num(r.l1),
                    analysis::Table::num(r.l2), analysis::Table::num(r.linf)});
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "f9",
+    "F9 (related machines, extension)",
+    "RR vs SRPT vs FCFS on related machines, varying speed skew",
+    "n=200 seed=61",
+    run,
+}};
+
+}  // namespace

@@ -7,20 +7,21 @@
 // on every family; at speed 1 the adversarial families push it well above.
 #include "analysis/competitive.h"
 #include "common.h"
-#include "harness/thread_pool.h"
 #include "policies/round_robin.h"
+#include "registry.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 120));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+namespace {
 
-  bench::banner("T1 (Theorem 1, l2)",
-                "RR is (4+eps)-speed O(1)-competitive for the l2 norm",
-                "ratio_vs_lb bounded (small constant) at speed >= 4; "
-                "large at speed 1 on adversarial families");
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 120);
+  const std::uint64_t seed = ctx.seed_param(1);
+
+  ctx.banner("T1 (Theorem 1, l2)",
+             "RR is (4+eps)-speed O(1)-competitive for the l2 norm",
+             "ratio_vs_lb bounded (small constant) at speed >= 4; "
+             "large at speed 1 on adversarial families");
 
   const auto workloads = bench::standard_workloads(n, 1, seed);
   const std::vector<double> speeds{1.0, 1.5, 2.0, 3.0, 4.0, 4.4};
@@ -37,8 +38,7 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows(workloads.size() * speeds.size());
 
-  harness::ThreadPool pool;
-  pool.parallel_for(workloads.size(), [&](std::size_t w) {
+  ctx.pool().parallel_for(workloads.size(), [&](std::size_t w) {
     const auto& wl = workloads[w];
     lpsolve::OptBoundsOptions bo;
     bo.k = 2.0;
@@ -61,6 +61,16 @@ int main(int argc, char** argv) {
                    analysis::Table::num(r.m.ratio_vs_lb, 2),
                    analysis::Table::num(r.m.ratio_vs_proxy, 2)});
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "t1",
+    "T1 (Theorem 1, l2)",
+    "RR is (4+eps)-speed O(1)-competitive for the l2 norm",
+    "n=120 seed=1",
+    run,
+}};
+
+}  // namespace

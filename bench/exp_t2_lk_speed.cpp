@@ -8,20 +8,21 @@
 #include "analysis/dualfit.h"
 #include "common.h"
 #include "core/engine.h"
-#include "harness/thread_pool.h"
 #include "policies/round_robin.h"
+#include "registry.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 100));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 2));
-  const double eps = cli.get_double("eps", 0.05);
+namespace {
 
-  bench::banner("T2 (Theorem 1, general k)",
-                "RR at speed 2k(1+10eps) is O(k/eps)-competitive for l_k",
-                "bounded ratio and valid dual certificate at eta for k=1,2,3");
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 100);
+  const std::uint64_t seed = ctx.seed_param(2);
+  const double eps = ctx.double_param("eps", 0.05);
+
+  ctx.banner("T2 (Theorem 1, general k)",
+             "RR at speed 2k(1+10eps) is O(k/eps)-competitive for l_k",
+             "bounded ratio and valid dual certificate at eta for k=1,2,3");
 
   const auto workloads = bench::standard_workloads(n, 1, seed);
   const std::vector<double> ks{1.0, 2.0, 3.0};
@@ -39,8 +40,7 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows(workloads.size() * ks.size());
 
-  harness::ThreadPool pool;
-  pool.parallel_for(workloads.size() * ks.size(), [&](std::size_t idx) {
+  ctx.pool().parallel_for(workloads.size() * ks.size(), [&](std::size_t idx) {
     const auto& wl = workloads[idx / ks.size()];
     const double k = ks[idx % ks.size()];
     const double eta = analysis::theorem1_speed(k, eps);
@@ -74,6 +74,16 @@ int main(int argc, char** argv) {
                    r.certified ? "yes" : "NO",
                    analysis::Table::num(r.implied, 0)});
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "t2",
+    "T2 (Theorem 1, general k)",
+    "RR at speed 2k(1+10eps) is O(k/eps)-competitive for l_k",
+    "n=100 seed=2 eps=0.05",
+    run,
+}};
+
+}  // namespace

@@ -6,21 +6,23 @@
 #include "common.h"
 #include "core/engine.h"
 #include "core/metrics.h"
-#include "harness/thread_pool.h"
+#include "harness/sweep.h"
 #include "policies/registry.h"
+#include "registry.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 300));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+namespace {
 
-  bench::banner("T3 (policy comparison)",
-                "related-work landscape: size-aware policies win on means, "
-                "RR stays within a modest factor, FCFS degrades",
-                "SRPT/SJF ~1 on l1/l2; RR factor ~1.5-3; FCFS worst with "
-                "heavy-tailed sizes");
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 300);
+  const std::uint64_t seed = ctx.seed_param(3);
+
+  ctx.banner("T3 (policy comparison)",
+             "related-work landscape: size-aware policies win on means, "
+             "RR stays within a modest factor, FCFS degrades",
+             "SRPT/SJF ~1 on l1/l2; RR factor ~1.5-3; FCFS worst with "
+             "heavy-tailed sizes");
 
   const std::vector<double> loads{0.5, 0.8, 0.95};
   const auto policies = builtin_policy_specs();
@@ -34,36 +36,55 @@ int main(int argc, char** argv) {
     std::string policy;
     double l1, l2, l3, linf;
   };
-  std::vector<Row> rows(loads.size() * policies.size());
 
-  harness::ThreadPool pool;
-  pool.parallel_for(loads.size(), [&](std::size_t li) {
-    workload::Rng rng(seed + li);
-    const Instance inst = workload::poisson_load(
-        n, 1, loads[li], workload::ExponentialSize{1.5}, rng);
-    EngineOptions eo;
-    eo.record_trace = false;
-    auto srpt = make_policy("srpt");
-    const Schedule base = simulate(inst, *srpt, eo);
-    const double b1 = flow_lk_norm(base, 1.0), b2 = flow_lk_norm(base, 2.0),
-                 b3 = flow_lk_norm(base, 3.0),
-                 binf = flow_lk_norm(base, std::numeric_limits<double>::infinity());
-    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
-      auto policy = make_policy(policies[pi]);
-      const Schedule s = simulate(inst, *policy, eo);
-      rows[li * policies.size() + pi] = Row{
-          loads[li], policies[pi], flow_lk_norm(s, 1.0) / b1,
-          flow_lk_norm(s, 2.0) / b2, flow_lk_norm(s, 3.0) / b3,
-          flow_lk_norm(s, std::numeric_limits<double>::infinity()) / binf};
+  // One sweep config per load level; each evaluates every policy against
+  // the SRPT baseline on that load's instance.
+  std::vector<std::size_t> load_indices(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) load_indices[i] = i;
+  const auto row_groups = harness::run_sweep(
+      ctx.pool(), load_indices, [&](std::size_t li) {
+        workload::Rng rng(seed + li);
+        const Instance inst = workload::poisson_load(
+            n, 1, loads[li], workload::ExponentialSize{1.5}, rng);
+        EngineOptions eo;
+        eo.record_trace = false;
+        auto srpt = make_policy("srpt");
+        const Schedule base = simulate(inst, *srpt, eo);
+        const double b1 = flow_lk_norm(base, 1.0), b2 = flow_lk_norm(base, 2.0),
+                     b3 = flow_lk_norm(base, 3.0),
+                     binf = flow_lk_norm(base,
+                                         std::numeric_limits<double>::infinity());
+        std::vector<Row> group(policies.size());
+        for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+          auto policy = make_policy(policies[pi]);
+          const Schedule s = simulate(inst, *policy, eo);
+          group[pi] = Row{
+              loads[li], policies[pi], flow_lk_norm(s, 1.0) / b1,
+              flow_lk_norm(s, 2.0) / b2, flow_lk_norm(s, 3.0) / b3,
+              flow_lk_norm(s, std::numeric_limits<double>::infinity()) / binf};
+        }
+        return group;
+      });
+
+  for (const auto& group : row_groups) {
+    for (const Row& r : group) {
+      table.add_row({analysis::Table::num(r.load, 2), r.policy,
+                     analysis::Table::num(r.l1, 2),
+                     analysis::Table::num(r.l2, 2),
+                     analysis::Table::num(r.l3, 2),
+                     analysis::Table::num(r.linf, 2)});
     }
-  });
-
-  for (const Row& r : rows) {
-    table.add_row({analysis::Table::num(r.load, 2), r.policy,
-                   analysis::Table::num(r.l1, 2), analysis::Table::num(r.l2, 2),
-                   analysis::Table::num(r.l3, 2),
-                   analysis::Table::num(r.linf, 2)});
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "t3",
+    "T3 (policy comparison)",
+    "size-aware policies win on means, RR within a modest factor",
+    "n=300 seed=3",
+    run,
+}};
+
+}  // namespace

@@ -8,23 +8,24 @@
 #include "analysis/dualfit.h"
 #include "common.h"
 #include "core/engine.h"
-#include "harness/thread_pool.h"
 #include "policies/round_robin.h"
+#include "registry.h"
 #include "workload/adversarial.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 100));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 4));
-  const double eps = cli.get_double("eps", 0.05);
+namespace {
 
-  bench::banner("T4 (dual-fitting certificate)",
-                "the Section 3 construction: Lemmas 1-4 hold on RR schedules "
-                "at speed 2k(1+10eps)",
-                "all rows certified; objective ratio >= eps = " +
-                    analysis::Table::num(eps));
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 100);
+  const std::uint64_t seed = ctx.seed_param(4);
+  const double eps = ctx.double_param("eps", 0.05);
+
+  ctx.banner("T4 (dual-fitting certificate)",
+             "the Section 3 construction: Lemmas 1-4 hold on RR schedules "
+             "at speed 2k(1+10eps)",
+             "all rows certified; objective ratio >= eps = " +
+                 analysis::Table::num(eps));
 
   struct Case {
     std::string name;
@@ -48,8 +49,7 @@ int main(int argc, char** argv) {
        "implied_lk_bound", "valid"});
 
   std::vector<analysis::DualFitResult> results(cases.size());
-  harness::ThreadPool pool;
-  pool.parallel_for(cases.size(), [&](std::size_t i) {
+  ctx.pool().parallel_for(cases.size(), [&](std::size_t i) {
     const Case& c = cases[i];
     RoundRobin rr;
     EngineOptions eo;
@@ -73,7 +73,17 @@ int main(int argc, char** argv) {
                    analysis::Table::num(r.implied_lk_ratio, 0),
                    r.certificate_valid() ? "yes" : "NO"});
   }
-  bench::emit(table, cli);
-  std::cout << "\ncertified " << valid << "/" << cases.size() << " cases\n";
+  ctx.emit(table);
+  ctx.out() << "\ncertified " << valid << "/" << cases.size() << " cases\n";
   return valid == cases.size() ? 0 : 1;
 }
+
+const bench::Registration reg{{
+    "t4",
+    "T4 (dual-fitting certificate)",
+    "Lemmas 1-4 hold on RR schedules at speed 2k(1+10eps)",
+    "n=100 seed=4 eps=0.05",
+    run,
+}};
+
+}  // namespace

@@ -7,20 +7,22 @@
 #include "analysis/dualfit.h"
 #include "common.h"
 #include "core/engine.h"
-#include "harness/thread_pool.h"
+#include "harness/sweep.h"
 #include "policies/round_robin.h"
+#include "registry.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n_per_m = static_cast<std::size_t>(cli.get_int("n", 40));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+namespace {
+
+int run(bench::RunContext& ctx) {
+  const std::size_t n_per_m = ctx.size_param("n", 40);
+  const std::uint64_t seed = ctx.seed_param(5);
   const double eps = 0.05;
 
-  bench::banner("T5 (multiple machines)",
-                "Theorem 1 holds on m identical machines",
-                "l2 ratio bracket flat in m at speed 4.4; certificates valid");
+  ctx.banner("T5 (multiple machines)",
+             "Theorem 1 holds on m identical machines",
+             "l2 ratio bracket flat in m at speed 4.4; certificates valid");
 
   const std::vector<int> machine_counts{1, 2, 4, 8, 16};
 
@@ -34,40 +36,42 @@ int main(int argc, char** argv) {
     double rr_l2, vs_lb, vs_proxy;
     bool certified;
   };
-  std::vector<Row> rows(machine_counts.size());
 
-  harness::ThreadPool pool;
-  pool.parallel_for(machine_counts.size(), [&](std::size_t i) {
-    const int m = machine_counts[i];
-    workload::Rng rng(seed + i);
-    const Instance inst = workload::poisson_load(
-        n_per_m * static_cast<std::size_t>(m), m, 0.9,
-        workload::ExponentialSize{1.5}, rng);
+  std::vector<std::size_t> indices(machine_counts.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  const auto rows = harness::run_sweep(
+      ctx.pool(), indices, [&](std::size_t i) {
+        const int m = machine_counts[i];
+        workload::Rng rng(seed + i);
+        const Instance inst = workload::poisson_load(
+            n_per_m * static_cast<std::size_t>(m), m, 0.9,
+            workload::ExponentialSize{1.5}, rng);
 
-    RoundRobin rr;
-    analysis::RatioOptions ropt;
-    ropt.k = 2.0;
-    ropt.machines = m;
-    ropt.speed = 4.4;
-    // The LP grows with n = 40*m; past m = 4 fall back to the trivial lower
-    // bound (looser but valid -- ratio_vs_lb is then an over-estimate).
-    ropt.with_lp = m <= 4;
-    const auto meas = analysis::measure_ratio(inst, rr, ropt);
+        RoundRobin rr;
+        analysis::RatioOptions ropt;
+        ropt.k = 2.0;
+        ropt.machines = m;
+        ropt.speed = 4.4;
+        // The LP grows with n = 40*m; past m = 4 fall back to the trivial
+        // lower bound (looser but valid -- ratio_vs_lb is then an
+        // over-estimate).
+        ropt.with_lp = m <= 4;
+        const auto meas = analysis::measure_ratio(inst, rr, ropt);
 
-    RoundRobin rr2;
-    EngineOptions eo;
-    eo.machines = m;
-    eo.speed = analysis::theorem1_speed(2.0, eps);
-    const Schedule s = simulate(inst, rr2, eo);
-    analysis::DualFitOptions dopt;
-    dopt.k = 2.0;
-    dopt.eps = eps;
-    const bool certified =
-        analysis::dual_fit_certificate(s, dopt).certificate_valid();
+        RoundRobin rr2;
+        EngineOptions eo;
+        eo.machines = m;
+        eo.speed = analysis::theorem1_speed(2.0, eps);
+        const Schedule s = simulate(inst, rr2, eo);
+        analysis::DualFitOptions dopt;
+        dopt.k = 2.0;
+        dopt.eps = eps;
+        const bool certified =
+            analysis::dual_fit_certificate(s, dopt).certificate_valid();
 
-    rows[i] = Row{m, inst.n(), meas.cost_norm, meas.ratio_vs_lb,
-                  meas.ratio_vs_proxy, certified};
-  });
+        return Row{m, inst.n(), meas.cost_norm, meas.ratio_vs_lb,
+                   meas.ratio_vs_proxy, certified};
+      });
 
   for (const Row& r : rows) {
     table.add_row({std::to_string(r.m), std::to_string(r.n),
@@ -76,6 +80,16 @@ int main(int argc, char** argv) {
                    analysis::Table::num(r.vs_proxy, 2),
                    r.certified ? "yes" : "NO"});
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "t5",
+    "T5 (multiple machines)",
+    "Theorem 1 holds on m identical machines",
+    "n=40 seed=5",
+    run,
+}};
+
+}  // namespace

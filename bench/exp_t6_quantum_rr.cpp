@@ -7,21 +7,22 @@
 #include "common.h"
 #include "core/engine.h"
 #include "core/metrics.h"
-#include "harness/thread_pool.h"
 #include "policies/quantum_rr.h"
 #include "policies/round_robin.h"
+#include "registry.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 200));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 6));
+namespace {
 
-  bench::banner("T6 (quantum RR -> ideal RR)",
-                "ideal processor-sharing RR is the limit of OS time-slice RR",
-                "l2/ideal -> 1 as quantum -> 0 (cs=0); interior optimum with "
-                "cs > 0");
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 200);
+  const std::uint64_t seed = ctx.seed_param(6);
+
+  ctx.banner("T6 (quantum RR -> ideal RR)",
+             "ideal processor-sharing RR is the limit of OS time-slice RR",
+             "l2/ideal -> 1 as quantum -> 0 (cs=0); interior optimum with "
+             "cs > 0");
 
   workload::Rng rng(seed);
   const Instance inst =
@@ -42,8 +43,7 @@ int main(int argc, char** argv) {
     double q, cs, l2;
   };
   std::vector<Row> rows(quanta.size() * switch_costs.size());
-  harness::ThreadPool pool;
-  pool.parallel_for(rows.size(), [&](std::size_t i) {
+  ctx.pool().parallel_for(rows.size(), [&](std::size_t i) {
     const double q = quanta[i / switch_costs.size()];
     const double cs = switch_costs[i % switch_costs.size()];
     QuantumRoundRobin qrr(q, cs);
@@ -57,6 +57,16 @@ int main(int argc, char** argv) {
                    analysis::Table::num(r.l2),
                    analysis::Table::num(r.l2 / ideal_l2, 3)});
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "t6",
+    "T6 (quantum RR -> ideal RR)",
+    "ideal processor-sharing RR is the limit of OS time-slice RR",
+    "n=200 seed=6",
+    run,
+}};
+
+}  // namespace

@@ -7,20 +7,21 @@
 // LAPS with small beta on the l2 norm at low speed.
 #include "analysis/competitive.h"
 #include "common.h"
-#include "harness/thread_pool.h"
 #include "policies/registry.h"
+#include "registry.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 100));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+namespace {
 
-  bench::banner("T7 (WRR ablation)",
-                "plain RR performs comparably to the age-weighted WRR that "
-                "earlier analyses required",
-                "rr and wrr columns within a small factor across speeds");
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 100);
+  const std::uint64_t seed = ctx.seed_param(7);
+
+  ctx.banner("T7 (WRR ablation)",
+             "plain RR performs comparably to the age-weighted WRR that "
+             "earlier analyses required",
+             "rr and wrr columns within a small factor across speeds");
 
   const auto workloads = bench::standard_workloads(n, 1, seed);
   const std::vector<double> speeds{1.0, 2.0, 4.4};
@@ -36,8 +37,7 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows(workloads.size() * speeds.size());
 
-  harness::ThreadPool pool;
-  pool.parallel_for(workloads.size(), [&](std::size_t w) {
+  ctx.pool().parallel_for(workloads.size(), [&](std::size_t w) {
     const auto& wl = workloads[w];
     lpsolve::OptBoundsOptions bo;
     bo.k = 2.0;
@@ -63,6 +63,16 @@ int main(int argc, char** argv) {
                    analysis::Table::num(r.ratios[1], 2),
                    analysis::Table::num(r.ratios[2], 2)});
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return 0;
 }
+
+const bench::Registration reg{{
+    "t7",
+    "T7 (WRR ablation)",
+    "plain RR performs comparably to age-weighted WRR",
+    "n=100 seed=7",
+    run,
+}};
+
+}  // namespace

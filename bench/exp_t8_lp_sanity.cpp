@@ -10,22 +10,23 @@
 #include "analysis/dualfit.h"
 #include "common.h"
 #include "core/engine.h"
-#include "harness/thread_pool.h"
 #include "lpsolve/flowtime_lp.h"
 #include "lpsolve/lower_bounds.h"
 #include "policies/round_robin.h"
+#include "registry.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 8));
-  const int trials = static_cast<int>(cli.get_int("trials", 8));
+namespace {
 
-  bench::banner("T8 (LP/duality self-check)",
-                "MCMF == simplex on the Section 3.1 LP; lb <= proxy; weak "
-                "duality for the dual certificate",
-                "every check column 'ok'");
+int run(bench::RunContext& ctx) {
+  const std::uint64_t seed = ctx.seed_param(8);
+  const int trials = static_cast<int>(ctx.size_param("trials", 8, 2));
+
+  ctx.banner("T8 (LP/duality self-check)",
+             "MCMF == simplex on the Section 3.1 LP; lb <= proxy; weak "
+             "duality for the dual certificate",
+             "every check column 'ok'");
 
   analysis::Table table(
       "T8: solver cross-validation on random instances (k=2)",
@@ -40,8 +41,7 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows(static_cast<std::size_t>(trials));
 
-  harness::ThreadPool pool;
-  pool.parallel_for(rows.size(), [&](std::size_t t) {
+  ctx.pool().parallel_for(rows.size(), [&](std::size_t t) {
     workload::Rng rng(seed + t);
     // Tiny integer-ish instances keep the dense simplex tractable.
     std::vector<std::pair<Time, Work>> pairs;
@@ -91,6 +91,16 @@ int main(int argc, char** argv) {
                    r.match ? "ok" : "FAIL", r.ordered ? "ok" : "FAIL",
                    r.weak_duality ? "ok" : "FAIL"});
   }
-  bench::emit(table, cli);
+  ctx.emit(table);
   return all_ok ? 0 : 1;
 }
+
+const bench::Registration reg{{
+    "t8",
+    "T8 (LP/duality self-check)",
+    "MCMF == simplex; lb <= proxy; weak duality holds",
+    "seed=8 trials=8",
+    run,
+}};
+
+}  // namespace

@@ -11,21 +11,22 @@
 #include "common.h"
 #include "core/engine.h"
 #include "core/metrics.h"
-#include "harness/thread_pool.h"
 #include "policies/registry.h"
+#include "registry.h"
 
 using namespace tempofair;
 
-int main(int argc, char** argv) {
-  const harness::Cli cli(argc, argv);
-  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 200));
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 14));
+namespace {
 
-  bench::banner("T9 (weighted flow, extension)",
-                "weighted-flow landscape: HDF-family wins, weight-aware RR "
-                "(wprr) beats weight-oblivious RR",
-                "cells normalized by HDF; wprr <= rr under informative "
-                "weights");
+int run(bench::RunContext& ctx) {
+  const std::size_t n = ctx.size_param("n", 200);
+  const std::uint64_t seed = ctx.seed_param(14);
+
+  ctx.banner("T9 (weighted flow, extension)",
+             "weighted-flow landscape: HDF-family wins, weight-aware RR "
+             "(wprr) beats weight-oblivious RR",
+             "cells normalized by HDF; wprr <= rr under informative "
+             "weights");
 
   const std::vector<std::pair<std::string, workload::WeightScheme>> schemes{
       {"uniform", workload::WeightScheme::kUniform},
@@ -46,8 +47,7 @@ int main(int argc, char** argv) {
       inst = workload::with_weights(inst, scheme, rng);
 
       std::vector<double> costs(specs.size());
-      harness::ThreadPool pool;
-      pool.parallel_for(specs.size(), [&](std::size_t i) {
+      ctx.pool().parallel_for(specs.size(), [&](std::size_t i) {
         auto policy = make_policy(specs[i]);
         EngineOptions eo;
         eo.record_trace = false;
@@ -60,7 +60,17 @@ int main(int argc, char** argv) {
       }
       table.add_row(std::move(row));
     }
-    bench::emit(table, cli);
+    ctx.emit(table);
   }
   return 0;
 }
+
+const bench::Registration reg{{
+    "t9",
+    "T9 (weighted flow, extension)",
+    "HDF-family wins weighted norms; wprr beats weight-oblivious RR",
+    "n=200 seed=14",
+    run,
+}};
+
+}  // namespace

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace tempofair::analysis {
 
 namespace {
@@ -28,6 +30,8 @@ DualFitResult dual_fit_certificate(const Schedule& schedule,
   if (!(eps > 0.0) || eps > 0.1) {
     throw std::invalid_argument("dual_fit_certificate: eps must be in (0, 0.1]");
   }
+
+  obs::ScopedTimer cert_timer("dualfit.certificate");
 
   DualFitResult res;
   res.k = k;
@@ -52,7 +56,9 @@ DualFitResult dual_fit_certificate(const Schedule& schedule,
   std::vector<double> alpha(n, 0.0);
   std::vector<JobId> by_arrival;   // alive jobs sorted by (release, id)
   std::vector<double> prefix;      // prefix sums of per-j' integrals
+  std::size_t trace_intervals = 0;
   for (const TraceIntervalView iv : schedule.trace()) {
+    ++trace_intervals;
     const std::size_t nt = iv.alive_count();
     if (nt == 0) continue;
     const bool overloaded = nt >= static_cast<std::size_t>(m);
@@ -156,6 +162,7 @@ DualFitResult dual_fit_certificate(const Schedule& schedule,
   // cutoff conservative against pow() rounding wobble between pieces.
   res.min_slack = kInfiniteTime;
   res.max_relative_violation = 0.0;
+  std::size_t feasibility_checks = 0;
   for (std::size_t j = 0; j < n; ++j) {
     const double pj = schedule.size(static_cast<JobId>(j));
     const double rj = schedule.release(static_cast<JobId>(j));
@@ -166,6 +173,7 @@ DualFitResult dual_fit_certificate(const Schedule& schedule,
       return res.gamma * (std::pow(std::max(t - rj, 0.0), k) + pjk) / pj;
     };
     auto check = [&](double base, double beta_value) {
+      ++feasibility_checks;
       const double rhs = base + beta_value;
       const double slack = rhs - lhs;
       job_min_slack = std::min(job_min_slack, slack);
@@ -221,6 +229,11 @@ DualFitResult dual_fit_certificate(const Schedule& schedule,
     res.implied_lk_ratio =
         std::pow(2.0 * res.gamma / res.objective_ratio, 1.0 / k);
   }
+
+  obs::add("dualfit.certificates", 1);
+  obs::add("dualfit.trace_intervals", trace_intervals);
+  obs::add("dualfit.beta_pieces", beta_pieces.size());
+  obs::add("dualfit.feasibility_checks", feasibility_checks);
   return res;
 }
 

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace tempofair {
 
 namespace {
@@ -30,11 +32,16 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
                                 std::string(policy.name()));
   }
 
+  obs::ScopedTimer run_timer("engine.run");
+
   Schedule schedule(instance, options.machines, options.speed);
   schedule.set_trace_recorded(options.record_trace);
   policy.reset();
 
-  if (instance.empty()) return schedule;
+  if (instance.empty()) {
+    obs::add("engine.runs", 1);
+    return schedule;
+  }
 
   // Pending arrivals, consumed in (release, id) order.
   std::span<const JobId> order = instance.release_order();
@@ -80,6 +87,7 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
 
   std::size_t steps = 0;
   std::size_t zero_progress_streak = 0;
+  std::size_t intervals_emitted = 0;
 
   while (!alive_.empty() || next_arrival < order.size()) {
     if (++steps > options.max_steps) {
@@ -171,6 +179,7 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
     if (dt > 0.0) {
       if (options.record_trace) {
         schedule.push_interval(now, now + dt, ids_, decision.rates);
+        ++intervals_emitted;
       }
       for (std::size_t i = 0; i < alive_.size(); ++i) {
         const Work delta = decision.rates[i] * dt;
@@ -223,6 +232,11 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
   }
 
   if (options.record_trace) schedule.finalize_trace();
+
+  obs::add("engine.runs", 1);
+  obs::add("engine.events", steps);
+  obs::add("engine.jobs", instance.n());
+  obs::add("engine.trace_intervals", intervals_emitted);
   return schedule;
 }
 

@@ -1,9 +1,42 @@
 #include "harness/cli.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
-#include <stdexcept>
+#include <iomanip>
+#include <ostream>
 
 namespace tempofair::harness {
+
+namespace detail {
+
+long parse_long(const std::string& flag, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    throw CliError("--" + flag + ": expected an integer, got '" + text + "'");
+  }
+  if (errno == ERANGE) {
+    throw CliError("--" + flag + ": integer out of range: '" + text + "'");
+  }
+  return parsed;
+}
+
+double parse_double(const std::string& flag, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    throw CliError("--" + flag + ": expected a number, got '" + text + "'");
+  }
+  if (errno == ERANGE) {
+    throw CliError("--" + flag + ": number out of range: '" + text + "'");
+  }
+  return parsed;
+}
+
+}  // namespace detail
 
 Cli::Cli(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -35,27 +68,180 @@ std::optional<std::string> Cli::get(const std::string& name) const {
 double Cli::get_double(const std::string& name, double fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(v->c_str(), &end);
-  if (end != v->c_str() + v->size()) {
-    throw std::invalid_argument("--" + name + ": expected a number, got '" + *v + "'");
-  }
-  return parsed;
+  return detail::parse_double(name, *v);
 }
 
 long Cli::get_int(const std::string& name, long fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
-  char* end = nullptr;
-  const long parsed = std::strtol(v->c_str(), &end, 10);
-  if (end != v->c_str() + v->size()) {
-    throw std::invalid_argument("--" + name + ": expected an integer, got '" + *v + "'");
-  }
-  return parsed;
+  return detail::parse_long(name, *v);
 }
 
 std::string Cli::get_string(const std::string& name, const std::string& fallback) const {
   return get(name).value_or(fallback);
+}
+
+Options::Options(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+Options& Options::flag(const std::string& name, std::string help) {
+  Spec spec;
+  spec.kind = Kind::kFlag;
+  spec.help = std::move(help);
+  spec.fallback = false;
+  add_spec(name, std::move(spec));
+  return *this;
+}
+
+void Options::add_spec(const std::string& name, Spec spec) {
+  if (name.empty() || name == "help" || find(name) != nullptr) {
+    throw std::logic_error("Options: bad or duplicate option --" + name);
+  }
+  specs_.emplace_back(name, std::move(spec));
+}
+
+const Options::Spec* Options::find(const std::string& name) const {
+  for (const auto& [n, spec] : specs_) {
+    if (n == name) return &spec;
+  }
+  return nullptr;
+}
+
+Parsed Options::parse(int argc, const char* const* argv) const {
+  Parsed parsed;
+  for (const auto& [name, spec] : specs_) {
+    parsed.values_[name] = spec.fallback;
+    parsed.kinds_[name] = spec.kind;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      parsed.positional_.push_back(std::move(token));
+      continue;
+    }
+    token.erase(0, 2);
+    std::string name = token;
+    std::string inline_value;
+    bool has_inline = false;
+    if (const std::size_t eq = token.find('='); eq != std::string::npos) {
+      name = token.substr(0, eq);
+      inline_value = token.substr(eq + 1);
+      has_inline = true;
+    }
+    if (name == "help") {
+      parsed.help_ = true;
+      continue;
+    }
+    const Spec* spec = find(name);
+    if (spec == nullptr) {
+      throw CliError(program_ + ": unknown option --" + name +
+                     " (try --help)");
+    }
+    if (spec->kind == Kind::kFlag) {
+      if (has_inline) {
+        throw CliError("--" + name + " is a flag and takes no value");
+      }
+      parsed.values_[name] = true;
+      parsed.given_.insert(name);
+      continue;
+    }
+    std::string text;
+    if (has_inline) {
+      text = std::move(inline_value);
+    } else if (i + 1 < argc) {
+      text = argv[++i];
+    } else {
+      throw CliError("--" + name + ": missing value");
+    }
+    switch (spec->kind) {
+      case Kind::kInt:
+        parsed.values_[name] = detail::parse_long(name, text);
+        break;
+      case Kind::kDouble:
+        parsed.values_[name] = detail::parse_double(name, text);
+        break;
+      default:
+        parsed.values_[name] = std::move(text);
+        break;
+    }
+    parsed.given_.insert(name);
+  }
+  return parsed;
+}
+
+void Options::print_help(std::ostream& out) const {
+  out << "usage: " << program_ << " [options]\n";
+  if (!summary_.empty()) out << "\n" << summary_ << "\n";
+  out << "\noptions:\n";
+  auto left_column = [](const std::string& name, Kind kind) {
+    std::string left = "--" + name;
+    switch (kind) {
+      case Kind::kInt: left += " <int>"; break;
+      case Kind::kDouble: left += " <num>"; break;
+      case Kind::kString: left += " <str>"; break;
+      case Kind::kFlag: break;
+    }
+    return left;
+  };
+  std::size_t width = std::string("--help").size();
+  for (const auto& [name, spec] : specs_) {
+    width = std::max(width, left_column(name, spec.kind).size());
+  }
+  for (const auto& [name, spec] : specs_) {
+    out << "  " << std::left << std::setw(static_cast<int>(width) + 2)
+        << left_column(name, spec.kind) << spec.help;
+    switch (spec.kind) {
+      case Kind::kInt:
+        out << " (default: " << std::get<long>(spec.fallback) << ")";
+        break;
+      case Kind::kDouble:
+        out << " (default: " << std::get<double>(spec.fallback) << ")";
+        break;
+      case Kind::kString:
+        if (!std::get<std::string>(spec.fallback).empty()) {
+          out << " (default: " << std::get<std::string>(spec.fallback) << ")";
+        }
+        break;
+      case Kind::kFlag:
+        break;
+    }
+    out << "\n";
+  }
+  out << "  " << std::left << std::setw(static_cast<int>(width) + 2)
+      << "--help" << "print this help\n";
+}
+
+const Options::Value& Parsed::lookup(const std::string& name,
+                                     Options::Kind want) const {
+  const auto kind_it = kinds_.find(name);
+  if (kind_it == kinds_.end()) {
+    throw CliError("Parsed: option --" + name + " was never registered");
+  }
+  if (kind_it->second != want) {
+    throw CliError("Parsed: option --" + name +
+                   " accessed with the wrong type");
+  }
+  return values_.at(name);
+}
+
+bool Parsed::flag(const std::string& name) const {
+  return std::get<bool>(lookup(name, Options::Kind::kFlag));
+}
+
+bool Parsed::given(const std::string& name) const {
+  return given_.count(name) > 0;
+}
+
+long Parsed::get_int(const std::string& name) const {
+  return std::get<long>(lookup(name, Options::Kind::kInt));
+}
+
+double Parsed::get_double(const std::string& name) const {
+  return std::get<double>(lookup(name, Options::Kind::kDouble));
+}
+
+const std::string& Parsed::get_string(const std::string& name) const {
+  return std::get<std::string>(lookup(name, Options::Kind::kString));
 }
 
 }  // namespace tempofair::harness

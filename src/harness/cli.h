@@ -1,15 +1,44 @@
-// Minimal command-line parsing shared by examples and experiment binaries.
+// Command-line parsing shared by examples, experiment binaries and the
+// bench runner.
 //
-// Supports flags (--csv), valued options (--seed 42 or --seed=42), and
-// reports unknown arguments.  Deliberately tiny; not a general CLI library.
+// Two layers:
+//   * Options / Parsed -- the typed API.  Options are registered up front
+//     (opt.flag("csv"), opt.value<double>("speed", 4.4, "help")), --help is
+//     generated from the registrations, unknown flags and malformed values
+//     are hard CliError-s, and Parsed hands back typed values with the
+//     registered fallback filled in.
+//   * Cli -- the legacy loose scanner (kept as a thin wrapper during the
+//     migration): no registration, unknown flags accepted silently, typed
+//     accessors take their fallback per call.  New code should register an
+//     Options set instead.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <optional>
+#include <set>
+#include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <variant>
 #include <vector>
 
 namespace tempofair::harness {
+
+/// Parse failure: unknown option, missing or malformed value.  Derives from
+/// std::invalid_argument so legacy catch sites keep working.
+class CliError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+/// Strict numeric parses: the whole token must be consumed and in range;
+/// errors name the offending flag.  Shared by Cli and Options.
+[[nodiscard]] long parse_long(const std::string& flag, const std::string& text);
+[[nodiscard]] double parse_double(const std::string& flag,
+                                  const std::string& text);
+}  // namespace detail
 
 class Cli {
  public:
@@ -35,6 +64,91 @@ class Cli {
  private:
   std::map<std::string, std::string> options_;  // value may be empty
   std::vector<std::string> positional_;
+};
+
+class Parsed;
+
+/// Typed option registration; parse() validates argv against it.
+class Options {
+ public:
+  explicit Options(std::string program, std::string summary = "");
+
+  /// Registers a boolean flag (--name, no value).
+  Options& flag(const std::string& name, std::string help = "");
+
+  /// Registers a valued option with a typed fallback.  T must be an
+  /// integral type (stored as long), double, or a string type.
+  template <typename T>
+  Options& value(const std::string& name, T fallback, std::string help = "") {
+    Spec spec;
+    spec.help = std::move(help);
+    if constexpr (std::is_same_v<std::decay_t<T>, double> ||
+                  std::is_same_v<std::decay_t<T>, float>) {
+      spec.kind = Kind::kDouble;
+      spec.fallback = static_cast<double>(fallback);
+    } else if constexpr (std::is_integral_v<std::decay_t<T>>) {
+      spec.kind = Kind::kInt;
+      spec.fallback = static_cast<long>(fallback);
+    } else {
+      spec.kind = Kind::kString;
+      spec.fallback = std::string(std::move(fallback));
+    }
+    add_spec(name, std::move(spec));
+    return *this;
+  }
+
+  /// Parses argv.  Throws CliError on an unknown option, a flag given a
+  /// value, a missing value, or a value that fails its type's parse.
+  /// --help sets Parsed::help_requested() instead of failing.
+  [[nodiscard]] Parsed parse(int argc, const char* const* argv) const;
+
+  /// The generated usage/option listing (what --help should print).
+  void print_help(std::ostream& out) const;
+
+ private:
+  friend class Parsed;
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  using Value = std::variant<bool, long, double, std::string>;
+  struct Spec {
+    Kind kind = Kind::kFlag;
+    std::string help;
+    Value fallback = false;
+  };
+
+  void add_spec(const std::string& name, Spec spec);
+  [[nodiscard]] const Spec* find(const std::string& name) const;
+
+  std::string program_;
+  std::string summary_;
+  std::vector<std::pair<std::string, Spec>> specs_;  // registration order
+};
+
+/// The result of Options::parse: every registered option resolved to a
+/// typed value (given on the command line, or the registered fallback).
+class Parsed {
+ public:
+  /// True if the registered flag --name was passed.
+  [[nodiscard]] bool flag(const std::string& name) const;
+  /// True if --name appeared on the command line (flag or valued).
+  [[nodiscard]] bool given(const std::string& name) const;
+  [[nodiscard]] long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+
+ private:
+  friend class Options;
+  [[nodiscard]] const Options::Value& lookup(const std::string& name,
+                                             Options::Kind want) const;
+
+  std::map<std::string, Options::Value> values_;
+  std::map<std::string, Options::Kind> kinds_;
+  std::set<std::string> given_;
+  std::vector<std::string> positional_;
+  bool help_ = false;
 };
 
 }  // namespace tempofair::harness

@@ -4,6 +4,13 @@
 
 namespace tempofair::harness {
 
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 std::vector<double> linspace(double lo, double hi, std::size_t count) {
   if (count == 0) throw std::invalid_argument("linspace: count must be >= 1");
   std::vector<double> out;

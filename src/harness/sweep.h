@@ -1,23 +1,52 @@
-// Parameter-sweep runner: evaluates a function over a grid of configurations
-// in parallel, preserving result order.
+// Parameter-sweep runner: evaluates a callable over a grid of
+// configurations in parallel, preserving result order.
+//
+// The callable is taken as a deduced template parameter (no std::function
+// type erasure on the hot path; the result type comes from
+// std::invoke_result_t), and scheduling is chunked via
+// ThreadPool::parallel_for.  The seeded overload hands every config a
+// derived RNG seed computed from (seed, index) alone, so sweep results are
+// bit-identical regardless of worker count or execution order.
 #pragma once
 
-#include <functional>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "harness/thread_pool.h"
 
 namespace tempofair::harness {
 
+/// Mixes (seed, stream) into an independent 64-bit seed (splitmix64 over
+/// the golden-ratio-striped stream index).  Order-independent: stream i's
+/// seed never depends on how many streams exist or who drew first.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed,
+                                        std::uint64_t stream) noexcept;
+
 /// Evaluates `eval(config)` for every config, in parallel on `pool`,
-/// returning results in input order.  Exceptions propagate.
-template <typename Config, typename Result>
-std::vector<Result> run_sweep(ThreadPool& pool,
-                              const std::vector<Config>& configs,
-                              const std::function<Result(const Config&)>& eval) {
+/// returning results in input order.  Exceptions propagate.  Safe to call
+/// from inside a pool task (the caller helps; see ThreadPool).
+template <typename Config, typename F>
+auto run_sweep(ThreadPool& pool, const std::vector<Config>& configs, F&& eval)
+    -> std::vector<std::invoke_result_t<F&, const Config&>> {
+  using Result = std::invoke_result_t<F&, const Config&>;
+  std::vector<Result> results(configs.size());
+  pool.parallel_for(configs.size(),
+                    [&](std::size_t i) { results[i] = eval(configs[i]); });
+  return results;
+}
+
+/// Seeded overload: evaluates `eval(config, derive_seed(seed, index))` so
+/// each config owns a deterministic, order-independent RNG stream.
+template <typename Config, typename F>
+auto run_sweep(ThreadPool& pool, const std::vector<Config>& configs,
+               std::uint64_t seed, F&& eval)
+    -> std::vector<std::invoke_result_t<F&, const Config&, std::uint64_t>> {
+  using Result = std::invoke_result_t<F&, const Config&, std::uint64_t>;
   std::vector<Result> results(configs.size());
   pool.parallel_for(configs.size(), [&](std::size_t i) {
-    results[i] = eval(configs[i]);
+    results[i] = eval(configs[i], derive_seed(seed, i));
   });
   return results;
 }

@@ -1,19 +1,36 @@
-// Fixed-size thread pool for shared-memory-parallel experiment sweeps.
+// Work-stealing thread pool for shared-memory-parallel experiment sweeps.
 //
-// Each simulation in a sweep is independent, so the pool is a plain work
-// queue: submit() returns a std::future, parallel_for() blocks until a whole
-// index range is done.  Exceptions thrown by tasks propagate through the
-// futures (and out of parallel_for).
+// Each worker owns a deque: it pushes and pops nested work at the front
+// (depth-first, cache-warm) while idle workers steal from the back of other
+// queues.  External submissions are spread round-robin across the queues.
+//
+// Two properties matter to the experiment runner:
+//   * parallel_for is chunked (a handful of chunks per worker, not one task
+//     per index), so fine-grained sweeps do not serialize on queue traffic.
+//   * Joins help: a thread blocked in parallel_for or wait() executes queued
+//     tasks instead of sleeping.  Nested parallel_for / submit from inside a
+//     worker is therefore safe -- the whole experiment suite and every
+//     experiment's inner sweep can share a single pool without deadlock.
+//
+// Tasks capture the submitting thread's obs::Sink override, so counters and
+// CPU time recorded by stolen work still attribute to the run that spawned
+// it (see obs/obs.h).  Exceptions thrown by tasks propagate through futures
+// and out of parallel_for (first one wins, after all chunks finish).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
+
+#include "obs/obs.h"
 
 namespace tempofair::harness {
 
@@ -27,33 +44,64 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task; the future carries its result or exception.
+  /// Enqueues a task; the future carries its result or exception.  Safe to
+  /// call from a worker thread (the task goes to that worker's own queue);
+  /// pair with wait() there, as a plain future::get can deadlock a worker.
   template <typename F>
   [[nodiscard]] auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard lock(mutex_);
-      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
-      queue_.emplace([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    push_task([task] { (*task)(); });
     return fut;
   }
 
-  /// Runs body(i) for i in [0, count) across the pool; rethrows the first
-  /// task exception after all tasks finish.
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+  /// Runs body(i) for i in [0, count) across the pool in chunks of `grain`
+  /// indices (0 = pick ~4 chunks per worker).  The calling thread helps
+  /// execute chunks, so this is safe to call from inside a pool task.
+  /// Rethrows the first task exception after all chunks finish.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 0);
+
+  /// Blocks until `fut` is ready, executing queued tasks meanwhile; the
+  /// deadlock-free way to join a submitted task from a worker thread.
+  template <typename R>
+  R wait(std::future<R>& fut) {
+    help_until([&fut] {
+      return fut.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+    });
+    return fut.get();
+  }
+
+  /// True when called from one of this pool's worker threads.
+  [[nodiscard]] bool inside_worker() const noexcept;
 
  private:
-  void worker_loop();
+  struct Task {
+    std::function<void()> fn;
+    obs::Sink* sink = nullptr;  // submitter's obs override, if any
+  };
+  struct Queue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
 
+  void push_task(std::function<void()> fn);
+  [[nodiscard]] bool try_pop(Task& out);
+  void run_task(Task& task);
+  /// Runs tasks until done() holds; sleeps only when nothing is runnable.
+  void help_until(const std::function<bool()>& done);
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::atomic<std::size_t> pending_{0};   // queued, not yet popped
+  std::atomic<std::size_t> next_queue_{0};  // round-robin for external pushes
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  bool stopping_ = false;  // guarded by sleep_mutex_
 };
 
 }  // namespace tempofair::harness

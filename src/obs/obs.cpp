@@ -1,0 +1,128 @@
+#include "obs/obs.h"
+
+#include <ctime>
+#include <iostream>
+
+namespace tempofair::obs {
+
+namespace {
+
+thread_local Sink* tl_sink = nullptr;
+thread_local std::uint64_t tl_nested_cpu_ns = 0;
+
+}  // namespace
+
+void Sink::add(std::string_view name, std::uint64_t delta) {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::uint64_t Sink::value(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::uint64_t> Sink::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+void Sink::clear() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+}
+
+Sink& global_sink() {
+  static Sink sink;
+  return sink;
+}
+
+Sink* current_override() noexcept { return tl_sink; }
+
+Sink& current_sink() { return tl_sink ? *tl_sink : global_sink(); }
+
+void add(std::string_view name, std::uint64_t delta) {
+  current_sink().add(name, delta);
+}
+
+ScopedSink::ScopedSink(Sink* sink) noexcept : previous_(tl_sink) {
+  tl_sink = sink;
+}
+
+ScopedSink::~ScopedSink() { tl_sink = previous_; }
+
+std::uint64_t thread_cpu_ns() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+ScopedTimer::ScopedTimer(std::string_view name) noexcept
+    : name_(name), start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::~ScopedTimer() {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  Sink& sink = current_sink();
+  sink.add(std::string(name_) + ".ns", static_cast<std::uint64_t>(ns));
+  sink.add(std::string(name_) + ".calls", 1);
+}
+
+CpuAccount::CpuAccount(Sink& sink, std::string_view counter) noexcept
+    : sink_(&sink),
+      counter_(counter),
+      saved_outer_ns_(tl_nested_cpu_ns),
+      start_ns_(thread_cpu_ns()) {
+  tl_nested_cpu_ns = 0;
+}
+
+CpuAccount::~CpuAccount() {
+  const std::uint64_t total = thread_cpu_ns() - start_ns_;
+  const std::uint64_t nested = tl_nested_cpu_ns;
+  sink_->add(counter_, total > nested ? total - nested : 0);
+  tl_nested_cpu_ns = saved_outer_ns_ + total;
+}
+
+Progress::Progress(std::string label, std::uint64_t total, std::ostream* out,
+                   std::chrono::milliseconds min_interval)
+    : label_(std::move(label)),
+      total_(total),
+      out_(out ? out : &std::cerr),
+      min_interval_(min_interval),
+      last_print_(std::chrono::steady_clock::now()) {}
+
+void Progress::tick(std::uint64_t done_delta) {
+  std::lock_guard lock(mutex_);
+  done_ += done_delta;
+  const auto now = std::chrono::steady_clock::now();
+  if (done_ < total_ && now - last_print_ < min_interval_) return;
+  if (done_ < total_ && done_delta == 0) return;
+  if (done_ >= total_ || now - last_print_ >= min_interval_) {
+    // The final tick always prints if any earlier line did (so a watcher
+    // sees completion), but a fast run stays silent end to end.
+    if (done_ < total_ || printed_) {
+      print_line(done_);
+      last_print_ = now;
+    }
+  }
+}
+
+void Progress::finish() {
+  std::lock_guard lock(mutex_);
+  if (printed_ && done_ < total_) print_line(done_);
+}
+
+void Progress::print_line(std::uint64_t done) {
+  *out_ << "[" << label_ << "] " << done << "/" << total_ << "\n";
+  printed_ = true;
+}
+
+}  // namespace tempofair::obs

@@ -1,0 +1,129 @@
+// Run observability: named monotonic counters, scoped timers, CPU-time
+// accounting and rate-limited progress lines.
+//
+// Counters accumulate into a Sink.  A thread can install a Sink override
+// with ScopedSink; everything recorded on that thread (engine events, trace
+// rows, dual-fit scan work, pool CPU time) then lands in that sink instead
+// of the process-global one.  The thread pool propagates the submitting
+// thread's override to its workers, so a whole fan-out -- including nested
+// parallel_for chunks executed on stolen threads -- attributes to the run
+// that spawned it.  This is how `tempofair_bench` produces per-experiment
+// counter snapshots even when experiments share one work-stealing pool.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace tempofair::obs {
+
+/// A set of named monotonic counters.  Thread-safe; cheap enough for
+/// once-per-simulation recording (not intended for per-event increments --
+/// accumulate locally and flush once).
+class Sink {
+ public:
+  Sink() = default;
+  Sink(const Sink&) = delete;
+  Sink& operator=(const Sink&) = delete;
+
+  void add(std::string_view name, std::uint64_t delta);
+  /// Current value (0 if never recorded).
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+  [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+/// The process-global fallback sink.
+[[nodiscard]] Sink& global_sink();
+
+/// The calling thread's override, or nullptr if none is installed.
+[[nodiscard]] Sink* current_override() noexcept;
+
+/// The sink the calling thread records to: its override, else the global.
+[[nodiscard]] Sink& current_sink();
+
+/// Records `delta` into the calling thread's current sink.
+void add(std::string_view name, std::uint64_t delta);
+
+/// Installs `sink` as the calling thread's override for this scope
+/// (nullptr = record to the global sink again).  Restores the previous
+/// override on destruction.
+class ScopedSink {
+ public:
+  explicit ScopedSink(Sink* sink) noexcept;
+  ~ScopedSink();
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  Sink* previous_;
+};
+
+/// CPU time consumed by the calling thread, in nanoseconds.
+[[nodiscard]] std::uint64_t thread_cpu_ns();
+
+/// Adds "<name>.ns" (wall nanoseconds) and "<name>.calls" to the current
+/// sink when the scope ends.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name) noexcept;
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string_view name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Adds the calling thread's *self* CPU time (excluding nested CpuAccount
+/// scopes, which account for themselves) to `sink` under `counter` when the
+/// scope ends.  The thread pool wraps every task in one of these, so a
+/// task's CPU lands in its submitter's sink exactly once even when a worker
+/// inlines other tasks while helping a join.
+class CpuAccount {
+ public:
+  explicit CpuAccount(Sink& sink, std::string_view counter = "cpu_ns") noexcept;
+  ~CpuAccount();
+  CpuAccount(const CpuAccount&) = delete;
+  CpuAccount& operator=(const CpuAccount&) = delete;
+
+ private:
+  Sink* sink_;
+  std::string_view counter_;
+  std::uint64_t saved_outer_ns_;
+  std::uint64_t start_ns_;
+};
+
+/// Rate-limited progress lines ("label: done/total") for long fan-outs.
+/// Thread-safe; prints at most one line per `min_interval` plus a final
+/// line from finish() if anything was printed before.
+class Progress {
+ public:
+  Progress(std::string label, std::uint64_t total, std::ostream* out = nullptr,
+           std::chrono::milliseconds min_interval = std::chrono::seconds(2));
+  void tick(std::uint64_t done_delta = 1);
+  void finish();
+
+ private:
+  void print_line(std::uint64_t done);
+
+  std::string label_;
+  std::uint64_t total_;
+  std::ostream* out_;
+  std::chrono::milliseconds min_interval_;
+  std::mutex mutex_;
+  std::uint64_t done_ = 0;
+  bool printed_ = false;
+  std::chrono::steady_clock::time_point last_print_;
+};
+
+}  // namespace tempofair::obs

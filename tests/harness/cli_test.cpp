@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace tempofair::harness {
 namespace {
 
@@ -58,9 +60,128 @@ TEST(Cli, RejectsMalformedNumbers) {
   EXPECT_THROW((void)cli2.get_double("x", 0.0), std::invalid_argument);
 }
 
+// Regression: get_int("seed") on "--seed 42abc" used to return 42 (strtol
+// stopped at the garbage); the strict parser must reject the whole token
+// and name the flag.
+TEST(Cli, RejectsTrailingGarbageInNumbers) {
+  const Cli cli = make({"--seed", "42abc"});
+  try {
+    (void)cli.get_int("seed", 0);
+    FAIL() << "expected CliError";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--seed"), std::string::npos) << what;
+    EXPECT_NE(what.find("42abc"), std::string::npos) << what;
+  }
+  const Cli cli2 = make({"--eps", "0.5x"});
+  EXPECT_THROW((void)cli2.get_double("eps", 0.0), std::invalid_argument);
+  // An empty value is indistinguishable from a bare flag in the legacy
+  // scanner and falls back instead of throwing.
+  const Cli cli3 = make({"--seed", ""});
+  EXPECT_EQ(cli3.get_int("seed", 7), 7);
+}
+
 TEST(Cli, StringValues) {
   const Cli cli = make({"--policy", "laps:0.5"});
   EXPECT_EQ(cli.get_string("policy", "rr"), "laps:0.5");
+}
+
+// ---------------------------------------------------------------------------
+// Options / Parsed -- the typed registration API.
+
+Options standard_options() {
+  Options opt("prog", "test program");
+  opt.flag("csv", "emit CSV")
+      .value("seed", 42, "rng seed")
+      .value("speed", 4.4, "processor speed")
+      .value("name", std::string("rr"), "policy name");
+  return opt;
+}
+
+Parsed parse(const Options& opt, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return opt.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, TypedDefaults) {
+  const Parsed p = parse(standard_options(), {});
+  EXPECT_FALSE(p.flag("csv"));
+  EXPECT_EQ(p.get_int("seed"), 42);
+  EXPECT_DOUBLE_EQ(p.get_double("speed"), 4.4);
+  EXPECT_EQ(p.get_string("name"), "rr");
+  EXPECT_FALSE(p.given("seed"));
+}
+
+TEST(Options, TypedValuesFromArgv) {
+  const Parsed p = parse(standard_options(),
+                         {"--csv", "--seed", "7", "--speed=2.5", "--name", "setf"});
+  EXPECT_TRUE(p.flag("csv"));
+  EXPECT_TRUE(p.given("seed"));
+  EXPECT_EQ(p.get_int("seed"), 7);
+  EXPECT_DOUBLE_EQ(p.get_double("speed"), 2.5);
+  EXPECT_EQ(p.get_string("name"), "setf");
+}
+
+TEST(Options, UnknownFlagIsHardError) {
+  EXPECT_THROW((void)parse(standard_options(), {"--sede", "7"}), CliError);
+  try {
+    (void)parse(standard_options(), {"--sede"});
+  } catch (const CliError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--sede"), std::string::npos) << what;
+  }
+}
+
+TEST(Options, FlagGivenValueIsError) {
+  EXPECT_THROW((void)parse(standard_options(), {"--csv=yes"}), CliError);
+}
+
+TEST(Options, MissingValueIsError) {
+  EXPECT_THROW((void)parse(standard_options(), {"--seed"}), CliError);
+  EXPECT_THROW((void)parse(standard_options(), {"--seed", "--csv"}), CliError);
+}
+
+TEST(Options, MalformedValueNamesFlag) {
+  try {
+    (void)parse(standard_options(), {"--seed", "42abc"});
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--seed"), std::string::npos) << what;
+    EXPECT_NE(what.find("42abc"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)parse(standard_options(), {"--speed", "fast"}), CliError);
+}
+
+TEST(Options, HelpRequested) {
+  const Parsed p = parse(standard_options(), {"--help"});
+  EXPECT_TRUE(p.help_requested());
+}
+
+TEST(Options, HelpTextListsRegistrations) {
+  std::ostringstream out;
+  standard_options().print_help(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("prog"), std::string::npos);
+  EXPECT_NE(text.find("--csv"), std::string::npos);
+  EXPECT_NE(text.find("--seed"), std::string::npos);
+  EXPECT_NE(text.find("rng seed"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);  // default shown
+  EXPECT_NE(text.find("--help"), std::string::npos);
+}
+
+TEST(Options, PositionalsPassThrough) {
+  const Parsed p = parse(standard_options(), {"a.trace", "--csv", "b.trace"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "a.trace");
+  EXPECT_EQ(p.positional()[1], "b.trace");
+}
+
+TEST(Options, WrongTypeAccessThrows) {
+  const Parsed p = parse(standard_options(), {});
+  EXPECT_THROW((void)p.get_int("speed"), std::logic_error);
+  EXPECT_THROW((void)p.get_double("unregistered"), std::logic_error);
 }
 
 }  // namespace

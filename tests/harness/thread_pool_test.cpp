@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <functional>
 #include <numeric>
+#include <string>
 
 #include "harness/sweep.h"
 
@@ -37,6 +40,29 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForPropagatesExceptionsUnderStealing) {
+  // Many tiny chunks across many workers so the throwing chunk is very
+  // likely executed by a thief (or the helping caller), not its home queue.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallel_for(
+          64,
+          [](std::size_t i) {
+            if (i == 37) throw std::runtime_error("stolen boom");
+          },
+          /*grain=*/1);
+      FAIL() << "parallel_for swallowed the exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "stolen boom");
+    }
+    // The pool must stay usable after an exception.
+    std::atomic<int> ok{0};
+    pool.parallel_for(8, [&](std::size_t) { ok++; });
+    EXPECT_EQ(ok.load(), 8);
+  }
+}
+
 TEST(ThreadPool, FuturePropagatesException) {
   ThreadPool pool(1);
   auto f = pool.submit([]() -> int { throw std::logic_error("bad"); });
@@ -61,14 +87,91 @@ TEST(ThreadPool, DrainsQueueOnDestruction) {
   EXPECT_EQ(done.load(), 50);
 }
 
+TEST(ThreadPool, NestedParallelForFromWorker) {
+  // A worker task fanning out on its own pool must not deadlock: the outer
+  // task helps execute inner chunks while it waits.
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.parallel_for(4, [&](std::size_t outer) {
+    pool.parallel_for(25, [&](std::size_t inner) {
+      sum += static_cast<long>(outer * 25 + inner);
+    });
+  });
+  EXPECT_EQ(sum.load(), 99L * 100 / 2);
+}
+
+TEST(ThreadPool, NestedSubmitAndWaitOnSingleWorker) {
+  // One worker, outer task blocks on an inner future: pool.wait() must help
+  // run the inner task instead of deadlocking the only worker.
+  ThreadPool pool(1);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return std::string("inner done"); });
+    return pool.wait(inner) + " + outer done";
+  });
+  EXPECT_EQ(outer.get(), "inner done + outer done");
+}
+
+TEST(ThreadPool, DeeplyNestedSubmits) {
+  ThreadPool pool(2);
+  std::function<int(int)> recurse = [&](int depth) -> int {
+    if (depth == 0) return 1;
+    auto f = pool.submit([&recurse, depth] { return recurse(depth - 1); });
+    return pool.wait(f) + 1;
+  };
+  auto f = pool.submit([&recurse] { return recurse(8); });
+  EXPECT_EQ(f.get(), 9);
+}
+
 TEST(RunSweep, PreservesOrder) {
   ThreadPool pool(4);
   std::vector<int> configs(20);
   std::iota(configs.begin(), configs.end(), 0);
-  const auto results = run_sweep<int, int>(
-      pool, configs, [](const int& c) { return c * c; });
+  // Result type is deduced from the callable; no std::function, no explicit
+  // template arguments.
+  const auto results =
+      run_sweep(pool, configs, [](const int& c) { return c * c; });
   ASSERT_EQ(results.size(), 20u);
   for (int i = 0; i < 20; ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(RunSweep, DeducesNonCopyableFriendlyResultTypes) {
+  ThreadPool pool(2);
+  const std::vector<int> configs{1, 2, 3};
+  const auto results = run_sweep(pool, configs, [](const int& c) {
+    return std::string(static_cast<std::size_t>(c), 'x');
+  });
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[2], "xxx");
+}
+
+TEST(RunSweep, SeededOverloadIsDeterministicAcrossPoolSizes) {
+  // The derived per-config seed streams depend only on (seed, index), so a
+  // sweep returns bit-identical results no matter how many workers run it
+  // or in which order chunks are stolen.
+  const std::vector<int> configs{5, 3, 8, 1, 9, 2, 7, 4, 6, 0};
+  auto eval = [](const int& c, std::uint64_t seed) {
+    // Mix the seed so any change in derivation shows up in the result.
+    return static_cast<double>(c) + static_cast<double>(seed % 1000) * 1e-3;
+  };
+  std::vector<std::vector<double>> runs;
+  for (std::size_t workers : {1u, 2u, 7u}) {
+    ThreadPool pool(workers);
+    runs.push_back(run_sweep(pool, configs, /*seed=*/123u, eval));
+  }
+  ASSERT_EQ(runs[0].size(), configs.size());
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(DeriveSeed, DistinctAndDeterministic) {
+  EXPECT_EQ(derive_seed(42, 0), derive_seed(42, 0));
+  EXPECT_NE(derive_seed(42, 0), derive_seed(42, 1));
+  EXPECT_NE(derive_seed(42, 0), derive_seed(43, 0));
+  // Streams shouldn't collide over a modest range.
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 256; ++s) seen.push_back(derive_seed(7, s));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
 }
 
 TEST(Linspace, EndpointsAndCount) {
