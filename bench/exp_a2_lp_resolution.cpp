@@ -36,7 +36,8 @@ int run(bench::RunContext& ctx) {
       "A2: LP/2 vs slot width (k=2, n=" + std::to_string(n) +
           "); trivial_lb=" + analysis::Table::num(nolp.trivial_lb) +
           ", proxy=" + analysis::Table::num(nolp.proxy_ub),
-      {"slot", "slots", "lp_half", "lp_half/proxy", "solve_ms"});
+      {"slot", "slots", "lp_half", "lp_half/proxy", "certified", "cert_gap",
+       "solve_ms"});
 
   for (double slot : {8.0, 4.0, 2.0, 1.0, 0.5, 0.25, 0.125}) {
     lpsolve::FlowtimeLpOptions opt;
@@ -47,9 +48,17 @@ int run(bench::RunContext& ctx) {
     const auto ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - start)
                         .count();
+    // Relative slack between the float LP value and its exact-rational dual
+    // certificate: ~0 means the certified bound gives up essentially nothing.
+    const double cert_gap =
+        r.certificate.certified && r.lp_value > 0.0
+            ? (r.lp_value - r.certificate.value) / r.lp_value
+            : 1.0;
     table.add_row({analysis::Table::num(slot), std::to_string(r.slots),
                    analysis::Table::num(r.opt_power_lb),
                    analysis::Table::num(r.opt_power_lb / nolp.proxy_ub, 3),
+                   r.certificate.certified ? "yes" : "NO",
+                   analysis::Table::num(cert_gap, 4),
                    analysis::Table::num(ms, 1)});
   }
   ctx.emit(table);

@@ -28,7 +28,8 @@ int run(bench::RunContext& ctx) {
 
   analysis::Table table(
       "T1: RR l2 competitive-ratio bracket vs speed (m=1)",
-      {"workload", "n", "speed", "rr_l2", "ratio_vs_lb", "ratio_vs_proxy"});
+      {"workload", "n", "speed", "rr_l2", "ratio_vs_lb", "lb_cert",
+       "ratio_vs_proxy"});
 
   struct Row {
     std::string workload;
@@ -59,6 +60,7 @@ int run(bench::RunContext& ctx) {
                    analysis::Table::num(r.speed, 1),
                    analysis::Table::num(r.m.cost_norm),
                    analysis::Table::num(r.m.ratio_vs_lb, 2),
+                   r.m.lb_certified ? "yes" : "NO",
                    analysis::Table::num(r.m.ratio_vs_proxy, 2)});
   }
   ctx.emit(table);

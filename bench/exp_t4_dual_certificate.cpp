@@ -45,8 +45,8 @@ int run(bench::RunContext& ctx) {
   analysis::Table table(
       "T4: dual certificates at eta = 2k(1+10eps), eps=" +
           analysis::Table::num(eps),
-      {"workload", "k", "m", "lemma1", "lemma2", "feasible", "obj_ratio",
-       "implied_lk_bound", "valid"});
+      {"workload", "k", "m", "lemma1", "lemma2", "exact", "feasible",
+       "obj_ratio", "implied_lk_bound", "valid"});
 
   std::vector<analysis::DualFitResult> results(cases.size());
   ctx.pool().parallel_for(cases.size(), [&](std::size_t i) {
@@ -68,7 +68,9 @@ int run(bench::RunContext& ctx) {
     if (r.certificate_valid()) ++valid;
     table.add_row({cases[i].name, analysis::Table::num(cases[i].k, 0),
                    std::to_string(cases[i].machines), r.lemma1_ok ? "ok" : "FAIL",
-                   r.lemma2_ok ? "ok" : "FAIL", r.feasible ? "ok" : "FAIL",
+                   r.lemma2_ok ? "ok" : "FAIL",
+                   r.lemmas_exact ? "ok" : "float-only",
+                   r.feasible ? "ok" : "FAIL",
                    analysis::Table::num(r.objective_ratio, 3),
                    analysis::Table::num(r.implied_lk_ratio, 0),
                    r.certificate_valid() ? "yes" : "NO"});

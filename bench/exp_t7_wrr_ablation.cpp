@@ -27,13 +27,15 @@ int run(bench::RunContext& ctx) {
   const std::vector<double> speeds{1.0, 2.0, 4.4};
   const std::vector<std::string> specs{"rr", "wrr", "laps:0.25"};
 
-  analysis::Table table("T7: l2 ratio_vs_lb by policy and speed (m=1)",
-                        {"workload", "speed", "rr", "wrr", "laps:0.25"});
+  analysis::Table table(
+      "T7: l2 ratio_vs_lb by policy and speed (m=1)",
+      {"workload", "speed", "rr", "wrr", "laps:0.25", "lb_cert"});
 
   struct Row {
     std::string workload;
     double speed;
     double ratios[3];
+    bool lb_cert;
   };
   std::vector<Row> rows(workloads.size() * speeds.size());
 
@@ -46,6 +48,7 @@ int run(bench::RunContext& ctx) {
       Row& row = rows[w * speeds.size() + s];
       row.workload = wl.name;
       row.speed = speeds[s];
+      row.lb_cert = bounds.lb_certified;
       for (std::size_t p = 0; p < specs.size(); ++p) {
         auto policy = make_policy(specs[p]);
         analysis::RatioOptions opt;
@@ -61,7 +64,8 @@ int run(bench::RunContext& ctx) {
     table.add_row({r.workload, analysis::Table::num(r.speed, 1),
                    analysis::Table::num(r.ratios[0], 2),
                    analysis::Table::num(r.ratios[1], 2),
-                   analysis::Table::num(r.ratios[2], 2)});
+                   analysis::Table::num(r.ratios[2], 2),
+                   r.lb_cert ? "yes" : "NO"});
   }
   ctx.emit(table);
   return 0;

@@ -1,8 +1,10 @@
-// T8 -- LP/duality toolkit self-check.  Three independent solvers/bounds
+// T8 -- LP/duality toolkit self-check.  Four independent solvers/bounds
 // must agree in the directions theory dictates:
 //   (1) MCMF and dense simplex solve the SAME discretized LP: equal values.
 //   (2) lower bounds <= proxy upper bound (lb <= OPT^k <= proxy).
 //   (3) weak duality: the dual-fitting objective <= gamma * LP value.
+//   (4) the exact-rational certificate layer certifies both the simplex
+//       basis and the MCMF dual, at values <= the LP optimum.
 // Expected: zero violations across random instances -- this certifies the
 // machinery every other experiment relies on.
 #include <cmath>
@@ -10,6 +12,7 @@
 #include "analysis/dualfit.h"
 #include "common.h"
 #include "core/engine.h"
+#include "lpsolve/certify.h"
 #include "lpsolve/flowtime_lp.h"
 #include "lpsolve/lower_bounds.h"
 #include "policies/round_robin.h"
@@ -25,19 +28,20 @@ int run(bench::RunContext& ctx) {
 
   ctx.banner("T8 (LP/duality self-check)",
              "MCMF == simplex on the Section 3.1 LP; lb <= proxy; weak "
-             "duality for the dual certificate",
+             "duality for the dual certificate; exact-rational certificates "
+             "for both LP solvers",
              "every check column 'ok'");
 
   analysis::Table table(
       "T8: solver cross-validation on random instances (k=2)",
       {"trial", "n", "mcmf_lp", "simplex_lp", "match", "lb<=proxy",
-       "dual<=gammaLP"});
+       "dual<=gammaLP", "certified"});
 
   struct Row {
     int trial;
     std::size_t n;
     double mcmf, simplex;
-    bool match, ordered, weak_duality;
+    bool match, ordered, weak_duality, certified;
   };
   std::vector<Row> rows(static_cast<std::size_t>(trials));
 
@@ -55,10 +59,23 @@ int run(bench::RunContext& ctx) {
     lpsolve::FlowtimeLpOptions lp;
     lp.k = 2.0;
     lp.slot = 1.0;
-    const double mcmf = lpsolve::solve_flowtime_lp(inst, lp).lp_value;
-    const auto sx = lpsolve::solve_lp(lpsolve::build_flowtime_lp(inst, lp));
+    const lpsolve::FlowtimeLpResult mcmf_res = lpsolve::solve_flowtime_lp(inst, lp);
+    const double mcmf = mcmf_res.lp_value;
+    const lpsolve::LinearProgram prog = lpsolve::build_flowtime_lp(inst, lp);
+    const auto sx = lpsolve::solve_lp(prog);
+    const double sx_obj =
+        sx.status == lpsolve::SolveStatus::kOptimal ? *sx.objective : 0.0;
     const bool match = sx.status == lpsolve::SolveStatus::kOptimal &&
-                       std::fabs(sx.objective - mcmf) <= 1e-6 * (1.0 + mcmf);
+                       std::fabs(sx_obj - mcmf) <= 1e-6 * (1.0 + mcmf);
+
+    // (4) Exact-rational certification of both solvers' answers: the MCMF
+    // dual (repaired from potentials) and the simplex basis (re-solved in
+    // exact arithmetic) must both certify, at values <= the LP optimum.
+    const lpsolve::CertifiedBound sx_cert = lpsolve::verify_certificate(prog, sx);
+    const double tol = 1e-6 * (1.0 + mcmf);
+    const bool certified = mcmf_res.certificate.certified &&
+                           mcmf_res.certificate.value <= mcmf + tol &&
+                           sx_cert.certified && sx_cert.value <= mcmf + tol;
 
     lpsolve::OptBoundsOptions bo;
     bo.k = 2.0;
@@ -79,17 +96,17 @@ int run(bench::RunContext& ctx) {
     const bool weak = !cert.feasible ||
                       cert.dual_objective <= cert.gamma * mcmf * 1.15;
 
-    rows[t] = Row{static_cast<int>(t), inst.n(), mcmf, sx.objective,
-                  match, ordered, weak};
+    rows[t] = Row{static_cast<int>(t), inst.n(), mcmf, sx_obj,
+                  match, ordered, weak, certified};
   });
 
   bool all_ok = true;
   for (const Row& r : rows) {
-    all_ok = all_ok && r.match && r.ordered && r.weak_duality;
+    all_ok = all_ok && r.match && r.ordered && r.weak_duality && r.certified;
     table.add_row({std::to_string(r.trial), std::to_string(r.n),
                    analysis::Table::num(r.mcmf), analysis::Table::num(r.simplex),
                    r.match ? "ok" : "FAIL", r.ordered ? "ok" : "FAIL",
-                   r.weak_duality ? "ok" : "FAIL"});
+                   r.weak_duality ? "ok" : "FAIL", r.certified ? "ok" : "FAIL"});
   }
   ctx.emit(table);
   return all_ok ? 0 : 1;
@@ -98,7 +115,7 @@ int run(bench::RunContext& ctx) {
 const bench::Registration reg{{
     "t8",
     "T8 (LP/duality self-check)",
-    "MCMF == simplex; lb <= proxy; weak duality holds",
+    "MCMF == simplex; lb <= proxy; weak duality; exact certificates",
     "seed=8 trials=8",
     run,
 }};

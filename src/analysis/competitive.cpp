@@ -28,8 +28,10 @@ RatioMeasurement measure_ratio(const Instance& instance, Policy& policy,
   m.cost_power = flow_lk_power(sched, options.k);
   m.cost_norm = flow_lk_norm(sched, options.k);
   m.bounds = bounds;
-  if (bounds.best_lb > 0.0) {
-    m.ratio_vs_lb = std::pow(m.cost_power / bounds.best_lb, 1.0 / options.k);
+  m.lb_certified = bounds.lb_certified;
+  const double lb = bounds.lb_certified ? bounds.certified_lb : bounds.best_lb;
+  if (lb > 0.0) {
+    m.ratio_vs_lb = std::pow(m.cost_power / lb, 1.0 / options.k);
   }
   if (bounds.proxy_ub > 0.0) {
     m.ratio_vs_proxy = std::pow(m.cost_power / bounds.proxy_ub, 1.0 / options.k);

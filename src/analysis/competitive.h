@@ -28,8 +28,13 @@ struct RatioMeasurement {
   double cost_power = 0.0;     ///< sum_j F_j^k under the policy at `speed`
   double cost_norm = 0.0;      ///< l_k norm of the policy's flows
   lpsolve::OptBounds bounds;   ///< OPT^k bracket (speed 1)
-  double ratio_vs_lb = 0.0;    ///< (cost_power / best_lb)^(1/k)
+  /// (cost_power / lb)^(1/k) against the *certified* lower bound when one is
+  /// available (bounds.lb_certified), else against the float best_lb.
+  double ratio_vs_lb = 0.0;
   double ratio_vs_proxy = 0.0; ///< (cost_power / proxy_ub)^(1/k)
+  /// True iff ratio_vs_lb's denominator is backed by an exact-rational
+  /// certificate; experiments report this next to every ratio_vs_lb.
+  bool lb_certified = false;
 };
 
 struct RatioOptions {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "lpsolve/rational.h"
 #include "obs/obs.h"
 
 namespace tempofair::analysis {
@@ -141,6 +142,18 @@ DualFitResult dual_fit_certificate(const Schedule& schedule,
   const double tol = 1e-7 * std::max(1.0, res.rr_power);
   res.lemma1_ok = res.alpha_sum >= (0.5 - eps) * res.rr_power - tol;
   res.lemma2_ok = res.beta_term <= (0.5 - 2.0 * eps) * res.rr_power + tol;
+  {
+    // Tolerance-free recheck of both lemma inequalities in exact rational
+    // arithmetic over the (exactly representable) double values; fails
+    // closed if the 128-bit arithmetic overflows.
+    using lpsolve::Rational;
+    const Rational half = Rational::from_ratio(1, 2);
+    const Rational e = Rational::from_double(eps);
+    const Rational rr = Rational::from_double(res.rr_power);
+    res.lemmas_exact =
+        Rational::from_double(res.alpha_sum) >= (half - e) * rr &&
+        Rational::from_double(res.beta_term) <= (half - e - e) * rr;
+  }
 
   // ---- Dual feasibility -----------------------------------------------------
   // For each job j and each beta piece [t_i, t_{i+1}): the RHS

@@ -68,6 +68,10 @@ struct DualFitResult {
 
   bool lemma1_ok = false;      ///< alpha_sum >= (1/2 - eps) RR^k
   bool lemma2_ok = false;      ///< beta_term <= (1/2 - 2 eps) RR^k
+  /// Lemmas 1-2 rechecked in exact rational arithmetic at the computed
+  /// double values, with *no* tolerance.  A certificate with lemma*_ok true
+  /// but lemmas_exact false only passed by the float slack.
+  bool lemmas_exact = false;
   double min_slack = 0.0;      ///< min over (job, beta piece) of RHS - LHS
   /// Worst violation normalized by the constraint's own scale; 0 = feasible.
   double max_relative_violation = 0.0;

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "lpsolve/mincost_flow.h"
+#include "lpsolve/rational.h"
+#include "obs/obs.h"
 
 namespace tempofair::lpsolve {
 
@@ -61,6 +63,111 @@ double unit_cost(const Job& j, const Grid& g, std::size_t s, double k) {
   return (std::pow(t, k) + std::pow(j.size, k)) / j.size;
 }
 
+[[nodiscard]] bool lp_included(const Job& j) {
+  return j.size >= kMinLpJobSize;
+}
+
+/// Dyadic grid for quantized duals: multiples of 2^-24 keep every
+/// denominator a power of two small enough that the exact dual objective
+/// stays far from 128-bit overflow.
+constexpr unsigned kDualGridBits = 24;
+
+/// Repairs the min-cost-flow potentials into an exactly-feasible dual of the
+/// transportation LP
+///
+///   max  sum_j p_j alpha_j - sum_t cap beta_t
+///   s.t. alpha_j - beta_t <= c_jt   for every materialized (j, t) edge,
+///        alpha, beta >= 0,
+///
+/// and evaluates its objective in exact rational arithmetic.  beta comes
+/// from the potentials (zeroed on unsaturated slots per complementary
+/// slackness, then quantized to the dyadic grid); alpha_j is then set to the
+/// *exact* best response max(0, floor_grid(min_t (c_jt + beta_t))), which is
+/// feasible by construction.  An independent exact pass re-checks every dual
+/// constraint before the objective is trusted.  Weak duality then makes the
+/// returned value a machine-checked lower bound on the LP optimum.  Any
+/// overflow poisons the result and yields certified = false.
+CertifiedBound certify_flowtime_dual(
+    const std::vector<const Job*>& included, const Grid& g,
+    const FlowtimeLpOptions& options, const MinCostFlow& mcf,
+    std::size_t slot_node0, std::size_t sink_node,
+    const std::vector<std::size_t>& slot_edge_handles) {
+  const double slot_cap = g.slot * options.machines;
+  const std::vector<double>& phi = mcf.potentials();
+
+  // beta_t from the potentials.  Unsaturated slots get beta_t = 0
+  // (complementary slackness says the optimal dual does, and zeroing can
+  // only help the alpha best response); any nonnegative beta is feasible.
+  std::vector<Rational> beta(g.slots);
+  bool ok = true;
+  for (std::size_t s = 0; s < g.slots; ++s) {
+    double b = 0.0;
+    if (mcf.flow_on(slot_edge_handles[s]) >= slot_cap - kFlowEps) {
+      b = std::max(0.0, phi[sink_node] - phi[slot_node0 + s]);
+    }
+    beta[s] = Rational::from_double(b).floor_to_dyadic(kDualGridBits);
+    if (beta[s].is_negative()) beta[s] = Rational();
+    if (!beta[s].valid()) ok = false;
+  }
+
+  // alpha_j = max(0, floor_grid(min_t (c_jt + beta_t))), computed exactly.
+  std::vector<Rational> alpha(included.size());
+  for (std::size_t ji = 0; ji < included.size() && ok; ++ji) {
+    const Job& j = *included[ji];
+    const std::size_t first = g.first_slot_for(j.release);
+    Rational best = Rational::invalid();
+    for (std::size_t s = first; s < g.slots; ++s) {
+      const Rational cand =
+          Rational::from_double(unit_cost(j, g, s, options.k)) + beta[s];
+      if (!cand.valid()) {
+        ok = false;
+        break;
+      }
+      if (!best.valid() || cand < best) best = cand;
+    }
+    if (!ok || !best.valid()) {
+      ok = false;
+      break;
+    }
+    alpha[ji] = best.floor_to_dyadic(kDualGridBits);
+    if (alpha[ji].is_negative()) alpha[ji] = Rational();
+    if (!alpha[ji].valid()) ok = false;
+  }
+
+  // Independent exact feasibility re-check of every dual constraint, so the
+  // certificate does not depend on the construction above being right.
+  for (std::size_t ji = 0; ji < included.size() && ok; ++ji) {
+    const Job& j = *included[ji];
+    for (std::size_t s = g.first_slot_for(j.release); s < g.slots; ++s) {
+      const Rational c = Rational::from_double(unit_cost(j, g, s, options.k));
+      if (!(alpha[ji] - beta[s] <= c)) {  // fails closed on invalid
+        ok = false;
+        break;
+      }
+    }
+  }
+
+  CertifiedBound cert;
+  if (ok) {
+    Rational dual_obj;
+    for (std::size_t ji = 0; ji < included.size(); ++ji) {
+      dual_obj += Rational::from_double(included[ji]->size) * alpha[ji];
+    }
+    const Rational cap = Rational::from_double(slot_cap);
+    for (std::size_t s = 0; s < g.slots; ++s) {
+      if (!beta[s].is_zero()) dual_obj -= cap * beta[s];
+    }
+    if (dual_obj.valid()) {
+      // The LP objective is nonnegative, so 0 is always a certified bound.
+      cert.value = std::max(0.0, dual_obj.lower_double());
+      cert.certified = true;
+    }
+  }
+  obs::add(cert.certified ? "lpcert.flow.certified" : "lpcert.flow.uncertified",
+           1);
+  return cert;
+}
+
 }  // namespace
 
 FlowtimeLpResult solve_flowtime_lp(const Instance& instance,
@@ -68,10 +175,21 @@ FlowtimeLpResult solve_flowtime_lp(const Instance& instance,
   const Grid g = make_grid(instance, options);
   const std::size_t n = instance.n();
 
-  // Check the (possibly capped) grid has enough capacity for all the work.
+  std::vector<const Job*> included;
+  included.reserve(n);
+  double included_work = 0.0;
+  for (const Job& j : instance.jobs()) {
+    if (lp_included(j)) {
+      included.push_back(&j);
+      included_work += j.size;
+    }
+  }
+
+  // Check the (possibly capped) grid has enough capacity for the work we
+  // actually route.
   const double capacity =
       static_cast<double>(g.slots) * g.slot * options.machines;
-  if (capacity < instance.total_work() - 1e-6) {
+  if (capacity < included_work - 1e-6) {
     throw std::invalid_argument(
         "flowtime_lp: max_slots leaves insufficient capacity for the work");
   }
@@ -84,25 +202,32 @@ FlowtimeLpResult solve_flowtime_lp(const Instance& instance,
   MinCostFlow mcf(kSink + 1);
 
   const double slot_cap = g.slot * options.machines;
+  std::vector<std::size_t> slot_edge(g.slots);
   for (std::size_t s = 0; s < g.slots; ++s) {
-    mcf.add_edge(kSlot0 + s, kSink, slot_cap, 0.0);
+    slot_edge[s] = mcf.add_edge(kSlot0 + s, kSink, slot_cap, 0.0);
   }
   std::size_t edges = g.slots;
-  for (const Job& j : instance.jobs()) {
+  for (const Job* jp : included) {
+    const Job& j = *jp;
     mcf.add_edge(kSource, kJob0 + j.id, j.size, 0.0);
     ++edges;
     const std::size_t first = g.first_slot_for(j.release);
     for (std::size_t s = first; s < g.slots; ++s) {
-      // A job can absorb at most the slot's full capacity (the LP of the
-      // paper lets a job run on several machines simultaneously).
-      mcf.add_edge(kJob0 + j.id, kSlot0 + s, slot_cap,
+      // The slot->sink edge already caps how much any slot absorbs (the LP of
+      // the paper lets a job run on several machines simultaneously), so the
+      // job->slot arcs get a deliberately never-binding capacity.  This is
+      // not cosmetic: a saturated arc may carry negative reduced cost in the
+      // final potentials, which would break the transportation-dual reading
+      // (alpha_j - beta_t <= c_jt, tight on flow-carrying arcs) that
+      // certify_flowtime_dual builds the exact certificate from.
+      mcf.add_edge(kJob0 + j.id, kSlot0 + s, included_work + 1.0,
                    unit_cost(j, g, s, options.k));
       ++edges;
     }
   }
 
-  const MinCostFlow::Result r = mcf.solve(kSource, kSink, instance.total_work());
-  if (r.flow < instance.total_work() - 1e-6) {
+  const MinCostFlow::Result r = mcf.solve(kSource, kSink, included_work);
+  if (r.flow < included_work - 1e-6) {
     throw std::runtime_error("flowtime_lp: could not route all work (internal)");
   }
 
@@ -111,6 +236,9 @@ FlowtimeLpResult solve_flowtime_lp(const Instance& instance,
   out.opt_power_lb = r.cost / 2.0;
   out.slots = g.slots;
   out.edges = edges;
+  out.skipped_jobs = n - included.size();
+  out.certificate = certify_flowtime_dual(included, g, options, mcf, kSlot0,
+                                          kSink, slot_edge);
   return out;
 }
 
@@ -119,19 +247,25 @@ LinearProgram build_flowtime_lp(const Instance& instance,
   const Grid g = make_grid(instance, options);
   const std::size_t n = instance.n();
 
-  // Variable layout: for each job j (in id order), one variable per slot
-  // s >= first_slot_for(r_j).
+  // Variable layout: for each *included* job j (in id order), one variable
+  // per slot s >= first_slot_for(r_j).  Tiny jobs are dropped exactly as in
+  // solve_flowtime_lp so the two solvers stay comparable.
+  std::vector<bool> incl(n, false);
   std::vector<std::size_t> var_base(n + 1, 0);
-  std::vector<std::size_t> first_slot(n);
+  std::vector<std::size_t> first_slot(n, 0);
   for (std::size_t j = 0; j < n; ++j) {
-    first_slot[j] = g.first_slot_for(instance.job(static_cast<JobId>(j)).release);
-    var_base[j + 1] = var_base[j] + (g.slots - first_slot[j]);
+    const Job& job = instance.job(static_cast<JobId>(j));
+    incl[j] = lp_included(job);
+    first_slot[j] = g.first_slot_for(job.release);
+    var_base[j + 1] =
+        var_base[j] + (incl[j] ? g.slots - first_slot[j] : 0);
   }
   const std::size_t num_vars = var_base[n];
 
   LinearProgram lp;
   lp.objective.assign(num_vars, 0.0);
   for (std::size_t j = 0; j < n; ++j) {
+    if (!incl[j]) continue;
     const Job& job = instance.job(static_cast<JobId>(j));
     for (std::size_t s = first_slot[j]; s < g.slots; ++s) {
       lp.objective[var_base[j] + (s - first_slot[j])] =
@@ -140,6 +274,7 @@ LinearProgram build_flowtime_lp(const Instance& instance,
   }
   // sum_t x_{jt} >= p_j
   for (std::size_t j = 0; j < n; ++j) {
+    if (!incl[j]) continue;
     LinearProgram::Row row;
     row.coeffs.assign(num_vars, 0.0);
     for (std::size_t s = first_slot[j]; s < g.slots; ++s) {
@@ -155,7 +290,7 @@ LinearProgram build_flowtime_lp(const Instance& instance,
     row.coeffs.assign(num_vars, 0.0);
     bool any = false;
     for (std::size_t j = 0; j < n; ++j) {
-      if (s >= first_slot[j]) {
+      if (incl[j] && s >= first_slot[j]) {
         row.coeffs[var_base[j] + (s - first_slot[j])] = 1.0;
         any = true;
       }

@@ -18,9 +18,16 @@
 #pragma once
 
 #include "core/instance.h"
+#include "lpsolve/certify.h"
 #include "lpsolve/simplex.h"
 
 namespace tempofair::lpsolve {
+
+/// Jobs below this size are dropped from the LP.  A denormal-size job makes
+/// unit_cost = (t^k + p^k) / p overflow to infinity, and removing a demand
+/// row only *lowers* the LP optimum, so the relaxed value stays a valid
+/// lower bound on OPT^k.
+inline constexpr double kMinLpJobSize = 1e-12;
 
 struct FlowtimeLpOptions {
   double k = 2.0;        ///< the l_k norm exponent
@@ -35,6 +42,13 @@ struct FlowtimeLpResult {
   double opt_power_lb = 0.0;   ///< lp_value / 2: lower bound on OPT^k
   std::size_t slots = 0;
   std::size_t edges = 0;
+  std::size_t skipped_jobs = 0;  ///< jobs below kMinLpJobSize dropped
+  /// Exact-rational certificate for `lp_value`: a dual-feasible solution of
+  /// the transportation LP, repaired from the min-cost-flow potentials and
+  /// verified in exact arithmetic.  When certified, `certificate.value` is a
+  /// machine-checked lower bound on the discretized LP optimum (so
+  /// certificate.value / 2 certifies opt_power_lb).
+  CertifiedBound certificate;
 };
 
 /// Solves the discretized LP exactly via min-cost max-flow.

@@ -5,9 +5,46 @@
 
 #include "core/engine.h"
 #include "core/metrics.h"
+#include "lpsolve/rational.h"
+#include "obs/obs.h"
 #include "policies/priority_policies.h"
 
 namespace tempofair::lpsolve {
+
+namespace {
+
+/// Exact-rational version of the trivial bound sum_j p_j^k for *integer* k:
+/// each size is floored to a dyadic grid (a lower bound on p_j) and raised
+/// to the k-th power exactly, so the rounded-down sum is a machine-checked
+/// lower bound on sum_j p_j^k <= OPT^k.  Returns uncertified for
+/// non-integer k or when 128-bit arithmetic would overflow.
+CertifiedBound certified_trivial_lb(const Instance& instance, double k) {
+  CertifiedBound out;
+  const double k_round = std::round(k);
+  if (!(k >= 1.0) || k != k_round || k_round > 8.0) return out;
+  const int ki = static_cast<int>(k_round);
+
+  // Grid resolution: quantized sizes are raised to the k-th power, so the
+  // bit budget shrinks with k to keep numerators inside 128 bits.
+  const unsigned bits =
+      static_cast<unsigned>(std::max(4, std::min(24, 127 / ki - 12)));
+
+  Rational sum;
+  for (const Job& j : instance.jobs()) {
+    const Rational q = Rational::from_double(j.size).floor_to_dyadic(bits);
+    if (!q.valid()) return out;
+    if (!q.is_positive()) continue;  // floors to 0: contributes nothing
+    Rational pw = q;
+    for (int e = 1; e < ki; ++e) pw *= q;
+    sum += pw;
+    if (!sum.valid()) return out;
+  }
+  out.value = std::max(0.0, sum.lower_double());
+  out.certified = true;
+  return out;
+}
+
+}  // namespace
 
 OptBounds opt_bounds(const Instance& instance, const OptBoundsOptions& options) {
   OptBounds out;
@@ -17,7 +54,9 @@ OptBounds opt_bounds(const Instance& instance, const OptBoundsOptions& options) 
   for (const Job& j : instance.jobs()) {
     out.trivial_lb += std::pow(j.size, options.k);
   }
+  const CertifiedBound trivial_cert = certified_trivial_lb(instance, options.k);
 
+  CertifiedBound lp_cert;
   if (options.with_lp && !instance.empty()) {
     double slot = options.lp_slot;
     if (slot <= 0.0) {
@@ -28,15 +67,35 @@ OptBounds opt_bounds(const Instance& instance, const OptBoundsOptions& options) 
       // slots+jobs augmentations); a coarser grid only loosens the lower
       // bound, never invalidates it.
       constexpr double kMaxSlots = 600.0;
-      if (horizon / slot > kMaxSlots) slot = horizon / kMaxSlots;
+      const double min_slot = horizon / kMaxSlots;
+      // A denormal/zero min size (or a degenerate horizon) must not reach
+      // the LP as slot = 0: the negated comparison also catches NaN.
+      if (!(slot >= min_slot)) slot = min_slot;
+      if (!(slot > 0.0) || !std::isfinite(slot)) slot = 1.0;
     }
     FlowtimeLpOptions lp_opts;
     lp_opts.k = options.k;
     lp_opts.machines = options.machines;
     lp_opts.slot = slot;
-    out.lp_lb = solve_flowtime_lp(instance, lp_opts).opt_power_lb;
+    const FlowtimeLpResult lp = solve_flowtime_lp(instance, lp_opts);
+    out.lp_lb = lp.opt_power_lb;
+    if (lp.certificate.certified) {
+      lp_cert.value = lp.certificate.value / 2.0;
+      lp_cert.certified = true;
+    }
   }
   out.best_lb = std::max(out.trivial_lb, out.lp_lb);
+
+  if (trivial_cert.certified) {
+    out.certified_lb = std::max(out.certified_lb, trivial_cert.value);
+  }
+  if (lp_cert.certified) {
+    out.certified_lb = std::max(out.certified_lb, lp_cert.value);
+  }
+  out.lb_certified = (trivial_cert.certified || lp_cert.certified) &&
+                     out.certified_lb > 0.0;
+  obs::add(out.lb_certified ? "lpcert.lb_certified" : "lpcert.lb_uncertified",
+           1);
 
   EngineOptions eng;
   eng.machines = options.machines;

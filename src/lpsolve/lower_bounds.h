@@ -25,6 +25,14 @@ struct OptBounds {
   double lp_lb = 0.0;       ///< LP / 2 (0 if LP skipped)
   double best_lb = 0.0;     ///< max of the lower bounds
   double proxy_ub = 0.0;    ///< min(SRPT, SJF) cost at speed 1
+  /// Exactly-verified lower bound on OPT^k: the max over the components
+  /// whose certificates checked out (the trivial bound re-derived in exact
+  /// rational arithmetic for integer k, and the LP dual certificate / 2).
+  /// Slightly below best_lb in general (safe-side rounding).
+  double certified_lb = 0.0;
+  /// True iff certified_lb > 0 is backed by an exact-rational certificate.
+  /// When false, ratios against certified_lb must be flagged uncertified.
+  bool lb_certified = false;
 };
 
 struct OptBoundsOptions {

@@ -41,7 +41,8 @@ MinCostFlow::Result MinCostFlow::solve(std::size_t s, std::size_t t,
   // which degrades Dijkstra into exponential re-expansion.
   const double cost_eps = std::max(kFlowEps, 1e-12 * max_cost_);
 
-  std::vector<double> potential(n, 0.0);  // costs are >= 0, so 0 is valid
+  potential_.assign(n, 0.0);  // costs are >= 0, so 0 is valid
+  std::vector<double>& potential = potential_;
   std::vector<double> dist(n);
   std::vector<std::size_t> prev_node(n), prev_edge(n);
   Result result;
@@ -86,8 +87,12 @@ MinCostFlow::Result MinCostFlow::solve(std::size_t s, std::size_t t,
     }
     if (dist[t] == kInf) break;  // no augmenting path left
 
+    // Cap every update at dist[t]: unlike the naive "reachable-only" update,
+    // this keeps reduced costs nonnegative on *every* residual arc (also ones
+    // touching nodes this Dijkstra never reached), so the final potentials
+    // are a valid -- and tight -- dual solution, not just a Dijkstra speedup.
     for (std::size_t v = 0; v < n; ++v) {
-      if (dist[v] < kInf) potential[v] += dist[v];
+      potential[v] += std::min(dist[v], dist[t]);
     }
 
     // Bottleneck along the path.

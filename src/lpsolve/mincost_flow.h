@@ -36,6 +36,14 @@ class MinCostFlow {
   /// Flow currently on edge `handle` (after solve()).
   [[nodiscard]] double flow_on(std::size_t handle) const;
 
+  /// Johnson potentials after solve(): potentials()[v] is the shortest-path
+  /// distance from the source to v in the final residual network.  These are
+  /// (approximate) optimal duals of the underlying transportation LP, which
+  /// the flow-time certificate pass repairs into an exactly-feasible dual.
+  [[nodiscard]] const std::vector<double>& potentials() const noexcept {
+    return potential_;
+  }
+
   [[nodiscard]] std::size_t num_nodes() const noexcept { return graph_.size(); }
 
  private:
@@ -50,6 +58,7 @@ class MinCostFlow {
   std::vector<std::vector<Edge>> graph_;
   std::vector<std::pair<std::size_t, std::size_t>> handles_;  // (node, idx)
   std::vector<double> initial_cap_;                           // per handle
+  std::vector<double> potential_;                             // after solve()
   double max_cost_ = 0.0;
 };
 

@@ -4,9 +4,17 @@
 // flow solver on the discretized flow-time LP, and to demonstrate weak
 // duality for the paper's dual-fitting certificates on small instances.
 // Not intended for large LPs (dense tableau, O(rows * cols) per pivot).
+//
+// Hardening: Dantzig pricing with a single entering tolerance, plus a
+// stall detector that switches to Bland's rule after a run of degenerate
+// pivots, so cycling instances (Beale's example) terminate at the optimum
+// instead of burning the iteration budget.  Optimal solutions carry the
+// final basis and the dual vector, which `verify_certificate()` (certify.h)
+// re-derives and checks in exact rational arithmetic.
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 namespace tempofair::lpsolve {
@@ -30,9 +38,40 @@ enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
 
 struct LpSolution {
   SolveStatus status = SolveStatus::kIterLimit;
-  double objective = 0.0;
+  /// Engaged only when status == kOptimal; a non-optimal solve carries no
+  /// objective at all, so callers cannot misread a miss as a bound of 0.
+  std::optional<double> objective;
   std::vector<double> x;
+  /// Dual value per *original* row (kOptimal only): >= 0 for kGe rows,
+  /// <= 0 for kLe rows, free for kEq.  The dual objective sum_i duals[i] *
+  /// rhs[i] equals the primal objective up to float error.
+  std::vector<double> duals;
+  /// Final basis: one standard-form column index per row (kOptimal only).
+  /// Column layout is the StandardForm one; input to verify_certificate().
+  std::vector<std::size_t> basis;
 };
+
+/// The standardized equality form shared by the float simplex and the exact
+/// certificate verifier: rows sign-normalized to rhs >= 0, columns laid out
+/// as [structural | slack | artificial] (artificials are implicit identity
+/// columns and not materialized in `a`).
+struct StandardForm {
+  std::size_t n = 0;       ///< structural variables
+  std::size_t slacks = 0;  ///< one per inequality row
+  std::size_t rows = 0;
+  std::size_t cols = 0;    ///< n + slacks + rows
+  std::vector<std::vector<double>> a;  ///< rows x (n + slacks)
+  std::vector<double> b;               ///< >= 0
+  std::vector<double> row_sign;        ///< +1/-1 applied to original row i
+
+  [[nodiscard]] std::size_t artificial(std::size_t row) const noexcept {
+    return n + slacks + row;
+  }
+};
+
+/// Builds the standard form deterministically from `lp`.  Throws
+/// std::invalid_argument on dimension mismatches.
+[[nodiscard]] StandardForm standardize(const LinearProgram& lp);
 
 /// Solves the LP.  Throws std::invalid_argument on dimension mismatches.
 [[nodiscard]] LpSolution solve_lp(const LinearProgram& lp,

@@ -72,6 +72,19 @@ TEST(MeasureRatio, ReusedBoundsMatchFreshOnes) {
   EXPECT_DOUBLE_EQ(fresh.cost_power, reused.cost_power);
 }
 
+TEST(MeasureRatio, LbCertifiedPropagatesFromBounds) {
+  workload::Rng rng(17);
+  const Instance inst =
+      workload::poisson_load(25, 1, 0.85, workload::ExponentialSize{1.0}, rng);
+  RoundRobin rr;
+  RatioOptions opt;
+  opt.k = 2.0;
+  const RatioMeasurement m = measure_ratio(inst, rr, opt);
+  EXPECT_EQ(m.lb_certified, m.bounds.lb_certified);
+  EXPECT_TRUE(m.lb_certified);  // integer k with LP: both certificates apply
+  EXPECT_GT(m.ratio_vs_lb, 0.0);
+}
+
 TEST(MeasureRatio, RecordsConfiguration) {
   workload::Rng rng(13);
   const Instance inst =

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/engine.h"
 #include "core/metrics.h"
@@ -95,9 +96,46 @@ TEST(FlowtimeLp, McmfMatchesSimplexOnTinyInstances) {
     const LinearProgram lp = build_flowtime_lp(inst, opt);
     const auto simplex = solve_lp(lp);
     ASSERT_EQ(simplex.status, SolveStatus::kOptimal);
-    EXPECT_NEAR(mcmf.lp_value, simplex.objective, 1e-6)
+    EXPECT_NEAR(mcmf.lp_value, *simplex.objective, 1e-6)
         << "trial " << trial << " " << inst.summary();
   }
+}
+
+TEST(FlowtimeLp, CertificateBoundsValueFromBelow) {
+  workload::Rng rng(107);
+  for (double k : {1.0, 2.0, 3.0}) {
+    const Instance inst =
+        workload::poisson_load(25, 1, 0.85, workload::UniformSize{0.5, 2.0}, rng);
+    FlowtimeLpOptions opt;
+    opt.k = k;
+    opt.slot = 0.5;
+    const auto r = solve_flowtime_lp(inst, opt);
+    ASSERT_TRUE(r.certificate.certified) << "k=" << k;
+    EXPECT_GT(r.certificate.value, 0.0);
+    EXPECT_LE(r.certificate.value, r.lp_value * (1.0 + 1e-9)) << "k=" << k;
+    // The dyadic repair gives up only a sliver of the bound.
+    EXPECT_GE(r.certificate.value, r.lp_value * (1.0 - 1e-4)) << "k=" << k;
+  }
+}
+
+TEST(FlowtimeLp, DenormalJobSizeIsSkippedNotFatal) {
+  // A denormal size passes Instance validation (it is > 0) but would drive
+  // the per-unit LP cost to infinity; the solver must drop it, not throw.
+  const std::vector<std::pair<Time, Work>> pairs{
+      {0.0, 1.0}, {0.0, std::numeric_limits<double>::denorm_min()}, {1.0, 2.0}};
+  const Instance inst = Instance::from_pairs(pairs);
+  FlowtimeLpOptions opt;
+  opt.k = 2.0;
+  opt.slot = 1.0;
+  const auto r = solve_flowtime_lp(inst, opt);
+  EXPECT_EQ(r.skipped_jobs, 1u);
+  EXPECT_TRUE(std::isfinite(r.lp_value));
+  EXPECT_GT(r.lp_value, 0.0);
+  // build_flowtime_lp must apply the same skip so both agree on the program.
+  const LinearProgram lp = build_flowtime_lp(inst, opt);
+  const auto simplex = solve_lp(lp);
+  ASSERT_EQ(simplex.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.lp_value, *simplex.objective, 1e-6);
 }
 
 TEST(FlowtimeLp, RejectsBadOptions) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/engine.h"
 #include "core/metrics.h"
@@ -77,6 +78,50 @@ TEST(OptBounds, AutoSlotKeepsGridBounded) {
   const OptBounds b = opt_bounds(inst, opt);
   EXPECT_GT(b.lp_lb, 0.0);
   EXPECT_LE(b.lp_lb, b.proxy_ub * (1.0 + 1e-9));
+}
+
+TEST(OptBounds, DenormalJobSizeDoesNotPoisonBounds) {
+  // Regression: a denormal-size job used to collapse the auto slot width to
+  // a denormal, making horizon/slot overflow and the LP grid degenerate.
+  const std::vector<std::pair<Time, Work>> pairs{
+      {0.0, 1.0}, {0.5, std::numeric_limits<double>::denorm_min()}, {1.0, 2.0}};
+  const Instance inst = Instance::from_pairs(pairs);
+  OptBoundsOptions opt;
+  opt.k = 2.0;
+  const OptBounds b = opt_bounds(inst, opt);
+  EXPECT_TRUE(std::isfinite(b.best_lb));
+  EXPECT_TRUE(std::isfinite(b.lp_lb));
+  EXPECT_GT(b.best_lb, 0.0);
+  EXPECT_LE(b.best_lb, b.proxy_ub * (1.0 + 1e-9));
+}
+
+TEST(OptBounds, CertifiedLbBacksBestLb) {
+  workload::Rng rng(109);
+  for (double k : {1.0, 2.0, 3.0}) {
+    const Instance inst =
+        workload::poisson_load(30, 1, 0.85, workload::UniformSize{0.5, 2.0}, rng);
+    OptBoundsOptions opt;
+    opt.k = k;
+    const OptBounds b = opt_bounds(inst, opt);
+    EXPECT_TRUE(b.lb_certified) << "k=" << k;
+    EXPECT_GT(b.certified_lb, 0.0);
+    // The exact certificate may only give up float-level slack vs best_lb.
+    EXPECT_LE(b.certified_lb, b.best_lb * (1.0 + 1e-9)) << "k=" << k;
+    EXPECT_GE(b.certified_lb, b.best_lb * (1.0 - 1e-4)) << "k=" << k;
+  }
+}
+
+TEST(OptBounds, NonIntegerKFallsBackToLpCertificate) {
+  // The trivial bound only certifies integer k; for k=1.5 the LP dual
+  // certificate must carry the certification on its own.
+  workload::Rng rng(113);
+  const Instance inst =
+      workload::poisson_load(25, 1, 0.85, workload::UniformSize{0.5, 2.0}, rng);
+  OptBoundsOptions opt;
+  opt.k = 1.5;
+  const OptBounds b = opt_bounds(inst, opt);
+  EXPECT_TRUE(b.lb_certified);
+  EXPECT_GT(b.certified_lb, 0.0);
 }
 
 TEST(OptBounds, SingleJobExactness) {

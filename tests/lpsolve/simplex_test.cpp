@@ -1,11 +1,32 @@
 #include "lpsolve/simplex.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace tempofair::lpsolve {
 namespace {
 
 using Rel = LinearProgram::Rel;
+
+// Dual vector sanity usable on any optimal solution: sum_i duals[i] * rhs[i]
+// must reproduce the primal objective (strong duality, up to float error).
+void expect_strong_duality(const LinearProgram& lp, const LpSolution& sol) {
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  ASSERT_EQ(sol.duals.size(), lp.rows.size());
+  double dual_obj = 0.0;
+  for (std::size_t i = 0; i < lp.rows.size(); ++i) {
+    dual_obj += sol.duals[i] * lp.rows[i].rhs;
+    // Sign conventions: >= rows have nonnegative duals, <= rows nonpositive.
+    if (lp.rows[i].rel == Rel::kGe) {
+      EXPECT_GE(sol.duals[i], -1e-9);
+    }
+    if (lp.rows[i].rel == Rel::kLe) {
+      EXPECT_LE(sol.duals[i], 1e-9);
+    }
+  }
+  EXPECT_NEAR(dual_obj, *sol.objective, 1e-7 * (1.0 + std::fabs(*sol.objective)));
+}
 
 TEST(Simplex, SimpleMaximizationAsMinimization) {
   // max x + y s.t. x + 2y <= 4, 3x + y <= 6  => min -(x+y).
@@ -16,9 +37,10 @@ TEST(Simplex, SimpleMaximizationAsMinimization) {
   const auto sol = solve_lp(lp);
   ASSERT_EQ(sol.status, SolveStatus::kOptimal);
   // Optimum at intersection: x = 8/5, y = 6/5, objective -(14/5).
-  EXPECT_NEAR(sol.objective, -2.8, 1e-9);
+  EXPECT_NEAR(*sol.objective, -2.8, 1e-9);
   EXPECT_NEAR(sol.x[0], 1.6, 1e-9);
   EXPECT_NEAR(sol.x[1], 1.2, 1e-9);
+  expect_strong_duality(lp, sol);
 }
 
 TEST(Simplex, EqualityConstraints) {
@@ -31,7 +53,8 @@ TEST(Simplex, EqualityConstraints) {
   ASSERT_EQ(sol.status, SolveStatus::kOptimal);
   EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
   EXPECT_NEAR(sol.x[1], 1.0, 1e-9);
-  EXPECT_NEAR(sol.objective, 4.0, 1e-9);
+  EXPECT_NEAR(*sol.objective, 4.0, 1e-9);
+  expect_strong_duality(lp, sol);
 }
 
 TEST(Simplex, GreaterEqualConstraints) {
@@ -44,7 +67,8 @@ TEST(Simplex, GreaterEqualConstraints) {
   ASSERT_EQ(sol.status, SolveStatus::kOptimal);
   EXPECT_NEAR(sol.x[0], 4.0, 1e-9);  // push everything onto cheaper x
   EXPECT_NEAR(sol.x[1], 0.0, 1e-9);
-  EXPECT_NEAR(sol.objective, 8.0, 1e-9);
+  EXPECT_NEAR(*sol.objective, 8.0, 1e-9);
+  expect_strong_duality(lp, sol);
 }
 
 TEST(Simplex, DetectsInfeasibility) {
@@ -53,7 +77,10 @@ TEST(Simplex, DetectsInfeasibility) {
   lp.objective = {1.0};
   lp.rows.push_back({{1.0}, Rel::kLe, 1.0});
   lp.rows.push_back({{1.0}, Rel::kGe, 2.0});
-  EXPECT_EQ(solve_lp(lp).status, SolveStatus::kInfeasible);
+  const auto sol = solve_lp(lp);
+  EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+  // Non-optimal results must carry no objective a caller could misread.
+  EXPECT_FALSE(sol.objective.has_value());
 }
 
 TEST(Simplex, DetectsUnboundedness) {
@@ -61,7 +88,9 @@ TEST(Simplex, DetectsUnboundedness) {
   LinearProgram lp;
   lp.objective = {-1.0};
   lp.rows.push_back({{-1.0}, Rel::kLe, 0.0});  // -x <= 0 i.e. x >= 0 (vacuous)
-  EXPECT_EQ(solve_lp(lp).status, SolveStatus::kUnbounded);
+  const auto sol = solve_lp(lp);
+  EXPECT_EQ(sol.status, SolveStatus::kUnbounded);
+  EXPECT_FALSE(sol.objective.has_value());
 }
 
 TEST(Simplex, NegativeRhsNormalized) {
@@ -74,6 +103,20 @@ TEST(Simplex, NegativeRhsNormalized) {
   EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
 }
 
+TEST(Simplex, NegativeRhsEqualityRows) {
+  // min x + y s.t. -x - y = -2, x - y = -1: unique solution x=1/2, y=3/2.
+  LinearProgram lp;
+  lp.objective = {1.0, 1.0};
+  lp.rows.push_back({{-1.0, -1.0}, Rel::kEq, -2.0});
+  lp.rows.push_back({{1.0, -1.0}, Rel::kEq, -1.0});
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 0.5, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.5, 1e-9);
+  EXPECT_NEAR(*sol.objective, 2.0, 1e-9);
+  expect_strong_duality(lp, sol);
+}
+
 TEST(Simplex, DegenerateProblemStillSolves) {
   // Multiple constraints active at the optimum.
   LinearProgram lp;
@@ -83,7 +126,25 @@ TEST(Simplex, DegenerateProblemStillSolves) {
   lp.rows.push_back({{1.0, 1.0}, Rel::kLe, 2.0});  // redundant at optimum
   const auto sol = solve_lp(lp);
   ASSERT_EQ(sol.status, SolveStatus::kOptimal);
-  EXPECT_NEAR(sol.objective, -2.0, 1e-9);
+  EXPECT_NEAR(*sol.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, BealeCyclingExampleTerminates) {
+  // Beale's classic cycling LP with the x3 column scaled by 100 so every
+  // coefficient is an exact dyadic double.  Optimum -1/20 at x1 = 1/25,
+  // x3' = 1/100.  The stall detector must hand over to Bland's rule rather
+  // than burn the iteration budget.
+  LinearProgram lp;
+  lp.objective = {-0.75, 150.0, -2.0, 6.0};
+  lp.rows.push_back({{0.25, -60.0, -4.0, 9.0}, Rel::kLe, 0.0});
+  lp.rows.push_back({{0.5, -90.0, -2.0, 3.0}, Rel::kLe, 0.0});
+  lp.rows.push_back({{0.0, 0.0, 100.0, 0.0}, Rel::kLe, 1.0});
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(*sol.objective, -0.05, 1e-9);
+  EXPECT_NEAR(sol.x[0], 0.04, 1e-9);
+  EXPECT_NEAR(sol.x[2], 0.01, 1e-9);
+  expect_strong_duality(lp, sol);
 }
 
 TEST(Simplex, RedundantEqualityRows) {
@@ -93,14 +154,15 @@ TEST(Simplex, RedundantEqualityRows) {
   lp.rows.push_back({{2.0, 2.0}, Rel::kEq, 4.0});  // same constraint doubled
   const auto sol = solve_lp(lp);
   ASSERT_EQ(sol.status, SolveStatus::kOptimal);
-  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+  EXPECT_NEAR(*sol.objective, 2.0, 1e-9);
 }
 
 TEST(Simplex, ZeroVariableProblem) {
   LinearProgram lp;  // no variables, no rows
   const auto sol = solve_lp(lp);
-  EXPECT_EQ(sol.status, SolveStatus::kOptimal);
-  EXPECT_DOUBLE_EQ(sol.objective, 0.0);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  ASSERT_TRUE(sol.objective.has_value());
+  EXPECT_DOUBLE_EQ(*sol.objective, 0.0);
 }
 
 TEST(Simplex, RejectsDimensionMismatch) {
@@ -121,7 +183,20 @@ TEST(Simplex, TransportationMatchesKnownOptimum) {
   lp.rows.push_back({{0.0, 1.0, 0.0, 1.0}, Rel::kEq, 3.0});  // demand 1
   const auto sol = solve_lp(lp);
   ASSERT_EQ(sol.status, SolveStatus::kOptimal);
-  EXPECT_NEAR(sol.objective, 8.0, 1e-9);
+  EXPECT_NEAR(*sol.objective, 8.0, 1e-9);
+  expect_strong_duality(lp, sol);
+}
+
+TEST(Simplex, BasisCoversEveryRow) {
+  LinearProgram lp;
+  lp.objective = {1.0, 2.0};
+  lp.rows.push_back({{1.0, 1.0}, Rel::kGe, 2.0});
+  lp.rows.push_back({{1.0, 0.0}, Rel::kLe, 5.0});
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  const StandardForm sf = standardize(lp);
+  ASSERT_EQ(sol.basis.size(), lp.rows.size());
+  for (const std::size_t col : sol.basis) EXPECT_LT(col, sf.cols);
 }
 
 }  // namespace

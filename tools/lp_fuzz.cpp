@@ -1,0 +1,109 @@
+// Differential LP fuzz runner for CI smoke jobs.
+//
+//   lp_fuzz [--count N] [--seed S] [--out file.json]
+//
+// Runs run_lp_fuzz() (float simplex vs exact-rational solver vs min-cost
+// flow, see src/lpsolve/lp_fuzz.h), prints a summary, optionally writes a
+// JSON artifact recording the seed, and exits nonzero on any disagreement.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "lpsolve/lp_fuzz.h"
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tempofair::lpsolve::LpFuzzOptions;
+  using tempofair::lpsolve::LpFuzzReport;
+
+  LpFuzzOptions options;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* name) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "lp_fuzz: " << name << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--count") {
+      options.count = std::stoull(need_value("--count"));
+    } else if (arg == "--seed") {
+      options.seed = std::stoull(need_value("--seed"));
+    } else if (arg == "--out") {
+      out_path = need_value("--out");
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: lp_fuzz [--count N] [--seed S] [--out file.json]\n";
+      return 0;
+    } else {
+      std::cerr << "lp_fuzz: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const LpFuzzReport rep = tempofair::lpsolve::run_lp_fuzz(options);
+
+  std::cout << "lp_fuzz: seed=" << rep.seed << " cases=" << rep.count
+            << " (optimal=" << rep.optimal << " infeasible=" << rep.infeasible
+            << " unbounded=" << rep.unbounded
+            << " iter_limit=" << rep.iter_limit << ")"
+            << " certified=" << rep.certified
+            << " warm_starts=" << rep.warm_starts
+            << " flow_cases=" << rep.flow_cases
+            << " disagreements=" << rep.disagreements.size() << "\n";
+  for (const auto& d : rep.disagreements) {
+    std::cout << "  case " << d.case_index << ": " << d.what << "\n";
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "lp_fuzz: cannot write " << out_path << "\n";
+      return 2;
+    }
+    out << "{\n"
+        << "  \"seed\": " << rep.seed << ",\n"
+        << "  \"count\": " << rep.count << ",\n"
+        << "  \"optimal\": " << rep.optimal << ",\n"
+        << "  \"infeasible\": " << rep.infeasible << ",\n"
+        << "  \"unbounded\": " << rep.unbounded << ",\n"
+        << "  \"iter_limit\": " << rep.iter_limit << ",\n"
+        << "  \"certified\": " << rep.certified << ",\n"
+        << "  \"warm_starts\": " << rep.warm_starts << ",\n"
+        << "  \"flow_cases\": " << rep.flow_cases << ",\n"
+        << "  \"disagreements\": [";
+    bool first = true;
+    for (const auto& d : rep.disagreements) {
+      out << (first ? "\n" : ",\n") << "    {\"case\": " << d.case_index
+          << ", \"what\": \"" << json_escape(d.what) << "\"}";
+      first = false;
+    }
+    out << (first ? "]" : "\n  ]") << ",\n"
+        << "  \"ok\": " << (rep.ok() ? "true" : "false") << "\n"
+        << "}\n";
+  }
+
+  return rep.ok() ? 0 : 1;
+}
