@@ -20,11 +20,17 @@ Instance make_instance(std::size_t n, int machines, std::uint64_t seed) {
                                 workload::ExponentialSize{1.5}, rng);
 }
 
-void BM_SimulatePolicy(benchmark::State& state, const char* spec) {
+// FastForward-capable policies silently take the epoch-coalesced fast path
+// by default; benchmark both routes explicitly so a regression in either
+// one is attributable (tools/perf_gate tracks the same pairs against
+// BENCH_fastpath.json).
+void BM_SimulatePolicy(benchmark::State& state, const char* spec,
+                       bool fast_path) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const Instance inst = make_instance(n, 1, 42);
   EngineOptions eo;
   eo.record_trace = false;
+  eo.use_fast_path = fast_path;
   for (auto _ : state) {
     auto policy = make_policy(spec);
     benchmark::DoNotOptimize(simulate(inst, *policy, eo));
@@ -116,12 +122,19 @@ void BM_FlowtimeLp(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_SimulatePolicy, rr, "rr")->Arg(500)->Arg(2000)->Arg(8000);
-BENCHMARK_CAPTURE(BM_SimulatePolicy, srpt, "srpt")->Arg(500)->Arg(2000)->Arg(8000);
-BENCHMARK_CAPTURE(BM_SimulatePolicy, setf, "setf")->Arg(500)->Arg(2000);
-BENCHMARK_CAPTURE(BM_SimulatePolicy, wrr, "wrr")->Arg(500)->Arg(2000);
-BENCHMARK_CAPTURE(BM_SimulatePolicy, qrr, "qrr:0.5")->Arg(500)->Arg(2000);
-BENCHMARK_CAPTURE(BM_SimulatePolicy, mlfq, "mlfq")->Arg(500)->Arg(2000);
+BENCHMARK_CAPTURE(BM_SimulatePolicy, rr_fast, "rr", true)
+    ->Arg(500)->Arg(2000)->Arg(8000);
+BENCHMARK_CAPTURE(BM_SimulatePolicy, rr_event_loop, "rr", false)
+    ->Arg(500)->Arg(2000)->Arg(8000);
+BENCHMARK_CAPTURE(BM_SimulatePolicy, srpt_fast, "srpt", true)
+    ->Arg(500)->Arg(2000)->Arg(8000);
+BENCHMARK_CAPTURE(BM_SimulatePolicy, srpt_event_loop, "srpt", false)
+    ->Arg(500)->Arg(2000)->Arg(8000);
+// No FastForward capability: both routes are the generic loop.
+BENCHMARK_CAPTURE(BM_SimulatePolicy, setf, "setf", true)->Arg(500)->Arg(2000);
+BENCHMARK_CAPTURE(BM_SimulatePolicy, wrr, "wrr", true)->Arg(500)->Arg(2000);
+BENCHMARK_CAPTURE(BM_SimulatePolicy, qrr, "qrr:0.5", true)->Arg(500)->Arg(2000);
+BENCHMARK_CAPTURE(BM_SimulatePolicy, mlfq, "mlfq", true)->Arg(500)->Arg(2000);
 BENCHMARK(BM_SimulateRrMultiMachine)->Arg(1)->Arg(4)->Arg(16);
 BENCHMARK(BM_SimulateRrWithTrace)->Arg(500)->Arg(2000);
 BENCHMARK(BM_PipelineSimDualfit)

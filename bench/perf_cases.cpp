@@ -1,0 +1,130 @@
+#include "perf_cases.h"
+
+#include <string>
+
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "policies/priority_policies.h"
+#include "policies/round_robin.h"
+#include "workload/generators.h"
+#include "workload/rng.h"
+#include "workload/stream.h"
+
+namespace tempofair::perf {
+
+namespace {
+
+constexpr std::uint64_t kSeed = 20260806;
+
+/// One simulate() of `policy` over `instance`, trace off, timing only the
+/// engine.  The result's completion count is read back so the optimizer
+/// cannot elide the run.
+CaseResult time_engine(const std::string& name, std::size_t repeats,
+                       const Instance& instance, Policy& policy,
+                       bool fast_path) {
+  EngineOptions eng;
+  eng.record_trace = false;
+  eng.use_fast_path = fast_path;
+  std::size_t finished = 0;
+  CaseResult r = measure(name, repeats, [&] {
+    const Schedule sched = simulate(instance, policy, eng);
+    finished += sched.n();
+  });
+  r.stats["jobs"] = static_cast<double>(instance.n());
+  r.stats["finished_total"] = static_cast<double>(finished);
+  return r;
+}
+
+}  // namespace
+
+Report run_fastpath_cases(const CaseOptions& options) {
+  const bool smoke = options.smoke;
+  const std::size_t repeats = options.repeats;
+  const std::string suffix = smoke ? "_smoke" : "";
+
+  const std::size_t n_pair = smoke ? 10'000 : 100'000;
+  const std::size_t n_stream = smoke ? 100'000 : 1'000'000;
+  const std::size_t n_trace = smoke ? 5'000 : 50'000;
+
+  Report report;
+
+  // --- RR: generic event loop vs epoch-coalesced fast path, same jobs ------
+  {
+    workload::Rng rng(kSeed);
+    const Instance inst = workload::poisson_load(
+        n_pair, 1, 0.9, workload::ExponentialSize{1.5}, rng);
+    RoundRobin rr;
+    CaseResult slow = time_engine("rr_event_loop_" + std::to_string(n_pair) + suffix,
+                                  repeats, inst, rr, false);
+    CaseResult fast = time_engine("rr_fast_" + std::to_string(n_pair) + suffix,
+                                  repeats, inst, rr, true);
+    if (fast.median_s > 0.0) {
+      fast.stats["speedup_vs_event_loop"] = slow.median_s / fast.median_s;
+    }
+    report.cases.push_back(std::move(slow));
+    report.cases.push_back(std::move(fast));
+  }
+
+  // --- SRPT: same pairing on the top-priority rule --------------------------
+  {
+    workload::Rng rng(kSeed + 1);
+    const Instance inst = workload::poisson_load(
+        n_pair, 1, 0.9, workload::ExponentialSize{1.5}, rng);
+    Srpt srpt;
+    CaseResult slow = time_engine("srpt_event_loop_" + std::to_string(n_pair) + suffix,
+                                  repeats, inst, srpt, false);
+    CaseResult fast = time_engine("srpt_fast_" + std::to_string(n_pair) + suffix,
+                                  repeats, inst, srpt, true);
+    if (fast.median_s > 0.0) {
+      fast.stats["speedup_vs_event_loop"] = slow.median_s / fast.median_s;
+    }
+    report.cases.push_back(std::move(slow));
+    report.cases.push_back(std::move(fast));
+  }
+
+  // --- RR streaming: generation + simulation, nothing materialized ----------
+  // This is the headline million-job number: the body builds the generator
+  // and simulates, so the time is the true end-to-end cost of the run.
+  {
+    std::size_t finished = 0;
+    CaseResult c = measure(
+        "rr_fast_stream_" + std::to_string(n_stream) + suffix, repeats, [&] {
+          workload::Rng rng(kSeed + 2);
+          workload::PoissonJobStream stream = workload::poisson_load_stream(
+              n_stream, 1, 0.9, workload::ExponentialSize{1.5}, rng);
+          RoundRobin rr;
+          EngineOptions eng;
+          eng.record_trace = false;
+          const Schedule sched = simulate(stream, rr, eng);
+          finished += sched.n();
+        });
+    c.stats["jobs"] = static_cast<double>(n_stream);
+    c.stats["finished_total"] = static_cast<double>(finished);
+    report.cases.push_back(std::move(c));
+  }
+
+  // --- RR fast path with the trace arena + an l2 read-back ------------------
+  // Covers the uniform-rate compressed trace rows and the analysis side of
+  // the pipeline, which the trace-off cases above skip entirely.
+  {
+    workload::Rng rng(kSeed + 3);
+    const Instance inst = workload::poisson_load(
+        n_trace, 1, 0.9, workload::ExponentialSize{1.5}, rng);
+    RoundRobin rr;
+    EngineOptions eng;
+    eng.record_trace = true;
+    double norms = 0.0;
+    CaseResult c = measure(
+        "rr_fast_trace_l2_" + std::to_string(n_trace) + suffix, repeats, [&] {
+          const Schedule sched = simulate(inst, rr, eng);
+          norms += flow_lk_norm(sched, 2.0);
+        });
+    c.stats["jobs"] = static_cast<double>(n_trace);
+    c.stats["l2_norm_total"] = norms;
+    report.cases.push_back(std::move(c));
+  }
+
+  return report;
+}
+
+}  // namespace tempofair::perf

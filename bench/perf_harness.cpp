@@ -1,0 +1,409 @@
+#include "perf_harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+
+namespace tempofair::perf {
+
+namespace {
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return (n % 2 == 1) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+CaseResult measure(const std::string& name, std::size_t repeats,
+                   const std::function<void()>& body, bool warmup) {
+  if (repeats < 1) {
+    throw std::invalid_argument("perf::measure: repeats must be >= 1");
+  }
+  if (warmup) body();
+
+  std::vector<double> times;
+  times.reserve(repeats);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    times.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+
+  CaseResult result;
+  result.name = name;
+  result.repeats = repeats;
+  result.median_s = median_of(times);
+  std::vector<double> dev;
+  dev.reserve(times.size());
+  for (const double t : times) dev.push_back(std::fabs(t - result.median_s));
+  result.mad_s = median_of(std::move(dev));
+  result.min_s = *std::min_element(times.begin(), times.end());
+  result.max_s = *std::max_element(times.begin(), times.end());
+  return result;
+}
+
+const CaseResult* Report::find(const std::string& name) const {
+  for (const CaseResult& c : cases) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+// --- JSON writing -----------------------------------------------------------
+
+namespace {
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+std::string report_json(const Report& report) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": " << quote(report.schema) << ",\n  \"git_rev\": "
+     << quote(report.git_rev) << ",\n  \"cases\": [";
+  for (std::size_t i = 0; i < report.cases.size(); ++i) {
+    const CaseResult& c = report.cases[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\n      \"name\": " << quote(c.name)
+       << ",\n      \"repeats\": " << c.repeats
+       << ",\n      \"median_s\": " << num(c.median_s)
+       << ",\n      \"mad_s\": " << num(c.mad_s)
+       << ",\n      \"min_s\": " << num(c.min_s)
+       << ",\n      \"max_s\": " << num(c.max_s) << ",\n      \"stats\": {";
+    std::size_t k = 0;
+    for (const auto& [key, value] : c.stats) {
+      os << (k++ == 0 ? "" : ", ") << quote(key) << ": " << num(value);
+    }
+    os << "}\n    }";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+// --- JSON parsing -----------------------------------------------------------
+//
+// A minimal recursive-descent parser for the report schema.  The repo
+// deliberately has no third-party JSON dependency; this handles the full
+// JSON grammar for objects/arrays/strings/numbers/bools/null, which is all
+// a perf report (or a hand-edited baseline) can contain.
+
+namespace {
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(&text) {}
+
+  void ws() {
+    while (pos_ < text_->size() && (std::isspace(static_cast<unsigned char>(
+                                       (*text_)[pos_])) != 0)) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    ws();
+    if (pos_ >= text_->size()) fail("unexpected end of input");
+    return (*text_)[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_->size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_->size()) fail("unterminated string");
+      const char c = (*text_)[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_->size()) fail("unterminated escape");
+        const char e = (*text_)[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  [[nodiscard]] double number() {
+    ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_->size() &&
+           (std::string("+-0123456789.eE").find((*text_)[pos_]) !=
+            std::string::npos)) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    try {
+      return std::stod(text_->substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+  }
+
+  /// Skips any JSON value (used for unknown keys, forward compatibility).
+  void skip_value() {
+    const char c = peek();
+    if (c == '"') {
+      (void)string();
+    } else if (c == '{') {
+      expect('{');
+      if (!consume('}')) {
+        do {
+          (void)string();
+          expect(':');
+          skip_value();
+        } while (consume(','));
+        expect('}');
+      }
+    } else if (c == '[') {
+      expect('[');
+      if (!consume(']')) {
+        do {
+          skip_value();
+        } while (consume(','));
+        expect(']');
+      }
+    } else if (c == 't' || c == 'f' || c == 'n') {
+      while (pos_ < text_->size() &&
+             (std::isalpha(static_cast<unsigned char>((*text_)[pos_])) != 0)) {
+        ++pos_;
+      }
+    } else {
+      (void)number();
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::invalid_argument("perf::parse_report: " + msg + " at offset " +
+                                std::to_string(pos_));
+  }
+
+ private:
+  const std::string* text_;
+  std::size_t pos_ = 0;
+};
+
+CaseResult parse_case(JsonCursor& in) {
+  CaseResult c;
+  in.expect('{');
+  if (!in.consume('}')) {
+    do {
+      const std::string key = in.string();
+      in.expect(':');
+      if (key == "name") {
+        c.name = in.string();
+      } else if (key == "repeats") {
+        c.repeats = static_cast<std::size_t>(in.number());
+      } else if (key == "median_s") {
+        c.median_s = in.number();
+      } else if (key == "mad_s") {
+        c.mad_s = in.number();
+      } else if (key == "min_s") {
+        c.min_s = in.number();
+      } else if (key == "max_s") {
+        c.max_s = in.number();
+      } else if (key == "stats") {
+        in.expect('{');
+        if (!in.consume('}')) {
+          do {
+            const std::string stat = in.string();
+            in.expect(':');
+            c.stats[stat] = in.number();
+          } while (in.consume(','));
+          in.expect('}');
+        }
+      } else {
+        in.skip_value();
+      }
+    } while (in.consume(','));
+    in.expect('}');
+  }
+  if (c.name.empty()) in.fail("case without a name");
+  return c;
+}
+
+}  // namespace
+
+Report parse_report(const std::string& json) {
+  JsonCursor in(json);
+  Report report;
+  report.schema.clear();
+  in.expect('{');
+  if (!in.consume('}')) {
+    do {
+      const std::string key = in.string();
+      in.expect(':');
+      if (key == "schema") {
+        report.schema = in.string();
+      } else if (key == "git_rev") {
+        report.git_rev = in.string();
+      } else if (key == "cases") {
+        in.expect('[');
+        if (!in.consume(']')) {
+          do {
+            report.cases.push_back(parse_case(in));
+          } while (in.consume(','));
+          in.expect(']');
+        }
+      } else {
+        in.skip_value();
+      }
+    } while (in.consume(','));
+    in.expect('}');
+  }
+  if (report.schema != "tempofair-perf-v1") {
+    throw std::invalid_argument(
+        "perf::parse_report: missing or unsupported schema tag \"" +
+        report.schema + "\" (want \"tempofair-perf-v1\")");
+  }
+  return report;
+}
+
+// --- gate comparison --------------------------------------------------------
+
+const CaseVerdict* GateResult::find(const std::string& name) const {
+  for (const CaseVerdict& v : verdicts) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+GateResult compare_reports(const Report& baseline, const Report& current,
+                           const GateOptions& options) {
+  GateResult result;
+  for (const CaseResult& base : baseline.cases) {
+    CaseVerdict v;
+    v.name = base.name;
+    v.baseline_s = base.median_s;
+    const CaseResult* cur = current.find(base.name);
+    if (cur == nullptr) {
+      v.verdict = "FAIL";
+      v.note = "case missing from current report";
+      result.failed = true;
+      result.verdicts.push_back(std::move(v));
+      continue;
+    }
+    v.current_s = cur->median_s;
+    if (!(base.median_s > 0.0)) {
+      v.verdict = "WARN";
+      v.note = "baseline median is zero; cannot compare";
+      result.verdicts.push_back(std::move(v));
+      continue;
+    }
+    v.ratio = cur->median_s / base.median_s;
+    // Allow the measured noise of both runs before warning: a case whose
+    // MAD is 10% of the median legitimately wobbles that much run to run.
+    const double noise = (base.mad_s + cur->mad_s) / base.median_s;
+    if (v.ratio > options.fail_ratio) {
+      v.verdict = "FAIL";
+      v.note = "median regressed past the hard " +
+               std::to_string(options.fail_ratio) + "x gate";
+      result.failed = true;
+    } else if (v.ratio > options.warn_ratio + noise) {
+      v.verdict = "WARN";
+      v.note = "median above warn tolerance (noise allowance " +
+               std::to_string(noise) + ")";
+    } else {
+      v.verdict = "OK";
+    }
+    result.verdicts.push_back(std::move(v));
+  }
+  for (const CaseResult& cur : current.cases) {
+    if (baseline.find(cur.name) == nullptr) {
+      CaseVerdict v;
+      v.name = cur.name;
+      v.verdict = "NEW";
+      v.current_s = cur.median_s;
+      v.note = "no baseline entry; commit a refreshed baseline to track it";
+      result.verdicts.push_back(std::move(v));
+    }
+  }
+  return result;
+}
+
+std::string format_gate(const GateResult& result, const GateOptions& options) {
+  std::ostringstream os;
+  os << "perf gate: warn > " << options.warn_ratio << "x (+noise), fail > "
+     << options.fail_ratio << "x\n";
+  for (const CaseVerdict& v : result.verdicts) {
+    os << "  [" << v.verdict << "] " << v.name;
+    if (v.ratio > 0.0) {
+      os.precision(4);
+      os << ": " << v.baseline_s << "s -> " << v.current_s << "s ("
+         << v.ratio << "x)";
+    }
+    if (!v.note.empty()) os << " -- " << v.note;
+    os << "\n";
+  }
+  os << (result.failed ? "VERDICT: FAIL" : "VERDICT: PASS") << " ("
+     << result.verdicts.size() << " cases)\n";
+  return os.str();
+}
+
+std::string gate_json(const GateResult& result, const GateOptions& options) {
+  std::ostringstream os;
+  os << "{\n  \"warn_ratio\": " << num(options.warn_ratio)
+     << ",\n  \"fail_ratio\": " << num(options.fail_ratio)
+     << ",\n  \"failed\": " << (result.failed ? "true" : "false")
+     << ",\n  \"cases\": [";
+  for (std::size_t i = 0; i < result.verdicts.size(); ++i) {
+    const CaseVerdict& v = result.verdicts[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": " << quote(v.name)
+       << ", \"verdict\": " << quote(v.verdict)
+       << ", \"baseline_s\": " << num(v.baseline_s)
+       << ", \"current_s\": " << num(v.current_s)
+       << ", \"ratio\": " << num(v.ratio) << ", \"note\": " << quote(v.note)
+       << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace tempofair::perf

@@ -138,6 +138,36 @@ bool natural_id_less(const std::string& a, const std::string& b) {
   return a < b;
 }
 
+std::vector<const ExperimentSpec*> select_experiments(
+    const ExperimentRegistry& registry, const std::string& filter) {
+  std::vector<const ExperimentSpec*> selected;
+  if (filter.empty()) return registry.all();
+
+  std::string id;
+  std::istringstream in(filter);
+  while (std::getline(in, id, ',')) {
+    if (id.empty()) continue;
+    const ExperimentSpec* spec = registry.find(id);
+    if (spec == nullptr) {
+      std::string valid;
+      for (const ExperimentSpec* s : registry.all()) {
+        if (!valid.empty()) valid += ", ";
+        valid += s->id;
+      }
+      throw std::invalid_argument("unknown experiment id '" + id +
+                                  "'; valid ids: " + valid);
+    }
+    if (std::find(selected.begin(), selected.end(), spec) == selected.end()) {
+      selected.push_back(spec);
+    }
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const ExperimentSpec* a, const ExperimentSpec* b) {
+              return natural_id_less(a->id, b->id);
+            });
+  return selected;
+}
+
 RunOutcome run_experiment(const ExperimentSpec& spec, const harness::Cli& cli,
                           harness::ThreadPool& pool, bool smoke, bool csv) {
   RunOutcome outcome;

@@ -104,6 +104,14 @@ struct Registration {
 /// "f10" < "t1").  Exposed for the runner's --filter validation and tests.
 [[nodiscard]] bool natural_id_less(const std::string& a, const std::string& b);
 
+/// Resolves a comma-separated --filter string against the registry: dedupes
+/// and returns specs in natural suite order; an empty filter selects every
+/// experiment.  Throws std::invalid_argument naming the offending id AND
+/// listing all valid ids when the filter mentions an unregistered
+/// experiment, so a typo on the command line is self-correcting.
+[[nodiscard]] std::vector<const ExperimentSpec*> select_experiments(
+    const ExperimentRegistry& registry, const std::string& filter);
+
 /// The result of one experiment run, ready for the artifact writer.
 struct RunOutcome {
   std::string id;
@@ -119,7 +127,7 @@ struct RunOutcome {
   [[nodiscard]] bool ok() const noexcept { return status == "ok"; }
 };
 
-/// Runs one experiment against a private obs::Sink: installs the sink,
+///// Runs one experiment against a private obs::Sink: installs the sink,
 /// accounts wall/CPU time, captures output and converts exceptions into
 /// status = "error".  Safe to call from a pool task (nested parallelism).
 [[nodiscard]] RunOutcome run_experiment(const ExperimentSpec& spec,

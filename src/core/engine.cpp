@@ -32,6 +32,11 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
                                 std::string(policy.name()));
   }
 
+  if (takes_fast_path(policy, options)) {
+    policy.reset();
+    return fast_.run(instance, policy.fast_forward(), options, policy.name());
+  }
+
   obs::ScopedTimer run_timer("engine.run");
 
   Schedule schedule(instance, options.machines, options.speed);
@@ -240,10 +245,44 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
   return schedule;
 }
 
+Schedule EngineCore::run(JobStream& stream, Policy& policy,
+                         const EngineOptions& options) {
+  if (options.machines < 1) {
+    throw std::invalid_argument("simulate: machines must be >= 1");
+  }
+  if (!(options.speed > 0.0) || !std::isfinite(options.speed)) {
+    throw std::invalid_argument("simulate: speed must be positive and finite");
+  }
+  if (options.hide_sizes && policy.clairvoyant()) {
+    throw std::invalid_argument("simulate: cannot hide sizes from clairvoyant policy " +
+                                std::string(policy.name()));
+  }
+  const FastForward ff = policy.fast_forward();
+  if (!options.use_fast_path || !ff.enabled()) {
+    throw std::invalid_argument(
+        "simulate: streaming runs require a FastForward-capable policy and "
+        "options.use_fast_path; materialize an Instance to run policy " +
+        std::string(policy.name()) + " on the generic loop");
+  }
+  policy.reset();
+  return fast_.run(stream, ff, options, policy.name());
+}
+
+bool EngineCore::takes_fast_path(const Policy& policy,
+                                 const EngineOptions& options) const {
+  return options.use_fast_path && policy.fast_forward().enabled();
+}
+
 Schedule simulate(const Instance& instance, Policy& policy,
                   const EngineOptions& options) {
   EngineCore core;
   return core.run(instance, policy, options);
+}
+
+Schedule simulate(JobStream& stream, Policy& policy,
+                  const EngineOptions& options) {
+  EngineCore core;
+  return core.run(stream, policy, options);
 }
 
 }  // namespace tempofair

@@ -9,9 +9,12 @@
 #pragma once
 
 #include <cstddef>
+#include <string_view>
 #include <vector>
 
+#include "core/fast_forward.h"
 #include "core/instance.h"
+#include "core/job_stream.h"
 #include "core/policy.h"
 #include "core/schedule.h"
 
@@ -38,6 +41,66 @@ struct EngineOptions {
   /// point.  Produces a livelock diagnostic instead of silently burning
   /// max_steps.
   std::size_t max_zero_progress_steps = 1000;
+  /// Route the run through the epoch-coalesced fast path when the policy
+  /// advertises a FastForward capability (see core/fast_forward.h).
+  /// Results are byte-identical to the generic event loop; disable to force
+  /// the generic loop, e.g. for equivalence testing.
+  bool use_fast_path = true;
+};
+
+/// The epoch-coalescing kernel behind EngineOptions::use_fast_path.
+///
+/// Resolves a whole run for a FastForward-capable policy without ever
+/// querying the policy: between consecutive arrivals the closed-form rule
+/// fixes all rates, so the kernel keeps one sorted completion order over
+/// the alive set and advances event to event analytically -- no
+/// RateDecision allocation, rate validation, candidate scan, or policy
+/// virtual call per event.  It replays the generic loop's floating-point
+/// operations in the same order (shared share formulas, per-job division
+/// before min, identical completion thresholds), so completion times and
+/// the full trace are byte-identical to the generic path.
+///
+/// Buffers persist across runs, like EngineCore's.  Not thread-safe.
+class FastForwardCore {
+ public:
+  [[nodiscard]] Schedule run(const Instance& instance, const FastForward& ff,
+                             const EngineOptions& options,
+                             std::string_view policy_name);
+  /// Streaming variant: admits arrivals straight from `stream` (see
+  /// core/job_stream.h) so the run never materializes all n jobs at once.
+  [[nodiscard]] Schedule run(JobStream& stream, const FastForward& ff,
+                             const EngineOptions& options,
+                             std::string_view policy_name);
+
+ private:
+  template <typename Arrivals>
+  Schedule run_impl(Arrivals& arrivals, Schedule schedule,
+                    const FastForward& ff, const EngineOptions& options,
+                    std::string_view policy_name);
+
+  // Alive set: parallel arrays sorted by job id (trace rows want id order).
+  // kUniformShare maintains ids_ only when a trace is recorded and leaves
+  // the other four untouched; its primary storage is the ord_* arrays.
+  std::vector<JobId> ids_;
+  std::vector<Work> rem_;
+  std::vector<Work> size_;
+  std::vector<Time> release_;
+  std::vector<double> weight_;
+  /// Alive ids sorted by the policy's completion/priority key: remaining
+  /// work DESCENDING for kUniformShare (parallel to ord_rem_/ord_thr_),
+  /// priority order for kTopPriority.
+  std::vector<JobId> order_;
+  /// kUniformShare: remaining work, descending (next completer at back).
+  std::vector<Work> ord_rem_;
+  /// kUniformShare: per-job completion threshold kRelEps*size + kAbsEps,
+  /// parallel to ord_rem_.
+  std::vector<Work> ord_thr_;
+  /// Per-alive rates in id order (kTopPriority trace rows).
+  std::vector<double> rates_;
+  std::vector<JobId> completing_;
+  /// Ids of alive jobs admitted already under their completion threshold
+  /// (degenerate sizes); almost always empty.
+  std::vector<JobId> degen_ids_;
 };
 
 /// The engine's inner loop with persistent, reusable buffers.
@@ -60,7 +123,16 @@ class EngineCore {
   [[nodiscard]] Schedule run(const Instance& instance, Policy& policy,
                              const EngineOptions& options = {});
 
+  /// Streaming run: jobs are pulled from `stream` in release order and the
+  /// instance is never materialized.  Requires a FastForward-capable policy
+  /// and options.use_fast_path (throws std::invalid_argument otherwise);
+  /// use workload::materialize(stream) + run() for generic policies.
+  [[nodiscard]] Schedule run(JobStream& stream, Policy& policy,
+                             const EngineOptions& options = {});
+
  private:
+  [[nodiscard]] bool takes_fast_path(const Policy& policy,
+                                     const EngineOptions& options) const;
   struct LiveJob {
     JobId id;
     Time release;
@@ -77,10 +149,16 @@ class EngineCore {
   /// single rates pass (superset of the jobs that can complete this event).
   std::vector<std::size_t> candidates_;
   std::vector<std::size_t> completing_;  // indices into alive_
+  FastForwardCore fast_;
 };
 
 /// Runs `policy` on `instance` with a fresh EngineCore.
 [[nodiscard]] Schedule simulate(const Instance& instance, Policy& policy,
+                                const EngineOptions& options = {});
+
+/// Runs `policy` on a job stream with a fresh EngineCore (fast-path only;
+/// see EngineCore::run(JobStream&, ...)).
+[[nodiscard]] Schedule simulate(JobStream& stream, Policy& policy,
                                 const EngineOptions& options = {});
 
 }  // namespace tempofair

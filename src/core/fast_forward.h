@@ -1,0 +1,99 @@
+// FastForward: the epoch-coalescing capability a policy can opt into.
+//
+// Between consecutive arrivals ("an epoch") many policies allocate rates by
+// a closed-form rule -- Round Robin serves every alive job at the same
+// share, FCFS/SJF/SRPT dedicate whole machines to the top-m jobs of a fixed
+// priority order, weight-proportional RR water-fills static weights.  Under
+// such a rule the whole epoch is determined by one sorted structure over
+// the alive set: completions happen in sorted remaining(-per-rate) order
+// and every event is resolved analytically, with no per-event policy query,
+// rate validation, completion-candidate scan, or RateDecision allocation.
+//
+// A policy opts in by overriding Policy::fast_forward() to return a
+// descriptor of its closed form.  The engine then routes the run through
+// FastForwardCore instead of the generic event loop.  The contract:
+//
+//   C1. The descriptor must produce *bitwise* the rates the policy's own
+//       rates() would return for every alive set the run can reach.  The
+//       kernel replays the generic loop's floating-point operations in the
+//       same order (shared share formulas, min-by-monotone-division,
+//       identical completion thresholds), so schedules -- completion times
+//       and the full trace -- are byte-identical between the two paths.
+//   C2. The policy must be stateless across engine callbacks: on_arrival /
+//       on_completion / rates() must not carry state the allocation rule
+//       depends on.  The fast path never invokes them.
+//   C3. The rule may depend only on the alive jobs' (id, release, size,
+//       remaining, weight) and the run constants (machines, speed).  No
+//       max_duration breakpoints (the descriptor kinds below are all
+//       event-driven-only).
+//
+// Policies with breakpoints or genuinely dynamic state (SETF, MLFQ,
+// quantum-RR, age-weighted WRR, LAPS) keep kind = kNone and run on the
+// generic loop unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tempofair {
+
+enum class FastForwardKind : std::uint8_t {
+  /// No closed form; the generic event loop is used.
+  kNone = 0,
+  /// Every alive job receives the same rate, given by uniform_share()
+  /// (Round Robin: speed * min(1, m / n)).  Completions happen in sorted
+  /// remaining-work order.
+  kUniformShare,
+  /// Rates are waterfill(static weights, s*m, s) -- weight-proportional RR.
+  /// Shares only change at events; completions in sorted remaining/rate
+  /// order, recomputed per event via the same waterfill the policy calls.
+  kWeightedShare,
+  /// The m highest-priority alive jobs each run on a full machine (rate =
+  /// speed), the rest wait at rate 0.  Priority is one of PriorityOrder;
+  /// only the running jobs' remaining work changes, so the sorted order is
+  /// maintained incrementally across events.
+  kTopPriority,
+};
+
+/// Priority orders for FastForwardKind::kTopPriority; each is the exact
+/// strict weak order the corresponding policy's rates() uses, including
+/// tie-breaks.
+enum class FastForwardPriority : std::uint8_t {
+  kReleaseThenId,           ///< FCFS: (release, id)
+  kSizeThenReleaseThenId,   ///< SJF:  (size, release, id)
+  kRemainingThenReleaseThenId,  ///< SRPT: (remaining, release, id)
+};
+
+/// The descriptor a policy returns from Policy::fast_forward().
+struct FastForward {
+  FastForwardKind kind = FastForwardKind::kNone;
+  /// Only read when kind == kTopPriority.
+  FastForwardPriority priority = FastForwardPriority::kReleaseThenId;
+  /// Only read when kind == kUniformShare: the exact share formula, shared
+  /// with the policy's rates() so both paths compute identical doubles.
+  double (*uniform_share)(std::size_t n_alive, int machines,
+                          double speed) = nullptr;
+  /// Only read when kind == kWeightedShare: rates for the alive weights (in
+  /// job-id order), again the very function the policy's rates() calls.
+  std::vector<double> (*weighted_rates)(std::span<const double> weights,
+                                        int machines, double speed) = nullptr;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return kind != FastForwardKind::kNone;
+  }
+};
+
+namespace obs_counters {
+/// Epochs (maximal arrival-to-arrival segments) resolved by the kernel.
+inline constexpr const char* kFastForwardEpochs = "engine.fastforward.epochs";
+/// Events the kernel resolved analytically; each would have cost a policy
+/// rates() query (vector allocation + validation + candidate scan) on the
+/// generic loop.
+inline constexpr const char* kFastForwardEvents = "engine.fastforward.events";
+/// Runs that took the fast path end to end.
+inline constexpr const char* kFastForwardRuns = "engine.fastforward.runs";
+}  // namespace obs_counters
+
+}  // namespace tempofair

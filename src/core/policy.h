@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/fast_forward.h"
 #include "core/time_types.h"
 
 namespace tempofair {
@@ -76,6 +77,13 @@ class Policy {
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
   /// True if the policy reads job sizes / remaining work.
   [[nodiscard]] virtual bool clairvoyant() const noexcept = 0;
+  /// Epoch-coalescing capability (see core/fast_forward.h).  Policies whose
+  /// allocation rule has a closed form override this and must honor the
+  /// FastForward contract (C1-C3); the default advertises none, keeping the
+  /// generic event loop.
+  [[nodiscard]] virtual FastForward fast_forward() const noexcept {
+    return {};
+  }
 
   /// Called once before each simulation; stateful policies reset here.
   virtual void reset() {}

@@ -21,6 +21,20 @@ Schedule::Schedule(const Instance& instance, int machines, double speed)
   }
 }
 
+Schedule::Schedule(std::size_t n, int machines, double speed)
+    : machines_(machines), speed_(speed) {
+  release_.resize(n);
+  size_.resize(n);
+  weight_.resize(n);
+  completion_.assign(n, kInfiniteTime);
+}
+
+void Schedule::admit_job(JobId id, Time release, Work size, double weight) {
+  release_.at(id) = release;
+  size_.at(id) = size;
+  weight_.at(id) = weight;
+}
+
 void Schedule::set_completion(JobId id, Time t) {
   completion_.at(id) = t;
   makespan_ = std::max(makespan_, t);
@@ -37,6 +51,13 @@ void Schedule::push_interval(Time begin, Time end,
                              std::initializer_list<RateShare> shares) {
   if (!(end > begin)) return;
   trace_.append(begin, end, shares);
+}
+
+void Schedule::push_interval_uniform(Time begin, Time end,
+                                     std::span<const JobId> jobs,
+                                     double rate) {
+  if (!(end > begin)) return;
+  trace_.append_uniform(begin, end, jobs, rate);
 }
 
 std::vector<Time> Schedule::flows() const {

@@ -26,13 +26,24 @@ class Schedule {
  public:
   Schedule() = default;
   Schedule(const Instance& instance, int machines, double speed);
+  /// Streaming construction: sizes the per-job columns for `n` jobs whose
+  /// facts arrive later via admit_job (the engine's JobStream path).
+  Schedule(std::size_t n, int machines, double speed);
 
   // --- mutation (used by the engine) ---------------------------------------
+  /// Records the release/size/weight of job `id` (streaming runs, where no
+  /// Instance exists at construction time).
+  void admit_job(JobId id, Time release, Work size, double weight);
   void set_completion(JobId id, Time t);
   /// Appends one trace interval row; `jobs` and `rates` are parallel and
   /// sorted by job id.  Zero-length intervals carry no info and are dropped.
   void push_interval(Time begin, Time end, std::span<const JobId> jobs,
                      std::span<const double> rates);
+  /// Appends one uniform-rate row: every job in `jobs` runs at `rate`.
+  /// Stores exactly what push_interval would for an all-equal rate vector,
+  /// without materializing it.
+  void push_interval_uniform(Time begin, Time end, std::span<const JobId> jobs,
+                             double rate);
   /// Convenience for hand-built traces (tests).
   void push_interval(Time begin, Time end,
                      std::initializer_list<RateShare> shares);

@@ -106,6 +106,30 @@ void TraceArena::append(Time begin, Time end, std::span<const JobId> jobs,
   peak_bytes_ = std::max(peak_bytes_, memory_bytes());
 }
 
+void TraceArena::append_uniform(Time begin, Time end,
+                                std::span<const JobId> jobs, double rate) {
+  if (!(end > begin)) {
+    throw std::invalid_argument(
+        "TraceArena::append_uniform: interval must have end > begin");
+  }
+  grow_for(begin_, 1);
+  grow_for(end_, 1);
+  grow_for(job_off_, 1);
+  grow_for(rate_off_, 1);
+  grow_for(ids_, jobs.size());
+  grow_for(rates_, 1);
+
+  begin_.push_back(begin);
+  end_.push_back(end);
+  ids_.insert(ids_.end(), jobs.begin(), jobs.end());
+  job_off_.push_back(ids_.size());
+  if (!jobs.empty()) rates_.push_back(rate);
+  rate_off_.push_back(rates_.size());
+
+  index_built_ = false;
+  peak_bytes_ = std::max(peak_bytes_, memory_bytes());
+}
+
 void TraceArena::append(Time begin, Time end,
                         std::initializer_list<RateShare> shares) {
   std::vector<JobId> jobs;

@@ -233,6 +233,12 @@ class TraceArena {
   /// engine emits jobs sorted by id (I4).  Requires end > begin.
   void append(Time begin, Time end, std::span<const JobId> jobs,
               std::span<const double> rates);
+  /// Appends a uniform-rate row (every job at `rate`) directly in the I3
+  /// compressed form, producing exactly the columns append() would for an
+  /// all-equal rate vector -- without the caller materializing one.  The
+  /// engine's epoch-coalescing fast path emits Round-Robin rows this way.
+  void append_uniform(Time begin, Time end, std::span<const JobId> jobs,
+                      double rate);
   /// Convenience for hand-built traces (tests).
   void append(Time begin, Time end, std::initializer_list<RateShare> shares);
   /// Releases growth slack in all columns (call once after the last append).

@@ -40,7 +40,7 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::inside_worker() const noexcept { return tl_pool == this; }
 
 void ThreadPool::push_task(std::function<void()> fn) {
-  Task task{std::move(fn), obs::current_override()};
+  Task task{std::move(fn)};
   {
     std::lock_guard lock(sleep_mutex_);
     // Worker-originated pushes stay legal during teardown: a task already
@@ -99,16 +99,9 @@ bool ThreadPool::try_pop(Task& out) {
 }
 
 void ThreadPool::run_task(Task& task) {
-  {
-    obs::ScopedSink sink_guard(task.sink);
-    if (task.sink) {
-      obs::CpuAccount cpu(*task.sink, "pool.cpu_ns");
-      task.sink->add("pool.tasks", 1);
-      task.fn();
-    } else {
-      task.fn();
-    }
-  }
+  // Obs accounting lives inside fn (bind_obs) so that nothing borrowed from
+  // the submitter is touched once fn has signaled completion.
+  task.fn();
   // Serialize against threads between their predicate check and sleep, then
   // wake everyone: a finished task may be what a join is waiting for.
   { std::lock_guard lock(sleep_mutex_); }
@@ -172,13 +165,20 @@ void ThreadPool::parallel_for(std::size_t count,
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = c * grain;
     const std::size_t hi = std::min(count, lo + grain);
-    push_task([state, &body, lo, hi] {
+    // bind_obs wraps only the body loop: the countdown below must stay the
+    // chunk's final act, after every obs write, because the caller returns
+    // from parallel_for (and may destroy the sink, the body, and `state`'s
+    // last owner) the instant it observes remaining == 0.
+    auto chunk = bind_obs([state, &body, lo, hi] {
       try {
         for (std::size_t i = lo; i < hi; ++i) body(i);
       } catch (...) {
         std::lock_guard lock(state->error_mutex);
         if (!state->error) state->error = std::current_exception();
       }
+    });
+    push_task([state, chunk = std::move(chunk)]() mutable {
+      chunk();
       state->remaining.fetch_sub(1, std::memory_order_acq_rel);
     });
   }

@@ -16,6 +16,13 @@
 // CPU time recorded by stolen work still attribute to the run that spawned
 // it (see obs/obs.h).  Exceptions thrown by tasks propagate through futures
 // and out of parallel_for (first one wins, after all chunks finish).
+//
+// Lifetime invariant: a task's completion signal (its future becoming
+// ready, a parallel_for chunk countdown reaching zero) must be the LAST
+// observable effect of running it.  The submitter is entitled to destroy
+// anything the task borrowed -- its obs::Sink above all -- the moment it
+// observes completion, so all sink accounting happens inside the task
+// callable (bind_obs below), never after it in the pop/run loop.
 #pragma once
 
 #include <atomic>
@@ -50,7 +57,8 @@ class ThreadPool {
   template <typename F>
   [[nodiscard]] auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(bind_obs(std::forward<F>(f)));
     std::future<R> fut = task->get_future();
     push_task([task] { (*task)(); });
     return fut;
@@ -81,12 +89,32 @@ class ThreadPool {
  private:
   struct Task {
     std::function<void()> fn;
-    obs::Sink* sink = nullptr;  // submitter's obs override, if any
   };
   struct Queue {
     std::mutex mutex;
     std::deque<Task> tasks;
   };
+
+  /// Wraps a callable so it runs under the submitting thread's obs::Sink
+  /// override with CPU attribution.  The accounting guards are destroyed
+  /// (and the sink written) before the wrapper returns -- i.e. before a
+  /// packaged_task marks its future ready or a parallel_for chunk counts
+  /// itself down -- which upholds the lifetime invariant above: writing the
+  /// sink after the completion signal races with the submitter destroying
+  /// it.
+  template <typename F>
+  [[nodiscard]] static auto bind_obs(F&& f) {
+    return [sink = obs::current_override(),
+            f = std::forward<F>(f)]() mutable -> decltype(f()) {
+      obs::ScopedSink guard(sink);
+      if (sink != nullptr) {
+        obs::CpuAccount cpu(*sink, "pool.cpu_ns");
+        sink->add("pool.tasks", 1);
+        return f();
+      }
+      return f();
+    };
+  }
 
   void push_task(std::function<void()> fn);
   [[nodiscard]] bool try_pop(Task& out);

@@ -25,6 +25,15 @@ class Srpt final : public Policy {
   [[nodiscard]] std::string_view name() const noexcept override { return "srpt"; }
   [[nodiscard]] bool clairvoyant() const noexcept override { return true; }
   [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+
+  // run-to-completion closed form: the priority enums mirror the exact
+  // comparator in srpt.cpp (contract C1 in core/fast_forward.h).
+  [[nodiscard]] FastForward fast_forward() const noexcept override {
+    FastForward ff;
+    ff.kind = FastForwardKind::kTopPriority;
+    ff.priority = FastForwardPriority::kRemainingThenReleaseThenId;
+    return ff;
+  }
 };
 
 /// Preemptive Shortest Job First: priority by original size p_j.
@@ -33,6 +42,13 @@ class Sjf final : public Policy {
   [[nodiscard]] std::string_view name() const noexcept override { return "sjf"; }
   [[nodiscard]] bool clairvoyant() const noexcept override { return true; }
   [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+
+  [[nodiscard]] FastForward fast_forward() const noexcept override {
+    FastForward ff;
+    ff.kind = FastForwardKind::kTopPriority;
+    ff.priority = FastForwardPriority::kSizeThenReleaseThenId;
+    return ff;
+  }
 };
 
 /// First Come First Served: priority by (release, id).
@@ -41,6 +57,13 @@ class Fcfs final : public Policy {
   [[nodiscard]] std::string_view name() const noexcept override { return "fcfs"; }
   [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
   [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+
+  [[nodiscard]] FastForward fast_forward() const noexcept override {
+    FastForward ff;
+    ff.kind = FastForwardKind::kTopPriority;
+    ff.priority = FastForwardPriority::kReleaseThenId;
+    return ff;
+  }
 };
 
 /// Latest Arrival Processor Sharing with parameter beta in (0, 1].

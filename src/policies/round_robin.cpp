@@ -4,12 +4,16 @@
 
 namespace tempofair {
 
+double RoundRobin::equal_share(std::size_t n_alive, int machines,
+                               double speed) noexcept {
+  const double n = static_cast<double>(n_alive);
+  return speed * std::min(1.0, static_cast<double>(machines) / n);
+}
+
 RateDecision RoundRobin::rates(const SchedulerContext& ctx) {
-  const double n = static_cast<double>(ctx.n_alive());
-  const double share =
-      ctx.speed * std::min(1.0, static_cast<double>(ctx.machines) / n);
   RateDecision d;
-  d.rates.assign(ctx.n_alive(), share);
+  d.rates.assign(ctx.n_alive(),
+                 equal_share(ctx.n_alive(), ctx.machines, ctx.speed));
   return d;
 }
 

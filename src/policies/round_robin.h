@@ -10,6 +10,8 @@
 // 2k(1+10eps) it is O((k/eps)^..)-competitive for the l_k norm of flow time.
 #pragma once
 
+#include <cstddef>
+
 #include "core/policy.h"
 
 namespace tempofair {
@@ -20,6 +22,19 @@ class RoundRobin final : public Policy {
   [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
 
   [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+
+  /// The closed-form per-job share s * min(1, m/n).  Single source of truth:
+  /// rates() and the FastForward descriptor both call this, which is what
+  /// makes the fast path bitwise-faithful (contract C1).
+  [[nodiscard]] static double equal_share(std::size_t n_alive, int machines,
+                                          double speed) noexcept;
+
+  [[nodiscard]] FastForward fast_forward() const noexcept override {
+    FastForward ff;
+    ff.kind = FastForwardKind::kUniformShare;
+    ff.uniform_share = &RoundRobin::equal_share;
+    return ff;
+  }
 };
 
 }  // namespace tempofair

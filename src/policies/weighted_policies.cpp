@@ -33,13 +33,19 @@ RateDecision Hrdf::rates(const SchedulerContext& ctx) {
   });
 }
 
+std::vector<double> WeightProportionalRoundRobin::shares(
+    std::span<const double> weights, int machines, double speed) {
+  // speed * machines matches SchedulerContext::capacity() bit for bit.
+  return waterfill(weights, speed * machines, speed);
+}
+
 RateDecision WeightProportionalRoundRobin::rates(const SchedulerContext& ctx) {
   std::vector<double> weights(ctx.n_alive());
   for (std::size_t i = 0; i < weights.size(); ++i) {
     weights[i] = ctx.alive[i].weight;
   }
   RateDecision d;
-  d.rates = waterfill(weights, ctx.capacity(), ctx.speed);
+  d.rates = shares(weights, ctx.machines, ctx.speed);
   return d;  // weights are static: allocation only changes at events
 }
 

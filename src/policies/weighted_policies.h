@@ -37,6 +37,18 @@ class WeightProportionalRoundRobin final : public Policy {
   [[nodiscard]] std::string_view name() const noexcept override { return "wprr"; }
   [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
   [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
+
+  /// The closed-form allocation: waterfill of the static weights.  rates()
+  /// and the FastForward descriptor both call this (contract C1).
+  [[nodiscard]] static std::vector<double> shares(
+      std::span<const double> weights, int machines, double speed);
+
+  [[nodiscard]] FastForward fast_forward() const noexcept override {
+    FastForward ff;
+    ff.kind = FastForwardKind::kWeightedShare;
+    ff.weighted_rates = &WeightProportionalRoundRobin::shares;
+    return ff;
+  }
 };
 
 }  // namespace tempofair

@@ -1,0 +1,152 @@
+// CLI regression tests against the real binaries (paths injected by CMake
+// through TEMPOFAIR_BENCH_BIN / PERF_GATE_BIN):
+//
+//  * tempofair_bench --filter with an unknown id must hard-error (exit 2)
+//    and list every valid id, instead of silently running nothing.
+//  * perf_gate must exit 1 when a case regresses past --fail-ratio, exit 0
+//    within tolerance, and exit 2 on unusable input -- the contract the CI
+//    perf-smoke step relies on.
+#include <sys/wait.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+[[nodiscard]] CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << command;
+    return result;
+  }
+  std::array<char, 4096> buffer{};
+  std::size_t got = 0;
+  while ((got = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), got);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+[[nodiscard]] std::string temp_path(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  ASSERT_TRUE(file.is_open()) << path;
+  file << content;
+}
+
+// A minimal tempofair-perf-v1 report with one case at `median_s` seconds.
+[[nodiscard]] std::string report_with(double median_s) {
+  return std::string("{\n  \"schema\": \"tempofair-perf-v1\",\n"
+                     "  \"git_rev\": \"test\",\n  \"cases\": [\n    {\n"
+                     "      \"name\": \"rr_fast\",\n      \"repeats\": 5,\n"
+                     "      \"median_s\": ") +
+         std::to_string(median_s) +
+         ",\n      \"mad_s\": 0.0,\n      \"min_s\": 0.0,\n"
+         "      \"max_s\": 1.0,\n      \"stats\": {}\n    }\n  ]\n}\n";
+}
+
+TEST(TempofairBenchCli, UnknownFilterIdIsHardError) {
+  const CommandResult result = run_command(
+      std::string(TEMPOFAIR_BENCH_BIN) + " --filter nope --no-artifacts");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("unknown experiment id 'nope'"),
+            std::string::npos)
+      << result.output;
+  // The error must list the valid ids so the fix is discoverable in CI logs.
+  EXPECT_NE(result.output.find("valid ids:"), std::string::npos);
+  EXPECT_NE(result.output.find("t1"), std::string::npos);
+  EXPECT_NE(result.output.find("f1"), std::string::npos);
+}
+
+TEST(TempofairBenchCli, UnknownIdAmongValidOnesStillFails) {
+  const CommandResult result = run_command(
+      std::string(TEMPOFAIR_BENCH_BIN) + " --filter t1,bogus --no-artifacts");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("'bogus'"), std::string::npos);
+}
+
+TEST(TempofairBenchCli, ListExitsZero) {
+  const CommandResult result =
+      run_command(std::string(TEMPOFAIR_BENCH_BIN) + " --list");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("t1"), std::string::npos);
+}
+
+TEST(PerfGateCli, SyntheticRegressionFailsTheGate) {
+  const std::string baseline = temp_path("perf_gate_base.json");
+  const std::string current = temp_path("perf_gate_cur_3x.json");
+  write_file(baseline, report_with(0.100));
+  write_file(current, report_with(0.300));  // 3x the baseline median
+  const CommandResult result =
+      run_command(std::string(PERF_GATE_BIN) + " --baseline " + baseline +
+                  " --current " + current);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("FAIL"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("rr_fast"), std::string::npos);
+}
+
+TEST(PerfGateCli, WithinTolerancePasses) {
+  const std::string baseline = temp_path("perf_gate_base2.json");
+  const std::string current = temp_path("perf_gate_cur_ok.json");
+  write_file(baseline, report_with(0.100));
+  write_file(current, report_with(0.105));
+  const CommandResult result =
+      run_command(std::string(PERF_GATE_BIN) + " --baseline " + baseline +
+                  " --current " + current);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("PASS"), std::string::npos) << result.output;
+}
+
+TEST(PerfGateCli, WritesComparisonJsonArtifact) {
+  const std::string baseline = temp_path("perf_gate_base3.json");
+  const std::string current = temp_path("perf_gate_cur3.json");
+  const std::string artifact = temp_path("perf_gate_artifact.json");
+  write_file(baseline, report_with(0.100));
+  write_file(current, report_with(0.300));
+  const CommandResult result = run_command(
+      std::string(PERF_GATE_BIN) + " --baseline " + baseline + " --current " +
+      current + " --json " + artifact);
+  EXPECT_EQ(result.exit_code, 1);
+  std::ifstream file(artifact);
+  ASSERT_TRUE(file.is_open()) << "missing artifact " << artifact;
+  std::string json((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"FAIL\""), std::string::npos) << json;
+}
+
+TEST(PerfGateCli, MalformedBaselineIsUsageError) {
+  const std::string baseline = temp_path("perf_gate_bad.json");
+  const std::string current = temp_path("perf_gate_cur4.json");
+  write_file(baseline, "{ this is not json");
+  write_file(current, report_with(0.100));
+  const CommandResult result =
+      run_command(std::string(PERF_GATE_BIN) + " --baseline " + baseline +
+                  " --current " + current);
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+}
+
+TEST(PerfGateCli, NoArgumentsIsUsageError) {
+  const CommandResult result = run_command(std::string(PERF_GATE_BIN));
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Unit tests for the perf measurement harness (bench/perf_harness.h):
+// measurement statistics, the JSON round trip, and the gate's verdict
+// model.  The end-to-end perf_gate binary behavior (exit codes on a real
+// regression) is covered by cli_regression_test.cpp.
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "perf_harness.h"
+
+namespace tempofair::perf {
+namespace {
+
+[[nodiscard]] CaseResult make_case(const std::string& name, double median_s,
+                                   double mad_s = 0.0) {
+  CaseResult c;
+  c.name = name;
+  c.repeats = 5;
+  c.median_s = median_s;
+  c.mad_s = mad_s;
+  c.min_s = median_s;
+  c.max_s = median_s;
+  return c;
+}
+
+TEST(Measure, RunsBodyAndFillsStats) {
+  std::size_t calls = 0;
+  const CaseResult r = measure("spin", 3, [&] { ++calls; });
+  EXPECT_EQ(calls, 4u);  // 1 warmup + 3 timed
+  EXPECT_EQ(r.name, "spin");
+  EXPECT_EQ(r.repeats, 3u);
+  EXPECT_GE(r.median_s, 0.0);
+  EXPECT_LE(r.min_s, r.median_s);
+  EXPECT_GE(r.max_s, r.median_s);
+  EXPECT_GE(r.mad_s, 0.0);
+}
+
+TEST(Measure, NoWarmupSkipsExtraRun) {
+  std::size_t calls = 0;
+  (void)measure("spin", 2, [&] { ++calls; }, /*warmup=*/false);
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(ReportJson, RoundTripsThroughParse) {
+  Report report;
+  report.git_rev = "abc1234";
+  CaseResult c = make_case("rr_fast_100000", 0.0147, 0.0002);
+  c.stats["jobs"] = 100000.0;
+  c.stats["speedup_vs_event_loop"] = 2.75;
+  report.cases.push_back(c);
+  report.cases.push_back(make_case("srpt_fast_100000", 0.0179));
+
+  const Report parsed = parse_report(report_json(report));
+  EXPECT_EQ(parsed.schema, "tempofair-perf-v1");
+  EXPECT_EQ(parsed.git_rev, "abc1234");
+  ASSERT_EQ(parsed.cases.size(), 2u);
+  const CaseResult* rr = parsed.find("rr_fast_100000");
+  ASSERT_NE(rr, nullptr);
+  EXPECT_DOUBLE_EQ(rr->median_s, 0.0147);
+  EXPECT_DOUBLE_EQ(rr->mad_s, 0.0002);
+  EXPECT_EQ(rr->repeats, 5u);
+  ASSERT_EQ(rr->stats.count("speedup_vs_event_loop"), 1u);
+  EXPECT_DOUBLE_EQ(rr->stats.at("speedup_vs_event_loop"), 2.75);
+}
+
+TEST(ReportJson, ParseRejectsWrongSchema) {
+  EXPECT_THROW((void)parse_report(R"({"schema": "bogus-v9", "cases": []})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_report("not json at all"), std::invalid_argument);
+  EXPECT_THROW((void)parse_report(""), std::invalid_argument);
+}
+
+TEST(CompareReports, OkWithinTolerance) {
+  Report baseline, current;
+  baseline.cases.push_back(make_case("a", 0.100));
+  current.cases.push_back(make_case("a", 0.110));
+  const GateResult result = compare_reports(baseline, current);
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_EQ(result.verdicts[0].verdict, "OK");
+  EXPECT_NEAR(result.verdicts[0].ratio, 1.1, 1e-9);
+  EXPECT_FALSE(result.failed);
+}
+
+TEST(CompareReports, WarnPastWarnRatioButUnderFail) {
+  Report baseline, current;
+  baseline.cases.push_back(make_case("a", 0.100));
+  current.cases.push_back(make_case("a", 0.150));
+  const GateResult result = compare_reports(baseline, current);
+  const CaseVerdict* v = result.find("a");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->verdict, "WARN");
+  EXPECT_FALSE(result.failed) << "WARN must not fail the gate";
+}
+
+TEST(CompareReports, NoiseLiftsWarnThreshold) {
+  // A 1.5x median movement on a case whose own MAD spans the gap is noise,
+  // not a regression: the warn threshold is warn_ratio plus measured noise.
+  Report baseline, current;
+  baseline.cases.push_back(make_case("a", 0.100, /*mad_s=*/0.040));
+  current.cases.push_back(make_case("a", 0.150, /*mad_s=*/0.040));
+  const GateResult result = compare_reports(baseline, current);
+  const CaseVerdict* v = result.find("a");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->verdict, "OK");
+}
+
+TEST(CompareReports, FailPastFailRatio) {
+  Report baseline, current;
+  baseline.cases.push_back(make_case("a", 0.100));
+  current.cases.push_back(make_case("a", 0.300));
+  const GateResult result = compare_reports(baseline, current);
+  const CaseVerdict* v = result.find("a");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->verdict, "FAIL");
+  EXPECT_TRUE(result.failed);
+}
+
+TEST(CompareReports, MissingBaselineCaseFails) {
+  Report baseline, current;
+  baseline.cases.push_back(make_case("gone", 0.100));
+  const GateResult result = compare_reports(baseline, current);
+  const CaseVerdict* v = result.find("gone");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->verdict, "FAIL");
+  EXPECT_TRUE(result.failed);
+}
+
+TEST(CompareReports, NewCaseNeverFails) {
+  Report baseline, current;
+  baseline.cases.push_back(make_case("a", 0.100));
+  current.cases.push_back(make_case("a", 0.100));
+  current.cases.push_back(make_case("brand_new", 0.500));
+  const GateResult result = compare_reports(baseline, current);
+  const CaseVerdict* v = result.find("brand_new");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->verdict, "NEW");
+  EXPECT_FALSE(result.failed);
+}
+
+TEST(CompareReports, CustomRatiosRespected) {
+  Report baseline, current;
+  baseline.cases.push_back(make_case("a", 0.100));
+  current.cases.push_back(make_case("a", 0.140));
+  GateOptions strict;
+  strict.warn_ratio = 1.1;
+  strict.fail_ratio = 1.3;
+  const GateResult result = compare_reports(baseline, current, strict);
+  EXPECT_TRUE(result.failed);
+}
+
+TEST(FormatGate, MentionsEveryCaseAndVerdict) {
+  Report baseline, current;
+  baseline.cases.push_back(make_case("fast_case", 0.100));
+  current.cases.push_back(make_case("fast_case", 0.300));
+  const GateOptions options;
+  const GateResult result = compare_reports(baseline, current, options);
+  const std::string text = format_gate(result, options);
+  EXPECT_NE(text.find("fast_case"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  const std::string json = gate_json(result, options);
+  EXPECT_NE(json.find("\"fast_case\""), std::string::npos);
+  EXPECT_NE(json.find("\"FAIL\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tempofair::perf

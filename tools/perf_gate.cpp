@@ -1,0 +1,137 @@
+// perf_gate -- runs the fast-path perf case suite and/or compares two
+// perf reports (schema tempofair-perf-v1) with explicit tolerances.
+//
+// Modes (combinable):
+//   perf_gate --out fresh.json                      measure, write a report
+//   perf_gate --baseline BENCH_fastpath.json        measure, gate against it
+//   perf_gate --baseline a.json --current b.json    pure file comparison
+//                                                   (no measurement; what the
+//                                                   regression test uses)
+//
+// Exit codes: 0 = gate passed (or nothing gated), 1 = gate FAIL (a median
+// regressed past --fail-ratio or a baseline case vanished), 2 = usage or
+// I/O error.  WARN verdicts never fail the gate: the perf-smoke CI step
+// runs on shared runners, so only a >2x regression is treated as real.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "harness/cli.h"
+#include "perf_cases.h"
+#include "perf_harness.h"
+
+#ifndef TEMPOFAIR_GIT_REV
+#define TEMPOFAIR_GIT_REV "unknown"
+#endif
+
+using namespace tempofair;
+
+namespace {
+
+[[nodiscard]] perf::Report load_report(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("perf_gate: cannot open " + path);
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return perf::parse_report(text.str());
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("perf_gate: cannot write " + path);
+  }
+  file << content;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::Options options(
+      "perf_gate",
+      "Measure the fast-path perf cases and gate them against a committed\n"
+      "baseline (BENCH_fastpath.json).  With --current, compares two report\n"
+      "files without measuring anything.");
+  options
+      .value("baseline", std::string(),
+             "baseline report to gate against (exit 1 on FAIL)")
+      .value("current", std::string(),
+             "compare this report against --baseline instead of measuring")
+      .value("out", std::string(), "write the fresh measurement report here")
+      .value("json", std::string(), "write the gate comparison JSON here")
+      .value("repeats", 5, "timed runs per case")
+      .value("warn-ratio", 1.25, "WARN above this ratio plus measured noise")
+      .value("fail-ratio", 2.0, "FAIL (exit 1) above this ratio")
+      .flag("smoke", "scale workloads down for a fast CI smoke run");
+
+  harness::Parsed parsed;
+  try {
+    parsed = options.parse(argc, argv);
+  } catch (const harness::CliError& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  if (parsed.help_requested()) {
+    options.print_help(std::cout);
+    return 0;
+  }
+
+  const std::string baseline_path = parsed.get_string("baseline");
+  const std::string current_path = parsed.get_string("current");
+  const std::string out_path = parsed.get_string("out");
+  if (baseline_path.empty() && current_path.empty() && out_path.empty()) {
+    std::cerr << "perf_gate: nothing to do; pass --out and/or --baseline "
+                 "(see --help)\n";
+    return 2;
+  }
+  if (!current_path.empty() && baseline_path.empty()) {
+    std::cerr << "perf_gate: --current requires --baseline\n";
+    return 2;
+  }
+
+  perf::GateOptions gate;
+  gate.warn_ratio = parsed.get_double("warn-ratio");
+  gate.fail_ratio = parsed.get_double("fail-ratio");
+
+  try {
+    perf::Report current;
+    if (!current_path.empty()) {
+      current = load_report(current_path);
+    } else {
+      perf::CaseOptions copts;
+      copts.smoke = parsed.flag("smoke");
+      copts.repeats = static_cast<std::size_t>(
+          std::max(1L, parsed.get_int("repeats")));
+      std::cerr << "perf_gate: measuring " << (copts.smoke ? "smoke" : "full")
+                << " cases, " << copts.repeats << " repeats each...\n";
+      current = perf::run_fastpath_cases(copts);
+      current.git_rev = TEMPOFAIR_GIT_REV;
+      if (!out_path.empty()) {
+        write_file(out_path, perf::report_json(current));
+        std::cerr << "perf_gate: wrote " << out_path << "\n";
+      }
+    }
+
+    if (baseline_path.empty()) {
+      std::cout << perf::report_json(current);
+      return 0;
+    }
+
+    const perf::Report baseline = load_report(baseline_path);
+    const perf::GateResult result =
+        perf::compare_reports(baseline, current, gate);
+    std::cout << perf::format_gate(result, gate);
+    const std::string json_path = parsed.get_string("json");
+    if (!json_path.empty()) {
+      write_file(json_path, perf::gate_json(result, gate));
+    }
+    return result.failed ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

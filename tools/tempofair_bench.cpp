@@ -40,16 +40,6 @@ std::string timestamp() {
   return buf;
 }
 
-std::vector<std::string> split_csv(const std::string& text) {
-  std::vector<std::string> out;
-  std::string item;
-  std::istringstream in(text);
-  while (std::getline(in, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,26 +94,13 @@ int main(int argc, char** argv) {
   }
 
   // Selection: --filter ids, validated, deduped, run in natural suite order.
+  // An unknown id is a hard error that lists every valid id.
   std::vector<const bench::ExperimentSpec*> selected;
-  const std::string filter = parsed.get_string("filter");
-  if (filter.empty()) {
-    selected = all;
-  } else {
-    for (const std::string& id : split_csv(filter)) {
-      const bench::ExperimentSpec* spec = registry.find(id);
-      if (spec == nullptr) {
-        std::cerr << "tempofair_bench: unknown experiment id '" << id
-                  << "' (see --list)\n";
-        return 2;
-      }
-      if (std::find(selected.begin(), selected.end(), spec) == selected.end()) {
-        selected.push_back(spec);
-      }
-    }
-    std::sort(selected.begin(), selected.end(),
-              [](const bench::ExperimentSpec* a, const bench::ExperimentSpec* b) {
-                return bench::natural_id_less(a->id, b->id);
-              });
+  try {
+    selected = bench::select_experiments(registry, parsed.get_string("filter"));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "tempofair_bench: " << e.what() << " (see --list)\n";
+    return 2;
   }
   if (selected.empty()) {
     std::cerr << "tempofair_bench: no experiments selected\n";
