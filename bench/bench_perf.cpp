@@ -28,12 +28,12 @@ void BM_SimulatePolicy(benchmark::State& state, const char* spec,
                        bool fast_path) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const Instance inst = make_instance(n, 1, 42);
-  EngineOptions eo;
-  eo.record_trace = false;
-  eo.use_fast_path = fast_path;
+  RunRequest req;
+  req.record_trace = false;
+  req.use_fast_path = fast_path;
   for (auto _ : state) {
     auto policy = make_policy(spec);
-    benchmark::DoNotOptimize(simulate(inst, *policy, eo));
+    benchmark::DoNotOptimize(tempofair::run(inst, *policy, req).schedule);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
@@ -42,23 +42,22 @@ void BM_SimulatePolicy(benchmark::State& state, const char* spec,
 void BM_SimulateRrMultiMachine(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
   const Instance inst = make_instance(2000, m, 7);
-  EngineOptions eo;
-  eo.record_trace = false;
-  eo.machines = m;
+  RunRequest req;
+  req.record_trace = false;
+  req.machines = m;
   for (auto _ : state) {
     auto policy = make_policy("rr");
-    benchmark::DoNotOptimize(simulate(inst, *policy, eo));
+    benchmark::DoNotOptimize(tempofair::run(inst, *policy, req).schedule);
   }
 }
 
 void BM_SimulateRrWithTrace(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const Instance inst = make_instance(n, 1, 42);
-  EngineOptions eo;
-  eo.record_trace = true;
+  RunRequest req;
   for (auto _ : state) {
     auto policy = make_policy("rr");
-    benchmark::DoNotOptimize(simulate(inst, *policy, eo));
+    benchmark::DoNotOptimize(tempofair::run(inst, *policy, req).schedule);
   }
 }
 
@@ -69,16 +68,14 @@ void BM_SimulateRrWithTrace(benchmark::State& state) {
 void BM_PipelineSimDualfit(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const Instance inst = make_instance(n, 1, 42);
-  EngineOptions eo;
-  eo.record_trace = true;
-  eo.speed = 1.0;
+  RunRequest req;
   analysis::DualFitOptions dopt;
   dopt.k = 2.0;
   dopt.eps = 0.1;
-  EngineCore core;
+  EngineCore core;  // reused across iterations so trace buffers persist
   for (auto _ : state) {
     auto policy = make_policy("rr");
-    const Schedule s = core.run(inst, *policy, eo);
+    const Schedule s = core.run(inst, *policy, req).schedule;
     benchmark::DoNotOptimize(analysis::dual_fit_certificate(s, dopt));
     state.counters["trace_bytes"] = static_cast<double>(s.trace_memory_bytes());
     state.counters["trace_peak_bytes"] =
@@ -95,11 +92,9 @@ void BM_PipelineSimDualfit(benchmark::State& state) {
 void BM_TracedWorkPerJob(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const Instance inst = make_instance(n, 1, 42);
-  EngineOptions eo;
-  eo.record_trace = true;
-  eo.speed = 1.0;
+  RunRequest req;
   auto policy = make_policy("rr");
-  const Schedule s = simulate(inst, *policy, eo);
+  const Schedule s = tempofair::run(inst, *policy, req).schedule;
   for (auto _ : state) {
     double total = 0.0;
     for (JobId j = 0; j < inst.n(); ++j) total += s.traced_work(j);

@@ -21,9 +21,9 @@ namespace {
 
 Schedule run_rr(const Instance& inst, double speed) {
   RoundRobin rr;
-  EngineOptions eo;
-  eo.speed = speed;
-  return simulate(inst, rr, eo);
+  RunRequest req;
+  req.speed = speed;
+  return tempofair::run(inst, rr, req).schedule;
 }
 
 int run(bench::RunContext& ctx) {

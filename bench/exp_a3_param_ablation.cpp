@@ -29,15 +29,15 @@ int run(bench::RunContext& ctx) {
   workload::Rng rng(41);
   const Instance inst =
       workload::poisson_load(n, 1, 0.9, workload::ExponentialSize{1.5}, rng);
-  EngineOptions eo;
-  eo.record_trace = false;
+  RunRequest req;
+  req.record_trace = false;
 
   analysis::Table wrr_table("A3a: WRR refresh_rel sweep (l2 + runtime)",
                             {"refresh_rel", "l2", "runtime_ms"});
   for (double refresh : {0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005}) {
     WeightedRoundRobin wrr(1e-3, refresh);
     const auto start = std::chrono::steady_clock::now();
-    const double l2 = flow_lk_norm(simulate(inst, wrr, eo), 2.0);
+    const double l2 = tempofair::run(inst, wrr, req).stats.l2;
     const auto ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - start)
                         .count();
@@ -51,7 +51,7 @@ int run(bench::RunContext& ctx) {
   for (double tol : {1e-3, 1e-6, 1e-9, 1e-12}) {
     Setf setf(tol);
     setf_table.add_row({analysis::Table::num(tol),
-                        analysis::Table::num(flow_lk_norm(simulate(inst, setf, eo), 2.0), 4)});
+                        analysis::Table::num(tempofair::run(inst, setf, req).stats.l2, 4)});
   }
   ctx.emit(setf_table);
   return 0;

@@ -25,10 +25,10 @@ double simulated_mean_flow(const std::string& policy_name,
   for (int r = 0; r < runs; ++r) {
     workload::Rng rng(seed + r);
     const Instance inst = workload::poisson_load(n, 1, load, dist, rng);
-    auto policy = make_policy(policy_name);
-    EngineOptions eo;
-    eo.record_trace = false;
-    const Schedule s = simulate(inst, *policy, eo);
+    RunRequest req;
+    req.policy = policy_name;
+    req.record_trace = false;
+    const Schedule s = tempofair::run(inst, req).schedule;
     double sum = 0.0;
     for (JobId j = static_cast<JobId>(warmup); j < n - warmup; ++j) {
       sum += s.flow(j);

@@ -33,8 +33,9 @@ int run(bench::RunContext& ctx) {
 
   std::vector<FairnessReport> reports(policies.size());
   ctx.pool().parallel_for(policies.size(), [&](std::size_t i) {
-    auto policy = make_policy(policies[i]);
-    const Schedule s = simulate(inst, *policy);
+    RunRequest req;
+    req.policy = policies[i];
+    const Schedule s = tempofair::run(inst, req).schedule;
     reports[i] = fairness_report(s);
   });
 

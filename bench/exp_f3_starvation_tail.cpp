@@ -24,10 +24,10 @@ void run_block(bench::RunContext& ctx, const std::string& title,
                          "l2_norm", "stddev/mean"});
   std::vector<FlowStats> stats(policies.size());
   ctx.pool().parallel_for(policies.size(), [&](std::size_t i) {
-    auto policy = make_policy(policies[i]);
-    EngineOptions eo;
-    eo.record_trace = false;
-    stats[i] = flow_stats(simulate(inst, *policy, eo));
+    RunRequest req;
+    req.policy = policies[i];
+    req.record_trace = false;
+    stats[i] = tempofair::run(inst, req).stats;
   });
   for (std::size_t i = 0; i < policies.size(); ++i) {
     const auto& s = stats[i];

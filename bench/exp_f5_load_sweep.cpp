@@ -47,10 +47,10 @@ int run(bench::RunContext& ctx) {
       workload::Rng rng(seed + 1000 * t + li);
       const Instance inst = workload::poisson_load(
           n, 1, loads[li], workload::ExponentialSize{1.0}, rng);
-      auto policy = make_policy(policies[pi]);
-      EngineOptions eo;
-      eo.record_trace = false;
-      const FlowStats st = flow_stats(simulate(inst, *policy, eo));
+      RunRequest req;
+      req.policy = policies[pi];
+      req.record_trace = false;
+      const FlowStats st = tempofair::run(inst, req).stats;
       mean += st.mean;
       stddev += st.stddev;
     }

@@ -37,8 +37,9 @@ int run(bench::RunContext& ctx) {
         {"policy", "integral", "fractional", "ratio"});
     std::vector<std::array<double, 2>> vals(specs.size());
     ctx.pool().parallel_for(specs.size(), [&](std::size_t i) {
-      auto policy = make_policy(specs[i]);
-      const Schedule s = simulate(inst, *policy);
+      RunRequest req;
+      req.policy = specs[i];
+      const Schedule s = tempofair::run(inst, req).schedule;
       vals[i] = {flow_lk_power(s, k), fractional_flow_power(s, k).total};
     });
     for (std::size_t i = 0; i < specs.size(); ++i) {

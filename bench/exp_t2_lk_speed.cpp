@@ -52,9 +52,9 @@ int run(bench::RunContext& ctx) {
     const auto m = analysis::measure_ratio(wl.instance, rr, ropt);
 
     RoundRobin rr2;
-    EngineOptions eo;
-    eo.speed = eta;
-    const Schedule sched = simulate(wl.instance, rr2, eo);
+    RunRequest req;
+    req.speed = eta;
+    const Schedule sched = tempofair::run(wl.instance, rr2, req).schedule;
     analysis::DualFitOptions dopt;
     dopt.k = k;
     dopt.eps = eps;

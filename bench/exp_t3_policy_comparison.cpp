@@ -46,18 +46,18 @@ int run(bench::RunContext& ctx) {
         workload::Rng rng(seed + li);
         const Instance inst = workload::poisson_load(
             n, 1, loads[li], workload::ExponentialSize{1.5}, rng);
-        EngineOptions eo;
-        eo.record_trace = false;
-        auto srpt = make_policy("srpt");
-        const Schedule base = simulate(inst, *srpt, eo);
+        RunRequest req;
+        req.policy = "srpt";
+        req.record_trace = false;
+        const Schedule base = tempofair::run(inst, req).schedule;
         const double b1 = flow_lk_norm(base, 1.0), b2 = flow_lk_norm(base, 2.0),
                      b3 = flow_lk_norm(base, 3.0),
                      binf = flow_lk_norm(base,
                                          std::numeric_limits<double>::infinity());
         std::vector<Row> group(policies.size());
         for (std::size_t pi = 0; pi < policies.size(); ++pi) {
-          auto policy = make_policy(policies[pi]);
-          const Schedule s = simulate(inst, *policy, eo);
+          req.policy = policies[pi];
+          const Schedule s = tempofair::run(inst, req).schedule;
           group[pi] = Row{
               loads[li], policies[pi], flow_lk_norm(s, 1.0) / b1,
               flow_lk_norm(s, 2.0) / b2, flow_lk_norm(s, 3.0) / b3,

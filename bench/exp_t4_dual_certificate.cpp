@@ -52,10 +52,10 @@ int run(bench::RunContext& ctx) {
   ctx.pool().parallel_for(cases.size(), [&](std::size_t i) {
     const Case& c = cases[i];
     RoundRobin rr;
-    EngineOptions eo;
-    eo.speed = analysis::theorem1_speed(c.k, eps);
-    eo.machines = c.machines;
-    const Schedule s = simulate(c.instance, rr, eo);
+    RunRequest req;
+    req.speed = analysis::theorem1_speed(c.k, eps);
+    req.machines = c.machines;
+    const Schedule s = tempofair::run(c.instance, rr, req).schedule;
     analysis::DualFitOptions opt;
     opt.k = c.k;
     opt.eps = eps;

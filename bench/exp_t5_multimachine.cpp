@@ -60,10 +60,10 @@ int run(bench::RunContext& ctx) {
         const auto meas = analysis::measure_ratio(inst, rr, ropt);
 
         RoundRobin rr2;
-        EngineOptions eo;
-        eo.machines = m;
-        eo.speed = analysis::theorem1_speed(2.0, eps);
-        const Schedule s = simulate(inst, rr2, eo);
+        RunRequest req;
+        req.machines = m;
+        req.speed = analysis::theorem1_speed(2.0, eps);
+        const Schedule s = tempofair::run(inst, rr2, req).schedule;
         analysis::DualFitOptions dopt;
         dopt.k = 2.0;
         dopt.eps = eps;

@@ -28,10 +28,10 @@ int run(bench::RunContext& ctx) {
   const Instance inst =
       workload::poisson_load(n, 1, 0.85, workload::UniformSize{0.5, 2.0}, rng);
 
-  EngineOptions eo;
-  eo.record_trace = false;
+  RunRequest req;
+  req.record_trace = false;
   RoundRobin ideal;
-  const double ideal_l2 = flow_lk_norm(simulate(inst, ideal, eo), 2.0);
+  const double ideal_l2 = tempofair::run(inst, ideal, req).stats.l2;
 
   const std::vector<double> quanta{10.0, 3.0, 1.0, 0.3, 0.1, 0.03, 0.01};
   const std::vector<double> switch_costs{0.0, 0.005, 0.02};
@@ -47,9 +47,9 @@ int run(bench::RunContext& ctx) {
     const double q = quanta[i / switch_costs.size()];
     const double cs = switch_costs[i % switch_costs.size()];
     QuantumRoundRobin qrr(q, cs);
-    EngineOptions opts;
-    opts.record_trace = false;
-    rows[i] = Row{q, cs, flow_lk_norm(simulate(inst, qrr, opts), 2.0)};
+    RunRequest inner;
+    inner.record_trace = false;
+    rows[i] = Row{q, cs, tempofair::run(inst, qrr, inner).stats.l2};
   });
 
   for (const Row& r : rows) {

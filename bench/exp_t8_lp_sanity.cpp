@@ -84,9 +84,9 @@ int run(bench::RunContext& ctx) {
     const bool ordered = bounds.best_lb <= bounds.proxy_ub * (1.0 + 1e-9);
 
     RoundRobin rr;
-    EngineOptions eo;
-    eo.speed = analysis::theorem1_speed(2.0, 0.05);
-    const Schedule s = simulate(inst, rr, eo);
+    RunRequest req;
+    req.speed = analysis::theorem1_speed(2.0, 0.05);
+    const Schedule s = tempofair::run(inst, rr, req).schedule;
     analysis::DualFitOptions dopt;
     dopt.k = 2.0;
     dopt.eps = 0.05;

@@ -48,10 +48,11 @@ int run(bench::RunContext& ctx) {
 
       std::vector<double> costs(specs.size());
       ctx.pool().parallel_for(specs.size(), [&](std::size_t i) {
-        auto policy = make_policy(specs[i]);
-        EngineOptions eo;
-        eo.record_trace = false;
-        costs[i] = weighted_flow_lk_power(simulate(inst, *policy, eo), k);
+        RunRequest req;
+        req.policy = specs[i];
+        req.record_trace = false;
+        costs[i] =
+            weighted_flow_lk_power(tempofair::run(inst, req).schedule, k);
       });
 
       std::vector<std::string> row{scheme_name};

@@ -16,19 +16,18 @@ namespace {
 
 constexpr std::uint64_t kSeed = 20260806;
 
-/// One simulate() of `policy` over `instance`, trace off, timing only the
-/// engine.  The result's completion count is read back so the optimizer
-/// cannot elide the run.
+/// One engine run of `policy` over `instance` through the RunRequest
+/// facade, trace off, timing only the engine.  The result's completion
+/// count is read back so the optimizer cannot elide the run.
 CaseResult time_engine(const std::string& name, std::size_t repeats,
                        const Instance& instance, Policy& policy,
                        bool fast_path) {
-  EngineOptions eng;
-  eng.record_trace = false;
-  eng.use_fast_path = fast_path;
+  RunRequest req;
+  req.record_trace = false;
+  req.use_fast_path = fast_path;
   std::size_t finished = 0;
   CaseResult r = measure(name, repeats, [&] {
-    const Schedule sched = simulate(instance, policy, eng);
-    finished += sched.n();
+    finished += tempofair::run(instance, policy, req).schedule.n();
   });
   r.stats["jobs"] = static_cast<double>(instance.n());
   r.stats["finished_total"] = static_cast<double>(finished);
@@ -93,10 +92,9 @@ Report run_fastpath_cases(const CaseOptions& options) {
           workload::PoissonJobStream stream = workload::poisson_load_stream(
               n_stream, 1, 0.9, workload::ExponentialSize{1.5}, rng);
           RoundRobin rr;
-          EngineOptions eng;
-          eng.record_trace = false;
-          const Schedule sched = simulate(stream, rr, eng);
-          finished += sched.n();
+          RunRequest req;
+          req.record_trace = false;
+          finished += tempofair::run(stream, rr, req).schedule.n();
         });
     c.stats["jobs"] = static_cast<double>(n_stream);
     c.stats["finished_total"] = static_cast<double>(finished);
@@ -111,13 +109,12 @@ Report run_fastpath_cases(const CaseOptions& options) {
     const Instance inst = workload::poisson_load(
         n_trace, 1, 0.9, workload::ExponentialSize{1.5}, rng);
     RoundRobin rr;
-    EngineOptions eng;
-    eng.record_trace = true;
+    RunRequest req;
     double norms = 0.0;
     CaseResult c = measure(
         "rr_fast_trace_l2_" + std::to_string(n_trace) + suffix, repeats, [&] {
-          const Schedule sched = simulate(inst, rr, eng);
-          norms += flow_lk_norm(sched, 2.0);
+          const RunResult result = tempofair::run(inst, rr, req);
+          norms += flow_lk_norm(result.schedule, 2.0);
         });
     c.stats["jobs"] = static_cast<double>(n_trace);
     c.stats["l2_norm_total"] = norms;

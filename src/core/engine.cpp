@@ -1,13 +1,17 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/obs.h"
+#include "policies/registry.h"
 
 namespace tempofair {
 
@@ -17,7 +21,81 @@ namespace {
   throw std::runtime_error("tempofair::simulate: " + msg);
 }
 
+void check_cancel(const EngineOptions& options, std::string_view policy_name,
+                  Time now) {
+  if (options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_relaxed)) {
+    throw RunCancelled("tempofair::run: cancelled with policy " +
+                       std::string(policy_name) + " at t=" +
+                       std::to_string(now));
+  }
+}
+
+/// Packages a finished schedule as a RunResult (stats computed once here,
+/// where every facade overload converges).
+[[nodiscard]] RunResult finish_run(Schedule schedule, std::string_view policy,
+                                   double wall_seconds) {
+  RunResult result;
+  result.stats = flow_stats(schedule);
+  result.schedule = std::move(schedule);
+  result.policy = std::string(policy);
+  result.wall_seconds = wall_seconds;
+  return result;
+}
+
+class WallTimer {
+ public:
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
 }  // namespace
+
+EngineOptions RunRequest::engine_options() const {
+  EngineOptions options;
+  options.machines = machines;
+  options.speed = speed;
+  options.record_trace = record_trace;
+  options.hide_sizes = hide_sizes;
+  options.max_time = max_time;
+  options.max_steps = max_steps;
+  options.max_zero_progress_steps = max_zero_progress_steps;
+  options.use_fast_path = use_fast_path;
+  options.live_metrics = live;
+  options.cancel = cancel;
+  return options;
+}
+
+RunResult EngineCore::run(const Instance& instance, const RunRequest& request) {
+  const std::unique_ptr<Policy> policy = make_policy(request.policy);
+  return run(instance, *policy, request);
+}
+
+RunResult EngineCore::run(JobStream& stream, const RunRequest& request) {
+  const std::unique_ptr<Policy> policy = make_policy(request.policy);
+  return run(stream, *policy, request);
+}
+
+RunResult EngineCore::run(const Instance& instance, Policy& policy,
+                          const RunRequest& request) {
+  const WallTimer timer;
+  Schedule schedule = run(instance, policy, request.engine_options());
+  return finish_run(std::move(schedule), policy.name(), timer.seconds());
+}
+
+RunResult EngineCore::run(JobStream& stream, Policy& policy,
+                          const RunRequest& request) {
+  const WallTimer timer;
+  Schedule schedule = run(stream, policy, request.engine_options());
+  return finish_run(std::move(schedule), policy.name(), timer.seconds());
+}
 
 Schedule EngineCore::run(const Instance& instance, Policy& policy,
                          const EngineOptions& options) {
@@ -42,6 +120,10 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
   Schedule schedule(instance, options.machines, options.speed);
   schedule.set_trace_recorded(options.record_trace);
   policy.reset();
+
+  if (options.live_metrics != nullptr) {
+    options.live_metrics->set_expected(instance.n());
+  }
 
   if (instance.empty()) {
     obs::add("engine.runs", 1);
@@ -95,6 +177,7 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
   std::size_t intervals_emitted = 0;
 
   while (!alive_.empty() || next_arrival < order.size()) {
+    check_cancel(options, policy.name(), now);
     if (++steps > options.max_steps) {
       engine_fail("exceeded max_steps=" + std::to_string(options.max_steps) +
                   " with policy " + std::string(policy.name()));
@@ -207,6 +290,9 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
     for (auto it = completing_.rbegin(); it != completing_.rend(); ++it) {
       const std::size_t i = *it;
       schedule.set_completion(alive_[i].id, now);
+      if (options.live_metrics != nullptr) {
+        options.live_metrics->record(now - alive_[i].release);
+      }
       policy.on_completion(alive_[i].id, now);
       const auto p = static_cast<std::ptrdiff_t>(i);
       alive_.erase(alive_.begin() + p);
@@ -229,10 +315,12 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
       engine_fail(
           "livelock: " + std::to_string(zero_progress_streak) +
           " consecutive zero-progress steps (no clock advance, completion, "
-          "or arrival) with policy " + std::string(policy.name()) + " at t=" +
-          std::to_string(now) + " with " + std::to_string(alive_.size()) +
-          " alive jobs; the policy keeps returning a breakpoint too small to "
-          "advance the simulated clock");
+          "or arrival) at t=" + std::to_string(now) + " with " +
+          std::to_string(alive_.size()) + " alive jobs; policy " +
+          std::string(policy.name()) +
+          " keeps returning a breakpoint (max_duration=" +
+          std::to_string(decision.max_duration) +
+          ") too small to advance the simulated clock");
     }
   }
 
@@ -271,6 +359,27 @@ Schedule EngineCore::run(JobStream& stream, Policy& policy,
 bool EngineCore::takes_fast_path(const Policy& policy,
                                  const EngineOptions& options) const {
   return options.use_fast_path && policy.fast_forward().enabled();
+}
+
+RunResult run(const Instance& instance, const RunRequest& request) {
+  EngineCore core;
+  return core.run(instance, request);
+}
+
+RunResult run(JobStream& stream, const RunRequest& request) {
+  EngineCore core;
+  return core.run(stream, request);
+}
+
+RunResult run(const Instance& instance, Policy& policy,
+              const RunRequest& request) {
+  EngineCore core;
+  return core.run(instance, policy, request);
+}
+
+RunResult run(JobStream& stream, Policy& policy, const RunRequest& request) {
+  EngineCore core;
+  return core.run(stream, policy, request);
 }
 
 Schedule simulate(const Instance& instance, Policy& policy,

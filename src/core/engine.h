@@ -6,19 +6,39 @@
 // engine advances analytically to the next event rather than stepping a
 // clock.  The full piecewise-constant rate trace can be recorded for the
 // fairness and dual-fitting analyses.
+//
+// Public entry point: the RunRequest/RunResult facade (`run(...)` below).
+// One serializable request struct describes a run completely -- policy spec,
+// machine/speed configuration, safety valves, live hooks -- and one result
+// struct carries everything a caller consumes, so the CLI tools, the bench
+// registry, and tempofaird's wire protocol all speak the same API.  The
+// older EngineOptions + simulate() overloads remain as thin deprecated
+// shims over the same cores.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/fast_forward.h"
 #include "core/instance.h"
 #include "core/job_stream.h"
+#include "core/metrics.h"
 #include "core/policy.h"
 #include "core/schedule.h"
 
 namespace tempofair {
+
+/// Thrown when a run stops because RunRequest::cancel (or
+/// EngineOptions::cancel) was set.  Derives from std::runtime_error so
+/// legacy catch sites treat it as any other aborted run.
+class RunCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct EngineOptions {
   int machines = 1;
@@ -46,6 +66,62 @@ struct EngineOptions {
   /// Results are byte-identical to the generic event loop; disable to force
   /// the generic loop, e.g. for equivalence testing.
   bool use_fast_path = true;
+  /// Live hooks (not part of the serializable request): when set, the engine
+  /// appends every completion's flow time here, so another thread can watch
+  /// percentiles / l_k norms of a run in flight.  Must outlive the run.
+  LiveMetrics* live_metrics = nullptr;
+  /// When set, the engine polls this flag once per event and aborts the run
+  /// with RunCancelled as soon as it reads true.  Must outlive the run.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// One simulation run, described completely and serializably.
+///
+/// This is THE public way to run the engine: the CLI tools build one from
+/// flags (harness/cli.h's shared vocabulary), the bench experiments build
+/// one per measurement, and tempofaird decodes one from a SUBMIT_JOBS frame
+/// -- identical semantics everywhere.  The workload itself (an Instance or
+/// a JobStream) travels alongside the request, since workloads have their
+/// own storage formats (CSV files, generator specs, wire frames).
+///
+/// Everything except the live hooks round-trips through the wire encoding
+/// (serve/protocol.h) and the flag vocabulary (harness/cli.h).
+struct RunRequest {
+  /// Policy spec, resolved through policies/registry.h ("rr", "srpt",
+  /// "laps:0.5", ...).  Ignored by the overloads that take an explicit
+  /// Policy object.
+  std::string policy = "rr";
+  int machines = 1;
+  /// Speed augmentation s (OPT is always measured at speed 1).
+  double speed = 1.0;
+  /// Record the full rate trace (fairness + dual-fitting analyses need it;
+  /// metrics-only runs can turn it off and skip the trace memory).
+  bool record_trace = true;
+  /// Hide sizes from the policy; refused for clairvoyant policies.
+  bool hide_sizes = false;
+  Time max_time = kInfiniteTime;
+  std::size_t max_steps = 50'000'000;
+  std::size_t max_zero_progress_steps = 1000;
+  bool use_fast_path = true;
+  /// Live hooks; see EngineOptions.  Not serialized.
+  LiveMetrics* live = nullptr;
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// The equivalent legacy options struct (live hooks included).
+  [[nodiscard]] EngineOptions engine_options() const;
+};
+
+/// Everything one run produces: the schedule (completions + optional trace),
+/// the resolved policy name, ready-made flow statistics, and the engine wall
+/// time.  Analyses needing more than FlowStats read `schedule` directly.
+struct RunResult {
+  Schedule schedule;
+  /// The policy that ran (resolved name, e.g. "laps:0.50" -> "laps").
+  std::string policy;
+  /// Flow-time summary of the completed schedule.
+  FlowStats stats;
+  /// Wall-clock seconds spent inside the engine.
+  double wall_seconds = 0.0;
 };
 
 /// The epoch-coalescing kernel behind EngineOptions::use_fast_path.
@@ -116,10 +192,28 @@ class FastForwardCore {
 /// Not thread-safe; use one EngineCore per thread.
 class EngineCore {
  public:
+  // --- RunRequest facade (preferred) ---------------------------------------
+  /// Runs the request's policy spec on `instance`.  Throws
+  /// std::invalid_argument for a bad request or unknown policy spec,
+  /// RunCancelled if request.cancel fires, std::runtime_error if the policy
+  /// misbehaves (invalid rates, deadlock, livelock, step explosion).
+  [[nodiscard]] RunResult run(const Instance& instance,
+                              const RunRequest& request);
+  /// Streaming variant; requires a FastForward-capable policy spec and
+  /// request.use_fast_path (throws std::invalid_argument otherwise).
+  [[nodiscard]] RunResult run(JobStream& stream, const RunRequest& request);
+  /// As above with an explicit policy object (request.policy is ignored);
+  /// for callers that construct parameterized policies directly.
+  [[nodiscard]] RunResult run(const Instance& instance, Policy& policy,
+                              const RunRequest& request);
+  [[nodiscard]] RunResult run(JobStream& stream, Policy& policy,
+                              const RunRequest& request);
+
+  // --- legacy entry points (deprecated shims over the facade) --------------
   /// Runs `policy` on `instance` and returns the complete schedule.
   /// Throws std::invalid_argument for bad options and std::runtime_error if
   /// the policy misbehaves (invalid rates, deadlock, livelock, step
-  /// explosion).
+  /// explosion).  Deprecated: prefer the RunRequest overloads.
   [[nodiscard]] Schedule run(const Instance& instance, Policy& policy,
                              const EngineOptions& options = {});
 
@@ -127,6 +221,7 @@ class EngineCore {
   /// instance is never materialized.  Requires a FastForward-capable policy
   /// and options.use_fast_path (throws std::invalid_argument otherwise);
   /// use workload::materialize(stream) + run() for generic policies.
+  /// Deprecated: prefer the RunRequest overloads.
   [[nodiscard]] Schedule run(JobStream& stream, Policy& policy,
                              const EngineOptions& options = {});
 
@@ -152,12 +247,29 @@ class EngineCore {
   FastForwardCore fast_;
 };
 
+/// Runs `request` on `instance` with a fresh EngineCore.  The single entry
+/// point shared by the CLI, the bench registry, and the tempofaird wire
+/// protocol.
+[[nodiscard]] RunResult run(const Instance& instance,
+                            const RunRequest& request = {});
+
+/// Streaming facade run (fast-path-capable policy specs only).
+[[nodiscard]] RunResult run(JobStream& stream, const RunRequest& request = {});
+
+/// Facade run with an explicit policy object (request.policy ignored).
+[[nodiscard]] RunResult run(const Instance& instance, Policy& policy,
+                            const RunRequest& request);
+[[nodiscard]] RunResult run(JobStream& stream, Policy& policy,
+                            const RunRequest& request);
+
 /// Runs `policy` on `instance` with a fresh EngineCore.
+/// Deprecated shim: prefer run(instance, RunRequest{...}).
 [[nodiscard]] Schedule simulate(const Instance& instance, Policy& policy,
                                 const EngineOptions& options = {});
 
 /// Runs `policy` on a job stream with a fresh EngineCore (fast-path only;
 /// see EngineCore::run(JobStream&, ...)).
+/// Deprecated shim: prefer run(stream, RunRequest{...}).
 [[nodiscard]] Schedule simulate(JobStream& stream, Policy& policy,
                                 const EngineOptions& options = {});
 

@@ -193,6 +193,8 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
   schedule.set_trace_recorded(options.record_trace);
 
   const std::size_t total_jobs = arrivals.total();
+  LiveMetrics* const live = options.live_metrics;
+  if (live != nullptr) live->set_expected(total_jobs);
   if (arrivals.exhausted()) {
     obs::add("engine.runs", 1);
     obs::add(obs_counters::kFastForwardRuns, 1);
@@ -312,6 +314,11 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
   std::vector<double> wrates;  // kWeightedShare per-event rates, id order
 
   while (alive_count() > 0 || !arrivals.exhausted()) {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      throw RunCancelled("tempofair::run: cancelled with policy " + name +
+                         " at t=" + std::to_string(now));
+    }
     if (++steps > options.max_steps) {
       engine_fail("exceeded max_steps=" + std::to_string(options.max_steps) +
                   " with policy " + name);
@@ -473,6 +480,7 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
       order_.resize(w);
       for (const JobId id : completing_) {
         schedule.set_completion(id, now);
+        if (live != nullptr) live->record(now - schedule.release(id));
         if (keep_ids) ids_.erase(ids_.begin() + static_cast<std::ptrdiff_t>(pos_of(id)));
       }
     } else {
@@ -510,6 +518,7 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
         }
         for (const JobId id : completing_) {
           schedule.set_completion(id, now);
+          if (live != nullptr) live->record(now - schedule.release(id));
           const auto p = static_cast<std::ptrdiff_t>(pos_of(id));
           ids_.erase(ids_.begin() + p);
           rem_.erase(rem_.begin() + p);

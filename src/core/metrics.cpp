@@ -162,4 +162,43 @@ double weighted_flow_lk_norm(const Schedule& schedule, double k) {
   return weighted_lk_norm(flows, schedule.weights(), k);
 }
 
+void LiveMetrics::set_expected(std::size_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  expected_ = n;
+}
+
+void LiveMetrics::record(Time flow) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  flows_.push_back(flow);
+}
+
+void LiveMetrics::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  flows_.clear();
+  expected_ = 0;
+}
+
+std::size_t LiveMetrics::completed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return flows_.size();
+}
+
+std::size_t LiveMetrics::expected() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return expected_;
+}
+
+FlowStats LiveMetrics::snapshot() const { return flow_stats(flows()); }
+
+double LiveMetrics::lk(double k) const { return lk_norm(flows(), k); }
+
+double LiveMetrics::percentile(double p) const {
+  return tempofair::percentile(flows(), p);
+}
+
+std::vector<double> LiveMetrics::flows() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return flows_;
+}
+
 }  // namespace tempofair

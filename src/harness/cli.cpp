@@ -244,4 +244,58 @@ const std::string& Parsed::get_string(const std::string& name) const {
   return std::get<std::string>(lookup(name, Options::Kind::kString));
 }
 
+Options& add_run_flags(Options& options) {
+  const RunRequest defaults;
+  return options
+      .value("policy", defaults.policy,
+             "policy spec (rr srpt sjf fcfs setf wrr mlfq hdf hrdf wprr "
+             "laps:B qrr:Q[,CS])")
+      .value("machines", static_cast<long>(defaults.machines),
+             "identical machines")
+      .value("speed", defaults.speed, "speed augmentation s (OPT at speed 1)")
+      .flag("no-trace", "skip recording the rate trace (metrics-only runs)")
+      .flag("hide-sizes", "hide job sizes from the policy (non-clairvoyant)")
+      .value("max-steps", static_cast<long>(defaults.max_steps),
+             "abort after this many engine iterations")
+      .value("max-time", 0.0, "abort if the simulated clock passes this (0 = off)")
+      .flag("no-fast-path", "force the generic event loop");
+}
+
+RunRequest run_request_from_flags(const Parsed& parsed) {
+  RunRequest request;
+  request.policy = parsed.get_string("policy");
+  const long machines = parsed.get_int("machines");
+  if (machines < 1) throw CliError("--machines: must be >= 1");
+  request.machines = static_cast<int>(machines);
+  request.speed = parsed.get_double("speed");
+  if (!(request.speed > 0.0)) throw CliError("--speed: must be > 0");
+  request.record_trace = !parsed.flag("no-trace");
+  request.hide_sizes = parsed.flag("hide-sizes");
+  const long max_steps = parsed.get_int("max-steps");
+  if (max_steps < 1) throw CliError("--max-steps: must be >= 1");
+  request.max_steps = static_cast<std::size_t>(max_steps);
+  const double max_time = parsed.get_double("max-time");
+  if (max_time < 0.0) throw CliError("--max-time: must be >= 0");
+  if (max_time > 0.0) request.max_time = max_time;
+  request.use_fast_path = !parsed.flag("no-fast-path");
+  return request;
+}
+
+Options& add_jobs_flag(Options& options) {
+  return options.value("jobs", 0L,
+                       "worker threads (0 = hardware concurrency)");
+}
+
+Options& add_quiet_flag(Options& options) {
+  return options.flag("quiet", "suppress progress and summary output on stderr");
+}
+
+Options& add_smoke_flag(Options& options) {
+  return options.flag("smoke", "scale workloads down for a fast CI smoke run");
+}
+
+Options& add_seed_flag(Options& options, long fallback) {
+  return options.value("seed", fallback, "RNG seed for generated workloads");
+}
+
 }  // namespace tempofair::harness

@@ -23,6 +23,8 @@
 #include <variant>
 #include <vector>
 
+#include "core/engine.h"
+
 namespace tempofair::harness {
 
 /// Parse failure: unknown option, missing or malformed value.  Derives from
@@ -150,5 +152,32 @@ class Parsed {
   std::vector<std::string> positional_;
   bool help_ = false;
 };
+
+// --- Shared flag vocabulary -------------------------------------------------
+//
+// Every tool in the family (tempofair-sim, tempofair_bench, perf_gate,
+// tempofaird, tempofair_client) registers its flags from these helpers, so
+// a flag spelled the same always means the same thing, with the same
+// default and the same strict parsing, everywhere.  Tools opt into the
+// groups they support.
+
+/// --policy --machines --speed --no-trace --hide-sizes --max-steps
+/// --max-time --no-fast-path: everything needed to describe one engine run.
+Options& add_run_flags(Options& options);
+
+/// Builds a RunRequest from flags registered by add_run_flags.
+[[nodiscard]] RunRequest run_request_from_flags(const Parsed& parsed);
+
+/// --jobs N: worker threads for the shared pool (0 = hardware concurrency).
+Options& add_jobs_flag(Options& options);
+
+/// --quiet: suppress progress/summary chatter on stderr.
+Options& add_quiet_flag(Options& options);
+
+/// --smoke: scale workloads down for a fast CI smoke run.
+Options& add_smoke_flag(Options& options);
+
+/// --seed N: RNG seed for generated workloads.
+Options& add_seed_flag(Options& options, long fallback = 1);
 
 }  // namespace tempofair::harness

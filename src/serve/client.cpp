@@ -1,0 +1,314 @@
+#include "serve/client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace tempofair::serve {
+
+namespace {
+
+[[nodiscard]] int connect_fd_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw WireError(std::string("client: socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw WireError("client: unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    throw WireError("client: connect(" + path + "): " + std::strerror(errno));
+  }
+  return fd;
+}
+
+[[nodiscard]] int connect_fd_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw WireError(std::string("client: socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    throw WireError("client: connect(127.0.0.1:" + std::to_string(port) +
+                    "): " + std::strerror(errno));
+  }
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(int fd, const std::string& tenant) : fd_(fd) {
+  HelloMsg hello;
+  hello.tenant = tenant;
+  WireWriter w;
+  encode(w, hello);
+  write_frame(fd_, FrameType::kHello, w);
+  std::optional<Frame> reply = read_frame(fd_);
+  if (!reply.has_value()) {
+    throw WireError("client: server closed the connection during handshake");
+  }
+  if (reply->type == FrameType::kError) {
+    WireReader r(reply->payload);
+    const ErrorMsg err = decode_error(r);
+    throw ServerError(err.code, err.message);
+  }
+  if (reply->type != FrameType::kHelloOk) {
+    throw WireError("client: expected HELLO_OK, got frame type " +
+                    std::to_string(static_cast<int>(reply->type)));
+  }
+  WireReader r(reply->payload);
+  const HelloOkMsg ok = decode_hello_ok(r);
+  session_id_ = ok.session_id;
+  server_ = ok.server;
+}
+
+Client Client::connect_unix(const std::string& path,
+                            const std::string& tenant) {
+  return Client(connect_fd_unix(path), tenant);
+}
+
+Client Client::connect_tcp(int port, const std::string& tenant) {
+  return Client(connect_fd_tcp(port), tenant);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      session_id_(other.session_id_),
+      server_(std::move(other.server_)),
+      next_tag_(other.next_tag_),
+      open_tag_(other.open_tag_),
+      open_run_(other.open_run_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    session_id_ = other.session_id_;
+    server_ = std::move(other.server_);
+    next_tag_ = other.next_tag_;
+    open_tag_ = other.open_tag_;
+    open_run_ = other.open_run_;
+  }
+  return *this;
+}
+
+Frame Client::roundtrip(FrameType request, const WireWriter& body,
+                        FrameType expected) {
+  write_frame(fd_, request, body);
+  std::optional<Frame> reply = read_frame(fd_);
+  if (!reply.has_value()) {
+    throw WireError("client: server closed the connection");
+  }
+  if (reply->type == FrameType::kError) {
+    WireReader r(reply->payload);
+    const ErrorMsg err = decode_error(r);
+    throw ServerError(err.code, err.message);
+  }
+  if (reply->type != expected) {
+    throw WireError("client: expected frame type " +
+                    std::to_string(static_cast<int>(expected)) + ", got " +
+                    std::to_string(static_cast<int>(reply->type)));
+  }
+  return *std::move(reply);
+}
+
+std::uint64_t Client::begin_submit(const RunRequest& request,
+                                   std::uint64_t total,
+                                   std::span<const Job> first_chunk,
+                                   bool last, bool stream) {
+  SubmitJobsMsg msg;
+  msg.tag = next_tag_++;
+  msg.first = true;
+  msg.last = last;
+  msg.request = request;
+  msg.total_jobs = total;
+  msg.stream = stream;
+  msg.jobs.assign(first_chunk.begin(), first_chunk.end());
+  WireWriter w;
+  encode(w, msg);
+  const Frame reply = roundtrip(FrameType::kSubmitJobs, w, FrameType::kSubmitOk);
+  WireReader r(reply.payload);
+  const SubmitOkMsg ok = decode_submit_ok(r);
+  open_tag_ = last ? 0 : msg.tag;
+  open_run_ = ok.run_id;
+  return ok.run_id;
+}
+
+std::uint64_t Client::submit_chunk(std::span<const Job> jobs, bool last) {
+  if (open_tag_ == 0) {
+    throw WireError("client: submit_chunk without an open submission");
+  }
+  SubmitJobsMsg msg;
+  msg.tag = open_tag_;
+  msg.first = false;
+  msg.last = last;
+  msg.jobs.assign(jobs.begin(), jobs.end());
+  WireWriter w;
+  encode(w, msg);
+  const Frame reply = roundtrip(FrameType::kSubmitJobs, w, FrameType::kSubmitOk);
+  WireReader r(reply.payload);
+  const SubmitOkMsg ok = decode_submit_ok(r);
+  if (last) open_tag_ = 0;
+  return ok.accepted_jobs;
+}
+
+std::uint64_t Client::submit_jobs(const RunRequest& request,
+                                  std::span<const Job> jobs, bool stream) {
+  SubmitJobsMsg msg;
+  msg.tag = next_tag_++;
+  msg.first = true;
+  msg.last = true;
+  msg.request = request;
+  msg.total_jobs = jobs.size();
+  msg.stream = stream;
+  msg.jobs.assign(jobs.begin(), jobs.end());
+  WireWriter w;
+  encode(w, msg);
+  const Frame reply = roundtrip(FrameType::kSubmitJobs, w, FrameType::kSubmitOk);
+  WireReader r(reply.payload);
+  return decode_submit_ok(r).run_id;
+}
+
+std::uint64_t Client::submit(const Instance& instance,
+                             const RunRequest& request, std::size_t chunk,
+                             int retries) {
+  // Jobs must go over the wire in release order (the daemon validates);
+  // instance ids are reassigned server-side, but completions still come
+  // back indexed by the order sent, so track the permutation?  No: the
+  // daemon assigns ids in submission order, so sending in release_order()
+  // means completions[i] belongs to instance.job(release_order()[i]).
+  // Callers comparing against an offline run should build their offline
+  // Instance in release order too (tests do).
+  std::vector<Job> ordered;
+  ordered.reserve(instance.n());
+  for (const JobId id : instance.release_order()) {
+    ordered.push_back(instance.job(id));
+  }
+  if (chunk == 0) chunk = ordered.empty() ? 1 : ordered.size();
+
+  auto send_with_retry = [&](auto&& send) -> std::uint64_t {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        return send();
+      } catch (const ServerError& e) {
+        if (e.code != ErrorCode::kThrottled || attempt >= retries) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+  };
+
+  std::uint64_t run_id = 0;
+  std::size_t sent = 0;
+  bool first = true;
+  while (first || sent < ordered.size()) {
+    const std::size_t take = std::min(chunk, ordered.size() - sent);
+    const std::span<const Job> piece(ordered.data() + sent, take);
+    const bool last = sent + take == ordered.size();
+    if (first) {
+      run_id = send_with_retry([&] {
+        return begin_submit(request, ordered.size(), piece, last);
+      });
+      first = false;
+    } else {
+      send_with_retry([&] { return submit_chunk(piece, last); });
+    }
+    sent += take;
+  }
+  return run_id;
+}
+
+MetricsMsg Client::query_metrics(std::uint64_t run_id,
+                                 std::vector<double> k_norms,
+                                 std::vector<double> percentiles) {
+  QueryMetricsMsg msg;
+  msg.run_id = run_id;
+  msg.k_norms = std::move(k_norms);
+  msg.percentiles = std::move(percentiles);
+  WireWriter w;
+  encode(w, msg);
+  const Frame reply =
+      roundtrip(FrameType::kQueryMetrics, w, FrameType::kMetrics);
+  WireReader r(reply.payload);
+  return decode_metrics(r);
+}
+
+StatusMsg Client::status(std::uint64_t run_id) {
+  RunStatusMsg msg;
+  msg.run_id = run_id;
+  WireWriter w;
+  encode(w, msg);
+  const Frame reply = roundtrip(FrameType::kRunStatus, w, FrameType::kStatus);
+  WireReader r(reply.payload);
+  return decode_status(r);
+}
+
+CancelOkMsg Client::cancel(std::uint64_t run_id) {
+  CancelMsg msg;
+  msg.run_id = run_id;
+  WireWriter w;
+  encode(w, msg);
+  const Frame reply = roundtrip(FrameType::kCancel, w, FrameType::kCancelOk);
+  WireReader r(reply.payload);
+  return decode_cancel_ok(r);
+}
+
+StatsReplyMsg Client::stats() {
+  WireWriter w;
+  const Frame reply = roundtrip(FrameType::kStats, w, FrameType::kStatsReply);
+  WireReader r(reply.payload);
+  return decode_stats_reply(r);
+}
+
+ResultMsg Client::result(std::uint64_t run_id) {
+  GetResultMsg msg;
+  msg.run_id = run_id;
+  WireWriter w;
+  encode(w, msg);
+  const Frame reply = roundtrip(FrameType::kGetResult, w, FrameType::kResult);
+  WireReader r(reply.payload);
+  return decode_result(r);
+}
+
+ResultMsg Client::wait(std::uint64_t run_id) {
+  for (;;) {
+    const StatusMsg s = status(run_id);
+    switch (s.phase) {
+      case RunPhase::kDone:
+        return result(run_id);
+      case RunPhase::kFailed:
+        throw ServerError(ErrorCode::kBadRequest, "run failed: " + s.error);
+      case RunPhase::kCancelled:
+        throw ServerError(ErrorCode::kBadRequest,
+                          s.error.empty() ? "run cancelled" : s.error);
+      case RunPhase::kQueued:
+      case RunPhase::kRunning:
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        break;
+    }
+  }
+}
+
+}  // namespace tempofair::serve

@@ -1,0 +1,106 @@
+// Client side of the tempofaird protocol: a blocking, lockstep connection
+// speaking the frames in serve/protocol.h.
+//
+// One Client owns one connection (one tenant session).  Every method sends
+// a request frame and blocks for its response; a semantic ERROR frame from
+// the daemon surfaces as ServerError (carrying the machine-readable code),
+// transport trouble as WireError.  Not thread-safe -- one Client per
+// thread, exactly like the daemon's one-reader-per-connection model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/instance.h"
+#include "core/job.h"
+#include "serve/protocol.h"
+
+namespace tempofair::serve {
+
+/// The daemon answered with an ERROR frame.
+class ServerError : public std::runtime_error {
+ public:
+  ServerError(ErrorCode code_in, const std::string& message)
+      : std::runtime_error(message), code(code_in) {}
+  const ErrorCode code;
+};
+
+class Client {
+ public:
+  /// Connects over the unix socket at `path` and performs the HELLO
+  /// handshake as `tenant`.
+  static Client connect_unix(const std::string& path,
+                             const std::string& tenant);
+  /// Connects to 127.0.0.1:`port` and performs the handshake.
+  static Client connect_tcp(int port, const std::string& tenant);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] std::uint64_t session_id() const noexcept {
+    return session_id_;
+  }
+  [[nodiscard]] const std::string& server() const noexcept { return server_; }
+
+  // --- submission -----------------------------------------------------------
+  /// Submits a whole instance as one run, chunked `chunk` jobs per frame
+  /// (0 = everything in one frame).  Returns the server-assigned run id.
+  /// A THROTTLED chunk is retried after a short backoff until `retries`
+  /// rejections in a row (then the ServerError propagates).
+  std::uint64_t submit(const Instance& instance, const RunRequest& request,
+                       std::size_t chunk = 0, int retries = 100);
+
+  /// Manual chunking for callers that generate jobs on the fly: open a run,
+  /// feed chunks (jobs in nondecreasing release order, ids ignored), close
+  /// it.  `total` must be exact (JobStream contract S1).  Each call returns
+  /// accepted-so-far.  THROTTLED propagates as ServerError (code
+  /// kThrottled): resend the same chunk after draining.
+  std::uint64_t begin_submit(const RunRequest& request, std::uint64_t total,
+                             std::span<const Job> first_chunk,
+                             bool last, bool stream = true);
+  std::uint64_t submit_chunk(std::span<const Job> jobs, bool last);
+
+  /// One-frame submission (first and last chunk in one) of a materialized
+  /// job list, independent of any open chunked submission on this
+  /// connection.  Jobs must be in nondecreasing release order; ids are
+  /// ignored.  Returns the server-assigned run id; THROTTLED propagates.
+  std::uint64_t submit_jobs(const RunRequest& request,
+                            std::span<const Job> jobs, bool stream = false);
+
+  // --- queries --------------------------------------------------------------
+  [[nodiscard]] MetricsMsg query_metrics(std::uint64_t run_id,
+                                         std::vector<double> k_norms = {},
+                                         std::vector<double> percentiles = {});
+  [[nodiscard]] StatusMsg status(std::uint64_t run_id);
+  CancelOkMsg cancel(std::uint64_t run_id);
+  [[nodiscard]] StatsReplyMsg stats();
+  [[nodiscard]] ResultMsg result(std::uint64_t run_id);
+
+  /// Polls status() until the run reaches a terminal phase, then returns
+  /// the result (throws ServerError if it failed or was cancelled).
+  ResultMsg wait(std::uint64_t run_id);
+
+ private:
+  Client(int fd, const std::string& tenant);
+
+  /// Sends one request and reads its response; throws ServerError if the
+  /// response is an ERROR frame, WireError if it is not `expected`.
+  [[nodiscard]] Frame roundtrip(FrameType request, const WireWriter& body,
+                                FrameType expected);
+
+  int fd_ = -1;
+  std::uint64_t session_id_ = 0;
+  std::string server_;
+  std::uint64_t next_tag_ = 1;
+  std::uint64_t open_tag_ = 0;   ///< tag of the submission begun and not closed
+  std::uint64_t open_run_ = 0;   ///< its server-assigned run id
+};
+
+}  // namespace tempofair::serve

@@ -1,0 +1,145 @@
+// tempofaird: the scheduling-as-a-service daemon.
+//
+// One Daemon owns
+//   * up to two listening sockets (a unix socket path and/or a loopback TCP
+//     port) accepting tenant connections,
+//   * one reader thread per connection speaking the lockstep frame protocol
+//     (serve/protocol.h), each with its own Session,
+//   * the shared work-stealing pool executing runs, and
+//   * a dispatch thread admitting queued runs to the pool round-robin
+//     across sessions, so one chatty tenant cannot starve the others.
+//
+// Backpressure is squelch-style: a session exceeding its active-run or
+// buffered-job budget gets a THROTTLED error instead of an accept, and the
+// client resends after draining.  Combined with the lockstep protocol (one
+// outstanding request per connection) this bounds every per-session queue.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/thread_pool.h"
+#include "serve/session.h"
+
+namespace tempofair::serve {
+
+struct DaemonConfig {
+  /// Unix socket path to listen on; empty = no unix listener.
+  std::string unix_socket_path;
+  /// Loopback TCP port to listen on; -1 = no TCP listener, 0 = ephemeral
+  /// (read the bound port back with Daemon::tcp_port()).
+  int tcp_port = -1;
+  /// Worker threads for run execution (0 = hardware concurrency).
+  std::size_t workers = 0;
+  /// Per-session cap on runs that are queued or running at once.
+  std::size_t max_active_runs = 16;
+  /// Per-session cap on jobs buffered across all of its runs (streaming
+  /// queues + materialized instances awaiting execution).
+  std::size_t max_buffered_jobs = 1'000'000;
+  /// Server name announced in HELLO_OK.
+  std::string server_name = "tempofaird";
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the configured listeners and starts the accept/dispatch threads.
+  /// Throws std::runtime_error if no listener is configured or bind fails.
+  void start();
+
+  /// Graceful shutdown: stops accepting, cancels queued runs, aborts live
+  /// streams (in-flight engine runs see their cancel flag), waits for
+  /// workers to drain, and joins every thread.  Idempotent.
+  void stop();
+
+  /// The TCP port actually bound (after start(); ephemeral ports resolved).
+  [[nodiscard]] int tcp_port() const noexcept { return bound_tcp_port_; }
+
+  /// Daemon-wide counters (sessions opened, runs executed, frames served).
+  [[nodiscard]] std::map<std::string, std::uint64_t> stats() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void serve_connection(int fd);
+  void dispatch_loop();
+  void execute_run(const std::shared_ptr<Session>& session,
+                   const std::shared_ptr<RunState>& run);
+
+  /// Handles one request frame, returning the response to write.  Never
+  /// throws on semantic errors (those become ERROR frames); WireError from
+  /// a malformed payload propagates to the connection loop.
+  [[nodiscard]] Frame handle_frame(const std::shared_ptr<Session>& session,
+                                   const Frame& frame);
+
+  [[nodiscard]] Frame handle_submit(const std::shared_ptr<Session>& session,
+                                    const Frame& frame);
+  [[nodiscard]] Frame handle_query_metrics(
+      const std::shared_ptr<Session>& session, const Frame& frame);
+  [[nodiscard]] Frame handle_run_status(const std::shared_ptr<Session>& session,
+                                        const Frame& frame);
+  [[nodiscard]] Frame handle_cancel(const std::shared_ptr<Session>& session,
+                                    const Frame& frame);
+  [[nodiscard]] Frame handle_stats(const std::shared_ptr<Session>& session);
+  [[nodiscard]] Frame handle_get_result(
+      const std::shared_ptr<Session>& session, const Frame& frame);
+
+  /// Queues a run for dispatch (RR across sessions) and wakes the
+  /// dispatcher.
+  void enqueue_ready(const std::shared_ptr<Session>& session,
+                     const std::shared_ptr<RunState>& run);
+  /// Cancels a run from the serving side (CANCEL frame or disconnect).
+  void cancel_run(const std::shared_ptr<RunState>& run,
+                  const std::string& reason);
+
+  DaemonConfig config_;
+  std::unique_ptr<harness::ThreadPool> pool_;
+
+  // --- listeners / connections ---------------------------------------------
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe waking the accept poll
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;
+  std::map<int, std::thread> connections_;       // fd -> reader thread
+  std::vector<std::thread> finished_conns_;      // joined in stop()
+  bool accepting_ = false;                       // guarded by conn_mutex_
+
+  // --- sessions / dispatch --------------------------------------------------
+  mutable std::mutex dispatch_mutex_;
+  std::condition_variable dispatch_cv_;
+  /// Sessions in arrival order; the RR pointer walks this ring.
+  std::vector<std::shared_ptr<Session>> ring_;
+  std::size_t ring_next_ = 0;
+  /// Per-session FIFO of runs ready for the pool (keyed by session id).
+  std::map<std::uint64_t, std::deque<std::shared_ptr<RunState>>> ready_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;  // guarded by dispatch_mutex_
+  std::thread dispatch_thread_;
+  std::vector<std::future<void>> run_futures_;  // guarded by dispatch_mutex_
+
+  std::atomic<std::uint64_t> next_session_id_{1};
+  std::atomic<std::uint64_t> next_run_id_{1};
+
+  /// Daemon-wide counters (separate from per-session sinks).
+  obs::Sink global_stats_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace tempofair::serve

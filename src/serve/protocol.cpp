@@ -1,0 +1,357 @@
+#include "serve/protocol.h"
+
+#include <limits>
+
+namespace tempofair::serve {
+
+namespace {
+
+constexpr std::uint8_t kFlagFirst = 1u << 0;
+constexpr std::uint8_t kFlagLast = 1u << 1;
+constexpr std::uint8_t kFlagStream = 1u << 2;
+
+[[nodiscard]] RunPhase decode_phase(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(RunPhase::kCancelled)) {
+    throw WireError("protocol: unknown run phase " + std::to_string(raw));
+  }
+  return static_cast<RunPhase>(raw);
+}
+
+void encode_doubles(WireWriter& w, const std::vector<double>& values) {
+  w.u32(static_cast<std::uint32_t>(values.size()));
+  for (const double v : values) w.f64(v);
+}
+
+[[nodiscard]] std::vector<double> decode_doubles(WireReader& r,
+                                                 const char* what) {
+  const std::uint32_t n = r.u32();
+  if (n > kMaxFramePayload / 8) {
+    throw WireError(std::string("protocol: absurd ") + what + " count " +
+                    std::to_string(n));
+  }
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.f64());
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(RunPhase phase) {
+  switch (phase) {
+    case RunPhase::kQueued: return "queued";
+    case RunPhase::kRunning: return "running";
+    case RunPhase::kDone: return "done";
+    case RunPhase::kFailed: return "failed";
+    case RunPhase::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+void encode_run_request(WireWriter& w, const RunRequest& request) {
+  w.str(request.policy);
+  w.u32(static_cast<std::uint32_t>(request.machines));
+  w.f64(request.speed);
+  std::uint8_t flags = 0;
+  if (request.record_trace) flags |= 1u << 0;
+  if (request.hide_sizes) flags |= 1u << 1;
+  if (request.use_fast_path) flags |= 1u << 2;
+  w.u8(flags);
+  w.f64(request.max_time);
+  w.u64(request.max_steps);
+  w.u64(request.max_zero_progress_steps);
+}
+
+RunRequest decode_run_request(WireReader& r) {
+  RunRequest request;
+  request.policy = r.str();
+  const std::uint32_t machines = r.u32();
+  if (machines == 0 ||
+      machines > static_cast<std::uint32_t>(std::numeric_limits<int>::max())) {
+    throw WireError("protocol: RunRequest machines out of range");
+  }
+  request.machines = static_cast<int>(machines);
+  request.speed = r.f64();
+  const std::uint8_t flags = r.u8();
+  request.record_trace = (flags & (1u << 0)) != 0;
+  request.hide_sizes = (flags & (1u << 1)) != 0;
+  request.use_fast_path = (flags & (1u << 2)) != 0;
+  request.max_time = r.f64();
+  request.max_steps = static_cast<std::size_t>(r.u64());
+  request.max_zero_progress_steps = static_cast<std::size_t>(r.u64());
+  return request;
+}
+
+void encode_flow_stats(WireWriter& w, const FlowStats& stats) {
+  w.u64(stats.n);
+  w.f64(stats.l1);
+  w.f64(stats.l2);
+  w.f64(stats.l3);
+  w.f64(stats.linf);
+  w.f64(stats.mean);
+  w.f64(stats.variance);
+  w.f64(stats.stddev);
+  w.f64(stats.p50);
+  w.f64(stats.p95);
+  w.f64(stats.p99);
+}
+
+FlowStats decode_flow_stats(WireReader& r) {
+  FlowStats stats;
+  stats.n = static_cast<std::size_t>(r.u64());
+  stats.l1 = r.f64();
+  stats.l2 = r.f64();
+  stats.l3 = r.f64();
+  stats.linf = r.f64();
+  stats.mean = r.f64();
+  stats.variance = r.f64();
+  stats.stddev = r.f64();
+  stats.p50 = r.f64();
+  stats.p95 = r.f64();
+  stats.p99 = r.f64();
+  return stats;
+}
+
+void encode(WireWriter& w, const HelloMsg& m) {
+  w.u32(m.version);
+  w.str(m.tenant);
+}
+
+HelloMsg decode_hello(WireReader& r) {
+  HelloMsg m;
+  m.version = r.u32();
+  m.tenant = r.str();
+  r.expect_exhausted("HELLO");
+  return m;
+}
+
+void encode(WireWriter& w, const HelloOkMsg& m) {
+  w.u32(m.version);
+  w.str(m.server);
+  w.u64(m.session_id);
+}
+
+HelloOkMsg decode_hello_ok(WireReader& r) {
+  HelloOkMsg m;
+  m.version = r.u32();
+  m.server = r.str();
+  m.session_id = r.u64();
+  r.expect_exhausted("HELLO_OK");
+  return m;
+}
+
+void encode(WireWriter& w, const SubmitJobsMsg& m) {
+  w.u64(m.tag);
+  std::uint8_t flags = 0;
+  if (m.first) flags |= kFlagFirst;
+  if (m.last) flags |= kFlagLast;
+  if (m.stream) flags |= kFlagStream;
+  w.u8(flags);
+  if (m.first) {
+    encode_run_request(w, m.request);
+    w.u64(m.total_jobs);
+  }
+  w.u32(static_cast<std::uint32_t>(m.jobs.size()));
+  for (const Job& job : m.jobs) {
+    w.f64(job.release);
+    w.f64(job.size);
+    w.f64(job.weight);
+  }
+}
+
+SubmitJobsMsg decode_submit_jobs(WireReader& r) {
+  SubmitJobsMsg m;
+  m.tag = r.u64();
+  const std::uint8_t flags = r.u8();
+  m.first = (flags & kFlagFirst) != 0;
+  m.last = (flags & kFlagLast) != 0;
+  m.stream = (flags & kFlagStream) != 0;
+  if (m.first) {
+    m.request = decode_run_request(r);
+    m.total_jobs = r.u64();
+  }
+  const std::uint32_t count = r.u32();
+  if (count > kMaxFramePayload / 24) {
+    throw WireError("protocol: absurd job count " + std::to_string(count));
+  }
+  m.jobs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Job job;
+    job.release = r.f64();
+    job.size = r.f64();
+    job.weight = r.f64();
+    m.jobs.push_back(job);
+  }
+  r.expect_exhausted("SUBMIT_JOBS");
+  return m;
+}
+
+void encode(WireWriter& w, const SubmitOkMsg& m) {
+  w.u64(m.tag);
+  w.u64(m.run_id);
+  w.u64(m.accepted_jobs);
+}
+
+SubmitOkMsg decode_submit_ok(WireReader& r) {
+  SubmitOkMsg m;
+  m.tag = r.u64();
+  m.run_id = r.u64();
+  m.accepted_jobs = r.u64();
+  r.expect_exhausted("SUBMIT_OK");
+  return m;
+}
+
+void encode(WireWriter& w, const QueryMetricsMsg& m) {
+  w.u64(m.run_id);
+  encode_doubles(w, m.k_norms);
+  encode_doubles(w, m.percentiles);
+}
+
+QueryMetricsMsg decode_query_metrics(WireReader& r) {
+  QueryMetricsMsg m;
+  m.run_id = r.u64();
+  m.k_norms = decode_doubles(r, "k-norm");
+  m.percentiles = decode_doubles(r, "percentile");
+  r.expect_exhausted("QUERY_METRICS");
+  return m;
+}
+
+void encode(WireWriter& w, const MetricsMsg& m) {
+  w.u64(m.run_id);
+  w.u8(static_cast<std::uint8_t>(m.phase));
+  w.u64(m.completed);
+  w.u64(m.total);
+  encode_flow_stats(w, m.stats);
+  encode_doubles(w, m.k_values);
+  encode_doubles(w, m.pct_values);
+}
+
+MetricsMsg decode_metrics(WireReader& r) {
+  MetricsMsg m;
+  m.run_id = r.u64();
+  m.phase = decode_phase(r.u8());
+  m.completed = r.u64();
+  m.total = r.u64();
+  m.stats = decode_flow_stats(r);
+  m.k_values = decode_doubles(r, "k-norm value");
+  m.pct_values = decode_doubles(r, "percentile value");
+  r.expect_exhausted("METRICS");
+  return m;
+}
+
+void encode(WireWriter& w, const RunStatusMsg& m) { w.u64(m.run_id); }
+
+RunStatusMsg decode_run_status(WireReader& r) {
+  RunStatusMsg m;
+  m.run_id = r.u64();
+  r.expect_exhausted("RUN_STATUS");
+  return m;
+}
+
+void encode(WireWriter& w, const StatusMsg& m) {
+  w.u64(m.run_id);
+  w.u8(static_cast<std::uint8_t>(m.phase));
+  w.u64(m.completed);
+  w.u64(m.total);
+  w.str(m.error);
+}
+
+StatusMsg decode_status(WireReader& r) {
+  StatusMsg m;
+  m.run_id = r.u64();
+  m.phase = decode_phase(r.u8());
+  m.completed = r.u64();
+  m.total = r.u64();
+  m.error = r.str();
+  r.expect_exhausted("STATUS");
+  return m;
+}
+
+void encode(WireWriter& w, const CancelMsg& m) { w.u64(m.run_id); }
+
+CancelMsg decode_cancel(WireReader& r) {
+  CancelMsg m;
+  m.run_id = r.u64();
+  r.expect_exhausted("CANCEL");
+  return m;
+}
+
+void encode(WireWriter& w, const CancelOkMsg& m) {
+  w.u64(m.run_id);
+  w.u8(static_cast<std::uint8_t>(m.phase));
+}
+
+CancelOkMsg decode_cancel_ok(WireReader& r) {
+  CancelOkMsg m;
+  m.run_id = r.u64();
+  m.phase = decode_phase(r.u8());
+  r.expect_exhausted("CANCEL_OK");
+  return m;
+}
+
+void encode(WireWriter& w, const StatsReplyMsg& m) {
+  w.u32(static_cast<std::uint32_t>(m.counters.size()));
+  for (const auto& [name, value] : m.counters) {
+    w.str(name);
+    w.u64(value);
+  }
+}
+
+StatsReplyMsg decode_stats_reply(WireReader& r) {
+  StatsReplyMsg m;
+  const std::uint32_t n = r.u32();
+  if (n > kMaxFramePayload / 12) {
+    throw WireError("protocol: absurd counter count " + std::to_string(n));
+  }
+  m.counters.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    const std::uint64_t value = r.u64();
+    m.counters.emplace_back(std::move(name), value);
+  }
+  r.expect_exhausted("STATS_REPLY");
+  return m;
+}
+
+void encode(WireWriter& w, const GetResultMsg& m) { w.u64(m.run_id); }
+
+GetResultMsg decode_get_result(WireReader& r) {
+  GetResultMsg m;
+  m.run_id = r.u64();
+  r.expect_exhausted("GET_RESULT");
+  return m;
+}
+
+void encode(WireWriter& w, const ResultMsg& m) {
+  w.u64(m.run_id);
+  w.str(m.policy);
+  w.f64(m.wall_seconds);
+  encode_flow_stats(w, m.stats);
+  encode_doubles(w, m.completions);
+}
+
+ResultMsg decode_result(WireReader& r) {
+  ResultMsg m;
+  m.run_id = r.u64();
+  m.policy = r.str();
+  m.wall_seconds = r.f64();
+  m.stats = decode_flow_stats(r);
+  m.completions = decode_doubles(r, "completion");
+  r.expect_exhausted("RESULT");
+  return m;
+}
+
+void encode(WireWriter& w, const ErrorMsg& m) {
+  w.u16(static_cast<std::uint16_t>(m.code));
+  w.str(m.message);
+}
+
+ErrorMsg decode_error(WireReader& r) {
+  ErrorMsg m;
+  m.code = static_cast<ErrorCode>(r.u16());
+  m.message = r.str();
+  r.expect_exhausted("ERROR");
+  return m;
+}
+
+}  // namespace tempofair::serve

@@ -1,0 +1,205 @@
+// tempofaird protocol v1: message structs and their payload codecs.
+//
+// Request/response pairs (every request frame gets exactly one response,
+// written before the next request is read -- the protocol is lockstep per
+// connection, which keeps clients trivially correct):
+//
+//   HELLO         -> HELLO_OK | ERROR      open a tenant session
+//   SUBMIT_JOBS   -> SUBMIT_OK | ERROR     one chunk of a run's job stream
+//   QUERY_METRICS -> METRICS | ERROR       live flow stats of a run in flight
+//   RUN_STATUS    -> STATUS | ERROR        phase + progress of a run
+//   CANCEL        -> CANCEL_OK | ERROR     stop a queued or running run
+//   STATS         -> STATS_REPLY           per-session observability counters
+//   GET_RESULT    -> RESULT | ERROR        completed run's full result
+//
+// A run's jobs arrive as one or more SUBMIT_JOBS chunks sharing a client
+// tag: the first chunk carries the serialized RunRequest plus the declared
+// job total, the last is flagged, and job ids are assigned server-side in
+// submission order.  Fast-path-capable runs start simulating on the first
+// chunk and consume later chunks as a live JobStream; other runs start once
+// the last chunk lands.  This is the wire form of the RunRequest/RunResult
+// facade in core/engine.h -- the daemon decodes a request, feeds it to
+// run(), and encodes the result, with no serving-only semantics in between.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/job.h"
+#include "core/metrics.h"
+#include "serve/wire.h"
+
+namespace tempofair::serve {
+
+/// Machine-readable failure category carried by an ERROR frame.
+enum class ErrorCode : std::uint16_t {
+  kBadFrame = 1,    ///< unknown type, malformed payload, protocol misuse
+  kNoHello = 2,     ///< a request arrived before HELLO
+  kUnknownRun = 3,  ///< run id not owned by this session
+  kThrottled = 4,   ///< backpressure: session queue or buffer cap exceeded
+  kNotReady = 5,    ///< GET_RESULT before the run reached a terminal phase
+  kBadRequest = 6,  ///< undecodable RunRequest / unknown policy / bad jobs
+  kShuttingDown = 7,
+};
+
+/// Lifecycle of a submitted run, as reported by STATUS/METRICS frames.
+enum class RunPhase : std::uint8_t {
+  kQueued = 0,   ///< receiving chunks or waiting for a pool slot
+  kRunning = 1,  ///< simulating (live metrics are flowing)
+  kDone = 2,     ///< result available via GET_RESULT
+  kFailed = 3,   ///< error text in STATUS
+  kCancelled = 4,
+};
+
+[[nodiscard]] std::string_view to_string(RunPhase phase);
+
+struct HelloMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::string tenant;
+};
+
+struct HelloOkMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::string server;
+  std::uint64_t session_id = 0;
+};
+
+struct SubmitJobsMsg {
+  /// Client-chosen id tying this chunk to its run (unique per connection).
+  std::uint64_t tag = 0;
+  bool first = false;  ///< carries request/total_jobs/stream
+  bool last = false;   ///< no more chunks after this one
+  /// Valid when `first`: the run to execute (serializable fields only).
+  RunRequest request;
+  /// Valid when `first`: exact number of jobs across all chunks.
+  std::uint64_t total_jobs = 0;
+  /// Valid when `first`: jobs are sent in release order, so the daemon may
+  /// stream them straight into the engine's fast path.  When false the
+  /// daemon materializes the instance before running.
+  bool stream = true;
+  /// This chunk's jobs (release, size, weight); ids are assigned
+  /// server-side, sequentially in submission order.
+  std::vector<Job> jobs;
+};
+
+struct SubmitOkMsg {
+  std::uint64_t tag = 0;
+  std::uint64_t run_id = 0;
+  /// Jobs accepted so far across all chunks of this run.
+  std::uint64_t accepted_jobs = 0;
+};
+
+struct QueryMetricsMsg {
+  std::uint64_t run_id = 0;
+  /// Extra l_k norms to evaluate over the completed-so-far flows.
+  std::vector<double> k_norms;
+  /// Extra percentiles (0..100) to evaluate.
+  std::vector<double> percentiles;
+};
+
+struct MetricsMsg {
+  std::uint64_t run_id = 0;
+  RunPhase phase = RunPhase::kQueued;
+  std::uint64_t completed = 0;
+  std::uint64_t total = 0;
+  /// Full summary over the completed-so-far flows.
+  FlowStats stats;
+  /// Values for QueryMetricsMsg::k_norms, in order.
+  std::vector<double> k_values;
+  /// Values for QueryMetricsMsg::percentiles, in order.
+  std::vector<double> pct_values;
+};
+
+struct RunStatusMsg {
+  std::uint64_t run_id = 0;
+};
+
+struct StatusMsg {
+  std::uint64_t run_id = 0;
+  RunPhase phase = RunPhase::kQueued;
+  std::uint64_t completed = 0;
+  std::uint64_t total = 0;
+  std::string error;  ///< nonempty iff phase == kFailed
+};
+
+struct CancelMsg {
+  std::uint64_t run_id = 0;
+};
+
+struct CancelOkMsg {
+  std::uint64_t run_id = 0;
+  /// Phase observed when the cancel was applied.
+  RunPhase phase = RunPhase::kCancelled;
+};
+
+struct StatsReplyMsg {
+  /// Session counter snapshot (obs::Sink), name-sorted.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+struct GetResultMsg {
+  std::uint64_t run_id = 0;
+};
+
+struct ResultMsg {
+  std::uint64_t run_id = 0;
+  std::string policy;
+  double wall_seconds = 0.0;
+  FlowStats stats;
+  /// Completion time per job, indexed by server-assigned job id.  Bitwise
+  /// the engine's values, so offline replays compare byte-identical.
+  std::vector<double> completions;
+};
+
+struct ErrorMsg {
+  ErrorCode code = ErrorCode::kBadFrame;
+  std::string message;
+};
+
+// --- payload codecs ---------------------------------------------------------
+// encode_* appends the message to a writer; decode_* consumes a reader and
+// verifies it is fully exhausted.  Both sides are exercised byte-for-byte by
+// tests/serve/protocol_test.cpp round trips.
+
+void encode(WireWriter& w, const HelloMsg& m);
+void encode(WireWriter& w, const HelloOkMsg& m);
+void encode(WireWriter& w, const SubmitJobsMsg& m);
+void encode(WireWriter& w, const SubmitOkMsg& m);
+void encode(WireWriter& w, const QueryMetricsMsg& m);
+void encode(WireWriter& w, const MetricsMsg& m);
+void encode(WireWriter& w, const RunStatusMsg& m);
+void encode(WireWriter& w, const StatusMsg& m);
+void encode(WireWriter& w, const CancelMsg& m);
+void encode(WireWriter& w, const CancelOkMsg& m);
+void encode(WireWriter& w, const StatsReplyMsg& m);
+void encode(WireWriter& w, const GetResultMsg& m);
+void encode(WireWriter& w, const ResultMsg& m);
+void encode(WireWriter& w, const ErrorMsg& m);
+
+[[nodiscard]] HelloMsg decode_hello(WireReader& r);
+[[nodiscard]] HelloOkMsg decode_hello_ok(WireReader& r);
+[[nodiscard]] SubmitJobsMsg decode_submit_jobs(WireReader& r);
+[[nodiscard]] SubmitOkMsg decode_submit_ok(WireReader& r);
+[[nodiscard]] QueryMetricsMsg decode_query_metrics(WireReader& r);
+[[nodiscard]] MetricsMsg decode_metrics(WireReader& r);
+[[nodiscard]] RunStatusMsg decode_run_status(WireReader& r);
+[[nodiscard]] StatusMsg decode_status(WireReader& r);
+[[nodiscard]] CancelMsg decode_cancel(WireReader& r);
+[[nodiscard]] CancelOkMsg decode_cancel_ok(WireReader& r);
+[[nodiscard]] StatsReplyMsg decode_stats_reply(WireReader& r);
+[[nodiscard]] GetResultMsg decode_get_result(WireReader& r);
+[[nodiscard]] ResultMsg decode_result(WireReader& r);
+[[nodiscard]] ErrorMsg decode_error(WireReader& r);
+
+/// Serializable subset of a RunRequest (the live hooks stay local); used
+/// inside SUBMIT_JOBS and reusable by any future persistence format.
+void encode_run_request(WireWriter& w, const RunRequest& request);
+[[nodiscard]] RunRequest decode_run_request(WireReader& r);
+
+void encode_flow_stats(WireWriter& w, const FlowStats& stats);
+[[nodiscard]] FlowStats decode_flow_stats(WireReader& r);
+
+}  // namespace tempofair::serve

@@ -1,0 +1,91 @@
+#include "serve/session.h"
+
+#include <utility>
+
+namespace tempofair::serve {
+
+Job QueueJobStream::next() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return !buffer_.empty() || aborted_; });
+  if (buffer_.empty()) {
+    throw RunCancelled(abort_reason_);
+  }
+  Job job = buffer_.front();
+  buffer_.pop_front();
+  return job;
+}
+
+void QueueJobStream::push(std::span<const Job> jobs) {
+  {
+    std::lock_guard lock(mutex_);
+    buffer_.insert(buffer_.end(), jobs.begin(), jobs.end());
+  }
+  cv_.notify_one();
+}
+
+void QueueJobStream::abort(std::string reason) {
+  {
+    std::lock_guard lock(mutex_);
+    if (aborted_) return;
+    aborted_ = true;
+    abort_reason_ = std::move(reason);
+  }
+  cv_.notify_all();
+}
+
+std::size_t QueueJobStream::buffered() const {
+  std::lock_guard lock(mutex_);
+  return buffer_.size();
+}
+
+void RunState::finish(RunPhase terminal, std::string error_text) {
+  {
+    std::lock_guard lock(mutex);
+    if (phase == RunPhase::kDone || phase == RunPhase::kFailed ||
+        phase == RunPhase::kCancelled) {
+      return;
+    }
+    phase = terminal;
+    error = std::move(error_text);
+  }
+  done_cv.notify_all();
+}
+
+StatusMsg RunState::status() const {
+  StatusMsg msg;
+  msg.run_id = id;
+  {
+    std::lock_guard lock(mutex);
+    msg.phase = phase;
+    msg.error = error;
+  }
+  msg.completed = live.completed();
+  msg.total = declared_total;
+  return msg;
+}
+
+std::size_t RunState::buffered_jobs() const {
+  if (stream != nullptr) return stream->buffered();
+  std::lock_guard lock(mutex);
+  // Materialized jobs count as buffered until the run reaches a terminal
+  // phase -- the vector is alive (and the engine holds a copy of its
+  // contents) for that whole window.
+  if (phase == RunPhase::kQueued || phase == RunPhase::kRunning) {
+    return jobs.size();
+  }
+  return 0;
+}
+
+std::size_t Session::buffered_jobs_locked() const {
+  std::size_t total = 0;
+  for (const auto& [id_, run] : runs) total += run->buffered_jobs();
+  return total;
+}
+
+std::shared_ptr<RunState> Session::find_run(std::uint64_t run_id) {
+  std::lock_guard lock(mutex);
+  const auto it = runs.find(run_id);
+  return it == runs.end() ? nullptr : it->second;
+}
+
+}  // namespace tempofair::serve

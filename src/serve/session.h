@@ -1,0 +1,138 @@
+// Per-tenant serving state: the job-stream queue a connection feeds, the
+// table of runs a tenant owns, and the session-scoped observability sink.
+//
+// Ownership/threading model (three thread roles touch this state):
+//   * the connection's reader thread decodes frames and mutates the session
+//     under Session::mutex (submitting chunks, querying, cancelling);
+//   * the daemon's dispatch thread moves queued runs into the worker pool,
+//     round-robin across sessions;
+//   * a pool worker executes one run, publishing progress through the run's
+//     LiveMetrics (its own lock) and the terminal phase under RunState::mutex.
+//
+// A RunState is shared (shared_ptr) between the session table and the worker
+// executing it, so a tenant disconnecting mid-run never yanks state out from
+// under the engine.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/job.h"
+#include "core/job_stream.h"
+#include "core/metrics.h"
+#include "obs/obs.h"
+#include "serve/protocol.h"
+
+namespace tempofair::serve {
+
+/// A JobStream fed incrementally by SUBMIT_JOBS chunks from the connection's
+/// reader thread while a pool worker consumes it inside the engine.
+///
+/// next() blocks until a job is buffered or the stream is aborted (tenant
+/// cancelled, disconnected, or the daemon is shutting down); an aborted
+/// stream throws RunCancelled out of the engine, which unwinds the run
+/// cleanly.  The producer side reports buffered() so the daemon can expose
+/// queue depth and enforce backpressure.
+class QueueJobStream final : public JobStream {
+ public:
+  explicit QueueJobStream(std::size_t total) : total_(total) {}
+
+  // --- JobStream (consumer side, engine thread) ----------------------------
+  [[nodiscard]] std::size_t n() const noexcept override { return total_; }
+  [[nodiscard]] Job next() override;
+
+  // --- producer side (reader thread) ---------------------------------------
+  /// Appends a chunk (ids already assigned) and wakes the consumer.
+  void push(std::span<const Job> jobs);
+  /// Wakes the consumer with RunCancelled(`reason`); idempotent.
+  void abort(std::string reason);
+
+  /// Jobs pushed but not yet consumed by the engine.
+  [[nodiscard]] std::size_t buffered() const;
+
+ private:
+  const std::size_t total_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> buffer_;
+  bool aborted_ = false;
+  std::string abort_reason_;
+};
+
+/// One submitted run, from first chunk to terminal phase.
+struct RunState {
+  std::uint64_t id = 0;
+  std::uint64_t session_id = 0;
+  std::uint64_t tag = 0;
+  RunRequest request;  // live/cancel hooks point into this struct
+
+  /// Streaming runs dispatch on the first chunk and consume later chunks
+  /// through `stream`; materialized runs buffer into `jobs` and dispatch
+  /// once the last chunk lands.
+  bool streaming = false;
+  std::uint64_t declared_total = 0;
+  std::uint64_t accepted = 0;
+  double last_release = 0.0;  ///< for rejecting out-of-order chunks
+  bool all_chunks_in = false;
+  bool dispatched = false;  ///< handed to the dispatch queue already
+
+  std::vector<Job> jobs;                     // materialize path
+  std::unique_ptr<QueueJobStream> stream;    // streaming path
+
+  LiveMetrics live;
+  std::atomic<bool> cancel{false};
+
+  /// Guards phase/error/result below (LiveMetrics has its own lock).
+  mutable std::mutex mutex;
+  std::condition_variable done_cv;
+  RunPhase phase = RunPhase::kQueued;
+  std::string error;
+  std::string policy_name;
+  double wall_seconds = 0.0;
+  FlowStats stats;
+  std::vector<double> completions;  ///< by job id, bitwise engine output
+
+  /// Publishes a terminal phase and wakes waiters.  No-op if the run is
+  /// already terminal (e.g. a cancel raced a failure).
+  void finish(RunPhase terminal, std::string error_text = {});
+
+  [[nodiscard]] StatusMsg status() const;
+  /// Jobs currently held in this run's buffers (backpressure accounting).
+  [[nodiscard]] std::size_t buffered_jobs() const;
+};
+
+/// One tenant connection's serving state.
+struct Session {
+  Session(std::uint64_t id_in, std::string tenant_in)
+      : id(id_in), tenant(std::move(tenant_in)) {}
+
+  const std::uint64_t id;
+  const std::string tenant;
+
+  /// Session-scoped counters; installed (ScopedSink) around frame handling
+  /// and captured by pool tasks, so engine work attributes to the tenant.
+  obs::Sink sink;
+
+  /// Guards the maps below; never held while running the engine.
+  std::mutex mutex;
+  std::map<std::uint64_t, std::shared_ptr<RunState>> runs;     // by run id
+  std::map<std::uint64_t, std::shared_ptr<RunState>> open;     // by tag
+  /// Runs accepted but not yet terminal (backpressure: queued + running).
+  std::size_t active_runs = 0;
+
+  /// Sum of buffered jobs across this session's runs.  Caller must hold
+  /// `mutex` (the submit handler calls this while mutating the run table).
+  [[nodiscard]] std::size_t buffered_jobs_locked() const;
+  [[nodiscard]] std::shared_ptr<RunState> find_run(std::uint64_t run_id);
+};
+
+}  // namespace tempofair::serve

@@ -1,0 +1,189 @@
+#include "serve/wire.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+namespace tempofair::serve {
+
+namespace {
+
+// The codec is explicitly little-endian byte-by-byte, so it produces the
+// same bytes on any host endianness.
+
+void put_le(std::vector<std::uint8_t>& buf, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    buf.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+[[nodiscard]] std::uint64_t get_le(std::span<const std::uint8_t> data,
+                                   std::size_t pos, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(data[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Blocking full read; returns false on clean EOF before the first byte,
+/// throws WireError on EOF mid-buffer or a socket error.
+bool read_exact(int fd, std::uint8_t* out, std::size_t n, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw WireError("wire: connection closed mid-frame (" +
+                      std::to_string(got) + "/" + std::to_string(n) +
+                      " bytes)");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("wire: recv failed: ") +
+                      std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void write_exact(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("wire: send failed: ") +
+                      std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace
+
+void WireWriter::u16(std::uint16_t v) { put_le(buf_, v, 2); }
+void WireWriter::u32(std::uint32_t v) { put_le(buf_, v, 4); }
+void WireWriter::u64(std::uint64_t v) { put_le(buf_, v, 8); }
+void WireWriter::f64(double v) { put_le(buf_, std::bit_cast<std::uint64_t>(v), 8); }
+
+void WireWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void WireReader::need(std::size_t n) const {
+  if (pos_ + n > data_.size()) {
+    throw WireError("wire: decode past end of payload (" +
+                    std::to_string(pos_) + "+" + std::to_string(n) + " of " +
+                    std::to_string(data_.size()) + " bytes)");
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t WireReader::u16() {
+  need(2);
+  const auto v = static_cast<std::uint16_t>(get_le(data_, pos_, 2));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  const auto v = static_cast<std::uint32_t>(get_le(data_, pos_, 4));
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need(8);
+  const std::uint64_t v = get_le(data_, pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+double WireReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string WireReader::str() {
+  const std::uint32_t len = u32();
+  if (len > kMaxFramePayload) {
+    throw WireError("wire: string length " + std::to_string(len) +
+                    " exceeds frame limit");
+  }
+  need(len);
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+void WireReader::expect_exhausted(const char* what) const {
+  if (!exhausted()) {
+    throw WireError(std::string("wire: trailing bytes after ") + what + " (" +
+                    std::to_string(data_.size() - pos_) + " unread)");
+  }
+}
+
+std::optional<Frame> read_frame(int fd) {
+  std::uint8_t header[8];
+  if (!read_exact(fd, header, sizeof(header), /*eof_ok=*/true)) {
+    return std::nullopt;
+  }
+  const auto len = static_cast<std::uint32_t>(get_le(header, 0, 4));
+  const std::uint8_t type = header[4];
+  const std::uint8_t version = header[5];
+  const auto reserved = static_cast<std::uint16_t>(get_le(header, 6, 2));
+  if (len > kMaxFramePayload) {
+    throw WireError("wire: frame payload " + std::to_string(len) +
+                    " exceeds limit " + std::to_string(kMaxFramePayload));
+  }
+  if (version != kProtocolVersion) {
+    throw WireError("wire: unsupported protocol version " +
+                    std::to_string(version) + " (this build speaks " +
+                    std::to_string(kProtocolVersion) + ")");
+  }
+  if (reserved != 0) {
+    throw WireError("wire: nonzero reserved frame field");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.resize(len);
+  if (len > 0) {
+    read_exact(fd, frame.payload.data(), len, /*eof_ok=*/false);
+  }
+  return frame;
+}
+
+namespace {
+
+void write_frame_bytes(int fd, FrameType type,
+                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> wire;
+  wire.reserve(8 + payload.size());
+  put_le(wire, static_cast<std::uint32_t>(payload.size()), 4);
+  wire.push_back(static_cast<std::uint8_t>(type));
+  wire.push_back(kProtocolVersion);
+  put_le(wire, 0, 2);
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  write_exact(fd, wire.data(), wire.size());
+}
+
+}  // namespace
+
+void write_frame(int fd, FrameType type, const WireWriter& payload) {
+  write_frame_bytes(fd, type, payload.bytes());
+}
+
+void write_frame(int fd, const Frame& frame) {
+  write_frame_bytes(fd, frame.type, frame.payload);
+}
+
+}  // namespace tempofair::serve

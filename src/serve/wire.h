@@ -1,0 +1,128 @@
+// Wire layer for the tempofaird protocol: little-endian byte codecs and
+// length-prefixed frames over a connected socket.
+//
+// A frame is
+//
+//   [u32 payload_len][u8 type][u8 version][u16 reserved][payload bytes]
+//
+// all little-endian, payload_len counting only the payload.  `version` is
+// the protocol major version (kProtocolVersion); a peer receiving a frame
+// with a version it does not speak must answer ERROR and close.  The
+// reserved u16 must be zero (room for flags without a version bump).
+//
+// Everything here is transport-only: frame grammar and integer/float/string
+// encodings.  Message semantics (what a SUBMIT_JOBS payload means) live in
+// serve/protocol.h.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tempofair::serve {
+
+/// Malformed bytes on the wire: truncated frame, oversized payload, string
+/// or message decoding past the end of the buffer.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Protocol major version spoken by this build (frame header + HELLO).
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Hard upper bound on a payload; a length prefix above this is treated as
+/// garbage (protects the daemon from one hostile frame allocating gigabytes).
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 26;  // 64 MiB
+
+/// Every frame type in protocol v1.  Requests are < 128, responses >= 128.
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kSubmitJobs = 2,
+  kQueryMetrics = 3,
+  kRunStatus = 4,
+  kCancel = 5,
+  kStats = 6,
+  kGetResult = 7,
+
+  kHelloOk = 128,
+  kSubmitOk = 129,
+  kMetrics = 130,
+  kStatus = 131,
+  kCancelOk = 132,
+  kStatsReply = 133,
+  kResult = 134,
+  kError = 255,
+};
+
+/// One decoded frame: its type plus the raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Append-only little-endian encoder for one payload.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  /// u32 byte length + raw bytes (no terminator).
+  void str(std::string_view v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian decoder over one payload.  Every read
+/// throws WireError past the end; decoders call expect_exhausted() last so
+/// trailing garbage is an error, not silently ignored.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return pos_ == data_.size();
+  }
+  /// Throws WireError naming `what` if bytes remain unread.
+  void expect_exhausted(const char* what) const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Reads one frame from a connected socket (blocking).  Returns nullopt on
+/// clean EOF at a frame boundary; throws WireError on a truncated frame, a
+/// payload above kMaxFramePayload, an unsupported version, or a nonzero
+/// reserved field.
+[[nodiscard]] std::optional<Frame> read_frame(int fd);
+
+/// Writes one frame (blocking, handles short writes; SIGPIPE suppressed).
+/// Throws WireError if the peer is gone.
+void write_frame(int fd, FrameType type, const WireWriter& payload);
+
+/// As above for an already-assembled frame (e.g. a handler's reply).
+void write_frame(int fd, const Frame& frame);
+
+}  // namespace tempofair::serve

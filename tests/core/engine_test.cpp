@@ -280,8 +280,12 @@ TEST(Engine, DetectsLivelockFromVanishingBreakpoints) {
     (void)simulate(inst, policy, eo);
     FAIL() << "expected livelock diagnostic";
   } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string(e.what()).find("livelock"), std::string::npos)
-        << e.what();
+    const std::string what = e.what();
+    EXPECT_NE(what.find("livelock"), std::string::npos) << what;
+    // The diagnostic names the culprit and the stuck breakpoint value, so
+    // the failure is actionable without a debugger.
+    EXPECT_NE(what.find("denormal"), std::string::npos) << what;
+    EXPECT_NE(what.find("max_duration="), std::string::npos) << what;
   }
 }
 

@@ -184,5 +184,77 @@ TEST(Options, WrongTypeAccessThrows) {
   EXPECT_THROW((void)p.get_double("unregistered"), std::logic_error);
 }
 
+// --- the shared run-flag vocabulary ----------------------------------------
+
+Options run_options() {
+  Options opt("prog", "run flags");
+  add_run_flags(opt);
+  return opt;
+}
+
+TEST(RunFlags, DefaultsMatchRunRequestDefaults) {
+  const RunRequest request = run_request_from_flags(parse(run_options(), {}));
+  const RunRequest defaults;
+  EXPECT_EQ(request.policy, defaults.policy);
+  EXPECT_EQ(request.machines, defaults.machines);
+  EXPECT_EQ(request.speed, defaults.speed);
+  EXPECT_EQ(request.record_trace, defaults.record_trace);
+  EXPECT_EQ(request.hide_sizes, defaults.hide_sizes);
+  EXPECT_EQ(request.max_time, defaults.max_time);
+  EXPECT_EQ(request.max_steps, defaults.max_steps);
+  EXPECT_EQ(request.use_fast_path, defaults.use_fast_path);
+}
+
+TEST(RunFlags, EveryFlagReachesTheRequest) {
+  const RunRequest request = run_request_from_flags(
+      parse(run_options(),
+            {"--policy", "laps:0.5", "--machines", "4", "--speed=2.5",
+             "--no-trace", "--hide-sizes", "--max-steps", "1000",
+             "--max-time", "50", "--no-fast-path"}));
+  EXPECT_EQ(request.policy, "laps:0.5");
+  EXPECT_EQ(request.machines, 4);
+  EXPECT_DOUBLE_EQ(request.speed, 2.5);
+  EXPECT_FALSE(request.record_trace);
+  EXPECT_TRUE(request.hide_sizes);
+  EXPECT_EQ(request.max_steps, 1000u);
+  EXPECT_DOUBLE_EQ(request.max_time, 50.0);
+  EXPECT_FALSE(request.use_fast_path);
+}
+
+TEST(RunFlags, ZeroMaxTimeMeansUnbounded) {
+  const RunRequest request =
+      run_request_from_flags(parse(run_options(), {"--max-time", "0"}));
+  EXPECT_EQ(request.max_time, kInfiniteTime);
+}
+
+TEST(RunFlags, RejectsOutOfRangeValues) {
+  EXPECT_THROW(
+      (void)run_request_from_flags(parse(run_options(), {"--machines", "0"})),
+      CliError);
+  EXPECT_THROW(
+      (void)run_request_from_flags(parse(run_options(), {"--speed", "-1"})),
+      CliError);
+  EXPECT_THROW(
+      (void)run_request_from_flags(parse(run_options(), {"--max-steps", "0"})),
+      CliError);
+  EXPECT_THROW(
+      (void)run_request_from_flags(parse(run_options(), {"--max-time", "-2"})),
+      CliError);
+}
+
+TEST(RunFlags, SharedGroupHelpersRegister) {
+  Options opt("prog", "groups");
+  add_jobs_flag(opt);
+  add_quiet_flag(opt);
+  add_smoke_flag(opt);
+  add_seed_flag(opt, 7);
+  const Parsed p =
+      parse(opt, {"--jobs", "3", "--quiet", "--smoke"});
+  EXPECT_EQ(p.get_int("jobs"), 3);
+  EXPECT_TRUE(p.flag("quiet"));
+  EXPECT_TRUE(p.flag("smoke"));
+  EXPECT_EQ(p.get_int("seed"), 7);  // fallback honored
+}
+
 }  // namespace
 }  // namespace tempofair::harness

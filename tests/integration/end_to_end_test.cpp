@@ -71,9 +71,9 @@ TEST(EndToEnd, DualCertificateBatch) {
     const Instance inst = workload::poisson_load(
         40, 1, 0.95, workload::UniformSize{0.2, 3.0}, rng);
     RoundRobin rr;
-    EngineOptions eo;
-    eo.speed = eta;
-    const Schedule s = simulate(inst, rr, eo);
+    RunRequest req;
+    req.speed = eta;
+    const Schedule s = run(inst, rr, req).schedule;
     analysis::DualFitOptions opt;
     opt.k = k;
     opt.eps = eps;
@@ -88,8 +88,8 @@ TEST(EndToEnd, FairnessLatencyTradeoff) {
   const Instance inst = workload::srpt_starvation(60, 2.0);
   const auto rr = make_policy("rr");
   const auto srpt = make_policy("srpt");
-  const Schedule s_rr = simulate(inst, *rr);
-  const Schedule s_srpt = simulate(inst, *srpt);
+  const Schedule s_rr = run(inst, *rr, RunRequest{}).schedule;
+  const Schedule s_srpt = run(inst, *srpt, RunRequest{}).schedule;
 
   // SRPT wins on l1 (mean)...
   EXPECT_LT(flow_lk_norm(s_srpt, 1.0), flow_lk_norm(s_rr, 1.0));
@@ -109,10 +109,10 @@ TEST(EndToEnd, MultiMachineCertificates) {
     const Instance inst = workload::poisson_load(
         50, m, 0.95, workload::ExponentialSize{1.0}, rng);
     RoundRobin rr;
-    EngineOptions eo;
-    eo.speed = eta;
-    eo.machines = m;
-    const Schedule s = simulate(inst, rr, eo);
+    RunRequest req;
+    req.speed = eta;
+    req.machines = m;
+    const Schedule s = run(inst, rr, req).schedule;
     analysis::DualFitOptions opt;
     opt.k = k;
     opt.eps = eps;
@@ -127,11 +127,11 @@ TEST(EndToEnd, QuantumConvergence) {
   const Instance inst =
       workload::poisson_load(40, 1, 0.85, workload::UniformSize{0.5, 2.0}, rng);
   RoundRobin ideal;
-  EngineOptions eo;
-  eo.record_trace = false;
-  const double ideal_l2 = flow_lk_norm(simulate(inst, ideal, eo), 2.0);
+  RunRequest req;
+  req.record_trace = false;
+  const double ideal_l2 = run(inst, ideal, req).stats.l2;
   const auto qrr = make_policy("qrr:0.02");
-  const double q_l2 = flow_lk_norm(simulate(inst, *qrr, eo), 2.0);
+  const double q_l2 = run(inst, *qrr, req).stats.l2;
   EXPECT_NEAR(q_l2 / ideal_l2, 1.0, 0.03);
 }
 

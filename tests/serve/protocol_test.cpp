@@ -1,0 +1,379 @@
+// Byte-level round trips for the tempofaird wire layer and every protocol
+// v1 message, plus the frame grammar's rejection paths (bad version, bad
+// length, trailing garbage).  The daemon and client share these codecs, so
+// a round trip here is exactly what travels the socket.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "serve/protocol.h"
+#include "serve/wire.h"
+
+namespace tempofair::serve {
+namespace {
+
+TEST(Wire, ScalarRoundTrip) {
+  WireWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.f64(-1234.5e-7);
+  w.str("hello");
+  w.str("");
+
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.f64(), -1234.5e-7);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, LittleEndianOnTheWire) {
+  WireWriter w;
+  w.u32(0x01020304u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(Wire, ReadPastEndThrows) {
+  WireWriter w;
+  w.u16(7);
+  WireReader r(w.bytes());
+  (void)r.u8();
+  EXPECT_THROW((void)r.u32(), WireError);
+}
+
+TEST(Wire, ExpectExhaustedRejectsTrailingBytes) {
+  WireWriter w;
+  w.u8(1);
+  w.u8(2);
+  WireReader r(w.bytes());
+  (void)r.u8();
+  EXPECT_THROW(r.expect_exhausted("TEST"), WireError);
+  (void)r.u8();
+  EXPECT_NO_THROW(r.expect_exhausted("TEST"));
+}
+
+TEST(Wire, StringLengthIsBoundsChecked) {
+  WireWriter w;
+  w.u32(1000);  // claims 1000 bytes follow; none do
+  WireReader r(w.bytes());
+  EXPECT_THROW((void)r.str(), WireError);
+}
+
+// --- frame I/O over a real socketpair --------------------------------------
+
+struct SocketPair {
+  int a = -1, b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(Wire, FrameRoundTripOverSocket) {
+  SocketPair sp;
+  WireWriter payload;
+  payload.str("ping");
+  write_frame(sp.a, FrameType::kStats, payload);
+  const auto frame = read_frame(sp.b);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kStats);
+  WireReader r(frame->payload);
+  EXPECT_EQ(r.str(), "ping");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, CleanEofReturnsNullopt) {
+  SocketPair sp;
+  ::close(sp.a);
+  sp.a = -1;
+  EXPECT_EQ(read_frame(sp.b), std::nullopt);
+}
+
+TEST(Wire, RejectsUnsupportedVersion) {
+  SocketPair sp;
+  const std::uint8_t header[8] = {0, 0, 0, 0,  // len = 0
+                                  1,           // type = HELLO
+                                  99,          // version
+                                  0, 0};
+  ASSERT_EQ(::send(sp.a, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  EXPECT_THROW((void)read_frame(sp.b), WireError);
+}
+
+TEST(Wire, RejectsNonzeroReserved) {
+  SocketPair sp;
+  const std::uint8_t header[8] = {0, 0, 0, 0, 1, kProtocolVersion, 1, 0};
+  ASSERT_EQ(::send(sp.a, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  EXPECT_THROW((void)read_frame(sp.b), WireError);
+}
+
+TEST(Wire, RejectsOversizedPayloadLength) {
+  SocketPair sp;
+  std::uint8_t header[8] = {0, 0, 0, 0, 1, kProtocolVersion, 0, 0};
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(header, &huge, sizeof(huge));  // test runs little-endian hosts
+  ASSERT_EQ(::send(sp.a, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  EXPECT_THROW((void)read_frame(sp.b), WireError);
+}
+
+TEST(Wire, TruncatedPayloadThrows) {
+  SocketPair sp;
+  const std::uint8_t header[8] = {4, 0, 0, 0, 1, kProtocolVersion, 0, 0};
+  ASSERT_EQ(::send(sp.a, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  ::close(sp.a);  // payload never arrives
+  sp.a = -1;
+  EXPECT_THROW((void)read_frame(sp.b), WireError);
+}
+
+// --- message round trips ----------------------------------------------------
+
+template <typename Msg, typename Decoder>
+Msg round_trip(const Msg& msg, Decoder decoder) {
+  WireWriter w;
+  encode(w, msg);
+  WireReader r(w.bytes());
+  Msg out = decoder(r);
+  EXPECT_TRUE(r.exhausted());
+  return out;
+}
+
+TEST(Protocol, HelloRoundTrip) {
+  HelloMsg msg;
+  msg.tenant = "tenant-a";
+  const HelloMsg out = round_trip(msg, decode_hello);
+  EXPECT_EQ(out.version, kProtocolVersion);
+  EXPECT_EQ(out.tenant, "tenant-a");
+}
+
+TEST(Protocol, HelloOkRoundTrip) {
+  HelloOkMsg msg;
+  msg.server = "tempofaird";
+  msg.session_id = 42;
+  const HelloOkMsg out = round_trip(msg, decode_hello_ok);
+  EXPECT_EQ(out.server, "tempofaird");
+  EXPECT_EQ(out.session_id, 42u);
+}
+
+TEST(Protocol, RunRequestRoundTripAllFields) {
+  RunRequest req;
+  req.policy = "laps:0.5";
+  req.machines = 7;
+  req.speed = 4.4;
+  req.record_trace = false;
+  req.hide_sizes = true;
+  req.max_time = 123.5;
+  req.max_steps = 999;
+  req.max_zero_progress_steps = 17;
+  req.use_fast_path = false;
+
+  WireWriter w;
+  encode_run_request(w, req);
+  WireReader r(w.bytes());
+  const RunRequest out = decode_run_request(r);
+  EXPECT_TRUE(r.exhausted());
+
+  EXPECT_EQ(out.policy, req.policy);
+  EXPECT_EQ(out.machines, req.machines);
+  EXPECT_EQ(out.speed, req.speed);
+  EXPECT_EQ(out.record_trace, req.record_trace);
+  EXPECT_EQ(out.hide_sizes, req.hide_sizes);
+  EXPECT_EQ(out.max_time, req.max_time);
+  EXPECT_EQ(out.max_steps, req.max_steps);
+  EXPECT_EQ(out.max_zero_progress_steps, req.max_zero_progress_steps);
+  EXPECT_EQ(out.use_fast_path, req.use_fast_path);
+  // Live hooks never travel the wire.
+  EXPECT_EQ(out.live, nullptr);
+  EXPECT_EQ(out.cancel, nullptr);
+}
+
+TEST(Protocol, RunRequestInfiniteMaxTimeSurvives) {
+  RunRequest req;  // default max_time = kInfiniteTime
+  WireWriter w;
+  encode_run_request(w, req);
+  WireReader r(w.bytes());
+  EXPECT_EQ(decode_run_request(r).max_time, kInfiniteTime);
+}
+
+TEST(Protocol, SubmitJobsRoundTrip) {
+  SubmitJobsMsg msg;
+  msg.tag = 3;
+  msg.first = true;
+  msg.last = false;
+  msg.request.policy = "srpt";
+  msg.total_jobs = 100;
+  msg.stream = true;
+  msg.jobs = {{0, 0.0, 1.0, 1.0}, {0, 0.5, 2.5, 2.0}};
+
+  const SubmitJobsMsg out = round_trip(msg, decode_submit_jobs);
+  EXPECT_EQ(out.tag, 3u);
+  EXPECT_TRUE(out.first);
+  EXPECT_FALSE(out.last);
+  EXPECT_EQ(out.request.policy, "srpt");
+  EXPECT_EQ(out.total_jobs, 100u);
+  EXPECT_TRUE(out.stream);
+  ASSERT_EQ(out.jobs.size(), 2u);
+  EXPECT_EQ(out.jobs[1].release, 0.5);
+  EXPECT_EQ(out.jobs[1].size, 2.5);
+  EXPECT_EQ(out.jobs[1].weight, 2.0);
+}
+
+TEST(Protocol, SubmitJobsMidChunkSkipsRequest) {
+  SubmitJobsMsg msg;
+  msg.tag = 9;
+  msg.first = false;
+  msg.last = true;
+  msg.jobs = {{0, 1.0, 1.0, 1.0}};
+  const SubmitJobsMsg out = round_trip(msg, decode_submit_jobs);
+  EXPECT_FALSE(out.first);
+  EXPECT_TRUE(out.last);
+  ASSERT_EQ(out.jobs.size(), 1u);
+}
+
+TEST(Protocol, MetricsRoundTrip) {
+  MetricsMsg msg;
+  msg.run_id = 5;
+  msg.phase = RunPhase::kRunning;
+  msg.completed = 10;
+  msg.total = 40;
+  msg.stats.n = 10;
+  msg.stats.l1 = 12.5;
+  msg.stats.l2 = 4.25;
+  msg.k_values = {4.25, 3.0};
+  msg.pct_values = {1.5};
+  const MetricsMsg out = round_trip(msg, decode_metrics);
+  EXPECT_EQ(out.phase, RunPhase::kRunning);
+  EXPECT_EQ(out.completed, 10u);
+  EXPECT_EQ(out.total, 40u);
+  EXPECT_EQ(out.stats.l1, 12.5);
+  EXPECT_EQ(out.k_values, msg.k_values);
+  EXPECT_EQ(out.pct_values, msg.pct_values);
+}
+
+TEST(Protocol, StatusRoundTripCarriesError) {
+  StatusMsg msg;
+  msg.run_id = 77;
+  msg.phase = RunPhase::kFailed;
+  msg.error = "policy exploded";
+  const StatusMsg out = round_trip(msg, decode_status);
+  EXPECT_EQ(out.run_id, 77u);
+  EXPECT_EQ(out.phase, RunPhase::kFailed);
+  EXPECT_EQ(out.error, "policy exploded");
+}
+
+TEST(Protocol, StatsReplyRoundTrip) {
+  StatsReplyMsg msg;
+  msg.counters = {{"engine.runs", 3}, {"jobs.accepted", 1000}};
+  const StatsReplyMsg out = round_trip(msg, decode_stats_reply);
+  EXPECT_EQ(out.counters, msg.counters);
+}
+
+TEST(Protocol, ResultRoundTripBitwiseCompletions) {
+  ResultMsg msg;
+  msg.run_id = 2;
+  msg.policy = "rr";
+  msg.wall_seconds = 0.125;
+  msg.stats.n = 3;
+  msg.stats.l2 = std::sqrt(14.0);
+  msg.completions = {1.0, 2.0 / 3.0, 0.1};  // 0.1 is not exact in binary
+  const ResultMsg out = round_trip(msg, decode_result);
+  EXPECT_EQ(out.policy, "rr");
+  EXPECT_EQ(out.wall_seconds, 0.125);
+  EXPECT_EQ(out.stats.l2, msg.stats.l2);
+  EXPECT_EQ(out.completions, msg.completions);  // bitwise, not approximate
+}
+
+TEST(Protocol, ErrorRoundTrip) {
+  ErrorMsg msg;
+  msg.code = ErrorCode::kThrottled;
+  msg.message = "drain first";
+  const ErrorMsg out = round_trip(msg, decode_error);
+  EXPECT_EQ(out.code, ErrorCode::kThrottled);
+  EXPECT_EQ(out.message, "drain first");
+}
+
+TEST(Protocol, SmallRequestsRoundTrip) {
+  QueryMetricsMsg q;
+  q.run_id = 6;
+  q.k_norms = {2.0, 3.0};
+  q.percentiles = {50.0, 99.0};
+  const QueryMetricsMsg q2 = round_trip(q, decode_query_metrics);
+  EXPECT_EQ(q2.run_id, 6u);
+  EXPECT_EQ(q2.k_norms, q.k_norms);
+  EXPECT_EQ(q2.percentiles, q.percentiles);
+
+  RunStatusMsg s;
+  s.run_id = 8;
+  EXPECT_EQ(round_trip(s, decode_run_status).run_id, 8u);
+
+  CancelMsg c;
+  c.run_id = 9;
+  EXPECT_EQ(round_trip(c, decode_cancel).run_id, 9u);
+
+  CancelOkMsg ok;
+  ok.run_id = 9;
+  ok.phase = RunPhase::kRunning;
+  EXPECT_EQ(round_trip(ok, decode_cancel_ok).phase, RunPhase::kRunning);
+
+  GetResultMsg g;
+  g.run_id = 11;
+  EXPECT_EQ(round_trip(g, decode_get_result).run_id, 11u);
+
+  SubmitOkMsg sub;
+  sub.tag = 1;
+  sub.run_id = 2;
+  sub.accepted_jobs = 30;
+  EXPECT_EQ(round_trip(sub, decode_submit_ok).accepted_jobs, 30u);
+}
+
+TEST(Protocol, DecodeRejectsBadPhase) {
+  WireWriter w;
+  w.u64(1);    // run_id
+  w.u8(200);   // phase out of range
+  w.u64(0);    // completed
+  w.u64(0);    // total
+  w.str("");   // error
+  WireReader r(w.bytes());
+  EXPECT_THROW((void)decode_status(r), WireError);
+}
+
+TEST(Protocol, DecodeRejectsTrailingGarbage) {
+  HelloMsg msg;
+  msg.tenant = "t";
+  WireWriter w;
+  encode(w, msg);
+  w.u8(0);  // one stray byte
+  WireReader r(w.bytes());
+  EXPECT_THROW((void)decode_hello(r), WireError);
+}
+
+TEST(Protocol, RunPhaseNames) {
+  EXPECT_EQ(to_string(RunPhase::kQueued), "queued");
+  EXPECT_EQ(to_string(RunPhase::kRunning), "running");
+  EXPECT_EQ(to_string(RunPhase::kDone), "done");
+  EXPECT_EQ(to_string(RunPhase::kFailed), "failed");
+  EXPECT_EQ(to_string(RunPhase::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace tempofair::serve

@@ -65,8 +65,8 @@ int main(int argc, char** argv) {
       .value("json", std::string(), "write the gate comparison JSON here")
       .value("repeats", 5, "timed runs per case")
       .value("warn-ratio", 1.25, "WARN above this ratio plus measured noise")
-      .value("fail-ratio", 2.0, "FAIL (exit 1) above this ratio")
-      .flag("smoke", "scale workloads down for a fast CI smoke run");
+      .value("fail-ratio", 2.0, "FAIL (exit 1) above this ratio");
+  harness::add_smoke_flag(options);
 
   harness::Parsed parsed;
   try {

@@ -51,17 +51,17 @@ int main(int argc, char** argv) {
   options.flag("list", "list registered experiments and exit")
       .value("filter", std::string(),
              "comma-separated experiment ids to run (default: all)")
-      .value("jobs", 0, "worker threads (0 = hardware concurrency)")
-      .flag("smoke", "scale workloads down for a fast CI smoke run")
       .flag("csv", "emit CSV payloads instead of tables")
-      .value("seed", 0, "override every experiment's RNG seed")
       .value("n", 0, "override every experiment's workload size")
       .value("eps", 0.05, "override eps where used (t2, t4)")
       .value("trials", 0, "override trial counts (t8, f5)")
       .value("out-dir", std::string(),
              "artifact directory (default runs/<timestamp>)")
-      .flag("no-artifacts", "skip writing JSON run artifacts")
-      .flag("quiet", "suppress progress and summary output on stderr");
+      .flag("no-artifacts", "skip writing JSON run artifacts");
+  harness::add_jobs_flag(options);
+  harness::add_smoke_flag(options);
+  harness::add_quiet_flag(options);
+  harness::add_seed_flag(options, 0);
 
   harness::Parsed parsed;
   try {

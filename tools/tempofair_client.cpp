@@ -1,0 +1,124 @@
+// tempofair_client: submit a workload to a running tempofaird and report
+// its flow-time metrics.
+//
+//   tempofair_client --socket /tmp/tempofair.sock --instance jobs.csv
+//       --policy rr --k 2 [--watch] [--chunk 512] [--show-stats]
+//
+// The instance travels over the wire in chunks, the daemon executes it with
+// the same RunRequest the offline tools use, and the final statistics are
+// byte-identical to a local `run()` on the same jobs.  --watch polls the
+// live metrics (QUERY_METRICS) while the run is in flight.
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "core/engine.h"
+#include "harness/cli.h"
+#include "serve/client.h"
+#include "workload/trace_io.h"
+
+namespace {
+
+using tempofair::serve::RunPhase;
+
+int run_client(const tempofair::harness::Parsed& parsed) {
+  const std::string socket_path = parsed.get_string("socket");
+  const long port = parsed.get_int("port");
+  if (socket_path.empty() && port < 0) {
+    throw tempofair::harness::CliError(
+        "need --socket PATH or --port N to reach a daemon");
+  }
+  const std::string instance_path = parsed.get_string("instance");
+  if (instance_path.empty()) {
+    throw tempofair::harness::CliError("--instance: required");
+  }
+  const tempofair::Instance instance =
+      tempofair::workload::read_csv_file(instance_path);
+  const tempofair::RunRequest request =
+      tempofair::harness::run_request_from_flags(parsed);
+  const double k = parsed.get_double("k");
+  const long chunk = parsed.get_int("chunk");
+  if (chunk < 0) throw tempofair::harness::CliError("--chunk: must be >= 0");
+
+  tempofair::serve::Client client =
+      socket_path.empty()
+          ? tempofair::serve::Client::connect_tcp(static_cast<int>(port),
+                                                  parsed.get_string("tenant"))
+          : tempofair::serve::Client::connect_unix(socket_path,
+                                                   parsed.get_string("tenant"));
+  const bool quiet = parsed.flag("quiet");
+  if (!quiet) {
+    std::cerr << "connected to " << client.server() << " (session "
+              << client.session_id() << "); submitting " << instance.n()
+              << " jobs\n";
+  }
+  const std::uint64_t run_id =
+      client.submit(instance, request, static_cast<std::size_t>(chunk));
+
+  if (parsed.flag("watch")) {
+    for (;;) {
+      const tempofair::serve::MetricsMsg m =
+          client.query_metrics(run_id, {k}, {99.0});
+      std::cerr << "  [" << tempofair::serve::to_string(m.phase) << "] "
+                << m.completed << "/" << m.total << " done, l" << k << "="
+                << (m.k_values.empty() ? 0.0 : m.k_values[0]) << ", p99="
+                << (m.pct_values.empty() ? 0.0 : m.pct_values[0]) << "\n";
+      if (m.phase != RunPhase::kQueued && m.phase != RunPhase::kRunning) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  const tempofair::serve::ResultMsg result = client.wait(run_id);
+  std::cout << "policy " << result.policy << ", n=" << result.stats.n
+            << ", engine wall " << result.wall_seconds << "s\n"
+            << "  total flow (l1): " << result.stats.l1 << "\n"
+            << "  l2 / l3 norm:    " << result.stats.l2 << " / "
+            << result.stats.l3 << "\n"
+            << "  mean / stddev:   " << result.stats.mean << " / "
+            << result.stats.stddev << "\n"
+            << "  p95 / p99 / max: " << result.stats.p95 << " / "
+            << result.stats.p99 << " / " << result.stats.linf << "\n";
+
+  if (parsed.flag("show-stats")) {
+    std::cout << "session counters:\n";
+    for (const auto& [name, value] : client.stats().counters) {
+      std::cout << "  " << name << " = " << value << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tempofair::harness::Options;
+  Options options("tempofair_client",
+                  "Submit a workload to a running tempofaird and report its "
+                  "flow-time metrics.");
+  options
+      .value("socket", std::string(), "daemon unix socket path")
+      .value("port", -1L, "daemon TCP port on 127.0.0.1")
+      .value("tenant", std::string("cli"), "tenant name for the session")
+      .value("instance", std::string(), "CSV instance file to submit")
+      .value("chunk", 0L, "jobs per SUBMIT_JOBS frame (0 = one frame)")
+      .value("k", 2.0, "l_k norm to report while watching")
+      .flag("watch", "poll live metrics while the run executes")
+      .flag("show-stats", "print the session's observability counters");
+  tempofair::harness::add_run_flags(options);
+  tempofair::harness::add_quiet_flag(options);
+
+  try {
+    const tempofair::harness::Parsed parsed = options.parse(argc, argv);
+    if (parsed.help_requested()) {
+      options.print_help(std::cout);
+      return 0;
+    }
+    return run_client(parsed);
+  } catch (const tempofair::harness::CliError& e) {
+    std::cerr << "tempofair_client: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "tempofair_client: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -9,8 +9,12 @@
 //
 // `run` prints the flow-time statistics (and optionally the fairness report
 // and the paper's dual-fitting certificate); `compare` tabulates every
-// built-in policy on the instance.
+// built-in policy on the instance.  All three subcommands parse strictly
+// (unknown flags are errors) and `run` speaks the shared run-flag
+// vocabulary from harness/cli.h, so a RunRequest built here is spelled the
+// same as one built by tempofair_client or tempofaird.
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "analysis/dualfit.h"
@@ -29,14 +33,10 @@ using namespace tempofair;
 namespace {
 
 int usage() {
-  std::cerr
-      << "usage:\n"
-         "  tempofair-sim generate --out FILE [--workload poisson|bursty|adv-geometric|adv-batchstream]\n"
-         "                [--n N] [--load RHO] [--machines M] [--dist SPEC] [--seed S]\n"
-         "  tempofair-sim run --instance FILE --policy SPEC [--machines M] [--speed S]\n"
-         "                [--k K] [--fairness] [--certificate] [--eps E]\n"
-         "  tempofair-sim compare --instance FILE [--machines M] [--k K]\n"
-         "policy specs: rr srpt sjf fcfs setf wrr mlfq hdf hrdf wprr laps:B qrr:Q[,CS]\n";
+  std::cerr << "usage: tempofair-sim generate|run|compare [options]\n"
+               "       tempofair-sim COMMAND --help for the option listing\n"
+               "policy specs: rr srpt sjf fcfs setf wrr mlfq hdf hrdf wprr "
+               "laps:B qrr:Q[,CS]\n";
   return 2;
 }
 
@@ -67,23 +67,42 @@ workload::SizeDist parse_dist(const std::string& spec) {
   throw std::invalid_argument("unknown --dist spec '" + spec + "'");
 }
 
-int cmd_generate(const harness::Cli& cli) {
-  const std::string out = cli.get_string("out", "");
+int cmd_generate(int argc, const char* const* argv) {
+  harness::Options options("tempofair-sim generate",
+                           "generate a workload instance as a CSV file");
+  options.value("out", std::string(), "output CSV path (required)")
+      .value("workload", std::string("poisson"),
+             "poisson | bursty | adv-geometric | adv-batchstream")
+      .value("n", 100, "number of jobs")
+      .value("load", 0.9, "offered load rho (poisson)")
+      .value("gap", 10.0, "inter-burst gap (bursty)")
+      .value("depth", 8, "level count (adv-geometric)")
+      .value("machines", 1, "machine count the load is scaled for")
+      .value("dist", std::string("exp:1.5"),
+             "size distribution spec (exp:MEAN, fixed:S, uniform:LO,HI, "
+             "pareto:ALPHA,MIN[,CAP], bimodal:P,SMALL,LARGE)");
+  harness::add_seed_flag(options);
+  const harness::Parsed cli = options.parse(argc, argv);
+  if (cli.help_requested()) {
+    options.print_help(std::cout);
+    return 0;
+  }
+  const std::string out = cli.get_string("out");
   if (out.empty()) return usage();
-  const std::string kind = cli.get_string("workload", "poisson");
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 100));
-  const int machines = static_cast<int>(cli.get_int("machines", 1));
-  workload::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  const std::string kind = cli.get_string("workload");
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const int machines = static_cast<int>(cli.get_int("machines"));
+  workload::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
 
   Instance inst;
   if (kind == "poisson") {
-    inst = workload::poisson_load(n, machines, cli.get_double("load", 0.9),
-                                  parse_dist(cli.get_string("dist", "exp:1.5")), rng);
+    inst = workload::poisson_load(n, machines, cli.get_double("load"),
+                                  parse_dist(cli.get_string("dist")), rng);
   } else if (kind == "bursty") {
-    inst = workload::bursty_stream(n / 10, 10, cli.get_double("gap", 10.0),
-                                   parse_dist(cli.get_string("dist", "exp:1.5")), rng);
+    inst = workload::bursty_stream(n / 10, 10, cli.get_double("gap"),
+                                   parse_dist(cli.get_string("dist")), rng);
   } else if (kind == "adv-geometric") {
-    inst = workload::geometric_levels(static_cast<int>(cli.get_int("depth", 8)));
+    inst = workload::geometric_levels(static_cast<int>(cli.get_int("depth")));
   } else if (kind == "adv-batchstream") {
     inst = workload::rr_l2_hard(n);
   } else {
@@ -95,38 +114,49 @@ int cmd_generate(const harness::Cli& cli) {
   return 0;
 }
 
-int cmd_run(const harness::Cli& cli) {
-  const std::string path = cli.get_string("instance", "");
+int cmd_run(int argc, const char* const* argv) {
+  harness::Options options("tempofair-sim run",
+                           "simulate one policy on a CSV instance");
+  options.value("instance", std::string(), "input CSV path (required)")
+      .value("k", 2.0, "l_k norm to report")
+      .flag("fairness", "also print the fairness report")
+      .flag("certificate", "also run the dual-fitting certificate")
+      .value("eps", 0.05, "certificate eps (with --certificate)");
+  harness::add_run_flags(options);
+  const harness::Parsed cli = options.parse(argc, argv);
+  if (cli.help_requested()) {
+    options.print_help(std::cout);
+    return 0;
+  }
+  const std::string path = cli.get_string("instance");
   if (path.empty()) return usage();
   const Instance inst = workload::read_csv_file(path);
-  const auto policy = make_policy(cli.get_string("policy", "rr"));
-  EngineOptions eo;
-  eo.machines = static_cast<int>(cli.get_int("machines", 1));
-  eo.speed = cli.get_double("speed", 1.0);
-  const double k = cli.get_double("k", 2.0);
+  const RunRequest req = harness::run_request_from_flags(cli);
+  const double k = cli.get_double("k");
 
-  const Schedule s = simulate(inst, *policy, eo);
-  s.validate();
-  const FlowStats st = flow_stats(s);
-  std::cout << inst.summary() << "\npolicy " << policy->name() << ", m="
-            << eo.machines << ", speed=" << eo.speed << "\n"
+  const RunResult result = tempofair::run(inst, req);
+  result.schedule.validate();
+  const FlowStats& st = result.stats;
+  std::cout << inst.summary() << "\npolicy " << result.policy << ", m="
+            << req.machines << ", speed=" << req.speed << "\n"
             << "  total flow (l1): " << st.l1 << "\n  l" << k
-            << " norm:         " << flow_lk_norm(s, k) << "\n  mean / stddev:   "
-            << st.mean << " / " << st.stddev << "\n  p95 / p99 / max: "
-            << st.p95 << " / " << st.p99 << " / " << st.linf << "\n";
+            << " norm:         " << flow_lk_norm(result.schedule, k)
+            << "\n  mean / stddev:   " << st.mean << " / " << st.stddev
+            << "\n  p95 / p99 / max: " << st.p95 << " / " << st.p99 << " / "
+            << st.linf << "\n";
 
-  if (cli.has("fairness")) {
-    const FairnessReport fr = fairness_report(s);
+  if (cli.flag("fairness")) {
+    const FairnessReport fr = fairness_report(result.schedule);
     std::cout << "  jain (time-avg): " << fr.jain_time_avg
               << "\n  min-share avg:   " << fr.min_share_time_avg
               << "\n  max service lag: " << fr.max_service_lag
               << "\n  starved frac:    " << fr.starved_time_fraction << "\n";
   }
-  if (cli.has("certificate")) {
+  if (cli.flag("certificate")) {
     analysis::DualFitOptions opt;
     opt.k = k;
-    opt.eps = cli.get_double("eps", 0.05);
-    const auto cert = analysis::dual_fit_certificate(s, opt);
+    opt.eps = cli.get_double("eps");
+    const auto cert = analysis::dual_fit_certificate(result.schedule, opt);
     std::cout << "  dual certificate: "
               << (cert.certificate_valid() ? "VALID" : "invalid")
               << " (objective ratio " << cert.objective_ratio
@@ -136,20 +166,30 @@ int cmd_run(const harness::Cli& cli) {
   return 0;
 }
 
-int cmd_compare(const harness::Cli& cli) {
-  const std::string path = cli.get_string("instance", "");
+int cmd_compare(int argc, const char* const* argv) {
+  harness::Options options("tempofair-sim compare",
+                           "tabulate every built-in policy on an instance");
+  options.value("instance", std::string(), "input CSV path (required)")
+      .value("machines", 1, "machine count")
+      .value("k", 2.0, "l_k norm column");
+  const harness::Parsed cli = options.parse(argc, argv);
+  if (cli.help_requested()) {
+    options.print_help(std::cout);
+    return 0;
+  }
+  const std::string path = cli.get_string("instance");
   if (path.empty()) return usage();
   const Instance inst = workload::read_csv_file(path);
-  EngineOptions eo;
-  eo.machines = static_cast<int>(cli.get_int("machines", 1));
-  const double k = cli.get_double("k", 2.0);
+  RunRequest req;
+  req.machines = static_cast<int>(cli.get_int("machines"));
+  const double k = cli.get_double("k");
 
   analysis::Table table("policies on " + inst.summary(),
                         {"policy", "l1", "l" + analysis::Table::num(k, 0), "max",
                          "jain"});
   for (const std::string& spec : builtin_policy_specs()) {
-    auto policy = make_policy(spec);
-    const Schedule s = simulate(inst, *policy, eo);
+    req.policy = spec;
+    const Schedule s = tempofair::run(inst, req).schedule;
     table.add_row({spec, analysis::Table::num(flow_lk_norm(s, 1.0)),
                    analysis::Table::num(flow_lk_norm(s, k)),
                    analysis::Table::num(
@@ -166,10 +206,9 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) return usage();
     const std::string command = argv[1];
-    const harness::Cli cli(argc - 1, argv + 1);
-    if (command == "generate") return cmd_generate(cli);
-    if (command == "run") return cmd_run(cli);
-    if (command == "compare") return cmd_compare(cli);
+    if (command == "generate") return cmd_generate(argc - 1, argv + 1);
+    if (command == "run") return cmd_run(argc - 1, argv + 1);
+    if (command == "compare") return cmd_compare(argc - 1, argv + 1);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

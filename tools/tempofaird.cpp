@@ -1,0 +1,110 @@
+// tempofaird: long-running scheduling-as-a-service daemon.
+//
+//   tempofaird --socket /tmp/tempofair.sock [--port 7411] [--jobs 4]
+//              [--max-active-runs 16] [--max-buffered-jobs 1000000] [--quiet]
+//
+// Tenants connect over the unix socket and/or loopback TCP, stream job sets
+// through the framed protocol (see DESIGN.md section 7), and query live
+// flow-time metrics while their runs execute on the shared work-stealing
+// pool.  Stop with SIGINT/SIGTERM; shutdown cancels outstanding runs and
+// drains the pool before exiting.
+#include <csignal>
+#include <iostream>
+#include <semaphore>
+#include <string>
+
+#include "harness/cli.h"
+#include "serve/daemon.h"
+
+namespace {
+
+std::binary_semaphore g_stop_signal{0};
+
+extern "C" void handle_stop_signal(int) { g_stop_signal.release(); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tempofair::harness::Options;
+  Options options("tempofaird",
+                  "Scheduling-as-a-service daemon: accepts tenant job "
+                  "streams over a framed socket protocol and runs them "
+                  "through the simulation engine.");
+  options
+      .value("socket", std::string(),
+             "unix socket path to listen on (empty = none)")
+      .value("port", -1L,
+             "loopback TCP port to listen on (-1 = none, 0 = ephemeral)")
+      .value("max-active-runs", 16L,
+             "per-session cap on queued+running runs before THROTTLED")
+      .value("max-buffered-jobs", 1'000'000L,
+             "per-session cap on buffered jobs before THROTTLED");
+  tempofair::harness::add_jobs_flag(options);
+  tempofair::harness::add_quiet_flag(options);
+
+  try {
+    const tempofair::harness::Parsed parsed = options.parse(argc, argv);
+    if (parsed.help_requested()) {
+      options.print_help(std::cout);
+      return 0;
+    }
+    tempofair::serve::DaemonConfig config;
+    config.unix_socket_path = parsed.get_string("socket");
+    const long port = parsed.get_int("port");
+    if (port < -1 || port > 65535) {
+      throw tempofair::harness::CliError("--port: must be in [-1, 65535]");
+    }
+    config.tcp_port = static_cast<int>(port);
+    const long jobs = parsed.get_int("jobs");
+    if (jobs < 0) throw tempofair::harness::CliError("--jobs: must be >= 0");
+    config.workers = static_cast<std::size_t>(jobs);
+    const long max_runs = parsed.get_int("max-active-runs");
+    const long max_jobs = parsed.get_int("max-buffered-jobs");
+    if (max_runs < 1) {
+      throw tempofair::harness::CliError("--max-active-runs: must be >= 1");
+    }
+    if (max_jobs < 1) {
+      throw tempofair::harness::CliError("--max-buffered-jobs: must be >= 1");
+    }
+    config.max_active_runs = static_cast<std::size_t>(max_runs);
+    config.max_buffered_jobs = static_cast<std::size_t>(max_jobs);
+
+    tempofair::serve::Daemon daemon(config);
+    daemon.start();
+    const bool quiet = parsed.flag("quiet");
+    if (!quiet) {
+      std::cerr << "tempofaird: listening on";
+      if (!config.unix_socket_path.empty()) {
+        std::cerr << " unix:" << config.unix_socket_path;
+      }
+      if (config.tcp_port >= 0) {
+        std::cerr << " tcp:127.0.0.1:" << daemon.tcp_port();
+      }
+      std::cerr << "\n";
+    }
+    // The smoke script and tests need the ephemeral port on stdout even in
+    // quiet mode.
+    if (config.tcp_port == 0) {
+      std::cout << daemon.tcp_port() << std::endl;
+    }
+
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    g_stop_signal.acquire();
+
+    if (!quiet) std::cerr << "tempofaird: shutting down\n";
+    daemon.stop();
+    if (!quiet) {
+      for (const auto& [name, value] : daemon.stats()) {
+        std::cerr << "  " << name << " = " << value << "\n";
+      }
+    }
+    return 0;
+  } catch (const tempofair::harness::CliError& e) {
+    std::cerr << "tempofaird: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "tempofaird: " << e.what() << "\n";
+    return 1;
+  }
+}
