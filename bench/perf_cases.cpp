@@ -1,6 +1,10 @@
 #include "perf_cases.h"
 
+#include <algorithm>
+#include <chrono>
+#include <ctime>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/metrics.h"
@@ -21,16 +25,41 @@ constexpr std::uint64_t kSeed = 20260806;
 /// count is read back so the optimizer cannot elide the run.
 CaseResult time_engine(const std::string& name, std::size_t repeats,
                        const Instance& instance, Policy& policy,
-                       bool fast_path) {
+                       bool fast_path,
+                       InvariantMode invariants = default_invariant_mode()) {
   RunRequest req;
   req.record_trace = false;
   req.use_fast_path = fast_path;
+  req.invariants = invariants;
   std::size_t finished = 0;
   CaseResult r = measure(name, repeats, [&] {
     finished += tempofair::run(instance, policy, req).schedule.n();
   });
   r.stats["jobs"] = static_cast<double>(instance.n());
   r.stats["finished_total"] = static_cast<double>(finished);
+  return r;
+}
+
+[[nodiscard]] double median_of_sorted_copy(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return (n % 2 == 1) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Builds a CaseResult from externally collected run times (for paired
+/// measurements that measure() cannot express).
+[[nodiscard]] CaseResult case_from_times(const std::string& name,
+                                         const std::vector<double>& times) {
+  CaseResult r;
+  r.name = name;
+  r.repeats = times.size();
+  r.median_s = median_of_sorted_copy(times);
+  std::vector<double> dev;
+  dev.reserve(times.size());
+  for (const double t : times) dev.push_back(std::abs(t - r.median_s));
+  r.mad_s = median_of_sorted_copy(dev);
+  r.min_s = *std::min_element(times.begin(), times.end());
+  r.max_s = *std::max_element(times.begin(), times.end());
   return r;
 }
 
@@ -64,6 +93,76 @@ Report run_fastpath_cases(const CaseOptions& options) {
     report.cases.push_back(std::move(fast));
   }
 
+  // --- RR fast path: invariants off vs sampled (the release default) --------
+  // The sampled checkers ride the same epoch loop as the fast path, so this
+  // pair IS the cost model of the always-on invariant layer.  Off and
+  // sampled runs are interleaved back-to-back and the overhead is the
+  // median of per-round ratios of *process CPU time*: pairing cancels
+  // slow machine drift, and CPU time is blind to the preemption noise
+  // that makes wall-clock ratios on a shared single core wobble by more
+  // than the effect being measured.  The sampled case declares a 3%
+  // overhead budget about itself; perf_gate's self-gate fails the run on
+  // a breach, baseline file or not.
+  {
+    workload::Rng rng(kSeed + 4);
+    const Instance inst = workload::poisson_load(
+        n_pair, 1, 0.9, workload::ExponentialSize{1.5}, rng);
+    RoundRobin rr;
+    RunRequest req;
+    req.record_trace = false;
+    req.use_fast_path = true;
+    std::size_t finished = 0;
+    const auto cpu_now = [] {
+      timespec ts{};
+      clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    };
+    // Returns {wall seconds, CPU seconds} for one engine run.
+    struct RunTimes {
+      double wall;
+      double cpu;
+    };
+    const auto time_once = [&](InvariantMode mode) {
+      req.invariants = mode;
+      const auto wall_start = std::chrono::steady_clock::now();
+      const double cpu_start = cpu_now();
+      finished += tempofair::run(inst, rr, req).schedule.n();
+      const double cpu = cpu_now() - cpu_start;
+      const double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+      return RunTimes{wall, cpu};
+    };
+    (void)time_once(InvariantMode::kOff);  // warm both variants
+    (void)time_once(InvariantMode::kSampled);
+    const std::size_t rounds = std::max<std::size_t>(repeats, 9);
+    std::vector<double> off_times, sampled_times, ratios;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const RunTimes a = time_once(InvariantMode::kOff);
+      const RunTimes b = time_once(InvariantMode::kSampled);
+      off_times.push_back(a.wall);
+      sampled_times.push_back(b.wall);
+      if (a.cpu > 0.0) ratios.push_back(b.cpu / a.cpu);
+    }
+    CaseResult off = case_from_times(
+        "rr_fast_inv_off_" + std::to_string(n_pair) + suffix, off_times);
+    CaseResult sampled = case_from_times(
+        "rr_fast_inv_sampled_" + std::to_string(n_pair) + suffix,
+        sampled_times);
+    off.stats["jobs"] = static_cast<double>(n_pair);
+    sampled.stats["jobs"] = static_cast<double>(n_pair);
+    sampled.stats["finished_total"] = static_cast<double>(finished);
+    if (!ratios.empty()) {
+      sampled.stats["overhead_vs_inv_off"] = median_of_sorted_copy(ratios);
+      // The budget is an acceptance bound on the 100k case; the ~3ms smoke
+      // run is too short for even a paired ratio to be a measurement.
+      if (!smoke) sampled.stats["overhead_vs_inv_off_budget"] = 1.03;
+    }
+    report.cases.push_back(std::move(off));
+    report.cases.push_back(std::move(sampled));
+  }
+
   // --- SRPT: same pairing on the top-priority rule --------------------------
   {
     workload::Rng rng(kSeed + 1);
@@ -89,8 +188,11 @@ Report run_fastpath_cases(const CaseOptions& options) {
     CaseResult c = measure(
         "rr_fast_stream_" + std::to_string(n_stream) + suffix, repeats, [&] {
           workload::Rng rng(kSeed + 2);
-          workload::PoissonJobStream stream = workload::poisson_load_stream(
-              n_stream, 1, 0.9, workload::ExponentialSize{1.5}, rng);
+          // Named variant: the stream keeps a pointer to the SizeDist, so a
+          // temporary (or an ExponentialSize converting into one) dangles.
+          const workload::SizeDist dist{workload::ExponentialSize{1.5}};
+          workload::PoissonJobStream stream =
+              workload::poisson_load_stream(n_stream, 1, 0.9, dist, rng);
           RoundRobin rr;
           RunRequest req;
           req.record_trace = false;

@@ -368,6 +368,56 @@ GateResult compare_reports(const Report& baseline, const Report& current,
   return result;
 }
 
+GateResult self_gate(const Report& report) {
+  GateResult result;
+  const std::string suffix = "_budget";
+  for (const CaseResult& c : report.cases) {
+    for (const auto& [key, budget] : c.stats) {
+      if (key.size() <= suffix.size() ||
+          key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+        continue;
+      }
+      const std::string stat = key.substr(0, key.size() - suffix.size());
+      CaseVerdict v;
+      v.name = c.name + "/" + stat;
+      v.baseline_s = budget;  // the budget plays the baseline's role
+      const auto it = c.stats.find(stat);
+      if (it == c.stats.end()) {
+        v.verdict = "FAIL";
+        v.note = "budget declared but stat \"" + stat + "\" is missing";
+        result.failed = true;
+      } else {
+        v.current_s = it->second;
+        v.ratio = budget > 0.0 ? it->second / budget : 0.0;
+        if (it->second > budget) {
+          v.verdict = "FAIL";
+          v.note = "stat exceeds its declared budget";
+          result.failed = true;
+        } else {
+          v.verdict = "OK";
+        }
+      }
+      result.verdicts.push_back(std::move(v));
+    }
+  }
+  return result;
+}
+
+std::string format_self_gate(const GateResult& result) {
+  std::ostringstream os;
+  os << "self-gate: budgets the report declares about itself\n";
+  for (const CaseVerdict& v : result.verdicts) {
+    os.precision(4);
+    os << "  [" << v.verdict << "] " << v.name << ": " << v.current_s
+       << " (budget " << v.baseline_s << ")";
+    if (!v.note.empty()) os << " -- " << v.note;
+    os << "\n";
+  }
+  os << (result.failed ? "SELF-GATE: FAIL" : "SELF-GATE: PASS") << " ("
+     << result.verdicts.size() << " budgets)\n";
+  return os.str();
+}
+
 std::string format_gate(const GateResult& result, const GateOptions& options) {
   std::ostringstream os;
   os << "perf gate: warn > " << options.warn_ratio << "x (+noise), fail > "

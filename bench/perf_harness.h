@@ -93,6 +93,20 @@ struct GateResult {
                                          const Report& current,
                                          const GateOptions& options = {});
 
+/// Checks the budgets a report declares about itself: a case stat named
+/// "X_budget" asserts that the same case also reports stat "X" with
+/// X <= X_budget.  Unlike compare_reports this needs no committed baseline,
+/// so it gates *ratios measured within one run* -- e.g. the sampled
+/// invariant-mode overhead case records overhead_vs_inv_off (its median
+/// over the invariants-off median) next to overhead_vs_inv_off_budget, and
+/// a breach fails perf_gate even on a machine with no baseline file.
+/// A declared budget whose stat is missing also FAILs.  In each verdict,
+/// baseline_s holds the budget and current_s the measured stat.
+[[nodiscard]] GateResult self_gate(const Report& report);
+
+/// Human-readable self-gate table (same shape as format_gate).
+[[nodiscard]] std::string format_self_gate(const GateResult& result);
+
 /// Human-readable verdict table, one line per case plus a summary line.
 [[nodiscard]] std::string format_gate(const GateResult& result,
                                       const GateOptions& options);

@@ -47,10 +47,10 @@ int main(int argc, char** argv) {
 
   // 2. The dual-fitting certificate at the theorem speed.
   const double eta = analysis::theorem1_speed(k, eps);
-  RoundRobin rr;
-  EngineOptions eo;
-  eo.speed = eta;
-  const Schedule schedule = simulate(inst, rr, eo);
+  RunRequest req;
+  req.policy = "rr";
+  req.speed = eta;
+  const Schedule schedule = run(inst, req).schedule;
   analysis::DualFitOptions dopt;
   dopt.k = k;
   dopt.eps = eps;

@@ -11,8 +11,6 @@
 #include "core/engine.h"
 #include "core/metrics.h"
 #include "harness/cli.h"
-#include "policies/quantum_rr.h"
-#include "policies/round_robin.h"
 #include "workload/generators.h"
 
 using namespace tempofair;
@@ -27,10 +25,10 @@ int main(int argc, char** argv) {
   const Instance inst =
       workload::poisson_load(n, 1, 0.85, workload::UniformSize{0.5, 2.0}, rng);
 
-  RoundRobin ideal;
-  EngineOptions eo;
-  eo.record_trace = false;
-  const Schedule ideal_sched = simulate(inst, ideal, eo);
+  RunRequest req;
+  req.policy = "rr";
+  req.record_trace = false;
+  const Schedule ideal_sched = run(inst, req).schedule;
   const double ideal_mean = flow_stats(ideal_sched).mean;
   const double ideal_l2 = flow_lk_norm(ideal_sched, 2.0);
 
@@ -44,8 +42,8 @@ int main(int argc, char** argv) {
                         {"quantum", "mean_flow", "l2", "l2/ideal", "makespan"});
   double best_q = 0.0, best_l2 = std::numeric_limits<double>::infinity();
   for (double q : {20.0, 5.0, 2.0, 1.0, 0.5, 0.2, 0.1, 0.05, 0.02}) {
-    QuantumRoundRobin qrr(q, cs);
-    const Schedule s = simulate(inst, qrr, eo);
+    req.policy = "qrr:" + std::to_string(q) + "," + std::to_string(cs);
+    const Schedule s = run(inst, req).schedule;
     const double l2 = flow_lk_norm(s, 2.0);
     if (l2 < best_l2) {
       best_l2 = l2;

@@ -3,23 +3,23 @@
 //
 //   ./quickstart [--machines M] [--speed S]
 //
-// This is the 60-second tour of the library: build an Instance, pick a
-// Policy, call simulate(), and read the Schedule.
+// This is the 60-second tour of the library: build an Instance, describe
+// the run with a RunRequest, call run(), and read the RunResult.
 #include <iostream>
 
 #include "core/engine.h"
 #include "core/fairness.h"
 #include "core/metrics.h"
 #include "harness/cli.h"
-#include "policies/round_robin.h"
 
 using namespace tempofair;
 
 int main(int argc, char** argv) {
   const harness::Cli cli(argc, argv);
-  EngineOptions options;
-  options.machines = static_cast<int>(cli.get_int("machines", 1));
-  options.speed = cli.get_double("speed", 1.0);
+  RunRequest request;
+  request.policy = "rr";
+  request.machines = static_cast<int>(cli.get_int("machines", 1));
+  request.speed = cli.get_double("speed", 1.0);
 
   // Five jobs: (release, size).  Job 2 is long; jobs 3-4 arrive late.
   const Instance instance = Instance::from_pairs(
@@ -28,10 +28,10 @@ int main(int argc, char** argv) {
 
   std::cout << "Instance: " << instance.summary() << "\n";
   std::cout << "Policy:   Round Robin (the paper's algorithm), m="
-            << options.machines << ", speed=" << options.speed << "\n\n";
+            << request.machines << ", speed=" << request.speed << "\n\n";
 
-  RoundRobin rr;
-  const Schedule schedule = simulate(instance, rr, options);
+  const RunResult result = run(instance, request);
+  const Schedule& schedule = result.schedule;
   schedule.validate();
 
   std::cout << "job  release  size  completion  flow\n";

@@ -33,10 +33,10 @@ int main(int argc, char** argv) {
   analysis::Table table("policy comparison on the request stream",
                         {"policy", "mean", "l2", "p99", "max", "jain"});
   for (const std::string& spec : builtin_policy_specs()) {
-    auto policy = make_policy(spec);
-    EngineOptions eo;
-    eo.machines = machines;
-    const Schedule s = simulate(requests, *policy, eo);
+    RunRequest req;
+    req.policy = spec;
+    req.machines = machines;
+    const Schedule s = run(requests, req).schedule;
     const FlowStats st = flow_stats(s);
     const FairnessReport fr = fairness_report(s);
     table.add_row({spec, analysis::Table::num(st.mean, 2),
@@ -51,11 +51,11 @@ int main(int argc, char** argv) {
   // (On heavy-tailed loads RR often already beats SRPT's l2 at speed 1 --
   // SRPT's starvation of large requests inflates the tail, which is the
   // paper's motivation; the mean (l1) is where SRPT's clairvoyance wins.)
-  auto srpt = make_policy("srpt");
-  EngineOptions base;
+  RunRequest base;
+  base.policy = "srpt";
   base.machines = machines;
   base.record_trace = false;
-  const Schedule srpt_sched = simulate(requests, *srpt, base);
+  const Schedule srpt_sched = run(requests, base).schedule;
   const double srpt_l1 = flow_lk_norm(srpt_sched, 1.0);
   const double srpt_l2 = flow_lk_norm(srpt_sched, 2.0);
 
@@ -63,10 +63,10 @@ int main(int argc, char** argv) {
             << ", l2 " << analysis::Table::num(srpt_l2, 1)
             << ") as the RR cluster gets faster:\n";
   for (double speed : {1.0, 1.25, 1.5, 2.0, 3.0}) {
-    auto rr = make_policy("rr");
-    EngineOptions eo = base;
-    eo.speed = speed;
-    const Schedule rs = simulate(requests, *rr, eo);
+    RunRequest req = base;
+    req.policy = "rr";
+    req.speed = speed;
+    const Schedule rs = run(requests, req).schedule;
     const double l1_ratio = flow_lk_norm(rs, 1.0) / srpt_l1;
     const double l2_ratio = flow_lk_norm(rs, 2.0) / srpt_l2;
     std::cout << "  speed " << speed << ": RR l1 = "

@@ -68,6 +68,8 @@ EngineOptions RunRequest::engine_options() const {
   options.max_steps = max_steps;
   options.max_zero_progress_steps = max_zero_progress_steps;
   options.use_fast_path = use_fast_path;
+  options.invariants = invariants;
+  options.invariant_sample_period = invariant_sample_period;
   options.live_metrics = live;
   options.cancel = cancel;
   return options;
@@ -86,15 +88,27 @@ RunResult EngineCore::run(JobStream& stream, const RunRequest& request) {
 RunResult EngineCore::run(const Instance& instance, Policy& policy,
                           const RunRequest& request) {
   const WallTimer timer;
-  Schedule schedule = run(instance, policy, request.engine_options());
-  return finish_run(std::move(schedule), policy.name(), timer.seconds());
+  InvariantStats inv_stats;
+  EngineOptions options = request.engine_options();
+  options.invariant_stats = &inv_stats;
+  Schedule schedule = run(instance, policy, options);
+  RunResult result =
+      finish_run(std::move(schedule), policy.name(), timer.seconds());
+  result.invariants = std::move(inv_stats);
+  return result;
 }
 
 RunResult EngineCore::run(JobStream& stream, Policy& policy,
                           const RunRequest& request) {
   const WallTimer timer;
-  Schedule schedule = run(stream, policy, request.engine_options());
-  return finish_run(std::move(schedule), policy.name(), timer.seconds());
+  InvariantStats inv_stats;
+  EngineOptions options = request.engine_options();
+  options.invariant_stats = &inv_stats;
+  Schedule schedule = run(stream, policy, options);
+  RunResult result =
+      finish_run(std::move(schedule), policy.name(), timer.seconds());
+  result.invariants = std::move(inv_stats);
+  return result;
 }
 
 Schedule EngineCore::run(const Instance& instance, Policy& policy,
@@ -112,7 +126,8 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
 
   if (takes_fast_path(policy, options)) {
     policy.reset();
-    return fast_.run(instance, policy.fast_forward(), options, policy.name());
+    return fast_.run(instance, policy.fast_forward(), options, policy.name(),
+                     policy.invariant_traits());
   }
 
   obs::ScopedTimer run_timer("engine.run");
@@ -121,11 +136,29 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
   schedule.set_trace_recorded(options.record_trace);
   policy.reset();
 
+  inv_.begin_run(
+      InvariantRunProfile{options.machines, options.speed,
+                          std::string(policy.name()),
+                          policy.invariant_traits()},
+      options.invariants, options.invariant_sample_period, &schedule);
+  // End-of-run checks + stats hand-off; the exhaustive-mode throw happens
+  // only after the stats are copied out, so callers see the diagnostics.
+  auto finish_invariants = [&] {
+    inv_.finish();
+    if (options.invariant_stats != nullptr) {
+      *options.invariant_stats = inv_.stats();
+    }
+    if (options.invariants == InvariantMode::kExhaustive) {
+      throw_if_violated(inv_.stats(), policy.name());
+    }
+  };
+
   if (options.live_metrics != nullptr) {
     options.live_metrics->set_expected(instance.n());
   }
 
   if (instance.empty()) {
+    finish_invariants();
     obs::add("engine.runs", 1);
     return schedule;
   }
@@ -265,6 +298,24 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
     // Advance all jobs analytically, emitting the trace row straight into
     // the schedule's columnar arena (no per-interval allocation).
     if (dt > 0.0) {
+      if (inv_.epoch_due()) {
+        auto& inv_rem = inv_.scratch_remaining();
+        auto& inv_size = inv_.scratch_sizes();
+        inv_rem.resize(alive_.size());
+        inv_size.resize(alive_.size());
+        for (std::size_t i = 0; i < alive_.size(); ++i) {
+          inv_rem[i] = alive_[i].remaining;
+          inv_size[i] = alive_[i].size;
+        }
+        InvariantEpoch epoch;
+        epoch.begin = now;
+        epoch.end = now + dt;
+        epoch.jobs = ids_;
+        epoch.rates = decision.rates;
+        epoch.remaining = inv_rem;
+        epoch.sizes = inv_size;
+        inv_.check_epoch(epoch);
+      }
       if (options.record_trace) {
         schedule.push_interval(now, now + dt, ids_, decision.rates);
         ++intervals_emitted;
@@ -325,6 +376,7 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
   }
 
   if (options.record_trace) schedule.finalize_trace();
+  finish_invariants();
 
   obs::add("engine.runs", 1);
   obs::add("engine.events", steps);
@@ -353,7 +405,8 @@ Schedule EngineCore::run(JobStream& stream, Policy& policy,
         std::string(policy.name()) + " on the generic loop");
   }
   policy.reset();
-  return fast_.run(stream, ff, options, policy.name());
+  return fast_.run(stream, ff, options, policy.name(),
+                   policy.invariant_traits());
 }
 
 bool EngineCore::takes_fast_path(const Policy& policy,

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <deque>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -25,6 +26,7 @@
 
 #include "core/fast_forward.h"
 #include "core/instance.h"
+#include "core/invariants.h"
 #include "core/job_stream.h"
 #include "core/metrics.h"
 #include "core/policy.h"
@@ -66,6 +68,17 @@ struct EngineOptions {
   /// Results are byte-identical to the generic event loop; disable to force
   /// the generic loop, e.g. for equivalence testing.
   bool use_fast_path = true;
+  /// Invariant checking mode (core/invariants.h).  The process default is
+  /// kSampled -- every invariant_sample_period'th epoch gets the full
+  /// checker battery, end-of-run checks always run -- overridable via the
+  /// TEMPOFAIR_INVARIANTS environment variable.  kExhaustive additionally
+  /// fails the run (std::runtime_error) on any violation.
+  InvariantMode invariants = default_invariant_mode();
+  std::size_t invariant_sample_period = default_invariant_sample_period();
+  /// When set, receives the run's InvariantStats (written before an
+  /// exhaustive-mode violation throws).  The facade wires this into
+  /// RunResult::invariants.  Must outlive the run.
+  InvariantStats* invariant_stats = nullptr;
   /// Live hooks (not part of the serializable request): when set, the engine
   /// appends every completion's flow time here, so another thread can watch
   /// percentiles / l_k norms of a run in flight.  Must outlive the run.
@@ -103,6 +116,10 @@ struct RunRequest {
   std::size_t max_steps = 50'000'000;
   std::size_t max_zero_progress_steps = 1000;
   bool use_fast_path = true;
+  /// Invariant checking mode + sampling period (core/invariants.h); both
+  /// serialize through the wire protocol and the CLI flag vocabulary.
+  InvariantMode invariants = default_invariant_mode();
+  std::size_t invariant_sample_period = default_invariant_sample_period();
   /// Live hooks; see EngineOptions.  Not serialized.
   LiveMetrics* live = nullptr;
   const std::atomic<bool>* cancel = nullptr;
@@ -120,6 +137,9 @@ struct RunResult {
   std::string policy;
   /// Flow-time summary of the completed schedule.
   FlowStats stats;
+  /// What the invariant layer observed (mode, epochs checked, violations,
+  /// capped structured reports); see core/invariants.h.
+  InvariantStats invariants;
   /// Wall-clock seconds spent inside the engine.
   double wall_seconds = 0.0;
 };
@@ -141,18 +161,21 @@ class FastForwardCore {
  public:
   [[nodiscard]] Schedule run(const Instance& instance, const FastForward& ff,
                              const EngineOptions& options,
-                             std::string_view policy_name);
+                             std::string_view policy_name,
+                             const PolicyInvariantTraits& traits = {});
   /// Streaming variant: admits arrivals straight from `stream` (see
   /// core/job_stream.h) so the run never materializes all n jobs at once.
   [[nodiscard]] Schedule run(JobStream& stream, const FastForward& ff,
                              const EngineOptions& options,
-                             std::string_view policy_name);
+                             std::string_view policy_name,
+                             const PolicyInvariantTraits& traits = {});
 
  private:
   template <typename Arrivals>
   Schedule run_impl(Arrivals& arrivals, Schedule schedule,
                     const FastForward& ff, const EngineOptions& options,
-                    std::string_view policy_name);
+                    std::string_view policy_name,
+                    const PolicyInvariantTraits& traits);
 
   // Alive set: parallel arrays sorted by job id (trace rows want id order).
   // kUniformShare maintains ids_ only when a trace is recorded and leaves
@@ -177,6 +200,11 @@ class FastForwardCore {
   /// Ids of alive jobs admitted already under their completion threshold
   /// (degenerate sizes); almost always empty.
   std::vector<JobId> degen_ids_;
+  /// kQuantumRR: the replicated ready queue (rotation order), mirroring
+  /// QuantumRoundRobin::queue_ event for event.
+  std::deque<JobId> rr_queue_;
+  /// Per-run invariant battery (core/invariants.h), reused across runs.
+  InvariantSet inv_;
 };
 
 /// The engine's inner loop with persistent, reusable buffers.
@@ -245,6 +273,9 @@ class EngineCore {
   std::vector<std::size_t> candidates_;
   std::vector<std::size_t> completing_;  // indices into alive_
   FastForwardCore fast_;
+  /// Per-run invariant battery for the generic loop (the fast path runs its
+  /// own inside FastForwardCore).
+  InvariantSet inv_;
 };
 
 /// Runs `request` on `instance` with a fresh EngineCore.  The single entry
@@ -264,12 +295,14 @@ class EngineCore {
 
 /// Runs `policy` on `instance` with a fresh EngineCore.
 /// Deprecated shim: prefer run(instance, RunRequest{...}).
+[[deprecated("use run(instance, RunRequest{...}) / the RunResult facade")]]
 [[nodiscard]] Schedule simulate(const Instance& instance, Policy& policy,
                                 const EngineOptions& options = {});
 
 /// Runs `policy` on a job stream with a fresh EngineCore (fast-path only;
 /// see EngineCore::run(JobStream&, ...)).
 /// Deprecated shim: prefer run(stream, RunRequest{...}).
+[[deprecated("use run(stream, RunRequest{...}) / the RunResult facade")]]
 [[nodiscard]] Schedule simulate(JobStream& stream, Policy& policy,
                                 const EngineOptions& options = {});
 

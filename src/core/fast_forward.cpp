@@ -88,6 +88,18 @@ void validate_descriptor(const FastForward& ff, std::string_view policy_name) {
       break;
     case FastForwardKind::kTopPriority:
       break;
+    case FastForwardKind::kQuantumRR:
+      if (!(ff.quantum > 0.0) || !std::isfinite(ff.quantum)) {
+        throw std::invalid_argument(
+            "fast_forward: policy " + std::string(policy_name) +
+            " advertises kQuantumRR with a non-positive quantum");
+      }
+      if (ff.switch_cost < 0.0 || !std::isfinite(ff.switch_cost)) {
+        throw std::invalid_argument(
+            "fast_forward: policy " + std::string(policy_name) +
+            " advertises kQuantumRR with a negative switch cost");
+      }
+      break;
   }
 }
 
@@ -165,37 +177,56 @@ class StreamArrivals {
 
 Schedule FastForwardCore::run(const Instance& instance, const FastForward& ff,
                               const EngineOptions& options,
-                              std::string_view policy_name) {
+                              std::string_view policy_name,
+                              const PolicyInvariantTraits& traits) {
   validate_options(options);
   validate_descriptor(ff, policy_name);
   InstanceArrivals arrivals(instance);
   return run_impl(arrivals, Schedule(instance, options.machines, options.speed),
-                  ff, options, policy_name);
+                  ff, options, policy_name, traits);
 }
 
 Schedule FastForwardCore::run(JobStream& stream, const FastForward& ff,
                               const EngineOptions& options,
-                              std::string_view policy_name) {
+                              std::string_view policy_name,
+                              const PolicyInvariantTraits& traits) {
   validate_options(options);
   validate_descriptor(ff, policy_name);
   StreamArrivals arrivals(stream);
   return run_impl(arrivals,
                   Schedule(arrivals.total(), options.machines, options.speed),
-                  ff, options, policy_name);
+                  ff, options, policy_name, traits);
 }
 
 template <typename Arrivals>
 Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
                                    const FastForward& ff,
                                    const EngineOptions& options,
-                                   std::string_view policy_name) {
+                                   std::string_view policy_name,
+                                   const PolicyInvariantTraits& traits) {
   obs::ScopedTimer run_timer("engine.run");
   schedule.set_trace_recorded(options.record_trace);
 
   const std::size_t total_jobs = arrivals.total();
   LiveMetrics* const live = options.live_metrics;
   if (live != nullptr) live->set_expected(total_jobs);
+
+  inv_.begin_run(
+      InvariantRunProfile{options.machines, options.speed,
+                          std::string(policy_name), traits},
+      options.invariants, options.invariant_sample_period, &schedule);
+  auto finish_invariants = [&] {
+    inv_.finish();
+    if (options.invariant_stats != nullptr) {
+      *options.invariant_stats = inv_.stats();
+    }
+    if (options.invariants == InvariantMode::kExhaustive) {
+      throw_if_violated(inv_.stats(), policy_name);
+    }
+  };
+
   if (arrivals.exhausted()) {
+    finish_invariants();
     obs::add("engine.runs", 1);
     obs::add(obs_counters::kFastForwardRuns, 1);
     return schedule;
@@ -218,6 +249,16 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
   rates_.clear();
   completing_.clear();
   degen_ids_.clear();
+  rr_queue_.clear();
+
+  // kQuantumRR: the replicated QuantumRoundRobin phase state (see
+  // policies/quantum_rr.cpp -- every transition below mirrors its rates()
+  // bit for bit, evaluated once per event exactly when the generic loop
+  // would query the policy).
+  enum class QPhase : std::uint8_t { kRunning, kSwitching };
+  QPhase qphase = QPhase::kRunning;
+  Time qphase_end = -kInfiniteTime;
+  bool qphase_started = false;
 
   const bool uniform = ff.kind == FastForwardKind::kUniformShare;
   // kUniformShare keeps only the ord_* arrays hot; the id-sorted alive list
@@ -291,6 +332,8 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
               return prio_less(pos_of(a), pos_of(b));
             });
         order_.insert(it, j.id);
+      } else if (kind == FastForwardKind::kQuantumRR) {
+        rr_queue_.push_back(j.id);  // mirrors QuantumRoundRobin::on_arrival
       }
       ++admitted;
     }
@@ -345,7 +388,9 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
     // above speed), so the raw closed-form values are already the bits the
     // slow path would use.
     double share = 0.0;            // kUniformShare
-    std::size_t run_count = 0;     // kTopPriority
+    std::size_t run_count = 0;     // kTopPriority / kQuantumRR
+    bool qrr_all = false;          // kQuantumRR: n <= m, everyone runs
+    Time breakpoint_dt = kInfiniteTime;  // kQuantumRR quantum/switch expiry
     Time completion_dt = kInfiniteTime;
     switch (kind) {
       case FastForwardKind::kUniformShare:
@@ -375,12 +420,59 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
           }
         }
         break;
+      case FastForwardKind::kQuantumRR: {
+        const auto m = static_cast<std::size_t>(machines);
+        if (n <= m) {
+          // Everyone runs continuously; quanta do not apply.
+          qphase = QPhase::kRunning;
+          qphase_started = false;
+          qrr_all = true;
+          run_count = n;
+          for (std::size_t i = 0; i < n; ++i) {
+            const Time cdt = rem_[i] / speed;
+            if (cdt < completion_dt) completion_dt = cdt;
+          }
+          break;  // no breakpoint: max_duration stays infinite
+        }
+        // Expired phase: rotate after a quantum, resume after a switch.
+        if (qphase_started && now >= qphase_end - kAbsEps) {
+          if (qphase == QPhase::kRunning) {
+            const std::size_t rotate = std::min(m, rr_queue_.size());
+            for (std::size_t i = 0; i < rotate; ++i) {
+              rr_queue_.push_back(rr_queue_.front());
+              rr_queue_.pop_front();
+            }
+            if (ff.switch_cost > 0.0) {
+              qphase = QPhase::kSwitching;
+              qphase_end = now + ff.switch_cost;
+            } else {
+              qphase_end = now + ff.quantum;
+            }
+          } else {
+            qphase = QPhase::kRunning;
+            qphase_end = now + ff.quantum;
+          }
+        } else if (!qphase_started) {
+          qphase = QPhase::kRunning;
+          qphase_end = now + ff.quantum;
+          qphase_started = true;
+        }
+        if (qphase == QPhase::kRunning) {
+          run_count = std::min(m, rr_queue_.size());
+          for (std::size_t i = 0; i < run_count; ++i) {
+            const Time cdt = rem_[pos_of(rr_queue_[i])] / speed;
+            if (cdt < completion_dt) completion_dt = cdt;
+          }
+        }  // kSwitching: all machines idle, run_count stays 0
+        breakpoint_dt = std::max(qphase_end - now, kAbsEps);
+        break;
+      }
       case FastForwardKind::kNone:
         engine_fail("fast path invoked without a FastForward capability");
     }
 
-    // --- next event: arrival, earliest completion, or max_time ------------
-    Time dt = completion_dt;
+    // --- next event: arrival, completion, breakpoint, or max_time ---------
+    Time dt = std::min(completion_dt, breakpoint_dt);
     if (!arrivals.exhausted()) {
       dt = std::min(dt, arrivals.peek_release() - now);
     }
@@ -399,12 +491,36 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
     const Time step_start = now;
 
     // --- advance, emitting the trace row before the clock moves -----------
+    // The invariant battery sees the epoch before any remaining-work
+    // mutation; epoch_due() is the only per-event cost it adds here.
+    const bool inv_due = dt > 0.0 && inv_.epoch_due();
+    auto check_id_epoch = [&](std::span<const double> epoch_rates) {
+      InvariantEpoch epoch;
+      epoch.begin = now;
+      epoch.end = now + dt;
+      epoch.jobs = ids_;
+      epoch.rates = epoch_rates;
+      epoch.remaining = rem_;
+      epoch.sizes = size_;
+      inv_.check_epoch(epoch);
+    };
     if (dt > 0.0) {
       switch (kind) {
         case FastForwardKind::kUniformShare: {
           if (trace) {
             schedule.push_interval_uniform(now, now + dt, ids_, share);
             ++intervals_emitted;
+          }
+          if (inv_due) {
+            InvariantEpoch epoch;
+            epoch.begin = now;
+            epoch.end = now + dt;
+            epoch.jobs = order_;
+            epoch.uniform = true;
+            epoch.uniform_rate = share;
+            epoch.remaining = ord_rem_;
+            epoch.remaining_sorted_descending = true;
+            inv_.check_epoch(epoch);
           }
           // One shared delta (every rate is the same double), one fused
           // contiguous pass; F2 keeps the descending order sorted through
@@ -414,13 +530,16 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
           break;
         }
         case FastForwardKind::kTopPriority: {
-          if (trace) {
+          if (trace || inv_due) {
             rates_.assign(n, 0.0);
             for (std::size_t i = 0; i < run_count; ++i) {
               rates_[pos_of(order_[i])] = speed;
             }
-            schedule.push_interval(now, now + dt, ids_, rates_);
-            ++intervals_emitted;
+            if (inv_due) check_id_epoch(rates_);
+            if (trace) {
+              schedule.push_interval(now, now + dt, ids_, rates_);
+              ++intervals_emitted;
+            }
           }
           // F3: waiting jobs (rate 0) keep their bits untouched; only the
           // running prefix advances, so the priority order is preserved.
@@ -431,6 +550,7 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
           break;
         }
         case FastForwardKind::kWeightedShare:
+          if (inv_due) check_id_epoch(wrates);
           if (trace) {
             schedule.push_interval(now, now + dt, ids_, wrates);
             ++intervals_emitted;
@@ -439,6 +559,33 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
             rem_[i] -= wrates[i] * dt;
           }
           break;
+        case FastForwardKind::kQuantumRR: {
+          if (trace || inv_due) {
+            rates_.assign(n, qrr_all ? speed : 0.0);
+            if (!qrr_all) {
+              for (std::size_t i = 0; i < run_count; ++i) {
+                rates_[pos_of(rr_queue_[i])] = speed;
+              }
+            }
+            if (inv_due) check_id_epoch(rates_);
+            if (trace) {
+              // The generic loop emits rows even for all-idle switching
+              // phases; so does the kernel.
+              schedule.push_interval(now, now + dt, ids_, rates_);
+              ++intervals_emitted;
+            }
+          }
+          // F3 again: only the running set loses work.
+          const Work delta = speed * dt;
+          if (qrr_all) {
+            for (Work& r : rem_) r -= delta;
+          } else {
+            for (std::size_t i = 0; i < run_count; ++i) {
+              rem_[pos_of(rr_queue_[i])] -= delta;
+            }
+          }
+          break;
+        }
         case FastForwardKind::kNone:
           break;  // unreachable; rejected above
       }
@@ -485,13 +632,22 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
       }
     } else {
       std::size_t order_scan_end = 0;  // prefix of order_ the scan covered
-      if (degenerate_alive > 0 || kind == FastForwardKind::kWeightedShare) {
+      if (degenerate_alive > 0 || kind == FastForwardKind::kWeightedShare ||
+          (kind == FastForwardKind::kQuantumRR && qrr_all)) {
         for (std::size_t i = 0; i < n; ++i) {
           if (rem_[i] <= kRelEps * size_[i] + kAbsEps) {
             completing_.push_back(ids_[i]);
           }
         }
         order_scan_end = order_.size();
+      } else if (kind == FastForwardKind::kQuantumRR) {
+        // Only the running queue prefix lost work (none while switching).
+        for (std::size_t i = 0; i < run_count; ++i) {
+          const std::size_t p = pos_of(rr_queue_[i]);
+          if (rem_[p] <= kRelEps * size_[p] + kAbsEps) {
+            completing_.push_back(rr_queue_[i]);
+          }
+        }
       } else {  // kTopPriority: only running jobs lose work
         for (std::size_t i = 0; i < run_count; ++i) {
           const std::size_t p = pos_of(order_[i]);
@@ -503,7 +659,15 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
       }
 
       if (!completing_.empty()) {
-        if (kind != FastForwardKind::kWeightedShare) {
+        if (kind == FastForwardKind::kQuantumRR) {
+          // Mirrors QuantumRoundRobin::on_completion: the job may sit
+          // anywhere in the queue (front if it was running).
+          for (const JobId id : completing_) {
+            const auto it =
+                std::find(rr_queue_.begin(), rr_queue_.end(), id);
+            if (it != rr_queue_.end()) rr_queue_.erase(it);
+          }
+        } else if (kind != FastForwardKind::kWeightedShare) {
           const auto scan_end =
               order_.begin() + static_cast<std::ptrdiff_t>(
                                    std::min(order_scan_end, order_.size()));
@@ -561,6 +725,7 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
   }
 
   if (trace) schedule.finalize_trace();
+  finish_invariants();
 
   obs::add("engine.runs", 1);
   obs::add("engine.events", steps);

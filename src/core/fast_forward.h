@@ -19,17 +19,21 @@
 //       same order (shared share formulas, min-by-monotone-division,
 //       identical completion thresholds), so schedules -- completion times
 //       and the full trace -- are byte-identical between the two paths.
-//   C2. The policy must be stateless across engine callbacks: on_arrival /
-//       on_completion / rates() must not carry state the allocation rule
-//       depends on.  The fast path never invokes them.
+//   C2. Either the policy is stateless across engine callbacks (on_arrival /
+//       on_completion / rates() carry no state the allocation rule depends
+//       on), or its state machine is replicated exactly inside the kernel
+//       and the descriptor carries its parameters (kQuantumRR: the kernel
+//       mirrors QuantumRoundRobin's queue/phase transitions event for
+//       event).  The fast path never invokes the callbacks.
 //   C3. The rule may depend only on the alive jobs' (id, release, size,
-//       remaining, weight) and the run constants (machines, speed).  No
-//       max_duration breakpoints (the descriptor kinds below are all
-//       event-driven-only).
+//       remaining, weight), the run constants (machines, speed), and -- for
+//       kQuantumRR -- the replicated queue/phase state.  Breakpoints are
+//       allowed only when the kernel reproduces them bit for bit (the
+//       quantum/switch expiries of kQuantumRR).
 //
-// Policies with breakpoints or genuinely dynamic state (SETF, MLFQ,
-// quantum-RR, age-weighted WRR, LAPS) keep kind = kNone and run on the
-// generic loop unchanged.
+// Policies with breakpoints the kernel does not model or with genuinely
+// dynamic state (SETF, MLFQ, age-weighted WRR, LAPS) keep kind = kNone and
+// run on the generic loop unchanged.
 #pragma once
 
 #include <cstddef>
@@ -55,6 +59,13 @@ enum class FastForwardKind : std::uint8_t {
   /// only the running jobs' remaining work changes, so the sorted order is
   /// maintained incrementally across events.
   kTopPriority,
+  /// Time-sliced Round Robin (QuantumRoundRobin): the kernel replicates the
+  /// policy's ready-queue/phase state machine -- first min(m, queue) jobs
+  /// run at full speed for one quantum, rotate to the back, optionally
+  /// separated by an all-idle context switch -- using the `quantum` /
+  /// `switch_cost` fields below.  Epochs between quantum expiries are
+  /// closed-form, so the run never queries the policy.
+  kQuantumRR,
 };
 
 /// Priority orders for FastForwardKind::kTopPriority; each is the exact
@@ -79,6 +90,11 @@ struct FastForward {
   /// job-id order), again the very function the policy's rates() calls.
   std::vector<double> (*weighted_rates)(std::span<const double> weights,
                                         int machines, double speed) = nullptr;
+  /// Only read when kind == kQuantumRR: the exact doubles the policy was
+  /// constructed with, so the replicated state machine computes identical
+  /// phase boundaries.
+  double quantum = 0.0;
+  double switch_cost = 0.0;
 
   [[nodiscard]] bool enabled() const noexcept {
     return kind != FastForwardKind::kNone;

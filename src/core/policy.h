@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/fast_forward.h"
+#include "core/invariants.h"
 #include "core/time_types.h"
 
 namespace tempofair {
@@ -82,6 +83,15 @@ class Policy {
   /// FastForward contract (C1-C3); the default advertises none, keeping the
   /// generic event loop.
   [[nodiscard]] virtual FastForward fast_forward() const noexcept {
+    return {};
+  }
+  /// Structural facts about this policy's allocation rule, consumed by the
+  /// invariant layer (core/invariants.h) to decide which profile-gated
+  /// checkers apply.  The default claims only work conservation; policies
+  /// that idle capacity by design narrow it, the RR family widens it with
+  /// its no-starvation / equal-share witnesses.
+  [[nodiscard]] virtual PolicyInvariantTraits invariant_traits()
+      const noexcept {
     return {};
   }
 

@@ -258,7 +258,12 @@ Options& add_run_flags(Options& options) {
       .value("max-steps", static_cast<long>(defaults.max_steps),
              "abort after this many engine iterations")
       .value("max-time", 0.0, "abort if the simulated clock passes this (0 = off)")
-      .flag("no-fast-path", "force the generic event loop");
+      .flag("no-fast-path", "force the generic event loop")
+      .value("invariants", to_string(defaults.invariants),
+             "invariant checking mode (off sampled exhaustive)")
+      .value("invariant-period",
+             static_cast<long>(defaults.invariant_sample_period),
+             "check every Nth epoch in sampled mode");
 }
 
 RunRequest run_request_from_flags(const Parsed& parsed) {
@@ -278,6 +283,15 @@ RunRequest run_request_from_flags(const Parsed& parsed) {
   if (max_time < 0.0) throw CliError("--max-time: must be >= 0");
   if (max_time > 0.0) request.max_time = max_time;
   request.use_fast_path = !parsed.flag("no-fast-path");
+  try {
+    request.invariants = parse_invariant_mode(parsed.get_string("invariants"));
+  } catch (const std::invalid_argument&) {
+    throw CliError("--invariants: expected off, sampled or exhaustive, got '" +
+                   parsed.get_string("invariants") + "'");
+  }
+  const long invariant_period = parsed.get_int("invariant-period");
+  if (invariant_period < 1) throw CliError("--invariant-period: must be >= 1");
+  request.invariant_sample_period = static_cast<std::size_t>(invariant_period);
   return request;
 }
 

@@ -162,7 +162,8 @@ class Parsed {
 // groups they support.
 
 /// --policy --machines --speed --no-trace --hide-sizes --max-steps
-/// --max-time --no-fast-path: everything needed to describe one engine run.
+/// --max-time --no-fast-path --invariants --invariant-period: everything
+/// needed to describe one engine run.
 Options& add_run_flags(Options& options);
 
 /// Builds a RunRequest from flags registered by add_run_flags.

@@ -7,7 +7,6 @@
 #include "core/metrics.h"
 #include "lpsolve/rational.h"
 #include "obs/obs.h"
-#include "policies/priority_policies.h"
 
 namespace tempofair::lpsolve {
 
@@ -97,14 +96,16 @@ OptBounds opt_bounds(const Instance& instance, const OptBoundsOptions& options) 
   obs::add(out.lb_certified ? "lpcert.lb_certified" : "lpcert.lb_uncertified",
            1);
 
-  EngineOptions eng;
-  eng.machines = options.machines;
-  eng.speed = 1.0;
-  eng.record_trace = false;
-  Srpt srpt;
-  Sjf sjf;
-  const double srpt_cost = flow_lk_power(simulate(instance, srpt, eng), options.k);
-  const double sjf_cost = flow_lk_power(simulate(instance, sjf, eng), options.k);
+  RunRequest request;
+  request.machines = options.machines;
+  request.speed = 1.0;
+  request.record_trace = false;
+  request.policy = "srpt";
+  const double srpt_cost =
+      flow_lk_power(run(instance, request).schedule, options.k);
+  request.policy = "sjf";
+  const double sjf_cost =
+      flow_lk_power(run(instance, request).schedule, options.k);
   out.proxy_ub = std::min(srpt_cost, sjf_cost);
   return out;
 }

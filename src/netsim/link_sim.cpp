@@ -3,8 +3,97 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "obs/obs.h"
 
 namespace tempofair::netsim {
+
+namespace {
+
+/// Relative tolerance for time/byte comparisons: the simulation is a chain
+/// of additions, so errors grow with magnitude.
+[[nodiscard]] double tol_for(double magnitude) {
+  return 1e-9 * std::max(1.0, std::fabs(magnitude));
+}
+
+}  // namespace
+
+InvariantStats check_link_invariants(std::span<const Packet> offered,
+                                     const LinkSimResult& result,
+                                     double link_rate) {
+  InvariantStats stats;
+  stats.mode = InvariantMode::kExhaustive;
+  const auto violate = [&stats](std::string_view check, std::string detail,
+                                double time) {
+    ++stats.violations;
+    if (stats.reports.size() < kMaxInvariantReports) {
+      InvariantViolation v;
+      v.check = std::string(check);
+      v.detail = std::move(detail);
+      v.time = time;
+      stats.reports.push_back(std::move(v));
+    }
+  };
+
+  // Chronology + service rate: one record at a time, in departure order.
+  double prev_departure = 0.0;
+  for (const PacketRecord& r : result.records) {
+    ++stats.epochs_seen;
+    ++stats.epochs_checked;
+    stats.checks_run += 3;
+    if (r.start + tol_for(r.start) < r.packet.arrival) {
+      violate("packet_chronology",
+              "packet of flow " + std::to_string(r.packet.flow) +
+                  " starts before it arrives",
+              r.start);
+    }
+    if (r.start + tol_for(r.start) < prev_departure) {
+      violate("packet_chronology", "transmissions overlap on the link",
+              r.start);
+    }
+    const double expect = r.start + r.packet.size / link_rate;
+    if (std::fabs(r.departure - expect) > tol_for(expect)) {
+      violate("link_rate",
+              "packet of flow " + std::to_string(r.packet.flow) +
+                  " occupies the link for " +
+                  std::to_string(r.departure - r.start) + ", expected " +
+                  std::to_string(expect - r.start),
+              r.departure);
+    }
+    prev_departure = r.departure;
+  }
+
+  // Per-flow byte conservation: served bytes == offered bytes, per flow.
+  std::map<FlowId, double> offered_bytes;
+  std::map<FlowId, double> served_bytes;
+  for (const Packet& p : offered) offered_bytes[p.flow] += p.size;
+  for (const PacketRecord& r : result.records) {
+    served_bytes[r.packet.flow] += r.packet.size;
+  }
+  for (const auto& [flow, bytes] : offered_bytes) {
+    ++stats.checks_run;
+    const auto it = served_bytes.find(flow);
+    const double served = it == served_bytes.end() ? 0.0 : it->second;
+    if (std::fabs(served - bytes) > tol_for(bytes)) {
+      violate("flow_byte_conservation",
+              "flow " + std::to_string(flow) + " offered " +
+                  std::to_string(bytes) + " bytes but " +
+                  std::to_string(served) + " departed",
+              result.busy_until);
+    }
+  }
+  for (const auto& [flow, bytes] : served_bytes) {
+    if (offered_bytes.count(flow) == 0) {
+      ++stats.checks_run;
+      violate("flow_byte_conservation",
+              "flow " + std::to_string(flow) + " departed " +
+                  std::to_string(bytes) + " bytes but offered none",
+              result.busy_until);
+    }
+  }
+  return stats;
+}
 
 LinkSimResult simulate_link(std::vector<Packet> packets,
                             LinkScheduler& scheduler, double link_rate,
@@ -73,6 +162,21 @@ LinkSimResult simulate_link(std::vector<Packet> packets,
     const double n = static_cast<double>(service_in_window.size());
     result.jain_throughput = sq > 0.0 ? (sum * sum) / (n * sq) : 1.0;
     result.min_max_share = mx > 0.0 ? mn / mx : 1.0;
+  }
+
+  // The packet battery is cheap relative to the simulation itself, so any
+  // non-off mode runs it in full; exhaustive additionally fails the run.
+  const InvariantMode mode = default_invariant_mode();
+  if (mode != InvariantMode::kOff) {
+    const InvariantStats inv = check_link_invariants(packets, result, link_rate);
+    obs::add(obs_counters::kInvariantRuns, 1);
+    obs::add(obs_counters::kInvariantEpochsChecked, inv.epochs_checked);
+    if (inv.violations > 0) {
+      obs::add(obs_counters::kInvariantViolations, inv.violations);
+    }
+    if (mode == InvariantMode::kExhaustive) {
+      throw_if_violated(inv, scheduler.name());
+    }
   }
   return result;
 }

@@ -3,9 +3,11 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
+#include "core/invariants.h"
 #include "netsim/packet.h"
 
 namespace tempofair::netsim {
@@ -55,5 +57,22 @@ struct LinkSimResult {
                                           LinkScheduler& scheduler,
                                           double link_rate,
                                           double share_horizon = 0.0);
+
+/// Structural invariants of a finished link simulation, the packet-level
+/// siblings of the core engine's schedule checkers (core/invariants.h):
+///
+///   flow_byte_conservation  every flow departs exactly the bytes it
+///                           offered -- no lost, duplicated or invented
+///                           packets per flow;
+///   packet_chronology       no packet starts before it arrives and
+///                           transmissions never overlap;
+///   link_rate               every packet occupies the link for exactly
+///                           size / link_rate.
+///
+/// simulate_link() runs this battery itself whenever the process-wide
+/// invariant mode is not off, and throws in exhaustive mode.
+[[nodiscard]] InvariantStats check_link_invariants(
+    std::span<const Packet> offered, const LinkSimResult& result,
+    double link_rate);
 
 }  // namespace tempofair::netsim

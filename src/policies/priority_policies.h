@@ -75,6 +75,16 @@ class Laps final : public Policy {
   [[nodiscard]] double beta() const noexcept { return beta_; }
   [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
 
+  /// LAPS shares only among the ceil(beta*n) latest arrivals with a per-job
+  /// cap of one machine, so whenever ceil(beta*n) < m it idles capacity by
+  /// design -- not work conserving.
+  [[nodiscard]] PolicyInvariantTraits invariant_traits()
+      const noexcept override {
+    PolicyInvariantTraits t;
+    t.work_conserving = false;
+    return t;
+  }
+
  private:
   double beta_;
 };

@@ -28,6 +28,26 @@ class QuantumRoundRobin final : public Policy {
   [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
   [[nodiscard]] double quantum() const noexcept { return quantum_; }
 
+  /// The kernel replicates this policy's queue/phase state machine (see
+  /// FastForwardKind::kQuantumRR); the descriptor just carries the exact
+  /// construction parameters.
+  [[nodiscard]] FastForward fast_forward() const noexcept override {
+    FastForward ff;
+    ff.kind = FastForwardKind::kQuantumRR;
+    ff.quantum = quantum_;
+    ff.switch_cost = switch_cost_;
+    return ff;
+  }
+
+  /// With a nonzero switch cost every rotation inserts an all-idle phase,
+  /// so the policy deliberately leaves capacity unused.
+  [[nodiscard]] PolicyInvariantTraits invariant_traits()
+      const noexcept override {
+    PolicyInvariantTraits t;
+    t.work_conserving = switch_cost_ == 0.0;
+    return t;
+  }
+
   void reset() override;
   void on_arrival(const AliveJob& job, Time now) override;
   void on_completion(JobId id, Time now) override;

@@ -62,8 +62,8 @@ std::unique_ptr<Policy> make_policy(std::string_view spec) {
 }
 
 std::vector<std::string> builtin_policy_specs() {
-  return {"rr", "srpt", "sjf", "fcfs", "setf", "wrr", "mlfq", "laps:0.5",
-          "hdf", "hrdf", "wprr"};
+  return {"rr",   "srpt", "sjf",  "fcfs", "setf",    "wrr",
+          "mlfq", "laps:0.5", "hdf",  "hrdf", "wprr", "qrr:0.5"};
 }
 
 }  // namespace tempofair

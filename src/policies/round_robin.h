@@ -35,6 +35,18 @@ class RoundRobin final : public Policy {
     ff.uniform_share = &RoundRobin::equal_share;
     return ff;
   }
+
+  /// RR carries the full witness set: work conserving, never starves an
+  /// alive job, and gives everyone the identical share s*min(1, m/n) --
+  /// the temporal-fairness property the paper's Theorem 1 rests on.
+  [[nodiscard]] PolicyInvariantTraits invariant_traits()
+      const noexcept override {
+    PolicyInvariantTraits t;
+    t.work_conserving = true;
+    t.shares_all_alive = true;
+    t.equal_share = true;
+    return t;
+  }
 };
 
 }  // namespace tempofair

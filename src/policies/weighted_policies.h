@@ -49,6 +49,15 @@ class WeightProportionalRoundRobin final : public Policy {
     ff.weighted_rates = &WeightProportionalRoundRobin::shares;
     return ff;
   }
+
+  /// Waterfilling positive weights gives every alive job a positive share
+  /// (the weighted no-starvation witness), but not an equal one.
+  [[nodiscard]] PolicyInvariantTraits invariant_traits()
+      const noexcept override {
+    PolicyInvariantTraits t;
+    t.shares_all_alive = true;
+    return t;
+  }
 };
 
 }  // namespace tempofair

@@ -28,6 +28,15 @@ class WeightedRoundRobin final : public Policy {
   [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
   [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
 
+  /// Ages (plus the offset) are strictly positive, so the waterfill always
+  /// grants every alive job a positive share.
+  [[nodiscard]] PolicyInvariantTraits invariant_traits()
+      const noexcept override {
+    PolicyInvariantTraits t;
+    t.shares_all_alive = true;
+    return t;
+  }
+
  private:
   double age_offset_;
   double refresh_rel_;

@@ -600,6 +600,7 @@ Frame Daemon::handle_get_result(const std::shared_ptr<Session>& session,
     reply.wall_seconds = run->wall_seconds;
     reply.stats = run->stats;
     reply.completions = run->completions;
+    reply.invariants = run->invariants;
   }
   WireWriter w;
   encode(w, reply);
@@ -692,6 +693,13 @@ void Daemon::execute_run(const std::shared_ptr<Session>& session,
         const std::span<const Time> completions =
             result.schedule.completions();
         run->completions.assign(completions.begin(), completions.end());
+        run->invariants = std::move(result.invariants);
+      }
+      if (!run->invariants.ok()) {
+        session->sink.add("runs.invariant_violations",
+                          run->invariants.violations);
+        global_stats_.add("runs.invariant_violations",
+                          run->invariants.violations);
       }
       run->finish(RunPhase::kDone);
       session->sink.add("runs.done", 1);

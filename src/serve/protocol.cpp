@@ -60,6 +60,8 @@ void encode_run_request(WireWriter& w, const RunRequest& request) {
   w.f64(request.max_time);
   w.u64(request.max_steps);
   w.u64(request.max_zero_progress_steps);
+  w.u8(static_cast<std::uint8_t>(request.invariants));
+  w.u64(request.invariant_sample_period);
 }
 
 RunRequest decode_run_request(WireReader& r) {
@@ -79,7 +81,60 @@ RunRequest decode_run_request(WireReader& r) {
   request.max_time = r.f64();
   request.max_steps = static_cast<std::size_t>(r.u64());
   request.max_zero_progress_steps = static_cast<std::size_t>(r.u64());
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(InvariantMode::kExhaustive)) {
+    throw WireError("protocol: unknown invariant mode " + std::to_string(mode));
+  }
+  request.invariants = static_cast<InvariantMode>(mode);
+  const std::uint64_t period = r.u64();
+  if (period == 0) {
+    throw WireError("protocol: RunRequest invariant period must be >= 1");
+  }
+  request.invariant_sample_period = static_cast<std::size_t>(period);
   return request;
+}
+
+void encode_invariant_stats(WireWriter& w, const InvariantStats& stats) {
+  w.u8(static_cast<std::uint8_t>(stats.mode));
+  w.u64(stats.epochs_seen);
+  w.u64(stats.epochs_checked);
+  w.u64(stats.checks_run);
+  w.u64(stats.violations);
+  w.u32(static_cast<std::uint32_t>(stats.reports.size()));
+  for (const InvariantViolation& v : stats.reports) {
+    w.str(v.check);
+    w.str(v.detail);
+    w.f64(v.time);
+    w.u32(v.job);
+  }
+}
+
+InvariantStats decode_invariant_stats(WireReader& r) {
+  InvariantStats stats;
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(InvariantMode::kExhaustive)) {
+    throw WireError("protocol: unknown invariant mode " + std::to_string(mode));
+  }
+  stats.mode = static_cast<InvariantMode>(mode);
+  stats.epochs_seen = r.u64();
+  stats.epochs_checked = r.u64();
+  stats.checks_run = r.u64();
+  stats.violations = r.u64();
+  const std::uint32_t n = r.u32();
+  if (n > kMaxInvariantReports) {
+    throw WireError("protocol: absurd invariant report count " +
+                    std::to_string(n));
+  }
+  stats.reports.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    InvariantViolation v;
+    v.check = r.str();
+    v.detail = r.str();
+    v.time = r.f64();
+    v.job = r.u32();
+    stats.reports.push_back(std::move(v));
+  }
+  return stats;
 }
 
 void encode_flow_stats(WireWriter& w, const FlowStats& stats) {
@@ -328,6 +383,7 @@ void encode(WireWriter& w, const ResultMsg& m) {
   w.f64(m.wall_seconds);
   encode_flow_stats(w, m.stats);
   encode_doubles(w, m.completions);
+  encode_invariant_stats(w, m.invariants);
 }
 
 ResultMsg decode_result(WireReader& r) {
@@ -337,6 +393,7 @@ ResultMsg decode_result(WireReader& r) {
   m.wall_seconds = r.f64();
   m.stats = decode_flow_stats(r);
   m.completions = decode_doubles(r, "completion");
+  m.invariants = decode_invariant_stats(r);
   r.expect_exhausted("RESULT");
   return m;
 }

@@ -1,4 +1,4 @@
-// tempofaird protocol v1: message structs and their payload codecs.
+// tempofaird protocol v2: message structs and their payload codecs.
 //
 // Request/response pairs (every request frame gets exactly one response,
 // written before the next request is read -- the protocol is lockstep per
@@ -152,6 +152,8 @@ struct ResultMsg {
   /// Completion time per job, indexed by server-assigned job id.  Bitwise
   /// the engine's values, so offline replays compare byte-identical.
   std::vector<double> completions;
+  /// What the run's invariant checkers observed (v2).
+  InvariantStats invariants;
 };
 
 struct ErrorMsg {
@@ -201,5 +203,8 @@ void encode_run_request(WireWriter& w, const RunRequest& request);
 
 void encode_flow_stats(WireWriter& w, const FlowStats& stats);
 [[nodiscard]] FlowStats decode_flow_stats(WireReader& r);
+
+void encode_invariant_stats(WireWriter& w, const InvariantStats& stats);
+[[nodiscard]] InvariantStats decode_invariant_stats(WireReader& r);
 
 }  // namespace tempofair::serve

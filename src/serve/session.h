@@ -100,6 +100,7 @@ struct RunState {
   double wall_seconds = 0.0;
   FlowStats stats;
   std::vector<double> completions;  ///< by job id, bitwise engine output
+  InvariantStats invariants;        ///< the run's invariant-checker stats
 
   /// Publishes a terminal phase and wakes waiters.  No-op if the run is
   /// already terminal (e.g. a cancel raced a failure).

@@ -33,7 +33,9 @@ class WireError : public std::runtime_error {
 };
 
 /// Protocol major version spoken by this build (frame header + HELLO).
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// v2: RunRequest carries the invariant mode + sample period, RESULT
+/// carries the run's InvariantStats.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 
 /// Hard upper bound on a payload; a length prefix above this is treated as
 /// garbage (protects the daemon from one hostile frame allocating gigabytes).

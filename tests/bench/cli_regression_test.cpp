@@ -116,6 +116,30 @@ TEST(PerfGateCli, WithinTolerancePasses) {
   EXPECT_NE(result.output.find("PASS"), std::string::npos) << result.output;
 }
 
+TEST(PerfGateCli, BreachedSelfBudgetFailsEvenWhenBaselinePasses) {
+  // The self-gate holds without any baseline movement: identical medians,
+  // but the current report's overhead stat breaks its own declared budget.
+  const std::string baseline = temp_path("perf_gate_base_sg.json");
+  const std::string current = temp_path("perf_gate_cur_sg.json");
+  write_file(baseline, report_with(0.100));
+  std::string breached = report_with(0.100);
+  const std::string needle = "\"stats\": {}";
+  const std::size_t pos = breached.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  breached.replace(pos, needle.size(),
+                   "\"stats\": {\"overhead_vs_inv_off\": 1.08, "
+                   "\"overhead_vs_inv_off_budget\": 1.03}");
+  write_file(current, breached);
+  const CommandResult result =
+      run_command(std::string(PERF_GATE_BIN) + " --baseline " + baseline +
+                  " --current " + current);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("SELF-GATE: FAIL"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("VERDICT: PASS"), std::string::npos)
+      << "baseline comparison itself should pass; the budget is what fails";
+}
+
 TEST(PerfGateCli, WritesComparisonJsonArtifact) {
   const std::string baseline = temp_path("perf_gate_base3.json");
   const std::string current = temp_path("perf_gate_cur3.json");

@@ -150,6 +150,69 @@ TEST(CompareReports, CustomRatiosRespected) {
   EXPECT_TRUE(result.failed);
 }
 
+TEST(SelfGate, PassesWhenStatWithinBudget) {
+  Report report;
+  CaseResult c = make_case("rr_fast_inv_sampled_100000", 0.020);
+  c.stats["overhead_vs_inv_off"] = 1.012;
+  c.stats["overhead_vs_inv_off_budget"] = 1.03;
+  report.cases.push_back(c);
+  const GateResult result = self_gate(report);
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_EQ(result.verdicts[0].verdict, "OK");
+  EXPECT_EQ(result.verdicts[0].name,
+            "rr_fast_inv_sampled_100000/overhead_vs_inv_off");
+  EXPECT_DOUBLE_EQ(result.verdicts[0].current_s, 1.012);
+  EXPECT_DOUBLE_EQ(result.verdicts[0].baseline_s, 1.03);
+  EXPECT_FALSE(result.failed);
+}
+
+TEST(SelfGate, FailsWhenStatExceedsBudget) {
+  Report report;
+  CaseResult c = make_case("a", 0.020);
+  c.stats["overhead_vs_inv_off"] = 1.08;
+  c.stats["overhead_vs_inv_off_budget"] = 1.03;
+  report.cases.push_back(c);
+  const GateResult result = self_gate(report);
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_EQ(result.verdicts[0].verdict, "FAIL");
+  EXPECT_TRUE(result.failed);
+}
+
+TEST(SelfGate, FailsWhenBudgetedStatIsMissing) {
+  Report report;
+  CaseResult c = make_case("a", 0.020);
+  c.stats["overhead_vs_inv_off_budget"] = 1.03;  // stat itself never recorded
+  report.cases.push_back(c);
+  const GateResult result = self_gate(report);
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_EQ(result.verdicts[0].verdict, "FAIL");
+  EXPECT_TRUE(result.failed);
+}
+
+TEST(SelfGate, IgnoresCasesWithoutBudgets) {
+  Report report;
+  CaseResult c = make_case("a", 0.020);
+  c.stats["jobs"] = 100000.0;
+  c.stats["speedup_vs_event_loop"] = 2.5;
+  report.cases.push_back(c);
+  const GateResult result = self_gate(report);
+  EXPECT_TRUE(result.verdicts.empty());
+  EXPECT_FALSE(result.failed);
+}
+
+TEST(SelfGate, BudgetsSurviveTheJsonRoundTrip) {
+  Report report;
+  CaseResult c = make_case("a", 0.020);
+  c.stats["overhead_vs_inv_off"] = 1.05;
+  c.stats["overhead_vs_inv_off_budget"] = 1.03;
+  report.cases.push_back(c);
+  const GateResult result = self_gate(parse_report(report_json(report)));
+  EXPECT_TRUE(result.failed);
+  const std::string text = format_self_gate(result);
+  EXPECT_NE(text.find("overhead_vs_inv_off"), std::string::npos);
+  EXPECT_NE(text.find("SELF-GATE: FAIL"), std::string::npos);
+}
+
 TEST(FormatGate, MentionsEveryCaseAndVerdict) {
   Report baseline, current;
   baseline.cases.push_back(make_case("fast_case", 0.100));

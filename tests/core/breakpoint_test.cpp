@@ -36,6 +36,11 @@ class SlowStartPolicy final : public Policy {
   explicit SlowStartPolicy(double idle) : idle_(idle) {}
   std::string_view name() const noexcept override { return "slowstart"; }
   bool clairvoyant() const noexcept override { return false; }
+  PolicyInvariantTraits invariant_traits() const noexcept override {
+    PolicyInvariantTraits t;
+    t.work_conserving = false;  // the whole point is the idle prefix
+    return t;
+  }
   RateDecision rates(const SchedulerContext& ctx) override {
     RateDecision d;
     if (ctx.now < idle_ - kAbsEps) {

@@ -5,6 +5,12 @@
 // paths on the same instances and compare bitwise, not within tolerance:
 // any relaxation here would let the two paths drift and silently change
 // experiment results depending on which path a run takes.
+//
+// Every comparison additionally runs under exhaustive invariant checking
+// (core/invariants.h) and replays the recorded trace through the offline
+// battery, so a kernel bug that keeps both paths in agreement but breaks a
+// structural property (capacity, work conservation, monotone remaining)
+// still fails here.
 #include <bit>
 #include <cstdint>
 #include <memory>
@@ -15,11 +21,10 @@
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
+#include "core/invariants.h"
 #include "core/metrics.h"
 #include "core/schedule.h"
-#include "policies/priority_policies.h"
-#include "policies/round_robin.h"
-#include "policies/weighted_policies.h"
+#include "policies/registry.h"
 #include "workload/adversarial.h"
 #include "workload/generators.h"
 #include "workload/rng.h"
@@ -29,18 +34,6 @@ namespace tempofair {
 namespace {
 
 constexpr std::uint64_t kSeed = 20260806;
-
-[[nodiscard]] std::unique_ptr<Policy> make_policy(const std::string& name) {
-  if (name == "rr") return std::make_unique<RoundRobin>();
-  if (name == "fcfs") return std::make_unique<Fcfs>();
-  if (name == "sjf") return std::make_unique<Sjf>();
-  if (name == "srpt") return std::make_unique<Srpt>();
-  if (name == "wprr") {
-    return std::make_unique<WeightProportionalRoundRobin>();
-  }
-  ADD_FAILURE() << "unknown policy " << name;
-  return nullptr;
-}
 
 [[nodiscard]] std::uint64_t bits(double x) {
   return std::bit_cast<std::uint64_t>(x);
@@ -82,27 +75,46 @@ void expect_identical(const Schedule& fast, const Schedule& slow) {
   }
 }
 
-void run_both_and_compare(const Instance& instance, const std::string& policy,
-                          int machines, bool record_trace) {
-  SCOPED_TRACE("policy=" + policy + " m=" + std::to_string(machines) +
-               " trace=" + std::to_string(record_trace));
-  EngineOptions fast_opts;
-  fast_opts.machines = machines;
-  fast_opts.record_trace = record_trace;
-  fast_opts.use_fast_path = true;
-  EngineOptions slow_opts = fast_opts;
-  slow_opts.use_fast_path = false;
-
-  auto fast_policy = make_policy(policy);
-  auto slow_policy = make_policy(policy);
-  ASSERT_NE(fast_policy, nullptr);
-  const Schedule fast = simulate(instance, *fast_policy, fast_opts);
-  const Schedule slow = simulate(instance, *slow_policy, slow_opts);
-  expect_identical(fast, slow);
+/// Replays a recorded schedule through the offline exhaustive battery under
+/// the profile `spec` resolves to; an engine-produced schedule must be clean.
+void expect_invariants_clean(const Schedule& schedule, const std::string& spec,
+                             int machines, double speed) {
+  const std::unique_ptr<Policy> policy = make_policy(spec);
+  InvariantRunProfile profile;
+  profile.machines = machines;
+  profile.speed = speed;
+  profile.policy = std::string(policy->name());
+  profile.traits = policy->invariant_traits();
+  const InvariantStats offline = check_schedule(schedule, profile);
+  EXPECT_TRUE(offline.ok()) << "offline battery: " << summarize(offline);
 }
 
-const std::vector<std::string> kFastPolicies = {"rr", "fcfs", "sjf", "srpt",
-                                                "wprr"};
+void run_both_and_compare(const Instance& instance, const std::string& policy,
+                          int machines, bool record_trace, double speed = 1.0) {
+  SCOPED_TRACE("policy=" + policy + " m=" + std::to_string(machines) +
+               " trace=" + std::to_string(record_trace));
+  RunRequest fast_req;
+  fast_req.policy = policy;
+  fast_req.machines = machines;
+  fast_req.speed = speed;
+  fast_req.record_trace = record_trace;
+  fast_req.use_fast_path = true;
+  fast_req.invariants = InvariantMode::kExhaustive;  // a violation throws
+  RunRequest slow_req = fast_req;
+  slow_req.use_fast_path = false;
+
+  const RunResult fast = run(instance, fast_req);
+  const RunResult slow = run(instance, slow_req);
+  EXPECT_TRUE(fast.invariants.ok()) << summarize(fast.invariants);
+  EXPECT_TRUE(slow.invariants.ok()) << summarize(slow.invariants);
+  expect_identical(fast.schedule, slow.schedule);
+  if (record_trace) {
+    expect_invariants_clean(fast.schedule, policy, machines, speed);
+  }
+}
+
+const std::vector<std::string> kFastPolicies = {
+    "rr", "fcfs", "sjf", "srpt", "wprr", "qrr:0.7", "qrr:0.5,0.03"};
 
 TEST(FastForwardEquivalence, PoissonInstances) {
   for (const int machines : {1, 4}) {
@@ -163,18 +175,8 @@ TEST(FastForwardEquivalence, SpeedAugmentationAndBursts) {
       8, 25, 15.0, workload::ExponentialSize{1.2}, rng);
   for (const double speed : {1.0, 2.5}) {
     for (const std::string& policy : kFastPolicies) {
-      SCOPED_TRACE("policy=" + policy + " speed=" + std::to_string(speed));
-      EngineOptions fast_opts;
-      fast_opts.machines = 2;
-      fast_opts.speed = speed;
-      fast_opts.use_fast_path = true;
-      EngineOptions slow_opts = fast_opts;
-      slow_opts.use_fast_path = false;
-      auto fast_policy = make_policy(policy);
-      auto slow_policy = make_policy(policy);
-      const Schedule fast = simulate(instance, *fast_policy, fast_opts);
-      const Schedule slow = simulate(instance, *slow_policy, slow_opts);
-      expect_identical(fast, slow);
+      SCOPED_TRACE("speed=" + std::to_string(speed));
+      run_both_and_compare(instance, policy, 2, /*record_trace=*/true, speed);
     }
   }
 }
@@ -185,7 +187,7 @@ TEST(FastForwardEquivalence, StreamingMatchesMaterialized) {
   // equals the generic loop (transitively checked above).
   for (const int machines : {1, 4}) {
     SCOPED_TRACE("m=" + std::to_string(machines));
-    const workload::ExponentialSize dist{1.5};
+    const workload::SizeDist dist{workload::ExponentialSize{1.5}};
     workload::Rng inst_rng(kSeed + 31);
     const Instance instance =
         workload::poisson_load(2000, machines, 0.9, dist, inst_rng);
@@ -194,14 +196,16 @@ TEST(FastForwardEquivalence, StreamingMatchesMaterialized) {
     workload::PoissonJobStream stream =
         workload::poisson_load_stream(2000, machines, 0.9, dist, stream_rng);
 
-    EngineOptions opts;
-    opts.machines = machines;
-    opts.record_trace = true;
-    RoundRobin rr_inst;
-    RoundRobin rr_stream;
-    const Schedule from_instance = simulate(instance, rr_inst, opts);
-    const Schedule from_stream = simulate(stream, rr_stream, opts);
-    expect_identical(from_stream, from_instance);
+    RunRequest request;
+    request.policy = "rr";
+    request.machines = machines;
+    request.record_trace = true;
+    request.invariants = InvariantMode::kExhaustive;
+    const RunResult from_instance = run(instance, request);
+    const RunResult from_stream = run(stream, request);
+    EXPECT_TRUE(from_stream.invariants.ok())
+        << summarize(from_stream.invariants);
+    expect_identical(from_stream.schedule, from_instance.schedule);
   }
 }
 
@@ -212,7 +216,7 @@ TEST(FastForwardEquivalence, MillionJobStreamMatchesEventLoop) {
   // ~1 s and the comparison to the part that matters here (completions;
   // trace equality at scale is covered above at smaller n).
   const std::size_t n = 1'000'000;
-  const workload::ExponentialSize dist{1.5};
+  const workload::SizeDist dist{workload::ExponentialSize{1.5}};
   workload::Rng inst_rng(kSeed + 63);
   const Instance instance = workload::poisson_load(n, 1, 0.9, dist, inst_rng);
 
@@ -220,17 +224,18 @@ TEST(FastForwardEquivalence, MillionJobStreamMatchesEventLoop) {
   workload::PoissonJobStream stream =
       workload::poisson_load_stream(n, 1, 0.9, dist, stream_rng);
 
-  EngineOptions fast_opts;
-  fast_opts.record_trace = false;
-  EngineOptions slow_opts = fast_opts;
-  slow_opts.use_fast_path = false;
+  RunRequest fast_req;
+  fast_req.policy = "rr";
+  fast_req.record_trace = false;
+  fast_req.invariants = InvariantMode::kExhaustive;
+  RunRequest slow_req = fast_req;
+  slow_req.use_fast_path = false;
 
-  RoundRobin rr_stream;
-  RoundRobin rr_slow;
-  const Schedule fast = simulate(stream, rr_stream, fast_opts);
-  const Schedule slow = simulate(instance, rr_slow, slow_opts);
-  ASSERT_EQ(fast.n(), n);
-  expect_identical(fast, slow);
+  const RunResult fast = run(stream, fast_req);
+  const RunResult slow = run(instance, slow_req);
+  EXPECT_TRUE(fast.invariants.ok()) << summarize(fast.invariants);
+  ASSERT_EQ(fast.schedule.n(), n);
+  expect_identical(fast.schedule, slow.schedule);
 }
 
 TEST(FastForwardEquivalence, DegenerateSizesStillMatch) {

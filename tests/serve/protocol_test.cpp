@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "serve/protocol.h"
 #include "serve/wire.h"
@@ -186,6 +187,8 @@ TEST(Protocol, RunRequestRoundTripAllFields) {
   req.max_steps = 999;
   req.max_zero_progress_steps = 17;
   req.use_fast_path = false;
+  req.invariants = InvariantMode::kExhaustive;
+  req.invariant_sample_period = 128;
 
   WireWriter w;
   encode_run_request(w, req);
@@ -202,6 +205,8 @@ TEST(Protocol, RunRequestRoundTripAllFields) {
   EXPECT_EQ(out.max_steps, req.max_steps);
   EXPECT_EQ(out.max_zero_progress_steps, req.max_zero_progress_steps);
   EXPECT_EQ(out.use_fast_path, req.use_fast_path);
+  EXPECT_EQ(out.invariants, req.invariants);
+  EXPECT_EQ(out.invariant_sample_period, req.invariant_sample_period);
   // Live hooks never travel the wire.
   EXPECT_EQ(out.live, nullptr);
   EXPECT_EQ(out.cancel, nullptr);
@@ -296,11 +301,74 @@ TEST(Protocol, ResultRoundTripBitwiseCompletions) {
   msg.stats.n = 3;
   msg.stats.l2 = std::sqrt(14.0);
   msg.completions = {1.0, 2.0 / 3.0, 0.1};  // 0.1 is not exact in binary
+  msg.invariants.mode = InvariantMode::kSampled;
+  msg.invariants.epochs_seen = 640;
+  msg.invariants.epochs_checked = 10;
+  msg.invariants.checks_run = 70;
   const ResultMsg out = round_trip(msg, decode_result);
   EXPECT_EQ(out.policy, "rr");
   EXPECT_EQ(out.wall_seconds, 0.125);
   EXPECT_EQ(out.stats.l2, msg.stats.l2);
   EXPECT_EQ(out.completions, msg.completions);  // bitwise, not approximate
+  EXPECT_EQ(out.invariants.mode, InvariantMode::kSampled);
+  EXPECT_EQ(out.invariants.epochs_seen, 640u);
+  EXPECT_EQ(out.invariants.epochs_checked, 10u);
+  EXPECT_EQ(out.invariants.checks_run, 70u);
+  EXPECT_TRUE(out.invariants.ok());
+}
+
+TEST(Protocol, ResultCarriesInvariantViolations) {
+  ResultMsg msg;
+  msg.run_id = 4;
+  msg.policy = "corrupted";
+  msg.invariants.mode = InvariantMode::kExhaustive;
+  msg.invariants.epochs_seen = 12;
+  msg.invariants.epochs_checked = 12;
+  msg.invariants.checks_run = 84;
+  msg.invariants.violations = 2;
+  InvariantViolation v;
+  v.check = "rate_bounds";
+  v.detail = "rate 1.500000 exceeds speed 1.000000";
+  v.time = 0.5;
+  v.job = 3;
+  msg.invariants.reports.push_back(v);
+  v.check = "capacity";
+  v.detail = "rates sum 2.000000 exceeds 1.000000";
+  v.time = 1.5;
+  v.job = kInvalidJob;
+  msg.invariants.reports.push_back(v);
+
+  const ResultMsg out = round_trip(msg, decode_result);
+  EXPECT_FALSE(out.invariants.ok());
+  EXPECT_EQ(out.invariants.violations, 2u);
+  ASSERT_EQ(out.invariants.reports.size(), 2u);
+  EXPECT_EQ(out.invariants.reports[0].check, "rate_bounds");
+  EXPECT_EQ(out.invariants.reports[0].time, 0.5);
+  EXPECT_EQ(out.invariants.reports[0].job, 3u);
+  EXPECT_EQ(out.invariants.reports[1].check, "capacity");
+  EXPECT_EQ(out.invariants.reports[1].job, kInvalidJob);
+}
+
+TEST(Protocol, DecodeRejectsBadInvariantMode) {
+  RunRequest req;
+  WireWriter w;
+  encode_run_request(w, req);
+  // The mode byte is the third-from-last field (mode u8 + period u64).
+  std::vector<std::uint8_t> bytes(w.bytes().begin(), w.bytes().end());
+  bytes[bytes.size() - 9] = 7;  // out of range
+  WireReader r(bytes);
+  EXPECT_THROW((void)decode_run_request(r), WireError);
+}
+
+TEST(Protocol, DecodeRejectsZeroSamplePeriod) {
+  RunRequest req;
+  req.invariants = InvariantMode::kSampled;
+  WireWriter w;
+  encode_run_request(w, req);
+  std::vector<std::uint8_t> bytes(w.bytes().begin(), w.bytes().end());
+  for (int i = 1; i <= 8; ++i) bytes[bytes.size() - i] = 0;  // period = 0
+  WireReader r(bytes);
+  EXPECT_THROW((void)decode_run_request(r), WireError);
 }
 
 TEST(Protocol, ErrorRoundTrip) {

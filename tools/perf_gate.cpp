@@ -9,9 +9,16 @@
 //                                                   regression test uses)
 //
 // Exit codes: 0 = gate passed (or nothing gated), 1 = gate FAIL (a median
-// regressed past --fail-ratio or a baseline case vanished), 2 = usage or
-// I/O error.  WARN verdicts never fail the gate: the perf-smoke CI step
-// runs on shared runners, so only a >2x regression is treated as real.
+// regressed past --fail-ratio, a baseline case vanished, or a stat broke
+// its self-declared budget), 2 = usage or I/O error.  WARN verdicts never
+// fail the gate: the perf-smoke CI step runs on shared runners, so only a
+// >2x regression is treated as real.
+//
+// Independent of any baseline, every report is run through the self-gate
+// (perf::self_gate): a case stat "X_budget" asserts X <= X_budget within
+// the same run.  This is how the sampled invariant-mode overhead case
+// (overhead_vs_inv_off vs its 1.03 budget) fails CI without needing a
+// committed timing baseline.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -116,9 +123,16 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Budgets the report declares about itself hold with or without a
+    // baseline to diff against.
+    const perf::GateResult self = perf::self_gate(current);
+    if (!self.verdicts.empty()) {
+      std::cout << perf::format_self_gate(self);
+    }
+
     if (baseline_path.empty()) {
       std::cout << perf::report_json(current);
-      return 0;
+      return self.failed ? 1 : 0;
     }
 
     const perf::Report baseline = load_report(baseline_path);
@@ -129,7 +143,7 @@ int main(int argc, char** argv) {
     if (!json_path.empty()) {
       write_file(json_path, perf::gate_json(result, gate));
     }
-    return result.failed ? 1 : 0;
+    return (result.failed || self.failed) ? 1 : 0;
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;

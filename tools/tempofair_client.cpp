@@ -77,15 +77,27 @@ int run_client(const tempofair::harness::Parsed& parsed) {
             << "  mean / stddev:   " << result.stats.mean << " / "
             << result.stats.stddev << "\n"
             << "  p95 / p99 / max: " << result.stats.p95 << " / "
-            << result.stats.p99 << " / " << result.stats.linf << "\n";
+            << result.stats.p99 << " / " << result.stats.linf << "\n"
+            << "  invariants:      " << tempofair::summarize(result.invariants)
+            << "\n";
+  for (const tempofair::InvariantViolation& v : result.invariants.reports) {
+    std::cerr << "  INVARIANT VIOLATION [" << v.check << "] t=" << v.time
+              << ": " << v.detail << "\n";
+  }
 
   if (parsed.flag("show-stats")) {
+    std::uint64_t session_violations = 0;
     std::cout << "session counters:\n";
     for (const auto& [name, value] : client.stats().counters) {
       std::cout << "  " << name << " = " << value << "\n";
+      if (name == "invariants.violations") session_violations = value;
+    }
+    if (session_violations > 0) {
+      std::cerr << "warning: this session has recorded " << session_violations
+                << " invariant violation(s) across its runs\n";
     }
   }
-  return 0;
+  return result.invariants.ok() ? 0 : 3;
 }
 
 }  // namespace

@@ -144,6 +144,9 @@ int cmd_run(int argc, const char* const* argv) {
             << "\n  mean / stddev:   " << st.mean << " / " << st.stddev
             << "\n  p95 / p99 / max: " << st.p95 << " / " << st.p99 << " / "
             << st.linf << "\n";
+  if (result.invariants.mode != InvariantMode::kOff) {
+    std::cout << "  invariants:      " << summarize(result.invariants) << "\n";
+  }
 
   if (cli.flag("fairness")) {
     const FairnessReport fr = fairness_report(result.schedule);
