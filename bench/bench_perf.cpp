@@ -9,15 +9,15 @@
 #include "lpsolve/flowtime_lp.h"
 #include "policies/registry.h"
 #include "workload/generators.h"
+#include "workload/source.h"
 
 namespace {
 
 using namespace tempofair;
 
 Instance make_instance(std::size_t n, int machines, std::uint64_t seed) {
-  workload::Rng rng(seed);
-  return workload::poisson_load(n, machines, 0.9,
-                                workload::ExponentialSize{1.5}, rng);
+  return workload::make_instance(workload::WorkloadSpec::poisson(
+      n, 0.9, workload::ExponentialSize{1.5}, seed, machines));
 }
 
 // FastForward-capable policies silently take the epoch-coalesced fast path

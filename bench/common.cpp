@@ -3,28 +3,33 @@
 #include <ostream>
 
 #include "workload/adversarial.h"
+#include "workload/source.h"
 
 namespace tempofair::bench {
 
 std::vector<NamedInstance> standard_workloads(std::size_t n, int machines,
                                               std::uint64_t seed) {
-  workload::Rng rng(seed);
+  // Each named workload is its own spec with its own seed, so any one of
+  // them can be re-created in isolation from the spec string alone.
   std::vector<NamedInstance> out;
   out.push_back({"poisson-exp-0.7",
-                 workload::poisson_load(n, machines, 0.7,
-                                        workload::ExponentialSize{1.5}, rng),
+                 workload::make_instance(workload::WorkloadSpec::poisson(
+                     n, 0.7, workload::ExponentialSize{1.5}, seed, machines)),
                  machines});
   out.push_back({"poisson-exp-0.9",
-                 workload::poisson_load(n, machines, 0.9,
-                                        workload::ExponentialSize{1.5}, rng),
+                 workload::make_instance(workload::WorkloadSpec::poisson(
+                     n, 0.9, workload::ExponentialSize{1.5}, seed + 1,
+                     machines)),
                  machines});
   out.push_back({"poisson-pareto-0.9",
-                 workload::poisson_load(n, machines, 0.9,
-                                        workload::ParetoSize{1.8, 0.5, 50.0}, rng),
+                 workload::make_instance(workload::WorkloadSpec::poisson(
+                     n, 0.9, workload::ParetoSize{1.8, 0.5, 50.0}, seed + 2,
+                     machines)),
                  machines});
   out.push_back({"poisson-bimodal-0.95",
-                 workload::poisson_load(n, machines, 0.95,
-                                        workload::BimodalSize{0.9, 1.0, 20.0}, rng),
+                 workload::make_instance(workload::WorkloadSpec::poisson(
+                     n, 0.95, workload::BimodalSize{0.9, 1.0, 20.0}, seed + 3,
+                     machines)),
                  machines});
   out.push_back({"adv-batch-stream",
                  workload::rr_l2_hard(std::max<std::size_t>(n / 8, 4)), machines});

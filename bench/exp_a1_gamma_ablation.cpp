@@ -14,6 +14,7 @@
 #include "policies/round_robin.h"
 #include "registry.h"
 #include "workload/adversarial.h"
+#include "workload/source.h"
 
 using namespace tempofair;
 
@@ -36,15 +37,14 @@ int run(bench::RunContext& ctx) {
              "feasible well below the paper's gamma on concrete "
              "instances; earlier failure at speed 1");
 
-  workload::Rng rng(21);
   struct Case {
     std::string name;
     Instance inst;
   };
   std::vector<Case> cases;
-  cases.push_back({"poisson-0.95", workload::poisson_load(
-                                       80, 1, 0.95,
-                                       workload::ExponentialSize{1.5}, rng)});
+  cases.push_back({"poisson-0.95",
+                   workload::make_instance(workload::WorkloadSpec::poisson(
+                       80, 0.95, workload::ExponentialSize{1.5}, 21))});
   cases.push_back({"adv-geometric", workload::geometric_levels(8)});
   cases.push_back({"adv-batch-stream", workload::rr_l2_hard(25)});
 

@@ -10,6 +10,7 @@
 #include "common.h"
 #include "lpsolve/lower_bounds.h"
 #include "registry.h"
+#include "workload/source.h"
 
 using namespace tempofair;
 
@@ -23,9 +24,8 @@ int run(bench::RunContext& ctx) {
              "monotone in resolution, diminishing returns; default grid "
              "captures most of the bound");
 
-  workload::Rng rng(31);
-  const Instance inst =
-      workload::poisson_load(n, 1, 0.9, workload::UniformSize{0.5, 2.0}, rng);
+  const Instance inst = workload::make_instance(
+      workload::WorkloadSpec::poisson(n, 0.9, workload::UniformSize{0.5, 2.0}, 31));
 
   lpsolve::OptBoundsOptions base;
   base.k = 2.0;

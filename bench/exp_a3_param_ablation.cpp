@@ -14,6 +14,7 @@
 #include "policies/setf.h"
 #include "policies/weighted_rr.h"
 #include "registry.h"
+#include "workload/source.h"
 
 using namespace tempofair;
 
@@ -26,9 +27,8 @@ int run(bench::RunContext& ctx) {
              "epsilon-exactness knobs: WRR refresh_rel, SETF tolerance",
              "l2 converges as knobs shrink; defaults on the flat part");
 
-  workload::Rng rng(41);
-  const Instance inst =
-      workload::poisson_load(n, 1, 0.9, workload::ExponentialSize{1.5}, rng);
+  const Instance inst = workload::make_instance(
+      workload::WorkloadSpec::poisson(n, 0.9, workload::ExponentialSize{1.5}, 41));
   RunRequest req;
   req.record_trace = false;
 

@@ -11,6 +11,7 @@
 #include "policies/registry.h"
 #include "queueing/mg1.h"
 #include "registry.h"
+#include "workload/source.h"
 
 using namespace tempofair;
 
@@ -23,8 +24,8 @@ double simulated_mean_flow(const std::string& policy_name,
   const int runs = 2;
   const std::size_t warmup = n / 10;
   for (int r = 0; r < runs; ++r) {
-    workload::Rng rng(seed + r);
-    const Instance inst = workload::poisson_load(n, 1, load, dist, rng);
+    const Instance inst = workload::make_instance(
+        workload::WorkloadSpec::poisson(n, load, dist, seed + r));
     RunRequest req;
     req.policy = policy_name;
     req.record_trace = false;

@@ -8,6 +8,7 @@
 #include "core/fairness.h"
 #include "policies/registry.h"
 #include "registry.h"
+#include "workload/source.h"
 
 using namespace tempofair;
 
@@ -22,9 +23,8 @@ int run(bench::RunContext& ctx) {
              "RR row: jain=1, min_share=1, lag=0, starved=0; SRPT/SJF/"
              "FCFS starve under contention");
 
-  workload::Rng rng(seed);
-  const Instance inst =
-      workload::poisson_load(n, 1, 0.9, workload::ExponentialSize{1.5}, rng);
+  const Instance inst = workload::make_instance(
+      workload::WorkloadSpec::poisson(n, 0.9, workload::ExponentialSize{1.5}, seed));
 
   const auto policies = builtin_policy_specs();
   analysis::Table table(

@@ -11,6 +11,7 @@
 #include "policies/registry.h"
 #include "registry.h"
 #include "workload/adversarial.h"
+#include "workload/source.h"
 
 using namespace tempofair;
 
@@ -55,10 +56,9 @@ int run(bench::RunContext& ctx) {
             "F3a: srpt_starvation(120 unit jobs + one size-2 job, zero slack)",
             workload::srpt_starvation(120, 2.0));
 
-  workload::Rng rng(seed);
   run_block(ctx, "F3b: Poisson load .95, Pareto(1.8) sizes, m=1",
-            workload::poisson_load(250, 1, 0.95,
-                                   workload::ParetoSize{1.8, 0.5, 50.0}, rng));
+            workload::make_instance(workload::WorkloadSpec::poisson(
+                250, 0.95, workload::ParetoSize{1.8, 0.5, 50.0}, seed)));
   return 0;
 }
 

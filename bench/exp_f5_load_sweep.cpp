@@ -9,6 +9,7 @@
 #include "core/metrics.h"
 #include "policies/registry.h"
 #include "registry.h"
+#include "workload/source.h"
 
 using namespace tempofair;
 
@@ -44,9 +45,10 @@ int run(bench::RunContext& ctx) {
     const std::size_t pi = idx % policies.size();
     double mean = 0.0, stddev = 0.0;
     for (int t = 0; t < trials; ++t) {
-      workload::Rng rng(seed + 1000 * t + li);
-      const Instance inst = workload::poisson_load(
-          n, 1, loads[li], workload::ExponentialSize{1.0}, rng);
+      const Instance inst = workload::make_instance(
+          workload::WorkloadSpec::poisson(n, loads[li],
+                                          workload::ExponentialSize{1.0},
+                                          seed + 1000 * t + li));
       RunRequest req;
       req.policy = policies[pi];
       req.record_trace = false;

@@ -12,6 +12,7 @@
 #include "core/metrics.h"
 #include "policies/registry.h"
 #include "registry.h"
+#include "workload/source.h"
 
 using namespace tempofair;
 
@@ -26,9 +27,8 @@ int run(bench::RunContext& ctx) {
              "fractional flow (the LP's)",
              "integral/fractional around k+1, policy-dependent");
 
-  workload::Rng rng(seed);
-  const Instance inst =
-      workload::poisson_load(n, 1, 0.9, workload::ExponentialSize{1.5}, rng);
+  const Instance inst = workload::make_instance(
+      workload::WorkloadSpec::poisson(n, 0.9, workload::ExponentialSize{1.5}, seed));
 
   const std::vector<std::string> specs{"rr", "srpt", "sjf", "setf", "fcfs"};
   for (double k : {1.0, 2.0, 3.0}) {

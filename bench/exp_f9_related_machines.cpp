@@ -10,6 +10,7 @@
 #include "core/metrics.h"
 #include "registry.h"
 #include "relsim/relsim.h"
+#include "workload/source.h"
 
 using namespace tempofair;
 using namespace tempofair::relsim;
@@ -34,9 +35,8 @@ int run(bench::RunContext& ctx) {
       {"one-dominant", {3.4, 0.2, 0.2, 0.2}},
   };
 
-  workload::Rng rng(seed);
-  const Instance inst =
-      workload::poisson_load(n, 4, 0.9, workload::ExponentialSize{1.5}, rng);
+  const Instance inst = workload::make_instance(workload::WorkloadSpec::poisson(
+      n, 0.9, workload::ExponentialSize{1.5}, seed, 4));
 
   analysis::Table table(
       "F9: flow norms by policy and speed profile (total capacity 4)",

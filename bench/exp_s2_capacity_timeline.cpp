@@ -1,0 +1,82 @@
+// S2 -- time-varying capacity: failures, restarts, and speed scaling.  The
+// same spec'd workload replays under a capacity timeline (2 machines -> a
+// full outage -> 1 slow machine -> 2 fast machines) and a flat baseline.
+// Expected: flow times dominate the flat-capacity run (an outage only ever
+// hurts), every job still completes exactly once (restart semantics carry
+// remaining work across phase boundaries), and speed scaling at the tail
+// claws part of the loss back.
+#include <string>
+
+#include "common.h"
+#include "registry.h"
+#include "workload/scenario.h"
+#include "workload/source.h"
+
+using namespace tempofair;
+
+namespace {
+
+int run(bench::RunContext& ctx) {
+  const std::uint64_t seed = ctx.seed_param(52);
+  const std::size_t n = ctx.size_param("n", 1500);
+  const std::string spec = ctx.string_param(
+      "workload", workload::WorkloadSpec::poisson(
+                      n, 0.7, workload::ExponentialSize{1.0}, seed, 2)
+                      .to_string());
+
+  ctx.banner("S2 (capacity timeline)",
+             "replaying one workload under failures/restarts/speed-scaling "
+             "degrades flow gracefully and conserves every job",
+             "timeline l1 >= flat l1; all jobs complete; carryovers > 0");
+
+  const Instance inst = workload::make_instance(spec);
+  const Time span = inst.job(static_cast<JobId>(inst.n() - 1)).release;
+
+  workload::CapacityTimeline timeline;
+  timeline.phases = {
+      {0.0, 2, 1.0},              // nominal: two machines
+      {0.25 * span, 0, 1.0},      // full outage (failure)
+      {0.35 * span, 1, 1.0},      // partial restart: one machine
+      {0.60 * span, 2, 1.5},      // recovery + speed scaling
+  };
+
+  analysis::Table table("S2: " + spec,
+                        {"policy", "variant", "l1", "p99", "carried"});
+  int failures = 0;
+  for (const std::string& policy : {std::string("rr"), std::string("srpt")}) {
+    RunRequest req;
+    req.policy = policy;
+    req.machines = 2;
+
+    const RunResult flat = tempofair::run(inst, req);
+    const workload::TimelineResult shaken =
+        workload::run_capacity_timeline(inst, req, timeline);
+
+    // Conservation: every job got a completion at or after its release.
+    std::size_t incomplete = 0;
+    for (JobId i = 0; i < static_cast<JobId>(inst.n()); ++i) {
+      if (!(shaken.completion[i] >= inst.job(i).release)) ++incomplete;
+    }
+    if (incomplete > 0) ++failures;
+    if (shaken.stats.l1 < flat.stats.l1) ++failures;  // outage can only hurt
+    if (shaken.carried == 0) ++failures;  // the outage must interrupt someone
+
+    table.add_row({policy, "flat 2m", analysis::Table::num(flat.stats.l1),
+                   analysis::Table::num(flat.stats.p99), "0"});
+    table.add_row({policy, "timeline", analysis::Table::num(shaken.stats.l1),
+                   analysis::Table::num(shaken.stats.p99),
+                   std::to_string(shaken.carried)});
+  }
+  ctx.emit(table);
+  return failures == 0 ? 0 : 1;
+}
+
+const bench::Registration reg{{
+    "s2",
+    "S2 (capacity timeline)",
+    "failures/restarts/speed scaling degrade flow gracefully, conserve jobs",
+    "seed=52 n=1500 workload=poisson:...,machines=2",
+    run,
+}};
+
+}  // namespace

@@ -1,0 +1,83 @@
+// S3 -- deadline/SLO mixes under speed scaling.  Jobs from one spec'd
+// stream cycle through two SLO classes (interactive: tight deadline;
+// batch: loose deadline); each policy runs at speed 1.0 and 1.2.  Expected:
+// RR's temporal fairness keeps interactive attainment high without
+// starving batch, SRPT trades batch tail for interactive wins, and a 20%
+// speed bump never lowers any class's attainment (speed augmentation is
+// exactly the paper's resource lever).
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "registry.h"
+#include "workload/scenario.h"
+#include "workload/source.h"
+
+using namespace tempofair;
+
+namespace {
+
+int run(bench::RunContext& ctx) {
+  const std::uint64_t seed = ctx.seed_param(53);
+  const std::size_t n = ctx.size_param("n", 3000);
+  const std::string spec = ctx.string_param(
+      "workload", workload::WorkloadSpec::poisson(
+                      n, 0.85, workload::BimodalSize{0.9, 0.5, 8.0}, seed)
+                      .to_string());
+  const double tight = ctx.double_param("tight", 6.0);
+  const double loose = ctx.double_param("loose", 60.0);
+
+  ctx.banner("S3 (SLO mix + speed scaling)",
+             "attainment of a two-class deadline mix under each policy, and "
+             "how a 20% speed bump moves it",
+             "speed 1.2 attainment >= speed 1.0 per class and policy");
+
+  const Instance inst = workload::make_instance(spec);
+  const std::vector<workload::SloClass> classes = {
+      {"interactive", tight}, {"batch", loose}};
+  const std::vector<int> class_of = workload::cycle_classes(inst.n(), 2);
+
+  analysis::Table table("S3: " + spec,
+                        {"policy", "speed", "interactive", "batch", "overall"});
+  int failures = 0;
+  for (const std::string& policy :
+       {std::string("rr"), std::string("srpt"), std::string("fcfs")}) {
+    std::vector<workload::SloReport> reports;
+    for (const double speed : {1.0, 1.2}) {
+      RunRequest req;
+      req.policy = policy;
+      req.speed = speed;
+      const RunResult result = tempofair::run(inst, req);
+      std::vector<Time> flows(inst.n());
+      for (JobId i = 0; i < static_cast<JobId>(inst.n()); ++i) {
+        flows[i] = result.schedule.completion(i) - inst.job(i).release;
+      }
+      reports.push_back(
+          workload::slo_attainment(flows, classes, class_of));
+      const workload::SloReport& r = reports.back();
+      table.add_row({policy, analysis::Table::num(speed, 1),
+                     analysis::Table::num(r.classes[0].attainment, 4),
+                     analysis::Table::num(r.classes[1].attainment, 4),
+                     analysis::Table::num(r.overall_attainment, 4)});
+    }
+    // More speed never hurts attainment (tiny tolerance for ties).
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      if (reports[1].classes[c].attainment + 1e-12 <
+          reports[0].classes[c].attainment) {
+        ++failures;
+      }
+    }
+  }
+  ctx.emit(table);
+  return failures == 0 ? 0 : 1;
+}
+
+const bench::Registration reg{{
+    "s3",
+    "S3 (SLO mix + speed scaling)",
+    "two-class deadline attainment per policy; speed bumps never hurt",
+    "seed=53 n=3000 tight=6 loose=60",
+    run,
+}};
+
+}  // namespace

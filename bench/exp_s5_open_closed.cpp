@@ -1,0 +1,92 @@
+// S5 -- open-loop vs closed-loop clients.  A fixed population of clients
+// that think, submit, and BLOCK until completion (closed loop) is compared
+// with an open Poisson stream offered at the closed loop's measured
+// throughput.  Expected: the closed loop self-throttles -- its response
+// tail stays bounded where the open system's tail grows -- and Little's law
+// ties population = throughput x (think + response) to within a few
+// percent, validating the bespoke closed-loop simulator.
+#include <cmath>
+#include <string>
+
+#include "common.h"
+#include "registry.h"
+#include "workload/scenario.h"
+#include "workload/source.h"
+
+using namespace tempofair;
+
+namespace {
+
+int run(bench::RunContext& ctx) {
+  const std::uint64_t seed = ctx.seed_param(55);
+  const std::size_t requests = ctx.size_param("requests", 4000, 200);
+  const long clients = ctx.int_param("clients", 12);
+  const double think = ctx.double_param("think", 2.0);
+
+  ctx.banner("S5 (open vs closed loop)",
+             "a blocking client population self-throttles where an open "
+             "stream at the same throughput does not",
+             "Little's law within 5%; open p99 >= closed p99");
+
+  analysis::Table table("S5: " + std::to_string(clients) + " clients, think " +
+                            analysis::Table::num(think, 1),
+                        {"system", "throughput", "mean", "p99", "little_err"});
+  int failures = 0;
+  double closed_p99[2] = {0.0, 0.0};
+  double closed_tput = 0.0;
+  int row = 0;
+  for (const std::string& disc : {std::string("ps"), std::string("fcfs")}) {
+    workload::ClosedLoopConfig config;
+    config.clients = static_cast<std::size_t>(clients);
+    config.requests = requests;
+    config.think_mean = think;
+    config.dist = workload::ExponentialSize{1.0};
+    config.seed = seed;
+    config.discipline = disc;
+    const workload::ClosedLoopResult closed = workload::run_closed_loop(config);
+
+    // Little's law on the closed system: N = X * (think + response).
+    const double implied =
+        closed.throughput * (think + closed.stats.mean);
+    const double little_err =
+        std::fabs(implied - static_cast<double>(clients)) /
+        static_cast<double>(clients);
+    if (little_err > 0.05) ++failures;
+    closed_p99[row] = closed.stats.p99;
+    if (disc == "ps") closed_tput = closed.throughput;
+    table.add_row({"closed/" + disc,
+                   analysis::Table::num(closed.throughput, 4),
+                   analysis::Table::num(closed.stats.mean, 3),
+                   analysis::Table::num(closed.stats.p99, 3),
+                   analysis::Table::num(little_err, 4)});
+    ++row;
+  }
+
+  // Open-loop comparison: Poisson offered at the closed PS throughput
+  // (utilization = throughput * mean_size / machines).
+  const double load = std::min(closed_tput * 1.0, 0.98);
+  RunRequest req;
+  req.policy = "rr";
+  req.workload = workload::WorkloadSpec::poisson(
+                     requests, load, workload::ExponentialSize{1.0}, seed)
+                     .to_string();
+  const RunResult open = workload::run_spec(req);
+  table.add_row({"open/rr@" + analysis::Table::num(load, 2),
+                 analysis::Table::num(load, 4),
+                 analysis::Table::num(open.stats.mean, 3),
+                 analysis::Table::num(open.stats.p99, 3), "-"});
+  // The open tail at the same offered rate dominates the closed PS tail.
+  if (!(open.stats.p99 >= closed_p99[0])) ++failures;
+  ctx.emit(table);
+  return failures == 0 ? 0 : 1;
+}
+
+const bench::Registration reg{{
+    "s5",
+    "S5 (open vs closed loop)",
+    "closed-loop clients self-throttle; Little's law validates the simulator",
+    "seed=55 requests=4000 clients=12 think=2",
+    run,
+}};
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include "harness/sweep.h"
 #include "policies/registry.h"
 #include "registry.h"
+#include "workload/source.h"
 
 using namespace tempofair;
 
@@ -43,9 +44,10 @@ int run(bench::RunContext& ctx) {
   for (std::size_t i = 0; i < loads.size(); ++i) load_indices[i] = i;
   const auto row_groups = harness::run_sweep(
       ctx.pool(), load_indices, [&](std::size_t li) {
-        workload::Rng rng(seed + li);
-        const Instance inst = workload::poisson_load(
-            n, 1, loads[li], workload::ExponentialSize{1.5}, rng);
+        const Instance inst = workload::make_instance(
+            workload::WorkloadSpec::poisson(n, loads[li],
+                                            workload::ExponentialSize{1.5},
+                                            seed + li));
         RunRequest req;
         req.policy = "srpt";
         req.record_trace = false;

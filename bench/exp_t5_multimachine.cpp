@@ -10,6 +10,7 @@
 #include "harness/sweep.h"
 #include "policies/round_robin.h"
 #include "registry.h"
+#include "workload/source.h"
 
 using namespace tempofair;
 
@@ -43,10 +44,10 @@ int run(bench::RunContext& ctx) {
   const auto rows = harness::run_sweep(
       ctx.pool(), indices, [&](std::size_t i) {
         const int m = machine_counts[i];
-        workload::Rng rng(seed + i);
-        const Instance inst = workload::poisson_load(
-            n_per_m * static_cast<std::size_t>(m), m, 0.9,
-            workload::ExponentialSize{1.5}, rng);
+        const Instance inst = workload::make_instance(
+            workload::WorkloadSpec::poisson(
+                n_per_m * static_cast<std::size_t>(m), 0.9,
+                workload::ExponentialSize{1.5}, seed + i, m));
 
         RoundRobin rr;
         analysis::RatioOptions ropt;

@@ -10,6 +10,7 @@
 #include "policies/quantum_rr.h"
 #include "policies/round_robin.h"
 #include "registry.h"
+#include "workload/source.h"
 
 using namespace tempofair;
 
@@ -24,9 +25,8 @@ int run(bench::RunContext& ctx) {
              "l2/ideal -> 1 as quantum -> 0 (cs=0); interior optimum with "
              "cs > 0");
 
-  workload::Rng rng(seed);
-  const Instance inst =
-      workload::poisson_load(n, 1, 0.85, workload::UniformSize{0.5, 2.0}, rng);
+  const Instance inst = workload::make_instance(
+      workload::WorkloadSpec::poisson(n, 0.85, workload::UniformSize{0.5, 2.0}, seed));
 
   RunRequest req;
   req.record_trace = false;

@@ -10,6 +10,7 @@
 // landscape of T3.
 #include "common.h"
 #include "core/engine.h"
+#include "workload/source.h"
 #include "core/metrics.h"
 #include "policies/registry.h"
 #include "registry.h"
@@ -28,11 +29,9 @@ int run(bench::RunContext& ctx) {
              "cells normalized by HDF; wprr <= rr under informative "
              "weights");
 
-  const std::vector<std::pair<std::string, workload::WeightScheme>> schemes{
-      {"uniform", workload::WeightScheme::kUniform},
-      {"random", workload::WeightScheme::kRandom},
-      {"prop-size", workload::WeightScheme::kProportionalSize},
-  };
+  // Scheme names double as the spec's `weights=` parameter ("uniform"
+  // means no reweighting: all weights stay 1).
+  const std::vector<std::string> schemes{"uniform", "random", "prop-size"};
   const std::vector<std::string> specs{"hdf", "hrdf", "wprr", "rr", "srpt"};
 
   for (double k : {1.0, 2.0}) {
@@ -40,11 +39,11 @@ int run(bench::RunContext& ctx) {
         "T9: weighted l" + analysis::Table::num(k, 0) +
             "^k cost / HDF's (Poisson load .9, exp sizes, m=1)",
         {"weights", "hdf", "hrdf", "wprr", "rr", "srpt"});
-    for (const auto& [scheme_name, scheme] : schemes) {
-      workload::Rng rng(seed);
-      Instance inst = workload::poisson_load(
-          n, 1, 0.9, workload::ExponentialSize{1.5}, rng);
-      inst = workload::with_weights(inst, scheme, rng);
+    for (const std::string& scheme_name : schemes) {
+      workload::WorkloadSpec spec = workload::WorkloadSpec::poisson(
+          n, 0.9, workload::ExponentialSize{1.5}, seed);
+      if (scheme_name != "uniform") spec.set("weights", scheme_name);
+      const Instance inst = workload::make_instance(spec);
 
       std::vector<double> costs(specs.size());
       ctx.pool().parallel_for(specs.size(), [&](std::size_t i) {

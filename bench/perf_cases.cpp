@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <ctime>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "policies/round_robin.h"
 #include "workload/generators.h"
 #include "workload/rng.h"
+#include "workload/source.h"
 #include "workload/stream.h"
 
 namespace tempofair::perf {
@@ -78,9 +80,9 @@ Report run_fastpath_cases(const CaseOptions& options) {
 
   // --- RR: generic event loop vs epoch-coalesced fast path, same jobs ------
   {
-    workload::Rng rng(kSeed);
-    const Instance inst = workload::poisson_load(
-        n_pair, 1, 0.9, workload::ExponentialSize{1.5}, rng);
+    const Instance inst = workload::make_instance(
+        workload::WorkloadSpec::poisson(n_pair, 0.9,
+                                        workload::ExponentialSize{1.5}, kSeed));
     RoundRobin rr;
     CaseResult slow = time_engine("rr_event_loop_" + std::to_string(n_pair) + suffix,
                                   repeats, inst, rr, false);
@@ -104,9 +106,8 @@ Report run_fastpath_cases(const CaseOptions& options) {
   // overhead budget about itself; perf_gate's self-gate fails the run on
   // a breach, baseline file or not.
   {
-    workload::Rng rng(kSeed + 4);
-    const Instance inst = workload::poisson_load(
-        n_pair, 1, 0.9, workload::ExponentialSize{1.5}, rng);
+    const Instance inst = workload::make_instance(workload::WorkloadSpec::poisson(
+        n_pair, 0.9, workload::ExponentialSize{1.5}, kSeed + 4));
     RoundRobin rr;
     RunRequest req;
     req.record_trace = false;
@@ -165,9 +166,8 @@ Report run_fastpath_cases(const CaseOptions& options) {
 
   // --- SRPT: same pairing on the top-priority rule --------------------------
   {
-    workload::Rng rng(kSeed + 1);
-    const Instance inst = workload::poisson_load(
-        n_pair, 1, 0.9, workload::ExponentialSize{1.5}, rng);
+    const Instance inst = workload::make_instance(workload::WorkloadSpec::poisson(
+        n_pair, 0.9, workload::ExponentialSize{1.5}, kSeed + 1));
     Srpt srpt;
     CaseResult slow = time_engine("srpt_event_loop_" + std::to_string(n_pair) + suffix,
                                   repeats, inst, srpt, false);
@@ -187,16 +187,14 @@ Report run_fastpath_cases(const CaseOptions& options) {
     std::size_t finished = 0;
     CaseResult c = measure(
         "rr_fast_stream_" + std::to_string(n_stream) + suffix, repeats, [&] {
-          workload::Rng rng(kSeed + 2);
-          // Named variant: the stream keeps a pointer to the SizeDist, so a
-          // temporary (or an ExponentialSize converting into one) dangles.
-          const workload::SizeDist dist{workload::ExponentialSize{1.5}};
-          workload::PoissonJobStream stream =
-              workload::poisson_load_stream(n_stream, 1, 0.9, dist, rng);
+          const auto source =
+              workload::make_source(workload::WorkloadSpec::poisson(
+                  n_stream, 0.9, workload::ExponentialSize{1.5}, kSeed + 2));
+          const std::unique_ptr<JobStream> stream = source->stream();
           RoundRobin rr;
           RunRequest req;
           req.record_trace = false;
-          finished += tempofair::run(stream, rr, req).schedule.n();
+          finished += tempofair::run(*stream, rr, req).schedule.n();
         });
     c.stats["jobs"] = static_cast<double>(n_stream);
     c.stats["finished_total"] = static_cast<double>(finished);
@@ -207,9 +205,8 @@ Report run_fastpath_cases(const CaseOptions& options) {
   // Covers the uniform-rate compressed trace rows and the analysis side of
   // the pipeline, which the trace-off cases above skip entirely.
   {
-    workload::Rng rng(kSeed + 3);
-    const Instance inst = workload::poisson_load(
-        n_trace, 1, 0.9, workload::ExponentialSize{1.5}, rng);
+    const Instance inst = workload::make_instance(workload::WorkloadSpec::poisson(
+        n_trace, 0.9, workload::ExponentialSize{1.5}, kSeed + 3));
     RoundRobin rr;
     RunRequest req;
     double norms = 0.0;

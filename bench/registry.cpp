@@ -71,6 +71,13 @@ double RunContext::double_param(const std::string& name, double fallback) {
   return v;
 }
 
+std::string RunContext::string_param(const std::string& name,
+                                     const std::string& fallback) {
+  const std::string v = cli_->get_string(name, fallback);
+  params_[name] = v;
+  return v;
+}
+
 std::uint64_t RunContext::seed_param(std::uint64_t fallback) {
   return static_cast<std::uint64_t>(
       int_param("seed", static_cast<long>(fallback)));

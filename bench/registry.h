@@ -39,6 +39,9 @@ class RunContext {
   /// --name, or `fallback`; recorded as a run param.
   [[nodiscard]] long int_param(const std::string& name, long fallback);
   [[nodiscard]] double double_param(const std::string& name, double fallback);
+  /// String-valued param (workload specs, trace paths); recorded verbatim.
+  [[nodiscard]] std::string string_param(const std::string& name,
+                                         const std::string& fallback);
   /// The experiment's RNG seed: --seed, or `fallback`; recorded.
   [[nodiscard]] std::uint64_t seed_param(std::uint64_t fallback);
   /// A workload-size param (--name, else `fallback`), scaled down to

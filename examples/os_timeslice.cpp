@@ -12,6 +12,7 @@
 #include "core/metrics.h"
 #include "harness/cli.h"
 #include "workload/generators.h"
+#include "workload/source.h"
 
 using namespace tempofair;
 
@@ -21,9 +22,9 @@ int main(int argc, char** argv) {
   const std::size_t n = static_cast<std::size_t>(cli.get_int("jobs", 250));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
 
-  workload::Rng rng(seed);
-  const Instance inst =
-      workload::poisson_load(n, 1, 0.85, workload::UniformSize{0.5, 2.0}, rng);
+  const Instance inst = workload::make_instance(
+      workload::WorkloadSpec::poisson(n, 0.85, workload::UniformSize{0.5, 2.0},
+                                      seed));
 
   RunRequest req;
   req.policy = "rr";

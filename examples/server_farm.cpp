@@ -14,6 +14,7 @@
 #include "harness/cli.h"
 #include "policies/registry.h"
 #include "workload/generators.h"
+#include "workload/source.h"
 
 using namespace tempofair;
 
@@ -24,9 +25,10 @@ int main(int argc, char** argv) {
   const double load = cli.get_double("load", 0.9);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
 
-  workload::Rng rng(seed);
-  const Instance requests = workload::poisson_load(
-      n, machines, load, workload::ParetoSize{1.8, 0.5, 60.0}, rng);
+  const Instance requests = workload::make_instance(
+      workload::WorkloadSpec::poisson(n, load,
+                                      workload::ParetoSize{1.8, 0.5, 60.0},
+                                      seed, machines));
   std::cout << "Cluster: " << machines << " machines, load " << load << "\n"
             << "Requests: " << requests.summary() << "\n";
 

@@ -435,16 +435,4 @@ RunResult run(JobStream& stream, Policy& policy, const RunRequest& request) {
   return core.run(stream, policy, request);
 }
 
-Schedule simulate(const Instance& instance, Policy& policy,
-                  const EngineOptions& options) {
-  EngineCore core;
-  return core.run(instance, policy, options);
-}
-
-Schedule simulate(JobStream& stream, Policy& policy,
-                  const EngineOptions& options) {
-  EngineCore core;
-  return core.run(stream, policy, options);
-}
-
 }  // namespace tempofair

@@ -104,6 +104,13 @@ struct RunRequest {
   /// "laps:0.5", ...).  Ignored by the overloads that take an explicit
   /// Policy object.
   std::string policy = "rr";
+  /// Optional workload spec string ("poisson:n=1000,load=0.9", "trace:f.csv",
+  /// ...; see workload/spec.h).  The engine itself never reads it -- the
+  /// field exists so one serializable request can *name* its workload:
+  /// workload::run_spec() resolves it locally, and tempofaird synthesizes
+  /// the jobs server-side when a SUBMIT carries a spec instead of job rows.
+  /// Empty means the workload travels out-of-band (an Instance/JobStream).
+  std::string workload;
   int machines = 1;
   /// Speed augmentation s (OPT is always measured at speed 1).
   double speed = 1.0;
@@ -292,18 +299,5 @@ class EngineCore {
                             const RunRequest& request);
 [[nodiscard]] RunResult run(JobStream& stream, Policy& policy,
                             const RunRequest& request);
-
-/// Runs `policy` on `instance` with a fresh EngineCore.
-/// Deprecated shim: prefer run(instance, RunRequest{...}).
-[[deprecated("use run(instance, RunRequest{...}) / the RunResult facade")]]
-[[nodiscard]] Schedule simulate(const Instance& instance, Policy& policy,
-                                const EngineOptions& options = {});
-
-/// Runs `policy` on a job stream with a fresh EngineCore (fast-path only;
-/// see EngineCore::run(JobStream&, ...)).
-/// Deprecated shim: prefer run(stream, RunRequest{...}).
-[[deprecated("use run(stream, RunRequest{...}) / the RunResult facade")]]
-[[nodiscard]] Schedule simulate(JobStream& stream, Policy& policy,
-                                const EngineOptions& options = {});
 
 }  // namespace tempofair

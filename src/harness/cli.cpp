@@ -6,6 +6,8 @@
 #include <iomanip>
 #include <ostream>
 
+#include "workload/source.h"
+
 namespace tempofair::harness {
 
 namespace detail {
@@ -250,6 +252,10 @@ Options& add_run_flags(Options& options) {
       .value("policy", defaults.policy,
              "policy spec (rr srpt sjf fcfs setf wrr mlfq hdf hrdf wprr "
              "laps:B qrr:Q[,CS])")
+      .value("workload", defaults.workload,
+             "workload spec (poisson:n=..,load=.. | mmpp:.. | uniform:.. | "
+             "bursty:.. | adv-* | trace:PATH); empty = workload supplied "
+             "out-of-band")
       .value("machines", static_cast<long>(defaults.machines),
              "identical machines")
       .value("speed", defaults.speed, "speed augmentation s (OPT at speed 1)")
@@ -292,6 +298,16 @@ RunRequest run_request_from_flags(const Parsed& parsed) {
   const long invariant_period = parsed.get_int("invariant-period");
   if (invariant_period < 1) throw CliError("--invariant-period: must be >= 1");
   request.invariant_sample_period = static_cast<std::size_t>(invariant_period);
+  request.workload = parsed.get_string("workload");
+  if (!request.workload.empty()) {
+    // Parse + resolve now so a typo dies at flag-parsing time with a usable
+    // message, not deep inside the run.
+    try {
+      (void)workload::make_source(request.workload);
+    } catch (const workload::SpecError& e) {
+      throw CliError("--workload: " + std::string(e.what()));
+    }
+  }
   return request;
 }
 

@@ -161,9 +161,12 @@ class Parsed {
 // default and the same strict parsing, everywhere.  Tools opt into the
 // groups they support.
 
-/// --policy --machines --speed --no-trace --hide-sizes --max-steps
-/// --max-time --no-fast-path --invariants --invariant-period: everything
-/// needed to describe one engine run.
+/// --policy --workload --machines --speed --no-trace --hide-sizes
+/// --max-steps --max-time --no-fast-path --invariants --invariant-period:
+/// everything needed to describe one engine run.  --workload takes a
+/// WorkloadSpec string (workload/spec.h) and replaces the per-tool bespoke
+/// generator flags; it is validated at parse time so typos exit nonzero
+/// with the spec error message.
 Options& add_run_flags(Options& options);
 
 /// Builds a RunRequest from flags registered by add_run_flags.

@@ -1,0 +1,251 @@
+#include "netsim/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace tempofair::netsim {
+
+namespace {
+
+[[nodiscard]] double tol_for(double magnitude) {
+  return 1e-9 * std::max(1.0, std::fabs(magnitude));
+}
+
+/// A packet annotated with its bottleneck arrival (access-link departure).
+struct Merged {
+  Packet packet;           // original sender arrival preserved
+  double at_bottleneck = 0.0;
+};
+
+}  // namespace
+
+InvariantStats check_dumbbell_invariants(std::span<const Packet> offered,
+                                         const DumbbellResult& result,
+                                         const TopologyConfig& config) {
+  InvariantStats stats;
+  stats.mode = InvariantMode::kExhaustive;
+  const auto violate = [&stats](std::string_view check, std::string detail,
+                                double time) {
+    ++stats.violations;
+    if (stats.reports.size() < kMaxInvariantReports) {
+      InvariantViolation v;
+      v.check = std::string(check);
+      v.detail = std::move(detail);
+      v.time = time;
+      stats.reports.push_back(std::move(v));
+    }
+  };
+
+  double prev_departure = 0.0;
+  for (const PacketRecord& r : result.records) {
+    ++stats.epochs_seen;
+    ++stats.epochs_checked;
+    stats.checks_run += 3;
+    if (r.start + tol_for(r.start) < r.packet.arrival) {
+      violate("packet_chronology",
+              "packet of flow " + std::to_string(r.packet.flow) +
+                  " starts before its sender arrival",
+              r.start);
+    }
+    if (r.start + tol_for(r.start) < prev_departure) {
+      violate("packet_chronology", "bottleneck transmissions overlap",
+              r.start);
+    }
+    const double expect = r.start + r.packet.size / config.bottleneck_rate;
+    if (std::fabs(r.departure - expect) > tol_for(expect)) {
+      violate("link_rate",
+              "packet of flow " + std::to_string(r.packet.flow) +
+                  " occupies the bottleneck for " +
+                  std::to_string(r.departure - r.start) + ", expected " +
+                  std::to_string(expect - r.start),
+              r.departure);
+    }
+    prev_departure = r.departure;
+  }
+
+  // Per flow: every offered byte is either delivered or accounted dropped.
+  std::map<FlowId, double> offered_bytes;
+  for (const Packet& p : offered) offered_bytes[p.flow] += p.size;
+  for (const auto& [flow, mon] : result.per_flow) {
+    ++stats.checks_run;
+    const auto it = offered_bytes.find(flow);
+    const double expect = it == offered_bytes.end() ? 0.0 : it->second;
+    const double accounted = mon.delivered_bytes + mon.dropped_bytes;
+    if (std::fabs(accounted - expect) > tol_for(expect)) {
+      violate("flow_byte_conservation",
+              "flow " + std::to_string(flow) + " offered " +
+                  std::to_string(expect) + " bytes but " +
+                  std::to_string(accounted) + " are accounted",
+              result.busy_until);
+    }
+  }
+  for (const auto& [flow, bytes] : offered_bytes) {
+    if (result.per_flow.count(flow) == 0) {
+      ++stats.checks_run;
+      violate("flow_byte_conservation",
+              "flow " + std::to_string(flow) + " offered " +
+                  std::to_string(bytes) + " bytes but has no monitor",
+              result.busy_until);
+    }
+  }
+  return stats;
+}
+
+DumbbellResult simulate_dumbbell(std::vector<Packet> packets,
+                                 LinkScheduler& scheduler,
+                                 const TopologyConfig& config,
+                                 double share_horizon) {
+  if (!(config.access_rate > 0.0) || !(config.bottleneck_rate > 0.0)) {
+    throw std::invalid_argument("simulate_dumbbell: link rates must be > 0");
+  }
+  if (config.queue_capacity < 0.0) {
+    throw std::invalid_argument(
+        "simulate_dumbbell: queue_capacity must be >= 0");
+  }
+
+  DumbbellResult result;
+  for (const Packet& p : packets) {
+    if (!(p.size > 0.0) || !std::isfinite(p.size) ||
+        !std::isfinite(p.arrival) || p.arrival < 0.0) {
+      throw std::invalid_argument(
+          "simulate_dumbbell: packets need finite arrival >= 0 and size > 0");
+    }
+    FlowMonitor& mon = result.per_flow[p.flow];
+    mon.offered_bytes += p.size;
+    ++mon.offered_packets;
+  }
+
+  // Stage 1: each flow's own access link serializes its packets in arrival
+  // order (FIFO per sender, unbounded queue).
+  std::sort(packets.begin(), packets.end(),
+            [](const Packet& a, const Packet& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.flow < b.flow;
+            });
+  std::vector<Merged> merged;
+  merged.reserve(packets.size());
+  std::map<FlowId, double> access_busy;
+  for (const Packet& p : packets) {
+    double& busy = access_busy[p.flow];
+    busy = std::max(busy, p.arrival) + p.size / config.access_rate;
+    merged.push_back({p, busy});
+  }
+  std::sort(merged.begin(), merged.end(), [](const Merged& a, const Merged& b) {
+    if (a.at_bottleneck != b.at_bottleneck) {
+      return a.at_bottleneck < b.at_bottleneck;
+    }
+    return a.packet.flow < b.packet.flow;
+  });
+
+  // Stage 2: the shared bottleneck.  Admission happens in bottleneck-arrival
+  // order against the flow's own buffer backlog (per-flow tail drop); the
+  // scheduler picks among admitted packets whenever the link frees up.
+  scheduler.reset();
+  result.records.reserve(merged.size());
+  std::size_t next = 0;
+  double now = 0.0;
+  std::map<FlowId, double> queued_bytes;
+  while (next < merged.size() || !scheduler.empty()) {
+    while (next < merged.size() && merged[next].at_bottleneck <= now) {
+      const Packet& p = merged[next++].packet;
+      double& queued = queued_bytes[p.flow];
+      if (config.queue_capacity > 0.0 &&
+          queued + p.size > config.queue_capacity + tol_for(p.size)) {
+        FlowMonitor& mon = result.per_flow[p.flow];
+        mon.dropped_bytes += p.size;
+        ++mon.dropped_packets;
+        continue;
+      }
+      scheduler.enqueue(p);
+      queued += p.size;
+    }
+    if (scheduler.empty()) {
+      now = merged[next].at_bottleneck;  // idle: jump to the next arrival
+      continue;
+    }
+    const Packet p = scheduler.dequeue();
+    queued_bytes[p.flow] -= p.size;
+    PacketRecord rec;
+    rec.packet = p;  // keeps the original sender arrival
+    rec.start = now;
+    now += p.size / config.bottleneck_rate;
+    rec.departure = now;
+    result.records.push_back(rec);
+  }
+  result.busy_until = now;
+
+  // Monitors and fairness over delivered bytes.
+  const double horizon = share_horizon > 0.0 ? share_horizon : now;
+  std::map<FlowId, double> service_in_window;
+  for (const PacketRecord& r : result.records) {
+    FlowMonitor& mon = result.per_flow[r.packet.flow];
+    mon.delivered_bytes += r.packet.size;
+    ++mon.delivered_packets;
+    const double delay = r.departure - r.packet.arrival;
+    mon.mean_delay += delay;
+    mon.max_delay = std::max(mon.max_delay, delay);
+    const double begin = std::min(r.start, horizon);
+    const double end = std::min(r.departure, horizon);
+    if (end > begin) {
+      service_in_window[r.packet.flow] +=
+          (end - begin) * config.bottleneck_rate;
+    }
+  }
+  double offered_total = 0.0;
+  double dropped_total = 0.0;
+  double sum = 0.0, sq = 0.0, mn = std::numeric_limits<double>::infinity(),
+         mx = 0.0;
+  for (auto& [flow, mon] : result.per_flow) {
+    if (mon.delivered_packets > 0) {
+      mon.mean_delay /= static_cast<double>(mon.delivered_packets);
+    }
+    offered_total += mon.offered_bytes;
+    dropped_total += mon.dropped_bytes;
+    sum += mon.delivered_bytes;
+    sq += mon.delivered_bytes * mon.delivered_bytes;
+    mn = std::min(mn, mon.delivered_bytes);
+    mx = std::max(mx, mon.delivered_bytes);
+  }
+  if (!result.per_flow.empty()) {
+    const double n = static_cast<double>(result.per_flow.size());
+    result.jain_goodput = sq > 0.0 ? (sum * sum) / (n * sq) : 1.0;
+    result.min_max_share = mx > 0.0 ? mn / mx : 1.0;
+  }
+  if (!service_in_window.empty()) {
+    double wsum = 0.0, wsq = 0.0,
+           wmn = std::numeric_limits<double>::infinity(), wmx = 0.0;
+    for (const auto& [flow, s] : service_in_window) {
+      wsum += s;
+      wsq += s * s;
+      wmn = std::min(wmn, s);
+      wmx = std::max(wmx, s);
+    }
+    const double n = static_cast<double>(service_in_window.size());
+    result.jain_service = wsq > 0.0 ? (wsum * wsum) / (n * wsq) : 1.0;
+    result.min_max_service = wmx > 0.0 ? wmn / wmx : 1.0;
+  }
+  result.drop_fraction = offered_total > 0.0 ? dropped_total / offered_total
+                                             : 0.0;
+
+  const InvariantMode mode = default_invariant_mode();
+  if (mode != InvariantMode::kOff) {
+    const InvariantStats inv =
+        check_dumbbell_invariants(packets, result, config);
+    obs::add(obs_counters::kInvariantRuns, 1);
+    obs::add(obs_counters::kInvariantEpochsChecked, inv.epochs_checked);
+    if (inv.violations > 0) {
+      obs::add(obs_counters::kInvariantViolations, inv.violations);
+    }
+    if (mode == InvariantMode::kExhaustive) {
+      throw_if_violated(inv, "dumbbell");
+    }
+  }
+  return result;
+}
+
+}  // namespace tempofair::netsim

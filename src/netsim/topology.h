@@ -1,0 +1,93 @@
+// Dumbbell topology: per-sender access links into one shared bottleneck.
+//
+// Extends the single-link setting (netsim/link_sim.h) to the classic
+// fairness topology: each flow enters through its own access link (rate
+// `access_rate`, unbounded queue), the serialized packets merge at a
+// bottleneck of rate `bottleneck_rate` with a finite tail-drop queue, and a
+// LinkScheduler (FIFO / DRR / WFQ, netsim/schedulers.h) picks the
+// transmission order at the bottleneck.  Per-flow monitors account offered,
+// delivered and dropped traffic so experiments can compare how each
+// scheduler shares the bottleneck under congestion.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/invariants.h"
+#include "netsim/link_sim.h"
+
+namespace tempofair::netsim {
+
+struct TopologyConfig {
+  /// Rate of every sender's access link (serializes each flow's packets).
+  double access_rate = 10.0;
+  /// Rate of the shared bottleneck link.
+  double bottleneck_rate = 1.0;
+  /// Per-flow buffer at the bottleneck, in bytes (waiting packets, not the
+  /// one in service); an arrival that would overflow its flow's buffer is
+  /// tail-dropped.  Per-flow buffers are how DRR/WFQ routers are actually
+  /// provisioned (Shreedhar-Varghese '96) and keep the drop decision
+  /// decoupled from the service order.  0 = unbounded.
+  double queue_capacity = 0.0;
+};
+
+/// Per-flow accounting across the whole path (sender to sink).
+struct FlowMonitor {
+  double offered_bytes = 0.0;
+  double delivered_bytes = 0.0;
+  double dropped_bytes = 0.0;
+  std::size_t offered_packets = 0;
+  std::size_t delivered_packets = 0;
+  std::size_t dropped_packets = 0;
+  /// Delays are sink departure minus *sender* arrival, so they include the
+  /// access-link serialization plus bottleneck queueing.
+  double mean_delay = 0.0;
+  double max_delay = 0.0;
+};
+
+struct DumbbellResult {
+  /// Bottleneck transmissions in service order; each record keeps the
+  /// packet's original sender arrival time.
+  std::vector<PacketRecord> records;
+  std::map<FlowId, FlowMonitor> per_flow;
+  /// Jain fairness index of per-flow delivered bytes over the whole run.
+  /// Every work-conserving scheduler eventually transmits whatever it
+  /// admitted, so this mostly reflects the drop pattern.
+  double jain_goodput = 1.0;
+  /// min delivered / max delivered across flows (1 = perfectly fair).
+  double min_max_share = 1.0;
+  /// Jain index / min-max ratio of per-flow *service* received inside
+  /// [0, share_horizon] -- the discriminating fairness reading while the
+  /// bottleneck is congested (DRR/WFQ equalize it; FIFO tracks arrival
+  /// byte shares).
+  double jain_service = 1.0;
+  double min_max_service = 1.0;
+  /// Dropped bytes / offered bytes over the whole run.
+  double drop_fraction = 0.0;
+  double busy_until = 0.0;
+};
+
+/// Simulates `packets` (any order; each flow's packets serialized by its
+/// own access link) through the dumbbell.  The scheduler arbitrates the
+/// bottleneck only.  `share_horizon` (0 = full run) bounds the window the
+/// service-share fairness statistics are computed over; use a prefix where
+/// every flow is still backlogged.  Runs check_dumbbell_invariants itself
+/// whenever the process-wide invariant mode is not off, throwing in
+/// exhaustive mode.
+[[nodiscard]] DumbbellResult simulate_dumbbell(std::vector<Packet> packets,
+                                               LinkScheduler& scheduler,
+                                               const TopologyConfig& config,
+                                               double share_horizon = 0.0);
+
+/// Structural invariants of a finished dumbbell run:
+///   flow_byte_conservation  per flow, offered == delivered + dropped;
+///   packet_chronology       bottleneck transmissions never overlap and
+///                           never start before the packet's sender arrival;
+///   link_rate               every transmission occupies the bottleneck for
+///                           exactly size / bottleneck_rate.
+[[nodiscard]] InvariantStats check_dumbbell_invariants(
+    std::span<const Packet> offered, const DumbbellResult& result,
+    const TopologyConfig& config);
+
+}  // namespace tempofair::netsim

@@ -192,6 +192,23 @@ std::uint64_t Client::submit_jobs(const RunRequest& request,
   return decode_submit_ok(r).run_id;
 }
 
+std::uint64_t Client::submit_spec(const std::string& spec,
+                                  RunRequest request) {
+  request.workload = spec;
+  SubmitJobsMsg msg;
+  msg.tag = next_tag_++;
+  msg.first = true;
+  msg.last = true;
+  msg.request = request;
+  msg.total_jobs = 0;  // the daemon learns n from the spec
+  msg.stream = false;
+  WireWriter w;
+  encode(w, msg);
+  const Frame reply = roundtrip(FrameType::kSubmitJobs, w, FrameType::kSubmitOk);
+  WireReader r(reply.payload);
+  return decode_submit_ok(r).run_id;
+}
+
 std::uint64_t Client::submit(const Instance& instance,
                              const RunRequest& request, std::size_t chunk,
                              int retries) {

@@ -74,6 +74,13 @@ class Client {
   std::uint64_t submit_jobs(const RunRequest& request,
                             std::span<const Job> jobs, bool stream = false);
 
+  /// v3 spec-named submission: names the workload with a WorkloadSpec
+  /// string (workload/spec.h) and ships zero jobs -- the daemon
+  /// synthesizes the stream server-side.  `spec` overrides any workload
+  /// already set on `request`.  One small frame regardless of n; a bad
+  /// spec answers ServerError (kBadRequest) with the parse message.
+  std::uint64_t submit_spec(const std::string& spec, RunRequest request);
+
   // --- queries --------------------------------------------------------------
   [[nodiscard]] MetricsMsg query_metrics(std::uint64_t run_id,
                                          std::vector<double> k_norms = {},

@@ -17,6 +17,7 @@
 #include "core/fast_forward.h"
 #include "core/instance.h"
 #include "policies/registry.h"
+#include "workload/source.h"
 
 namespace tempofair::serve {
 
@@ -366,6 +367,48 @@ Frame Daemon::handle_submit(const std::shared_ptr<Session>& session,
     } catch (const std::invalid_argument& e) {
       return make_error(ErrorCode::kBadRequest, e.what());
     }
+    if (!msg.request.workload.empty()) {
+      // v3 spec-named run: the workload travels as a spec string, not as
+      // job chunks.  Resolve it now so a typo answers BAD_REQUEST at
+      // submit time, and learn n for progress reporting.
+      if (!msg.last || !msg.jobs.empty()) {
+        return make_error(ErrorCode::kBadRequest,
+                          "a spec-named run is a single chunk with no jobs "
+                          "(the workload string replaces them)");
+      }
+      std::uint64_t total = 0;
+      try {
+        total = workload::make_source(msg.request.workload)->n();
+      } catch (const workload::SpecError& e) {
+        return make_error(ErrorCode::kBadRequest,
+                          "workload spec: " + std::string(e.what()));
+      }
+      run = std::make_shared<RunState>();
+      run->id = next_run_id_.fetch_add(1);
+      run->session_id = session->id;
+      run->tag = msg.tag;
+      run->request = msg.request;
+      run->request.live = &run->live;
+      run->request.cancel = &run->cancel;
+      run->synthesize = true;
+      run->declared_total = total;
+      run->accepted = total;
+      run->all_chunks_in = true;
+      run->dispatched = true;
+      run->live.set_expected(static_cast<std::size_t>(total));
+      session->runs.emplace(run->id, run);
+      ++session->active_runs;
+      session->sink.add("runs.accepted", 1);
+      session->sink.add("runs.spec_named", 1);
+      enqueue_ready(session, run);
+      SubmitOkMsg ok;
+      ok.tag = msg.tag;
+      ok.run_id = run->id;
+      ok.accepted_jobs = total;
+      WireWriter w;
+      encode(w, ok);
+      return make_reply(FrameType::kSubmitOk, w);
+    }
     run = std::make_shared<RunState>();
     run->id = next_run_id_.fetch_add(1);
     run->session_id = session->id;
@@ -673,7 +716,9 @@ void Daemon::execute_run(const std::shared_ptr<Session>& session,
     }
     try {
       RunResult result;
-      if (run->stream != nullptr) {
+      if (run->synthesize) {
+        result = workload::run_spec(run->request);
+      } else if (run->stream != nullptr) {
         result = tempofair::run(*run->stream, run->request);
       } else {
         std::vector<Job> jobs;

@@ -62,6 +62,7 @@ void encode_run_request(WireWriter& w, const RunRequest& request) {
   w.u64(request.max_zero_progress_steps);
   w.u8(static_cast<std::uint8_t>(request.invariants));
   w.u64(request.invariant_sample_period);
+  w.str(request.workload);  // v3
 }
 
 RunRequest decode_run_request(WireReader& r) {
@@ -91,6 +92,7 @@ RunRequest decode_run_request(WireReader& r) {
     throw WireError("protocol: RunRequest invariant period must be >= 1");
   }
   request.invariant_sample_period = static_cast<std::size_t>(period);
+  request.workload = r.str();  // v3
   return request;
 }
 

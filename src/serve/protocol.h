@@ -1,4 +1,4 @@
-// tempofaird protocol v2: message structs and their payload codecs.
+// tempofaird protocol v3: message structs and their payload codecs.
 //
 // Request/response pairs (every request frame gets exactly one response,
 // written before the next request is read -- the protocol is lockstep per
@@ -20,6 +20,12 @@
 // the last chunk lands.  This is the wire form of the RunRequest/RunResult
 // facade in core/engine.h -- the daemon decodes a request, feeds it to
 // run(), and encodes the result, with no serving-only semantics in between.
+//
+// v3: a tenant can instead *name* its workload.  A single SUBMIT_JOBS chunk
+// with first+last set, zero jobs, and a nonempty RunRequest::workload spec
+// string makes the daemon synthesize the job stream server-side through
+// workload::make_source -- the spec travels in the request, not the jobs,
+// so a run is one small frame regardless of n.
 #pragma once
 
 #include <cstdint>

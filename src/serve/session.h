@@ -79,6 +79,9 @@ struct RunState {
   /// through `stream`; materialized runs buffer into `jobs` and dispatch
   /// once the last chunk lands.
   bool streaming = false;
+  /// v3 spec-named run: no jobs on the wire; the worker synthesizes the
+  /// stream from request.workload via workload::run_spec.
+  bool synthesize = false;
   std::uint64_t declared_total = 0;
   std::uint64_t accepted = 0;
   double last_release = 0.0;  ///< for rejecting out-of-order chunks

@@ -35,7 +35,10 @@ class WireError : public std::runtime_error {
 /// Protocol major version spoken by this build (frame header + HELLO).
 /// v2: RunRequest carries the invariant mode + sample period, RESULT
 /// carries the run's InvariantStats.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// v3: RunRequest carries the workload spec string; a first SUBMIT_JOBS
+/// chunk may name its workload instead of shipping jobs, and the daemon
+/// synthesizes the stream server-side.
+inline constexpr std::uint8_t kProtocolVersion = 3;
 
 /// Hard upper bound on a payload; a length prefix above this is treated as
 /// garbage (protects the daemon from one hostile frame allocating gigabytes).

@@ -85,6 +85,8 @@ std::string dist_name(const SizeDist& dist) {
   return os.str();
 }
 
+namespace detail {
+
 Instance poisson_stream(std::size_t n, double lambda, const SizeDist& dist,
                         Rng& rng) {
   if (!(lambda > 0.0)) {
@@ -107,7 +109,7 @@ Instance poisson_load(std::size_t n, int machines, double utilization,
   }
   if (machines < 1) throw std::invalid_argument("poisson_load: machines < 1");
   const double lambda = utilization * machines / mean_size(dist);
-  return poisson_stream(n, lambda, dist, rng);
+  return detail::poisson_stream(n, lambda, dist, rng);
 }
 
 Instance bursty_stream(std::size_t bursts, std::size_t per_burst, double gap,
@@ -124,6 +126,18 @@ Instance bursty_stream(std::size_t bursts, std::size_t per_burst, double gap,
   }
   return Instance::from_jobs(std::move(jobs));
 }
+
+Instance uniform_stream(std::size_t n, double gap, double size, Time start) {
+  if (!(gap >= 0.0)) throw std::invalid_argument("uniform_stream: gap must be >= 0");
+  std::vector<Job> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(Job{static_cast<JobId>(i), start + static_cast<double>(i) * gap, size});
+  }
+  return Instance::from_jobs(std::move(jobs));
+}
+
+}  // namespace detail
 
 Instance with_weights(const Instance& instance, WeightScheme scheme, Rng& rng) {
   std::vector<Job> jobs(instance.jobs().begin(), instance.jobs().end());
@@ -142,16 +156,6 @@ Instance with_weights(const Instance& instance, WeightScheme scheme, Rng& rng) {
         j.weight = j.size;
         break;
     }
-  }
-  return Instance::from_jobs(std::move(jobs));
-}
-
-Instance uniform_stream(std::size_t n, double gap, double size, Time start) {
-  if (!(gap >= 0.0)) throw std::invalid_argument("uniform_stream: gap must be >= 0");
-  std::vector<Job> jobs;
-  jobs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    jobs.push_back(Job{static_cast<JobId>(i), start + static_cast<double>(i) * gap, size});
   }
   return Instance::from_jobs(std::move(jobs));
 }

@@ -1,0 +1,346 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "workload/rng.h"
+
+namespace tempofair::workload {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+void CapacityTimeline::validate() const {
+  if (phases.empty()) {
+    throw std::invalid_argument("CapacityTimeline: no phases");
+  }
+  if (phases.front().start != 0.0) {
+    throw std::invalid_argument("CapacityTimeline: first phase must start at 0");
+  }
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const CapacityPhase& p = phases[i];
+    if (!(p.start >= 0.0) || !std::isfinite(p.start)) {
+      throw std::invalid_argument("CapacityTimeline: bad phase start");
+    }
+    if (i > 0 && !(p.start > phases[i - 1].start)) {
+      throw std::invalid_argument(
+          "CapacityTimeline: phase starts must strictly increase");
+    }
+    if (p.machines < 0) {
+      throw std::invalid_argument("CapacityTimeline: machines < 0");
+    }
+    if (p.machines > 0 && (!(p.speed > 0.0) || !std::isfinite(p.speed))) {
+      throw std::invalid_argument("CapacityTimeline: speed must be > 0");
+    }
+  }
+  if (phases.back().machines < 1) {
+    throw std::invalid_argument(
+        "CapacityTimeline: final phase must have machines >= 1 (otherwise "
+        "carried jobs never finish)");
+  }
+}
+
+TimelineResult run_capacity_timeline(const Instance& instance,
+                                     const RunRequest& request,
+                                     const CapacityTimeline& timeline) {
+  timeline.validate();
+  TimelineResult out;
+  out.completion.assign(instance.n(), kInf);
+
+  struct Carried {
+    JobId id;        // original id
+    Work remaining;
+    double weight;
+  };
+  std::vector<Carried> carry;
+  const std::span<const JobId> order = instance.release_order();
+  std::size_t next_arrival = 0;  // index into release order
+
+  for (std::size_t pi = 0; pi < timeline.phases.size(); ++pi) {
+    const CapacityPhase& phase = timeline.phases[pi];
+    const Time seg_end = pi + 1 < timeline.phases.size()
+                             ? timeline.phases[pi + 1].start
+                             : kInf;
+    // Jobs arriving inside this phase.
+    std::vector<JobId> arrivals;
+    while (next_arrival < order.size() &&
+           instance.job(order[next_arrival]).release < seg_end) {
+      arrivals.push_back(order[next_arrival]);
+      ++next_arrival;
+    }
+    if (phase.machines == 0) {
+      // Full outage: arrivals queue up as carryover, nothing is served.
+      for (const JobId id : arrivals) {
+        const Job& j = instance.job(id);
+        carry.push_back(Carried{id, j.size, j.weight});
+      }
+      continue;
+    }
+    if (carry.empty() && arrivals.empty()) continue;
+
+    // Sub-instance: carryovers re-released at the phase start with their
+    // remaining work, fresh arrivals at their true release times.
+    std::vector<Job> sub_jobs;
+    std::vector<JobId> orig_of;
+    sub_jobs.reserve(carry.size() + arrivals.size());
+    for (const Carried& c : carry) {
+      sub_jobs.push_back(Job{static_cast<JobId>(sub_jobs.size()), phase.start,
+                             c.remaining, c.weight});
+      orig_of.push_back(c.id);
+    }
+    for (const JobId id : arrivals) {
+      const Job& j = instance.job(id);
+      sub_jobs.push_back(
+          Job{static_cast<JobId>(sub_jobs.size()), j.release, j.size, j.weight});
+      orig_of.push_back(id);
+    }
+    carry.clear();
+    const Instance sub = Instance::from_jobs(std::move(sub_jobs));
+
+    RunRequest req = request;
+    req.machines = phase.machines;
+    req.speed = phase.speed;
+    req.record_trace = true;  // the carryover cut needs attained work
+    req.workload.clear();
+    req.max_time = kInfiniteTime;
+    const RunResult result = tempofair::run(sub, req);
+    ++out.segments;
+
+    for (std::size_t k = 0; k < orig_of.size(); ++k) {
+      const auto sub_id = static_cast<JobId>(k);
+      const Time completion = result.schedule.completion(sub_id);
+      if (completion <= seg_end) {
+        out.completion[orig_of[k]] = completion;
+        continue;
+      }
+      // Interrupted by the next phase: attained work is the traced rate
+      // integrated up to the boundary.
+      Work attained = 0.0;
+      for (const JobSlice slice : result.schedule.job_trace(sub_id)) {
+        if (slice.begin >= seg_end) break;
+        attained += slice.rate * (std::min(slice.end, seg_end) - slice.begin);
+      }
+      const Work size = result.schedule.size(sub_id);
+      const Work remaining = size - attained;
+      if (remaining <= 0.0) {
+        // Finished within rounding of the boundary.
+        out.completion[orig_of[k]] = seg_end;
+        continue;
+      }
+      carry.push_back(
+          Carried{orig_of[k], remaining, result.schedule.weight(sub_id)});
+      ++out.carried;
+    }
+  }
+
+  out.flow.resize(instance.n());
+  for (JobId id = 0; id < instance.n(); ++id) {
+    out.flow[id] = out.completion[id] - instance.job(id).release;
+  }
+  out.stats = flow_stats(out.flow);
+  return out;
+}
+
+SloReport slo_attainment(std::span<const Time> flows,
+                         std::span<const SloClass> classes,
+                         std::span<const int> class_of) {
+  if (flows.size() != class_of.size()) {
+    throw std::invalid_argument("slo_attainment: flows/class_of size mismatch");
+  }
+  SloReport report;
+  report.classes.resize(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    report.classes[c].name = classes[c].name;
+    report.classes[c].deadline = classes[c].deadline;
+  }
+  std::size_t met_total = 0;
+  for (std::size_t j = 0; j < flows.size(); ++j) {
+    const int c = class_of[j];
+    if (c < 0 || static_cast<std::size_t>(c) >= classes.size()) {
+      throw std::invalid_argument("slo_attainment: class index out of range");
+    }
+    SloReport::PerClass& pc = report.classes[static_cast<std::size_t>(c)];
+    ++pc.jobs;
+    pc.mean_flow += flows[j];
+    pc.max_flow = std::max(pc.max_flow, flows[j]);
+    if (flows[j] <= classes[static_cast<std::size_t>(c)].deadline) {
+      ++pc.met;
+      ++met_total;
+    }
+  }
+  for (SloReport::PerClass& pc : report.classes) {
+    pc.attainment =
+        pc.jobs == 0 ? 1.0 : static_cast<double>(pc.met) / pc.jobs;
+    if (pc.jobs > 0) pc.mean_flow /= static_cast<double>(pc.jobs);
+  }
+  report.overall_attainment =
+      flows.empty() ? 1.0 : static_cast<double>(met_total) / flows.size();
+  return report;
+}
+
+std::vector<int> cycle_classes(std::size_t n, std::size_t num_classes) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("cycle_classes: num_classes == 0");
+  }
+  std::vector<int> out(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out[j] = static_cast<int>(j % num_classes);
+  }
+  return out;
+}
+
+ClosedLoopResult run_closed_loop(const ClosedLoopConfig& config) {
+  if (config.clients < 1) {
+    throw std::invalid_argument("run_closed_loop: clients < 1");
+  }
+  if (config.requests < 1) {
+    throw std::invalid_argument("run_closed_loop: requests < 1");
+  }
+  if (!(config.think_mean >= 0.0) || !std::isfinite(config.think_mean)) {
+    throw std::invalid_argument("run_closed_loop: bad think_mean");
+  }
+  if (config.machines < 1) {
+    throw std::invalid_argument("run_closed_loop: machines < 1");
+  }
+  if (!(config.speed > 0.0) || !std::isfinite(config.speed)) {
+    throw std::invalid_argument("run_closed_loop: bad speed");
+  }
+  const bool ps = config.discipline == "ps";
+  if (!ps && config.discipline != "fcfs") {
+    throw std::invalid_argument(
+        "run_closed_loop: discipline must be 'ps' or 'fcfs'");
+  }
+
+  Rng rng(config.seed);
+  const double capacity = config.machines * config.speed;
+  auto think = [&] {
+    return config.think_mean > 0.0 ? rng.exponential(config.think_mean) : 0.0;
+  };
+
+  struct Active {
+    std::size_t client;
+    Time submitted;
+    Work remaining;  // PS: work left; FCFS: full size until started
+  };
+  // Thinking clients, as a min-heap of (wake time, client).
+  using Thinker = std::pair<Time, std::size_t>;
+  std::priority_queue<Thinker, std::vector<Thinker>, std::greater<>> thinking;
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    thinking.emplace(think(), c);
+  }
+
+  std::vector<double> flows;
+  flows.reserve(config.requests);
+  Time t = 0.0;
+  double served = 0.0;
+
+  if (ps) {
+    // Egalitarian PS on m machines: each of the k active jobs runs at
+    // min(speed, capacity / k).
+    std::vector<Active> active;
+    while (flows.size() < config.requests) {
+      const double rate =
+          active.empty()
+              ? 0.0
+              : std::min(config.speed,
+                         capacity / static_cast<double>(active.size()));
+      Time next_completion = kInf;
+      std::size_t winner = 0;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const Time c = t + active[i].remaining / rate;
+        if (c < next_completion) {
+          next_completion = c;
+          winner = i;
+        }
+      }
+      const Time next_wake = thinking.empty() ? kInf : thinking.top().first;
+      if (next_wake <= next_completion) {
+        const double dt = next_wake - t;
+        for (Active& a : active) a.remaining -= rate * dt;
+        served += rate * dt * static_cast<double>(active.size());
+        t = next_wake;
+        const std::size_t client = thinking.top().second;
+        thinking.pop();
+        active.push_back(Active{client, t, draw_size(config.dist, rng)});
+      } else {
+        const double dt = next_completion - t;
+        for (Active& a : active) a.remaining -= rate * dt;
+        served += rate * dt * static_cast<double>(active.size());
+        t = next_completion;
+        flows.push_back(t - active[winner].submitted);
+        const std::size_t client = active[winner].client;
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(winner));
+        thinking.emplace(t + think(), client);
+      }
+    }
+  } else {
+    // FCFS on m servers of the configured speed.
+    struct InService {
+      Time done;
+      Time submitted;
+      std::size_t client;
+    };
+    auto later = [](const InService& a, const InService& b) {
+      return a.done > b.done;
+    };
+    std::priority_queue<InService, std::vector<InService>, decltype(later)>
+        in_service(later);
+    std::deque<Active> queue;
+    while (flows.size() < config.requests) {
+      const Time next_done =
+          in_service.empty() ? kInf : in_service.top().done;
+      const Time next_wake = thinking.empty() ? kInf : thinking.top().first;
+      if (next_wake <= next_done) {
+        t = next_wake;
+        const std::size_t client = thinking.top().second;
+        thinking.pop();
+        const Work size = draw_size(config.dist, rng);
+        if (in_service.size() < static_cast<std::size_t>(config.machines)) {
+          in_service.push(InService{t + size / config.speed, t, client});
+          served += size;
+        } else {
+          queue.push_back(Active{client, t, size});
+        }
+      } else {
+        t = next_done;
+        const InService done = in_service.top();
+        in_service.pop();
+        flows.push_back(t - done.submitted);
+        thinking.emplace(t + think(), done.client);
+        if (!queue.empty()) {
+          const Active next = queue.front();
+          queue.pop_front();
+          in_service.push(
+              InService{t + next.remaining / config.speed, next.submitted,
+                        next.client});
+          served += next.remaining;
+        }
+      }
+    }
+    // `served` counted each dispatched job's full size up front; jobs still
+    // in flight at the final completion haven't delivered their tail yet,
+    // so utilization must not count it.
+    while (!in_service.empty()) {
+      const InService rest = in_service.top();
+      in_service.pop();
+      if (rest.done > t) served -= (rest.done - t) * config.speed;
+    }
+  }
+
+  ClosedLoopResult result;
+  result.stats = flow_stats(flows);
+  result.makespan = t;
+  result.throughput = t > 0.0 ? static_cast<double>(flows.size()) / t : 0.0;
+  result.utilization = t > 0.0 ? served / (capacity * t) : 0.0;
+  return result;
+}
+
+}  // namespace tempofair::workload

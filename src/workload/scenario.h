@@ -1,0 +1,129 @@
+// Scenario layer: compositions the plain engine run cannot express.
+//
+// A WorkloadSpec names *what* arrives; a scenario names the *conditions* it
+// runs under.  Three compositions cover the regimes the Lk-norm experiments
+// care about:
+//
+//  * CapacityTimeline -- time-varying machine counts / speeds (failures,
+//    restarts, speed scaling).  run_capacity_timeline() replays the
+//    instance segment by segment: at each phase boundary the unfinished
+//    jobs carry over with their *remaining* work, re-released at the
+//    boundary ("restart semantics": a job interrupted by a capacity change
+//    resumes where it left off, and its flow time keeps accumulating from
+//    its original release).  machines = 0 models a full outage.
+//
+//  * SloClass / slo_attainment() -- deadline/SLO mixes: classify each job,
+//    ask what fraction of each class met flow <= deadline.
+//
+//  * ClosedLoopConfig / run_closed_loop() -- closed-loop clients: a fixed
+//    population that thinks, submits one request, and blocks until it
+//    completes (arrivals depend on completions, so the open-loop engine
+//    cannot generate them).  Processor sharing or FCFS service; contrast
+//    with an open poisson spec at the same offered load.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/instance.h"
+#include "core/metrics.h"
+#include "workload/generators.h"
+
+namespace tempofair::workload {
+
+// --- time-varying capacity ---------------------------------------------------
+
+struct CapacityPhase {
+  Time start = 0.0;    ///< absolute time the phase takes effect
+  int machines = 1;    ///< 0 = outage (no service during the phase)
+  double speed = 1.0;
+};
+
+struct CapacityTimeline {
+  std::vector<CapacityPhase> phases;
+
+  /// Throws std::invalid_argument unless phases are nonempty, start at
+  /// time 0, strictly increase, and have machines >= 0 and finite
+  /// speed > 0 (speed ignored for outage phases).
+  void validate() const;
+};
+
+struct TimelineResult {
+  /// Per original job id, absolute completion time.
+  std::vector<Time> completion;
+  /// Per original job id, flow measured from the ORIGINAL release.
+  std::vector<Time> flow;
+  FlowStats stats;        ///< flow_stats(flow)
+  std::size_t segments = 0;  ///< phases actually simulated
+  std::size_t carried = 0;   ///< job-segment carryovers (interruptions)
+};
+
+/// Replays `instance` under `request`'s policy while capacity follows
+/// `timeline`.  request.machines/speed are ignored (the timeline supplies
+/// them); request.workload is ignored (the instance is explicit).
+[[nodiscard]] TimelineResult run_capacity_timeline(
+    const Instance& instance, const RunRequest& request,
+    const CapacityTimeline& timeline);
+
+// --- deadline / SLO mixes ----------------------------------------------------
+
+struct SloClass {
+  std::string name;
+  double deadline = 1.0;  ///< met when flow <= deadline
+};
+
+struct SloReport {
+  struct PerClass {
+    std::string name;
+    double deadline = 0.0;
+    std::size_t jobs = 0;
+    std::size_t met = 0;
+    double attainment = 0.0;  ///< met / jobs (1 when the class is empty)
+    double mean_flow = 0.0;
+    double max_flow = 0.0;
+  };
+  std::vector<PerClass> classes;
+  double overall_attainment = 0.0;
+};
+
+/// Attainment of each class given per-job flows and class assignments
+/// (class_of[j] indexes `classes`).  Throws std::invalid_argument on a
+/// size mismatch or out-of-range class index.
+[[nodiscard]] SloReport slo_attainment(std::span<const Time> flows,
+                                       std::span<const SloClass> classes,
+                                       std::span<const int> class_of);
+
+/// Deterministic round-robin class assignment (job j -> j mod classes),
+/// so an SLO mix is reproducible from a spec'd workload without extra state.
+[[nodiscard]] std::vector<int> cycle_classes(std::size_t n,
+                                             std::size_t num_classes);
+
+// --- closed-loop clients -----------------------------------------------------
+
+struct ClosedLoopConfig {
+  std::size_t clients = 8;      ///< population size (multiprogramming level)
+  std::size_t requests = 1000;  ///< total completions to simulate
+  double think_mean = 1.0;      ///< exponential think time between requests
+  SizeDist dist = ExponentialSize{1.0};
+  std::uint64_t seed = 1;
+  int machines = 1;
+  double speed = 1.0;
+  /// "ps" (egalitarian processor sharing, RR's fluid limit) or "fcfs".
+  std::string discipline = "ps";
+};
+
+struct ClosedLoopResult {
+  FlowStats stats;          ///< response-time statistics over all requests
+  double throughput = 0.0;  ///< completed requests per unit time
+  double utilization = 0.0; ///< busy capacity fraction
+  Time makespan = 0.0;
+};
+
+/// Simulates the closed loop to `requests` completions.  Throws
+/// std::invalid_argument on a bad config.
+[[nodiscard]] ClosedLoopResult run_closed_loop(const ClosedLoopConfig& config);
+
+}  // namespace tempofair::workload

@@ -7,28 +7,31 @@
 
 namespace tempofair::workload {
 
-PoissonJobStream::PoissonJobStream(std::size_t n, double lambda,
-                                   const SizeDist& dist, Rng& rng)
+namespace detail {
+
+PoissonStream::PoissonStream(std::size_t n, double lambda, const SizeDist& dist,
+                             Rng& rng)
     : n_(n), lambda_(lambda), dist_(&dist), rng_(&rng) {
   if (!(lambda > 0.0)) {
-    throw std::invalid_argument("PoissonJobStream: lambda must be > 0");
+    throw std::invalid_argument("PoissonStream: lambda must be > 0");
   }
 }
 
-Job PoissonJobStream::next() {
+Job PoissonStream::next() {
   if (emitted_ == n_) {
-    throw std::logic_error("PoissonJobStream: next() called past n()");
+    throw std::logic_error("PoissonStream: next() called past n()");
   }
-  // Identical draw order to poisson_stream(): inter-arrival gap, then size.
+  // Identical draw order to detail::poisson_stream(): inter-arrival gap,
+  // then size.
   clock_ += rng_->exponential(1.0 / lambda_);
   const Job j{static_cast<JobId>(emitted_), clock_, draw_size(*dist_, *rng_)};
   ++emitted_;
   return j;
 }
 
-PoissonJobStream poisson_load_stream(std::size_t n, int machines,
-                                     double utilization, const SizeDist& dist,
-                                     Rng& rng) {
+PoissonStream poisson_load_stream(std::size_t n, int machines,
+                                  double utilization, const SizeDist& dist,
+                                  Rng& rng) {
   if (!(utilization > 0.0) || utilization > 1.5) {
     throw std::invalid_argument(
         "poisson_load_stream: utilization outside (0, 1.5]");
@@ -37,30 +40,32 @@ PoissonJobStream poisson_load_stream(std::size_t n, int machines,
     throw std::invalid_argument("poisson_load_stream: machines < 1");
   }
   const double lambda = utilization * machines / mean_size(dist);
-  return PoissonJobStream(n, lambda, dist, rng);
+  return PoissonStream(n, lambda, dist, rng);
 }
 
-InstanceJobStream::InstanceJobStream(const Instance& instance)
+InstanceRefStream::InstanceRefStream(const Instance& instance)
     : instance_(&instance) {
   const std::span<const JobId> order = instance.release_order();
   for (std::size_t i = 0; i < order.size(); ++i) {
     if (order[i] != static_cast<JobId>(i)) {
       throw std::invalid_argument(
-          "InstanceJobStream: job ids are not sequential in release order "
+          "InstanceRefStream: job ids are not sequential in release order "
           "(job at release rank " + std::to_string(i) + " has id " +
           std::to_string(order[i]) + "); cannot stream without relabeling");
     }
   }
 }
 
-std::size_t InstanceJobStream::n() const noexcept { return instance_->n(); }
+std::size_t InstanceRefStream::n() const noexcept { return instance_->n(); }
 
-Job InstanceJobStream::next() {
+Job InstanceRefStream::next() {
   if (next_ == instance_->n()) {
-    throw std::logic_error("InstanceJobStream: next() called past n()");
+    throw std::logic_error("InstanceRefStream: next() called past n()");
   }
   return instance_->job(static_cast<JobId>(next_++));
 }
+
+}  // namespace detail
 
 Instance materialize(JobStream& stream) {
   std::vector<Job> jobs;

@@ -1,13 +1,19 @@
 // Streaming workload generators (core/job_stream.h implementations).
 //
-// poisson_stream() materializes every job before the engine sees the first
+// Materializing generators stage every job before the engine sees the first
 // one; at a million jobs that is an O(n) allocation spike paid purely for
-// staging.  PoissonJobStream draws the *identical* RNG sequence one job at a
-// time, so the engine's fast path admits arrivals straight from the
+// staging.  detail::PoissonStream draws the *identical* RNG sequence one job
+// at a time, so the engine's fast path admits arrivals straight from the
 // generator and the run's footprint is the alive set plus the trace --
-// never the full instance.  Seeding one Rng for poisson_stream and another
-// identically for PoissonJobStream yields bitwise-equal jobs, which is what
-// the equivalence tests rely on.
+// never the full instance.  Seeding one Rng for detail::poisson_stream and
+// another identically for detail::PoissonStream yields bitwise-equal jobs,
+// which is what the equivalence tests rely on.
+//
+// Callers should not name these concrete classes directly any more: describe
+// the workload with a WorkloadSpec and obtain the stream from
+// workload::make_source() (workload/source.h).  The old public spellings
+// (PoissonJobStream, InstanceJobStream, poisson_load_stream) remain as
+// [[deprecated]] one-release aliases/shims below.
 #pragma once
 
 #include <cstddef>
@@ -19,14 +25,15 @@
 
 namespace tempofair::workload {
 
+namespace detail {
+
 /// Poisson arrivals with rate `lambda`, iid sizes from `dist`; job i is the
 /// i-th arrival, so ids are sequential in release order (contract S2).
-/// Draws from `rng` lazily in next(), in exactly poisson_stream()'s order.
-/// The Rng and SizeDist must outlive the stream.
-class PoissonJobStream final : public JobStream {
+/// Draws from `rng` lazily in next(), in exactly detail::poisson_stream()'s
+/// order.  The Rng and SizeDist must outlive the stream.
+class PoissonStream final : public JobStream {
  public:
-  PoissonJobStream(std::size_t n, double lambda, const SizeDist& dist,
-                   Rng& rng);
+  PoissonStream(std::size_t n, double lambda, const SizeDist& dist, Rng& rng);
 
   [[nodiscard]] std::size_t n() const noexcept override { return n_; }
   [[nodiscard]] Job next() override;
@@ -40,21 +47,20 @@ class PoissonJobStream final : public JobStream {
   Time clock_ = 0.0;
 };
 
-/// PoissonJobStream calibrated like poisson_load(): lambda chosen so that
-/// utilization lambda*E[size]/machines equals `utilization` in (0, 1.5].
-[[nodiscard]] PoissonJobStream poisson_load_stream(std::size_t n, int machines,
-                                                   double utilization,
-                                                   const SizeDist& dist,
-                                                   Rng& rng);
+/// PoissonStream calibrated like detail::poisson_load(): lambda chosen so
+/// that utilization lambda*E[size]/machines equals `utilization` in (0, 1.5].
+[[nodiscard]] PoissonStream poisson_load_stream(std::size_t n, int machines,
+                                                double utilization,
+                                                const SizeDist& dist, Rng& rng);
 
-/// Adapts a materialized Instance as a JobStream, for equivalence tests.
-/// Requires the instance's ids to already be sequential in release order
-/// (true for poisson_stream()/uniform_stream() output); throws
+/// Adapts a materialized Instance as a JobStream, for equivalence tests and
+/// trace replay.  Requires the instance's ids to already be sequential in
+/// release order (true for the generator outputs); throws
 /// std::invalid_argument otherwise, since relabeling would silently change
 /// the id -> job mapping being compared.
-class InstanceJobStream final : public JobStream {
+class InstanceRefStream final : public JobStream {
  public:
-  explicit InstanceJobStream(const Instance& instance);
+  explicit InstanceRefStream(const Instance& instance);
 
   [[nodiscard]] std::size_t n() const noexcept override;
   [[nodiscard]] Job next() override;
@@ -63,6 +69,26 @@ class InstanceJobStream final : public JobStream {
   const Instance* instance_;
   std::size_t next_ = 0;
 };
+
+}  // namespace detail
+
+/// Deprecated spelling of detail::PoissonStream; build streams through
+/// workload::make_source() instead.
+using PoissonJobStream
+    [[deprecated("build via WorkloadSpec + workload::make_source()")]] =
+        detail::PoissonStream;
+
+/// Deprecated spelling of detail::InstanceRefStream.
+using InstanceJobStream
+    [[deprecated("build via WorkloadSpec + workload::make_source()")]] =
+        detail::InstanceRefStream;
+
+[[deprecated("build via WorkloadSpec::poisson() + workload::make_source()")]]
+[[nodiscard]] inline detail::PoissonStream poisson_load_stream(
+    std::size_t n, int machines, double utilization, const SizeDist& dist,
+    Rng& rng) {
+  return detail::poisson_load_stream(n, machines, utilization, dist, rng);
+}
 
 /// Drains `stream` into a materialized Instance (for running the same
 /// workload through the generic engine loop or a non-streaming analysis).

@@ -1,16 +1,27 @@
 #include "workload/trace_io.h"
 
+#include <algorithm>
+#include <bit>
 #include <charconv>
-#include <fstream>
+#include <cmath>
+#include <cstring>
 #include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace tempofair::workload {
 
 namespace {
+
+constexpr char kMagic[8] = {'T', 'F', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr std::uint8_t kFlagWeights = 0x01;
+constexpr std::uint8_t kFlagSorted = 0x02;
+
+static_assert(std::endian::native == std::endian::little,
+              "binary trace i/o assumes a little-endian host");
 
 double parse_field(std::string_view s, std::size_t line_no, std::string_view what) {
   double v = 0.0;
@@ -19,7 +30,103 @@ double parse_field(std::string_view s, std::size_t line_no, std::string_view wha
     throw std::runtime_error("trace_io: line " + std::to_string(line_no) +
                              ": bad " + std::string(what) + " '" + std::string(s) + "'");
   }
+  if (!std::isfinite(v)) {
+    throw std::runtime_error("trace_io: line " + std::to_string(line_no) +
+                             ": non-finite " + std::string(what) + " '" +
+                             std::string(s) + "'");
+  }
   return v;
+}
+
+/// Splits one CSV row and parses it as a job.  Shared by the materializing
+/// and streaming readers so both reject the same malformations.
+Job parse_row(std::string_view sv, std::size_t line_no) {
+  std::vector<std::string_view> fields;
+  std::size_t pos = 0;
+  while (pos <= sv.size()) {
+    const std::size_t comma = sv.find(',', pos);
+    if (comma == std::string_view::npos) {
+      fields.push_back(sv.substr(pos));
+      break;
+    }
+    fields.push_back(sv.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  if (fields.size() != 3 && fields.size() != 4) {
+    throw std::runtime_error("trace_io: line " + std::to_string(line_no) +
+                             ": expected 3 or 4 comma-separated fields");
+  }
+  const double id = parse_field(fields[0], line_no, "id");
+  const double release = parse_field(fields[1], line_no, "release");
+  const double size = parse_field(fields[2], line_no, "size");
+  const double weight =
+      fields.size() == 4 ? parse_field(fields[3], line_no, "weight") : 1.0;
+  if (id < 0 || id != static_cast<double>(static_cast<JobId>(id))) {
+    throw std::runtime_error("trace_io: line " + std::to_string(line_no) +
+                             ": id is not a small nonnegative integer");
+  }
+  return Job{static_cast<JobId>(id), release, size, weight};
+}
+
+/// The streaming readers bypass Instance's constructor, so they validate
+/// values themselves with the same rules.
+void check_job_values(const Job& j, const std::string& where) {
+  if (!(j.size > 0.0) || !std::isfinite(j.size)) {
+    throw std::runtime_error("trace_io: " + where + ": job " +
+                             std::to_string(j.id) +
+                             " has non-positive or non-finite size");
+  }
+  if (!(j.release >= 0.0) || !std::isfinite(j.release)) {
+    throw std::runtime_error("trace_io: " + where + ": job " +
+                             std::to_string(j.id) +
+                             " has negative or non-finite release");
+  }
+  if (!(j.weight > 0.0) || !std::isfinite(j.weight)) {
+    throw std::runtime_error("trace_io: " + where + ": job " +
+                             std::to_string(j.id) +
+                             " has non-positive or non-finite weight");
+  }
+}
+
+void write_raw(std::ostream& out, const void* data, std::size_t bytes) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+}
+
+void read_raw(std::istream& in, void* data, std::size_t bytes,
+              std::string_view what) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::size_t>(in.gcount()) != bytes) {
+    throw std::runtime_error("trace_io: truncated binary trace (while reading " +
+                             std::string(what) + ")");
+  }
+}
+
+struct BinaryHeader {
+  std::uint64_t n = 0;
+  std::uint8_t flags = 0;
+};
+
+BinaryHeader read_header(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  read_raw(in, magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("trace_io: not a binary trace (bad magic)");
+  }
+  BinaryHeader h;
+  read_raw(in, &h.n, sizeof(h.n), "job count");
+  read_raw(in, &h.flags, sizeof(h.flags), "flags");
+  if ((h.flags & ~(kFlagWeights | kFlagSorted)) != 0) {
+    throw std::runtime_error("trace_io: unknown binary trace flags");
+  }
+  return h;
+}
+
+constexpr std::size_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint64_t) + 1;
+
+void read_column(std::istream& in, std::vector<double>& col, std::size_t n,
+                 std::string_view what) {
+  col.resize(n);
+  read_raw(in, col.data(), n * sizeof(double), what);
 }
 
 }  // namespace
@@ -49,32 +156,7 @@ Instance read_csv(std::istream& in) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    std::string_view sv(line);
-    std::vector<std::string_view> fields;
-    std::size_t pos = 0;
-    while (pos <= sv.size()) {
-      const std::size_t comma = sv.find(',', pos);
-      if (comma == std::string_view::npos) {
-        fields.push_back(sv.substr(pos));
-        break;
-      }
-      fields.push_back(sv.substr(pos, comma - pos));
-      pos = comma + 1;
-    }
-    if (fields.size() != 3 && fields.size() != 4) {
-      throw std::runtime_error("trace_io: line " + std::to_string(line_no) +
-                               ": expected 3 or 4 comma-separated fields");
-    }
-    const double id = parse_field(fields[0], line_no, "id");
-    const double release = parse_field(fields[1], line_no, "release");
-    const double size = parse_field(fields[2], line_no, "size");
-    const double weight =
-        fields.size() == 4 ? parse_field(fields[3], line_no, "weight") : 1.0;
-    if (id < 0 || id != static_cast<double>(static_cast<JobId>(id))) {
-      throw std::runtime_error("trace_io: line " + std::to_string(line_no) +
-                               ": id is not a small nonnegative integer");
-    }
-    jobs.push_back(Job{static_cast<JobId>(id), release, size, weight});
+    jobs.push_back(parse_row(line, line_no));
   }
   try {
     return Instance::from_jobs(std::move(jobs));
@@ -88,6 +170,203 @@ Instance read_csv_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("trace_io: cannot open '" + path + "' for reading");
   return read_csv(f);
+}
+
+void write_binary(const Instance& instance, std::ostream& out) {
+  const std::span<const JobId> order = instance.release_order();
+  const std::uint64_t n = instance.n();
+  bool weighted = false;
+  for (const Job& j : instance.jobs()) weighted = weighted || j.weight != 1.0;
+  const std::uint8_t flags =
+      kFlagSorted | (weighted ? kFlagWeights : std::uint8_t{0});
+  write_raw(out, kMagic, sizeof(kMagic));
+  write_raw(out, &n, sizeof(n));
+  write_raw(out, &flags, sizeof(flags));
+  std::vector<double> col(instance.n());
+  for (std::size_t i = 0; i < n; ++i) col[i] = instance.job(order[i]).release;
+  write_raw(out, col.data(), col.size() * sizeof(double));
+  for (std::size_t i = 0; i < n; ++i) col[i] = instance.job(order[i]).size;
+  write_raw(out, col.data(), col.size() * sizeof(double));
+  if (weighted) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = instance.job(order[i]).weight;
+    write_raw(out, col.data(), col.size() * sizeof(double));
+  }
+  if (!out) throw std::runtime_error("trace_io: binary write failed");
+}
+
+void write_binary_file(const Instance& instance, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("trace_io: cannot open '" + path + "' for writing");
+  write_binary(instance, f);
+}
+
+Instance read_binary(std::istream& in) {
+  const BinaryHeader h = read_header(in);
+  std::vector<double> release, size, weight;
+  read_column(in, release, h.n, "release column");
+  read_column(in, size, h.n, "size column");
+  if ((h.flags & kFlagWeights) != 0) {
+    read_column(in, weight, h.n, "weight column");
+  }
+  std::vector<Job> jobs;
+  jobs.reserve(h.n);
+  for (std::size_t i = 0; i < h.n; ++i) {
+    const Job j{static_cast<JobId>(i), release[i], size[i],
+                weight.empty() ? 1.0 : weight[i]};
+    check_job_values(j, "binary trace");
+    jobs.push_back(j);
+  }
+  return Instance::from_jobs(std::move(jobs));
+}
+
+Instance read_binary_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("trace_io: cannot open '" + path + "' for reading");
+  return read_binary(f);
+}
+
+bool is_binary_trace_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("trace_io: cannot open '" + path + "' for reading");
+  char magic[sizeof(kMagic)];
+  f.read(magic, sizeof(magic));
+  return static_cast<std::size_t>(f.gcount()) == sizeof(magic) &&
+         std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+Instance read_trace_file(const std::string& path) {
+  return is_binary_trace_file(path) ? read_binary_file(path)
+                                    : read_csv_file(path);
+}
+
+TraceInfo probe_trace_file(const std::string& path) {
+  TraceInfo info;
+  info.binary = is_binary_trace_file(path);
+  if (info.binary) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+      throw std::runtime_error("trace_io: cannot open '" + path +
+                               "' for reading");
+    }
+    const BinaryHeader h = read_header(f);
+    f.seekg(0, std::ios::end);
+    const auto bytes = static_cast<std::uint64_t>(f.tellg());
+    const std::uint64_t columns = (h.flags & kFlagWeights) != 0 ? 3 : 2;
+    if (bytes < kHeaderBytes + columns * h.n * sizeof(double)) {
+      throw std::runtime_error("trace_io: truncated binary trace '" + path +
+                               "'");
+    }
+    info.n = h.n;
+    info.streamable = (h.flags & kFlagSorted) != 0;
+    return info;
+  }
+  const CsvTraceStream probe(path);
+  info.n = probe.n();
+  info.streamable = true;
+  return info;
+}
+
+CsvTraceStream::CsvTraceStream(const std::string& path)
+    : path_(path), in_(path) {
+  if (!in_) {
+    throw std::runtime_error("trace_io: cannot open '" + path + "' for reading");
+  }
+  std::string line;
+  if (!std::getline(in_, line) || line.find("id") != 0) {
+    throw std::runtime_error("trace_io: missing 'id,release,size' header");
+  }
+  // Counting pre-pass: n() must be exact before the first next() (contract
+  // S1), but nothing is parsed yet -- rows stay on disk until replayed.
+  const std::streampos data_begin = in_.tellg();
+  while (std::getline(in_, line)) {
+    if (!line.empty()) ++n_;
+  }
+  in_.clear();
+  in_.seekg(data_begin);
+}
+
+Job CsvTraceStream::next() {
+  if (emitted_ == n_) {
+    throw std::logic_error("CsvTraceStream: next() called past n()");
+  }
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_no_;
+    if (line.empty()) continue;
+    Job j = parse_row(line, line_no_);
+    check_job_values(j, path_);
+    if (j.id != static_cast<JobId>(emitted_) || j.release < last_release_) {
+      throw std::runtime_error(
+          "trace_io: '" + path_ + "' line " + std::to_string(line_no_) +
+          ": rows are not sequential ids in release order; "
+          "use read_csv_file() to materialize and relabel");
+    }
+    last_release_ = j.release;
+    ++emitted_;
+    return j;
+  }
+  throw std::runtime_error("trace_io: '" + path_ +
+                           "': trace shrank while streaming");
+}
+
+BinaryTraceStream::BinaryTraceStream(const std::string& path)
+    : path_(path), in_(path, std::ios::binary) {
+  if (!in_) {
+    throw std::runtime_error("trace_io: cannot open '" + path + "' for reading");
+  }
+  const BinaryHeader h = read_header(in_);
+  if ((h.flags & kFlagSorted) == 0) {
+    throw std::runtime_error("trace_io: '" + path +
+                             "': binary trace is not release-sorted; use "
+                             "read_binary_file() to materialize");
+  }
+  n_ = h.n;
+  has_weights_ = (h.flags & kFlagWeights) != 0;
+  // Verify the file holds every column before replay starts, so truncation
+  // fails at construction rather than mid-run.
+  in_.seekg(0, std::ios::end);
+  const auto bytes = static_cast<std::uint64_t>(in_.tellg());
+  const std::uint64_t columns = has_weights_ ? 3 : 2;
+  if (bytes < kHeaderBytes + columns * n_ * sizeof(double)) {
+    throw std::runtime_error("trace_io: truncated binary trace '" + path + "'");
+  }
+}
+
+void BinaryTraceStream::refill() {
+  block_begin_ = emitted_;
+  const std::size_t count = std::min(kBlock, n_ - block_begin_);
+  auto column_offset = [&](std::size_t column) {
+    return static_cast<std::streamoff>(kHeaderBytes +
+                                       (column * n_ + block_begin_) *
+                                           sizeof(double));
+  };
+  in_.seekg(column_offset(0));
+  read_column(in_, release_, count, "release column");
+  in_.seekg(column_offset(1));
+  read_column(in_, size_, count, "size column");
+  if (has_weights_) {
+    in_.seekg(column_offset(2));
+    read_column(in_, weight_, count, "weight column");
+  }
+}
+
+Job BinaryTraceStream::next() {
+  if (emitted_ == n_) {
+    throw std::logic_error("BinaryTraceStream: next() called past n()");
+  }
+  if (emitted_ == block_begin_ + release_.size()) refill();
+  const std::size_t i = emitted_ - block_begin_;
+  const Job j{static_cast<JobId>(emitted_), release_[i], size_[i],
+              has_weights_ ? weight_[i] : 1.0};
+  check_job_values(j, path_);
+  if (j.release < last_release_) {
+    throw std::runtime_error("trace_io: '" + path_ +
+                             "': sorted flag set but releases decrease at row " +
+                             std::to_string(emitted_));
+  }
+  last_release_ = j.release;
+  ++emitted_;
+  return j;
 }
 
 }  // namespace tempofair::workload

@@ -1,14 +1,32 @@
-// CSV trace input/output for instances.
+// Trace input/output for instances: CSV and binary columnar, with
+// streaming readers so a replay never materializes the full instance.
 //
-// Format: a header line "id,release,size,weight" followed by one job per
-// line; the weight column is optional on input (defaults to 1).
-// Round-trips exactly (fields written with max precision).
+// CSV format: a header line "id,release,size,weight" followed by one job per
+// line; the weight column is optional on input (defaults to 1).  Round-trips
+// exactly (fields written with max precision).
+//
+// Binary format (Borg/Azure-style column dump, little-endian):
+//
+//   bytes 0..7   magic "TFTRACE1"
+//   bytes 8..15  u64 n (job count)
+//   byte  16     flags: bit0 = weight column present,
+//                       bit1 = rows sorted by release with id == row index
+//   then columns of f64[n]: release, size, [weight]
+//
+// Column order matches how schedulers consume traces (all releases first),
+// so the streaming reader touches each column sequentially.  Both readers
+// reject non-finite values, non-positive sizes/weights, and truncated input
+// up front -- a trace either replays exactly or fails loudly.
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/instance.h"
+#include "core/job_stream.h"
 
 namespace tempofair::workload {
 
@@ -17,8 +35,83 @@ void write_csv(const Instance& instance, std::ostream& out);
 void write_csv_file(const Instance& instance, const std::string& path);
 
 /// Parses an instance from CSV.  Throws std::runtime_error on malformed
-/// input (bad header, non-numeric fields, duplicate/out-of-range ids).
+/// input (bad header, non-numeric or non-finite fields, duplicate or
+/// out-of-range ids).
 [[nodiscard]] Instance read_csv(std::istream& in);
 [[nodiscard]] Instance read_csv_file(const std::string& path);
+
+/// Writes `instance` in the binary columnar format.  Row r of the columns is
+/// the r-th job in release order; the sorted flag is set, so the file always
+/// streams.  Throws std::runtime_error on I/O failure.
+void write_binary(const Instance& instance, std::ostream& out);
+void write_binary_file(const Instance& instance, const std::string& path);
+
+/// Reads a binary columnar trace.  Throws std::runtime_error on a bad magic,
+/// truncated columns, or non-finite/non-positive values.
+[[nodiscard]] Instance read_binary(std::istream& in);
+[[nodiscard]] Instance read_binary_file(const std::string& path);
+
+/// True if `path` starts with the binary trace magic (falls back to CSV).
+[[nodiscard]] bool is_binary_trace_file(const std::string& path);
+
+/// Reads a trace in either format, sniffing the magic.
+[[nodiscard]] Instance read_trace_file(const std::string& path);
+
+/// Cheap metadata probe: job count and whether the file supports streaming
+/// replay, without loading any column.  CSV streamability is optimistic
+/// (row order is only discovered while parsing); binary streamability is
+/// the sorted header flag.  Throws std::runtime_error on a missing file,
+/// bad header, or truncated columns.
+struct TraceInfo {
+  std::size_t n = 0;
+  bool binary = false;
+  bool streamable = false;
+};
+[[nodiscard]] TraceInfo probe_trace_file(const std::string& path);
+
+/// Streams a CSV trace one job at a time (JobStream contract: ids sequential
+/// in nondecreasing release order -- the reader validates both and throws if
+/// the file needs relabeling, in which case use read_csv_file()).  A cheap
+/// counting pre-pass establishes n() without parsing; rows are parsed lazily
+/// in next().
+class CsvTraceStream final : public JobStream {
+ public:
+  explicit CsvTraceStream(const std::string& path);
+
+  [[nodiscard]] std::size_t n() const noexcept override { return n_; }
+  [[nodiscard]] Job next() override;
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  std::size_t n_ = 0;
+  std::size_t emitted_ = 0;
+  std::size_t line_no_ = 1;
+  double last_release_ = 0.0;
+};
+
+/// Streams a binary columnar trace block-by-block (kBlock jobs buffered per
+/// column).  Requires the sorted flag; throws otherwise.
+class BinaryTraceStream final : public JobStream {
+ public:
+  explicit BinaryTraceStream(const std::string& path);
+
+  [[nodiscard]] std::size_t n() const noexcept override { return n_; }
+  [[nodiscard]] Job next() override;
+
+  static constexpr std::size_t kBlock = 4096;
+
+ private:
+  void refill();
+
+  std::string path_;
+  std::ifstream in_;
+  std::size_t n_ = 0;
+  bool has_weights_ = false;
+  std::size_t emitted_ = 0;
+  std::size_t block_begin_ = 0;  ///< index of buffer[0] in the trace
+  std::vector<double> release_, size_, weight_;
+  double last_release_ = 0.0;
+};
 
 }  // namespace tempofair::workload

@@ -17,7 +17,7 @@ Schedule run_rr(const Instance& inst, double speed, int machines) {
   EngineOptions eo;
   eo.speed = speed;
   eo.machines = machines;
-  return simulate(inst, rr, eo);
+  return EngineCore().run(inst, rr, eo);
 }
 
 TEST(DualFitHandCalc, TwoUnitJobsOverloadedAlphas) {

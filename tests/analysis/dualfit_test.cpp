@@ -21,14 +21,14 @@ Schedule run_rr(const Instance& inst, double speed, int machines = 1) {
   eo.speed = speed;
   eo.machines = machines;
   eo.record_trace = true;
-  return simulate(inst, rr, eo);
+  return EngineCore().run(inst, rr, eo);
 }
 
 TEST(DualFit, RequiresTrace) {
   RoundRobin rr;
   EngineOptions eo;
   eo.record_trace = false;
-  const Schedule s = simulate(Instance::batch(std::vector<Work>{1.0}), rr, eo);
+  const Schedule s = EngineCore().run(Instance::batch(std::vector<Work>{1.0}), rr, eo);
   EXPECT_THROW((void)dual_fit_certificate(s, DualFitOptions{}),
                std::invalid_argument);
 }

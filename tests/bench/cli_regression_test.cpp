@@ -1,11 +1,15 @@
 // CLI regression tests against the real binaries (paths injected by CMake
-// through TEMPOFAIR_BENCH_BIN / PERF_GATE_BIN):
+// through TEMPOFAIR_BENCH_BIN / PERF_GATE_BIN / TEMPOFAIR_SIM_BIN):
 //
 //  * tempofair_bench --filter with an unknown id must hard-error (exit 2)
 //    and list every valid id, instead of silently running nothing.
 //  * perf_gate must exit 1 when a case regresses past --fail-ratio, exit 0
 //    within tolerance, and exit 2 on unusable input -- the contract the CI
 //    perf-smoke step relies on.
+//  * tempofair-sim must reject a malformed --workload spec at parse time
+//    with a nonzero exit and a message that names the bad input, and run
+//    end-to-end from a valid spec -- the shared-flag contract every tool
+//    using harness::add_run_flags() inherits.
 #include <sys/wait.h>
 
 #include <array>
@@ -171,6 +175,56 @@ TEST(PerfGateCli, MalformedBaselineIsUsageError) {
 TEST(PerfGateCli, NoArgumentsIsUsageError) {
   const CommandResult result = run_command(std::string(PERF_GATE_BIN));
   EXPECT_EQ(result.exit_code, 2) << result.output;
+}
+
+TEST(TempofairSimCli, MalformedWorkloadSpecFailsWithUsableMessage) {
+  // An unknown kind must die at flag-parse time, before any run starts,
+  // and the message must echo the offending spec so the fix is obvious.
+  const CommandResult result =
+      run_command(std::string(TEMPOFAIR_SIM_BIN) +
+                  " run --workload 'zipf:n=10' --policy rr");
+  EXPECT_NE(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("--workload"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("zipf"), std::string::npos) << result.output;
+}
+
+TEST(TempofairSimCli, MalformedWorkloadParamValueFails) {
+  const CommandResult result =
+      run_command(std::string(TEMPOFAIR_SIM_BIN) +
+                  " run --workload 'poisson:n=abc' --policy rr");
+  EXPECT_NE(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("n"), std::string::npos) << result.output;
+}
+
+TEST(TempofairSimCli, WorkloadAndInstanceAreExclusive) {
+  const CommandResult result = run_command(
+      std::string(TEMPOFAIR_SIM_BIN) +
+      " run --workload 'poisson:n=10' --instance /tmp/x.csv --policy rr");
+  EXPECT_NE(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("exclusive"), std::string::npos)
+      << result.output;
+}
+
+TEST(TempofairSimCli, RunsEndToEndFromASpecString) {
+  const CommandResult result = run_command(
+      std::string(TEMPOFAIR_SIM_BIN) +
+      " run --workload 'poisson:n=50,load=0.8,seed=3' --policy rr");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("rr"), std::string::npos) << result.output;
+}
+
+TEST(TempofairSimCli, GenerateRoundTripsThroughRun) {
+  const std::string trace = temp_path("tempofair_cli_trace.bin");
+  const CommandResult gen = run_command(
+      std::string(TEMPOFAIR_SIM_BIN) + " generate --out " + trace +
+      " --workload 'uniform:n=20,gap=1,size=2' --format binary");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  const CommandResult replay =
+      run_command(std::string(TEMPOFAIR_SIM_BIN) + " run --workload 'trace:" +
+                  trace + "' --policy srpt");
+  EXPECT_EQ(replay.exit_code, 0) << replay.output;
+  std::remove(trace.c_str());
 }
 
 }  // namespace

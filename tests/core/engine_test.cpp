@@ -85,7 +85,7 @@ class SizeProbePolicy final : public Policy {
 
 TEST(Engine, EmptyInstanceProducesEmptySchedule) {
   RoundRobin rr;
-  const Schedule s = simulate(Instance{}, rr);
+  const Schedule s = EngineCore().run(Instance{}, rr);
   EXPECT_EQ(s.n(), 0u);
   EXPECT_EQ(s.makespan(), 0.0);
 }
@@ -95,14 +95,14 @@ TEST(Engine, SingleJobRunsAtFullSpeed) {
   RoundRobin rr;
   EngineOptions eo;
   eo.speed = 2.0;
-  const Schedule s = simulate(inst, rr, eo);
+  const Schedule s = EngineCore().run(inst, rr, eo);
   EXPECT_DOUBLE_EQ(s.completion(0), 2.0);
   EXPECT_DOUBLE_EQ(s.flow(0), 2.0);
 }
 
 TEST(Engine, TwoEqualJobsUnderRrFinishTogether) {
   RoundRobin rr;
-  const Schedule s = simulate(two_unit_jobs(), rr);
+  const Schedule s = EngineCore().run(two_unit_jobs(), rr);
   EXPECT_DOUBLE_EQ(s.completion(0), 2.0);
   EXPECT_DOUBLE_EQ(s.completion(1), 2.0);
 }
@@ -111,7 +111,7 @@ TEST(Engine, LateArrivalCreatesIdleGap) {
   const Instance inst =
       Instance::from_pairs(std::vector<std::pair<Time, Work>>{{0.0, 1.0}, {5.0, 1.0}});
   RoundRobin rr;
-  const Schedule s = simulate(inst, rr);
+  const Schedule s = EngineCore().run(inst, rr);
   EXPECT_DOUBLE_EQ(s.completion(0), 1.0);
   EXPECT_DOUBLE_EQ(s.completion(1), 6.0);
   // Trace must contain two disjoint busy intervals.
@@ -124,7 +124,7 @@ TEST(Engine, ArrivalSplitsInterval) {
   const Instance inst =
       Instance::from_pairs(std::vector<std::pair<Time, Work>>{{0.0, 2.0}, {1.0, 2.0}});
   RoundRobin rr;
-  const Schedule s = simulate(inst, rr);
+  const Schedule s = EngineCore().run(inst, rr);
   // Job 0 runs alone for 1 unit (1 done), then shares: each gets 0.5.
   // Job 0 needs 1 more -> 2 additional units -> C0 = 3, during which job 1
   // also got 1 done.  Job 1 then runs alone with 1 left -> C1 = 4.
@@ -136,7 +136,7 @@ TEST(Engine, SpeedAugmentationScalesCompletions) {
   RoundRobin rr;
   EngineOptions eo;
   eo.speed = 4.0;
-  const Schedule s = simulate(two_unit_jobs(), rr, eo);
+  const Schedule s = EngineCore().run(two_unit_jobs(), rr, eo);
   EXPECT_DOUBLE_EQ(s.completion(0), 0.5);
 }
 
@@ -145,7 +145,7 @@ TEST(Engine, MultipleMachinesRunJobsInParallel) {
   RoundRobin rr;
   EngineOptions eo;
   eo.machines = 3;
-  const Schedule s = simulate(inst, rr, eo);
+  const Schedule s = EngineCore().run(inst, rr, eo);
   for (JobId j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(s.completion(j), 1.0);
 }
 
@@ -155,7 +155,7 @@ TEST(Engine, RrOnMoreJobsThanMachines) {
   RoundRobin rr;
   EngineOptions eo;
   eo.machines = 2;
-  const Schedule s = simulate(inst, rr, eo);
+  const Schedule s = EngineCore().run(inst, rr, eo);
   for (JobId j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(s.completion(j), 2.0);
 }
 
@@ -164,7 +164,7 @@ TEST(Engine, SimultaneousArrivalsAndCompletions) {
   const Instance inst = Instance::from_pairs(
       std::vector<std::pair<Time, Work>>{{0.0, 1.0}, {0.0, 1.0}, {2.0, 1.0}});
   RoundRobin rr;
-  const Schedule s = simulate(inst, rr);
+  const Schedule s = EngineCore().run(inst, rr);
   EXPECT_DOUBLE_EQ(s.completion(0), 2.0);
   EXPECT_DOUBLE_EQ(s.completion(1), 2.0);
   EXPECT_DOUBLE_EQ(s.completion(2), 3.0);
@@ -175,7 +175,7 @@ TEST(Engine, ManySimultaneousArrivals) {
   std::vector<Work> sizes(100, 1.0);
   const Instance inst = Instance::batch(sizes);
   RoundRobin rr;
-  const Schedule s = simulate(inst, rr);
+  const Schedule s = EngineCore().run(inst, rr);
   for (JobId j = 0; j < 100; ++j) EXPECT_NEAR(s.completion(j), 100.0, 1e-6);
   s.validate();
 }
@@ -183,7 +183,7 @@ TEST(Engine, ManySimultaneousArrivals) {
 TEST(Engine, TinyAndHugeSizesCoexist) {
   const Instance inst = Instance::batch(std::vector<Work>{1e-7, 1e7});
   RoundRobin rr;
-  const Schedule s = simulate(inst, rr);
+  const Schedule s = EngineCore().run(inst, rr);
   EXPECT_NEAR(s.completion(0), 2e-7, 1e-12);
   EXPECT_NEAR(s.completion(1), 1e7 + 1e-7, 1.0);
   s.validate();
@@ -193,7 +193,7 @@ TEST(Engine, TraceConservesWork) {
   const Instance inst = Instance::from_pairs(std::vector<std::pair<Time, Work>>{
       {0.0, 3.0}, {1.0, 2.0}, {1.5, 0.5}, {4.0, 1.0}});
   RoundRobin rr;
-  const Schedule s = simulate(inst, rr);
+  const Schedule s = EngineCore().run(inst, rr);
   EXPECT_NEAR(s.traced_work(), inst.total_work(), 1e-9);
   for (JobId j = 0; j < inst.n(); ++j) {
     EXPECT_NEAR(s.traced_work(j), inst.job(j).size, 1e-9);
@@ -204,7 +204,7 @@ TEST(Engine, RecordTraceOffLeavesNoTrace) {
   RoundRobin rr;
   EngineOptions eo;
   eo.record_trace = false;
-  const Schedule s = simulate(two_unit_jobs(), rr, eo);
+  const Schedule s = EngineCore().run(two_unit_jobs(), rr, eo);
   EXPECT_FALSE(s.has_trace());
   EXPECT_TRUE(s.trace().empty());
   EXPECT_DOUBLE_EQ(s.completion(0), 2.0);  // completions still exact
@@ -214,26 +214,26 @@ TEST(Engine, RejectsBadOptions) {
   RoundRobin rr;
   EngineOptions eo;
   eo.machines = 0;
-  EXPECT_THROW((void)simulate(two_unit_jobs(), rr, eo), std::invalid_argument);
+  EXPECT_THROW((void)EngineCore().run(two_unit_jobs(), rr, eo), std::invalid_argument);
   eo.machines = 1;
   eo.speed = 0.0;
-  EXPECT_THROW((void)simulate(two_unit_jobs(), rr, eo), std::invalid_argument);
+  EXPECT_THROW((void)EngineCore().run(two_unit_jobs(), rr, eo), std::invalid_argument);
   eo.speed = -1.0;
-  EXPECT_THROW((void)simulate(two_unit_jobs(), rr, eo), std::invalid_argument);
+  EXPECT_THROW((void)EngineCore().run(two_unit_jobs(), rr, eo), std::invalid_argument);
 }
 
 TEST(Engine, RefusesHiddenSizesForClairvoyantPolicy) {
   Srpt srpt;
   EngineOptions eo;
   eo.hide_sizes = true;
-  EXPECT_THROW((void)simulate(two_unit_jobs(), srpt, eo), std::invalid_argument);
+  EXPECT_THROW((void)EngineCore().run(two_unit_jobs(), srpt, eo), std::invalid_argument);
 }
 
 TEST(Engine, HiddenSizesAreNaNToThePolicy) {
   SizeProbePolicy probe;
   EngineOptions eo;
   eo.hide_sizes = true;
-  (void)simulate(two_unit_jobs(), probe, eo);
+  (void)EngineCore().run(two_unit_jobs(), probe, eo);
   EXPECT_TRUE(probe.saw_nan_size);
   EXPECT_FALSE(probe.saw_real_size);
   EXPECT_FALSE(probe.sizes_visible_flag);
@@ -241,7 +241,7 @@ TEST(Engine, HiddenSizesAreNaNToThePolicy) {
 
 TEST(Engine, VisibleSizesAreRealToThePolicy) {
   SizeProbePolicy probe;
-  (void)simulate(two_unit_jobs(), probe);
+  (void)EngineCore().run(two_unit_jobs(), probe);
   EXPECT_FALSE(probe.saw_nan_size);
   EXPECT_TRUE(probe.saw_real_size);
   EXPECT_TRUE(probe.sizes_visible_flag);
@@ -249,7 +249,7 @@ TEST(Engine, VisibleSizesAreRealToThePolicy) {
 
 TEST(Engine, DetectsDeadlock) {
   DeadlockPolicy dead;
-  EXPECT_THROW((void)simulate(two_unit_jobs(), dead), std::runtime_error);
+  EXPECT_THROW((void)EngineCore().run(two_unit_jobs(), dead), std::runtime_error);
 }
 
 // A policy whose breakpoint is so small that `now + dt == now` in floating
@@ -277,7 +277,7 @@ TEST(Engine, DetectsLivelockFromVanishingBreakpoints) {
   EngineOptions eo;
   eo.max_zero_progress_steps = 50;
   try {
-    (void)simulate(inst, policy, eo);
+    (void)EngineCore().run(inst, policy, eo);
     FAIL() << "expected livelock diagnostic";
   } catch (const std::runtime_error& e) {
     const std::string what = e.what();
@@ -291,25 +291,25 @@ TEST(Engine, DetectsLivelockFromVanishingBreakpoints) {
 
 TEST(Engine, DetectsWrongRateCount) {
   WrongCountPolicy wrong;
-  EXPECT_THROW((void)simulate(two_unit_jobs(), wrong), std::runtime_error);
+  EXPECT_THROW((void)EngineCore().run(two_unit_jobs(), wrong), std::runtime_error);
 }
 
 TEST(Engine, DetectsOversubscription) {
   OversubscribePolicy over;
-  EXPECT_THROW((void)simulate(two_unit_jobs(), over), std::runtime_error);
+  EXPECT_THROW((void)EngineCore().run(two_unit_jobs(), over), std::runtime_error);
 }
 
 TEST(Engine, DetectsPerJobSpeedViolation) {
   TooFastPolicy fast;
   const Instance one = Instance::batch(std::vector<Work>{1.0});
-  EXPECT_THROW((void)simulate(one, fast), std::runtime_error);
+  EXPECT_THROW((void)EngineCore().run(one, fast), std::runtime_error);
 }
 
 TEST(Engine, MaxTimeGuardFires) {
   RoundRobin rr;
   EngineOptions eo;
   eo.max_time = 0.5;  // jobs need 2.0
-  EXPECT_THROW((void)simulate(two_unit_jobs(), rr, eo), std::runtime_error);
+  EXPECT_THROW((void)EngineCore().run(two_unit_jobs(), rr, eo), std::runtime_error);
 }
 
 TEST(Engine, MaxStepsGuardFires) {
@@ -318,15 +318,15 @@ TEST(Engine, MaxStepsGuardFires) {
   eo.max_steps = 1;
   const Instance inst = Instance::from_pairs(
       std::vector<std::pair<Time, Work>>{{0.0, 1.0}, {0.5, 1.0}, {0.7, 1.0}});
-  EXPECT_THROW((void)simulate(inst, rr, eo), std::runtime_error);
+  EXPECT_THROW((void)EngineCore().run(inst, rr, eo), std::runtime_error);
 }
 
 TEST(Engine, DeterministicAcrossRuns) {
   const Instance inst = Instance::from_pairs(std::vector<std::pair<Time, Work>>{
       {0.0, 2.5}, {0.3, 1.7}, {0.9, 4.2}, {2.0, 0.1}});
   RoundRobin rr1, rr2;
-  const Schedule a = simulate(inst, rr1);
-  const Schedule b = simulate(inst, rr2);
+  const Schedule a = EngineCore().run(inst, rr1);
+  const Schedule b = EngineCore().run(inst, rr2);
   for (JobId j = 0; j < inst.n(); ++j) {
     EXPECT_DOUBLE_EQ(a.completion(j), b.completion(j));
   }
@@ -337,7 +337,7 @@ TEST(Engine, ZeroReleaseGapHandled) {
   const Instance inst = Instance::from_pairs(std::vector<std::pair<Time, Work>>{
       {0.0, 3.0}, {1.0, 1.0}, {1.0, 1.0}});
   RoundRobin rr;
-  const Schedule s = simulate(inst, rr);
+  const Schedule s = EngineCore().run(inst, rr);
   s.validate();
   EXPECT_DOUBLE_EQ(s.completion(1), s.completion(2));
 }

@@ -1,5 +1,5 @@
 // The RunRequest/RunResult facade: equivalence with the deprecated
-// simulate() shims, JobStream edge cases driven through run() (empty
+// EngineCore().run() shims, JobStream edge cases driven through run() (empty
 // stream, simultaneous arrivals, out-of-order rejection, cancellation
 // mid-stream), and the live-metrics hooks the daemon relies on.
 #include <gtest/gtest.h>
@@ -32,7 +32,7 @@ TEST(RunFacade, MatchesSimulateShimBitwise) {
   const RunResult result = run(inst, req);
 
   RoundRobin rr;
-  const Schedule legacy = simulate(inst, rr, req.engine_options());
+  const Schedule legacy = EngineCore().run(inst, rr, req.engine_options());
   ASSERT_EQ(result.schedule.n(), legacy.n());
   for (JobId j = 0; j < inst.n(); ++j) {
     EXPECT_EQ(result.schedule.completion(j), legacy.completion(j)) << j;

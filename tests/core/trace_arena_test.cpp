@@ -82,7 +82,7 @@ TEST(JobTraceView, InterleavedArrivalsUnderRr) {
   const Instance inst = Instance::from_pairs(
       std::vector<std::pair<Time, Work>>{{0.0, 2.0}, {1.0, 2.0}});
   RoundRobin rr;
-  const Schedule s = simulate(inst, rr);
+  const Schedule s = EngineCore().run(inst, rr);
 
   const JobTraceView v0 = s.job_trace(0);
   ASSERT_EQ(v0.size(), 2u);
@@ -135,7 +135,7 @@ TEST(TraceArena, EveryRrIntervalIsUniformCompressed) {
   const Instance inst =
       workload::poisson_load(80, 1, 0.9, workload::ExponentialSize{1.0}, rng);
   RoundRobin rr;
-  const Schedule s = simulate(inst, rr);
+  const Schedule s = EngineCore().run(inst, rr);
   for (const TraceIntervalView iv : s.trace()) {
     EXPECT_TRUE(iv.uniform_rate());
   }
@@ -152,7 +152,7 @@ class ArenaEquivalence : public ::testing::Test {
     RoundRobin rr;
     EngineOptions eo;
     eo.record_trace = true;
-    sched_ = simulate(inst_, rr, eo);
+    sched_ = EngineCore().run(inst_, rr, eo);
     aos_ = materialize(sched_->trace());
   }
 
@@ -394,7 +394,7 @@ TEST(ArenaEquivalenceMultiMachine, DualFitAndWorkMatchReference) {
   eo.machines = 3;
   eo.speed = 2.0;
   eo.record_trace = true;
-  const Schedule s = simulate(inst, rr, eo);
+  const Schedule s = EngineCore().run(inst, rr, eo);
   const std::vector<AosInterval> aos = materialize(s.trace());
 
   analysis::DualFitOptions opt;

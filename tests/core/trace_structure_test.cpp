@@ -16,7 +16,7 @@ TEST(TraceStructure, RrStaircaseHandComputed) {
   const Instance inst =
       Instance::from_pairs(std::vector<std::pair<Time, Work>>{{0.0, 2.0}, {1.0, 2.0}});
   RoundRobin rr;
-  const Schedule s = simulate(inst, rr);
+  const Schedule s = EngineCore().run(inst, rr);
   ASSERT_EQ(s.trace().size(), 3u);
 
   const TraceIntervalView a = s.trace()[0];
@@ -47,7 +47,7 @@ TEST(TraceStructure, IntervalsTileWithoutOverlap) {
   RoundRobin rr;
   EngineOptions eo;
   eo.machines = 2;
-  const Schedule s = simulate(inst, rr, eo);
+  const Schedule s = EngineCore().run(inst, rr, eo);
   Time prev_end = -1.0;
   for (const TraceIntervalView iv : s.trace()) {
     EXPECT_LT(iv.begin(), iv.end());
@@ -62,7 +62,7 @@ TEST(TraceStructure, AliveSetMatchesLifespans) {
   const Instance inst =
       workload::poisson_load(40, 1, 0.9, workload::UniformSize{0.5, 2.0}, rng);
   RoundRobin rr;
-  const Schedule s = simulate(inst, rr);
+  const Schedule s = EngineCore().run(inst, rr);
   for (const TraceIntervalView iv : s.trace()) {
     for (const RateShare share : iv.shares()) {
       EXPECT_GE(iv.begin(), s.release(share.job) - 1e-9);
@@ -88,7 +88,7 @@ TEST(TraceStructure, AttainedServiceReconstructsFlows) {
   const Instance inst =
       workload::poisson_load(30, 1, 0.85, workload::ExponentialSize{2.0}, rng);
   RoundRobin rr;
-  const Schedule s = simulate(inst, rr);
+  const Schedule s = EngineCore().run(inst, rr);
   std::vector<double> attained(inst.n(), 0.0);
   for (const TraceIntervalView iv : s.trace()) {
     for (const RateShare share : iv.shares()) {

@@ -47,7 +47,7 @@ TEST(FlowtimeLp, LowerBoundsActualSchedules) {
     Srpt srpt;
     EngineOptions eo;
     eo.record_trace = false;
-    const double srpt_cost = flow_lk_power(simulate(inst, srpt, eo), k);
+    const double srpt_cost = flow_lk_power(EngineCore().run(inst, srpt, eo), k);
     EXPECT_LE(r.opt_power_lb, srpt_cost * (1.0 + 1e-9)) << "k=" << k;
     EXPECT_GT(r.opt_power_lb, 0.0);
   }

@@ -53,7 +53,7 @@ TEST(OptBounds, ProxyBoundsAnyPolicyFromBelow) {
   RoundRobin rr;
   EngineOptions eo;
   eo.record_trace = false;
-  const double rr_cost = flow_lk_power(simulate(inst, rr, eo), 1.0);
+  const double rr_cost = flow_lk_power(EngineCore().run(inst, rr, eo), 1.0);
   EXPECT_LE(b.proxy_ub, rr_cost * (1.0 + 1e-9));
 }
 

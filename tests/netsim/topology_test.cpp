@@ -1,0 +1,151 @@
+// Dumbbell topology: access-link serialization, bottleneck conservation,
+// per-flow tail drops, the windowed service-share fairness statistics, and
+// the structural invariant battery.
+#include "netsim/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "netsim/schedulers.h"
+#include "workload/rng.h"
+
+namespace tempofair::netsim {
+namespace {
+
+/// Two flows with exponential inter-arrivals (mean 0.5) and fixed packet
+/// sizes, so the offered byte ratio is size0:size1 sustained over the whole
+/// arrival span.
+[[nodiscard]] std::vector<Packet> two_flow_burst(std::size_t per_flow,
+                                                 double size0, double size1,
+                                                 std::uint64_t seed) {
+  workload::Rng rng(seed);
+  std::vector<Packet> packets;
+  double t0 = 0.0, t1 = 0.0;
+  for (std::size_t i = 0; i < per_flow; ++i) {
+    t0 += rng.exponential(0.5);
+    t1 += rng.exponential(0.5);
+    packets.push_back(Packet{0, size0, t0});
+    packets.push_back(Packet{1, size1, t1});
+  }
+  return packets;
+}
+
+TEST(Dumbbell, UnboundedQueueDeliversEverything) {
+  FifoScheduler fifo;
+  TopologyConfig config;  // queue_capacity 0 = unbounded
+  const DumbbellResult r =
+      simulate_dumbbell(two_flow_burst(50, 1.0, 2.0, 1), fifo, config);
+  EXPECT_DOUBLE_EQ(r.drop_fraction, 0.0);
+  for (const auto& [flow, mon] : r.per_flow) {
+    EXPECT_EQ(mon.offered_packets, mon.delivered_packets) << "flow " << flow;
+    EXPECT_DOUBLE_EQ(mon.offered_bytes, mon.delivered_bytes);
+    EXPECT_EQ(mon.dropped_packets, 0u);
+  }
+  EXPECT_EQ(r.records.size(), 100u);
+}
+
+TEST(Dumbbell, SingleFlowHonorsBothLinkRates) {
+  // One packet: it leaves the access link at arrival + size/access_rate and
+  // then occupies the bottleneck for size/bottleneck_rate.
+  FifoScheduler fifo;
+  TopologyConfig config;
+  config.access_rate = 4.0;
+  config.bottleneck_rate = 2.0;
+  const DumbbellResult r =
+      simulate_dumbbell({Packet{0, 8.0, 1.0}}, fifo, config);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_NEAR(r.records[0].start, 1.0 + 8.0 / 4.0, 1e-12);
+  EXPECT_NEAR(r.records[0].departure, 3.0 + 8.0 / 2.0, 1e-12);
+  EXPECT_NEAR(r.per_flow.at(0).mean_delay, 6.0, 1e-12);
+  EXPECT_NEAR(r.busy_until, 7.0, 1e-12);
+}
+
+TEST(Dumbbell, AccessLinkSerializesEachFlow) {
+  // Two same-flow packets arriving together cannot reach the bottleneck
+  // together: the second waits for the first's access transmission.
+  FifoScheduler fifo;
+  TopologyConfig config;
+  config.access_rate = 1.0;
+  config.bottleneck_rate = 100.0;  // bottleneck never queues
+  const DumbbellResult r = simulate_dumbbell(
+      {Packet{0, 5.0, 0.0}, Packet{0, 5.0, 0.0}}, fifo, config);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_GE(r.records[1].start, 10.0 - 1e-12);  // 2nd leaves access at t=10
+}
+
+TEST(Dumbbell, FiniteBufferDropsAndConserves) {
+  DrrScheduler drr(2.0);
+  TopologyConfig config;
+  config.access_rate = 50.0;
+  config.bottleneck_rate = 1.0;  // heavy congestion
+  config.queue_capacity = 6.0;
+  const std::vector<Packet> packets = two_flow_burst(200, 1.0, 2.0, 3);
+  const DumbbellResult r = simulate_dumbbell(packets, drr, config);
+  EXPECT_GT(r.drop_fraction, 0.0);
+  for (const auto& [flow, mon] : r.per_flow) {
+    EXPECT_NEAR(mon.offered_bytes, mon.delivered_bytes + mon.dropped_bytes,
+                1e-9)
+        << "flow " << flow;
+  }
+  // The battery agrees: a finished run has zero structural violations.
+  const InvariantStats inv = check_dumbbell_invariants(packets, r, config);
+  EXPECT_EQ(inv.violations, 0u);
+  EXPECT_GT(inv.checks_run, 0u);
+}
+
+TEST(Dumbbell, ServiceWindowSeparatesDrrFromFifo) {
+  // Flow 1 offers 3x the bytes of flow 0 into a congested bottleneck.
+  // While both stay backlogged, DRR halves the link but FIFO serves in
+  // arrival order, tracking the 1:3 offered ratio.
+  const std::vector<Packet> packets = two_flow_burst(300, 1.0, 3.0, 5);
+  TopologyConfig config;
+  config.access_rate = 50.0;
+  config.bottleneck_rate = 2.0;
+  config.queue_capacity = 24.0;
+  const double window = 40.0;  // both flows backlogged well past this
+
+  DrrScheduler drr(3.0);
+  const DumbbellResult fair = simulate_dumbbell(packets, drr, config, window);
+  FifoScheduler fifo;
+  const DumbbellResult fcfs = simulate_dumbbell(packets, fifo, config, window);
+
+  EXPECT_GT(fair.jain_service, fcfs.jain_service);
+  EXPECT_GT(fair.min_max_service, 0.9);  // DRR splits the window near-evenly
+  // FIFO tracks the admitted byte mix (tail drops soften the raw 1:3 offered
+  // ratio, but the skew stays clearly away from DRR's even split).
+  EXPECT_LT(fcfs.min_max_service, fair.min_max_service - 0.05);
+  EXPECT_LT(fcfs.min_max_service, 0.8);
+}
+
+TEST(Dumbbell, InvariantBatteryFlagsDoctoredResults) {
+  FifoScheduler fifo;
+  TopologyConfig config;
+  const std::vector<Packet> packets = two_flow_burst(20, 1.0, 1.0, 7);
+  DumbbellResult r = simulate_dumbbell(packets, fifo, config);
+  ASSERT_FALSE(r.records.empty());
+  r.records[0].departure += 1.0;  // break the link-rate identity
+  r.per_flow.at(0).delivered_bytes += 5.0;  // and byte conservation
+  const InvariantStats inv = check_dumbbell_invariants(packets, r, config);
+  EXPECT_GE(inv.violations, 2u);
+}
+
+TEST(Dumbbell, BadConfigRejected) {
+  FifoScheduler fifo;
+  TopologyConfig config;
+  config.bottleneck_rate = 0.0;
+  EXPECT_THROW((void)simulate_dumbbell({}, fifo, config),
+               std::invalid_argument);
+  config.bottleneck_rate = 1.0;
+  config.queue_capacity = -1.0;
+  EXPECT_THROW((void)simulate_dumbbell({}, fifo, config),
+               std::invalid_argument);
+  config.queue_capacity = 0.0;
+  EXPECT_THROW(
+      (void)simulate_dumbbell({Packet{0, -1.0, 0.0}}, fifo, config),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tempofair::netsim

@@ -39,7 +39,7 @@ TEST(Mlfq, NewArrivalPreemptsDemotedJob) {
   const Instance inst =
       Instance::from_pairs(std::vector<std::pair<Time, Work>>{{0.0, 10.0}, {2.0, 0.5}});
   Mlfq mlfq(1.0, 2.0);
-  const Schedule s = simulate(inst, mlfq);
+  const Schedule s = EngineCore().run(inst, mlfq);
   EXPECT_DOUBLE_EQ(s.completion(1), 2.5);
   EXPECT_DOUBLE_EQ(s.completion(0), 10.5);
 }
@@ -54,8 +54,8 @@ TEST(Mlfq, IsNonClairvoyantAndDeterministic) {
   EngineOptions open;
   EngineOptions hidden;
   hidden.hide_sizes = true;
-  const Schedule sa = simulate(inst, a, open);
-  const Schedule sb = simulate(inst, b, hidden);
+  const Schedule sa = EngineCore().run(inst, a, open);
+  const Schedule sb = EngineCore().run(inst, b, hidden);
   for (JobId j = 0; j < inst.n(); ++j) {
     EXPECT_NEAR(sa.completion(j), sb.completion(j), 1e-9);
   }
@@ -72,8 +72,8 @@ TEST(Mlfq, BeatsRoundRobinOnBigJobPlusStreamL1) {
   RoundRobin rr;
   EngineOptions eo;
   eo.record_trace = false;
-  EXPECT_LT(flow_lk_norm(simulate(inst, mlfq, eo), 1.0),
-            flow_lk_norm(simulate(inst, rr, eo), 1.0));
+  EXPECT_LT(flow_lk_norm(EngineCore().run(inst, mlfq, eo), 1.0),
+            flow_lk_norm(EngineCore().run(inst, rr, eo), 1.0));
 }
 
 TEST(Mlfq, CompletesOnMultipleMachines) {
@@ -83,7 +83,7 @@ TEST(Mlfq, CompletesOnMultipleMachines) {
   Mlfq mlfq(0.5, 2.0);
   EngineOptions eo;
   eo.machines = 4;
-  const Schedule s = simulate(inst, mlfq, eo);
+  const Schedule s = EngineCore().run(inst, mlfq, eo);
   s.validate();
 }
 

@@ -15,7 +15,7 @@ namespace {
 TEST(Srpt, RunsShortestRemainingFirst) {
   const Instance inst = Instance::batch(std::vector<Work>{3.0, 1.0, 2.0});
   Srpt srpt;
-  const Schedule s = simulate(inst, srpt);
+  const Schedule s = EngineCore().run(inst, srpt);
   EXPECT_DOUBLE_EQ(s.completion(1), 1.0);
   EXPECT_DOUBLE_EQ(s.completion(2), 3.0);
   EXPECT_DOUBLE_EQ(s.completion(0), 6.0);
@@ -25,7 +25,7 @@ TEST(Srpt, PreemptsOnShorterArrival) {
   const Instance inst =
       Instance::from_pairs(std::vector<std::pair<Time, Work>>{{0.0, 4.0}, {1.0, 1.0}});
   Srpt srpt;
-  const Schedule s = simulate(inst, srpt);
+  const Schedule s = EngineCore().run(inst, srpt);
   EXPECT_DOUBLE_EQ(s.completion(1), 2.0);  // preempts job 0 (3 remaining)
   EXPECT_DOUBLE_EQ(s.completion(0), 5.0);
 }
@@ -34,7 +34,7 @@ TEST(Srpt, DoesNotPreemptWhenRemainingIsSmaller) {
   const Instance inst =
       Instance::from_pairs(std::vector<std::pair<Time, Work>>{{0.0, 4.0}, {3.5, 1.0}});
   Srpt srpt;
-  const Schedule s = simulate(inst, srpt);
+  const Schedule s = EngineCore().run(inst, srpt);
   // Job 0 has 0.5 remaining when job 1 (size 1) arrives: job 0 keeps running.
   EXPECT_DOUBLE_EQ(s.completion(0), 4.0);
   EXPECT_DOUBLE_EQ(s.completion(1), 5.0);
@@ -50,13 +50,13 @@ TEST(Srpt, IsOptimalForTotalFlowOnSingleMachine) {
     EngineOptions eo;
     eo.record_trace = false;
     Srpt srpt;
-    const double srpt_l1 = flow_lk_norm(simulate(inst, srpt, eo), 1.0);
+    const double srpt_l1 = flow_lk_norm(EngineCore().run(inst, srpt, eo), 1.0);
     RoundRobin rr;
     Sjf sjf;
     Fcfs fcfs;
-    EXPECT_GE(flow_lk_norm(simulate(inst, rr, eo), 1.0), srpt_l1 - 1e-6);
-    EXPECT_GE(flow_lk_norm(simulate(inst, sjf, eo), 1.0), srpt_l1 - 1e-6);
-    EXPECT_GE(flow_lk_norm(simulate(inst, fcfs, eo), 1.0), srpt_l1 - 1e-6);
+    EXPECT_GE(flow_lk_norm(EngineCore().run(inst, rr, eo), 1.0), srpt_l1 - 1e-6);
+    EXPECT_GE(flow_lk_norm(EngineCore().run(inst, sjf, eo), 1.0), srpt_l1 - 1e-6);
+    EXPECT_GE(flow_lk_norm(EngineCore().run(inst, fcfs, eo), 1.0), srpt_l1 - 1e-6);
   }
 }
 
@@ -65,7 +65,7 @@ TEST(Srpt, UsesAllMachines) {
   Srpt srpt;
   EngineOptions eo;
   eo.machines = 2;
-  const Schedule s = simulate(inst, srpt, eo);
+  const Schedule s = EngineCore().run(inst, srpt, eo);
   // 2 jobs at a time: first two done at 2, next two at 4.
   std::vector<double> cs;
   for (JobId j = 0; j < 4; ++j) cs.push_back(s.completion(j));
@@ -89,7 +89,7 @@ TEST(Sjf, OrdersByOriginalSizeNotRemaining) {
   const Instance inst =
       Instance::from_pairs(std::vector<std::pair<Time, Work>>{{0.0, 3.0}, {2.5, 2.5}});
   Sjf sjf;
-  const Schedule s = simulate(inst, sjf);
+  const Schedule s = EngineCore().run(inst, sjf);
   EXPECT_DOUBLE_EQ(s.completion(1), 5.0);   // runs 2.5 .. 5.0
   EXPECT_DOUBLE_EQ(s.completion(0), 5.5);   // resumes after
 }
@@ -99,8 +99,8 @@ TEST(Sjf, SrptAndSjfAgreeOnBatch) {
   const Instance inst = Instance::batch(std::vector<Work>{5.0, 1.0, 3.0});
   Sjf sjf;
   Srpt srpt;
-  const Schedule a = simulate(inst, sjf);
-  const Schedule b = simulate(inst, srpt);
+  const Schedule a = EngineCore().run(inst, sjf);
+  const Schedule b = EngineCore().run(inst, srpt);
   for (JobId j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(a.completion(j), b.completion(j));
 }
 
@@ -110,7 +110,7 @@ TEST(Fcfs, ServesInArrivalOrder) {
   const Instance inst = Instance::from_pairs(
       std::vector<std::pair<Time, Work>>{{0.0, 2.0}, {0.5, 1.0}, {0.7, 1.0}});
   Fcfs fcfs;
-  const Schedule s = simulate(inst, fcfs);
+  const Schedule s = EngineCore().run(inst, fcfs);
   EXPECT_DOUBLE_EQ(s.completion(0), 2.0);
   EXPECT_DOUBLE_EQ(s.completion(1), 3.0);
   EXPECT_DOUBLE_EQ(s.completion(2), 4.0);
@@ -125,8 +125,8 @@ TEST(Fcfs, IsNonClairvoyant) {
   Fcfs open, blind;
   EngineOptions ho;
   ho.hide_sizes = true;
-  const Schedule a = simulate(inst, open);
-  const Schedule b = simulate(inst, blind, ho);
+  const Schedule a = EngineCore().run(inst, open);
+  const Schedule b = EngineCore().run(inst, blind, ho);
   for (JobId j = 0; j < inst.n(); ++j) {
     EXPECT_DOUBLE_EQ(a.completion(j), b.completion(j));
   }
@@ -142,8 +142,8 @@ TEST(Fcfs, HeadOfLineBlockingHurtsFlow) {
   Srpt srpt;
   EngineOptions eo;
   eo.record_trace = false;
-  const double f = flow_lk_norm(simulate(inst, fcfs, eo), 1.0);
-  const double s = flow_lk_norm(simulate(inst, srpt, eo), 1.0);
+  const double f = flow_lk_norm(EngineCore().run(inst, fcfs, eo), 1.0);
+  const double s = flow_lk_norm(EngineCore().run(inst, srpt, eo), 1.0);
   EXPECT_GT(f, 5.0 * s);
 }
 
@@ -163,8 +163,8 @@ TEST(Laps, BetaOneIsRoundRobin) {
   RoundRobin rr;
   EngineOptions eo;
   eo.record_trace = false;
-  const Schedule a = simulate(inst, laps, eo);
-  const Schedule b = simulate(inst, rr, eo);
+  const Schedule a = EngineCore().run(inst, laps, eo);
+  const Schedule b = EngineCore().run(inst, rr, eo);
   for (JobId j = 0; j < inst.n(); ++j) {
     EXPECT_NEAR(a.completion(j), b.completion(j), 1e-7);
   }
@@ -176,7 +176,7 @@ TEST(Laps, SmallBetaFavorsLatestArrival) {
   const Instance inst = Instance::from_pairs(
       std::vector<std::pair<Time, Work>>{{0.0, 10.0}, {0.0, 10.0}, {1.0, 1.0}});
   Laps laps(0.3);  // ceil(0.3 * 3) = 1 job served
-  const Schedule s = simulate(inst, laps);
+  const Schedule s = EngineCore().run(inst, laps);
   EXPECT_DOUBLE_EQ(s.completion(2), 2.0);
 }
 

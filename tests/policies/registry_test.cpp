@@ -76,7 +76,7 @@ TEST(Registry, EveryBuiltinSimulatesACommonInstance) {
       {0.0, 2.0}, {0.5, 1.0}, {1.0, 3.0}, {4.0, 0.5}});
   for (const std::string& spec : builtin_policy_specs()) {
     const auto p = make_policy(spec);
-    const Schedule s = simulate(inst, *p);
+    const Schedule s = EngineCore().run(inst, *p);
     EXPECT_NO_THROW(s.validate()) << spec;
   }
 }

@@ -57,7 +57,7 @@ TEST(RoundRobin, EqualBatchFinishesTogether) {
   for (std::size_t n : {2u, 5u, 17u}) {
     std::vector<Work> sizes(n, 2.0);
     RoundRobin rr;
-    const Schedule s = simulate(Instance::batch(sizes), rr);
+    const Schedule s = EngineCore().run(Instance::batch(sizes), rr);
     for (JobId j = 0; j < n; ++j) {
       EXPECT_NEAR(s.completion(j), 2.0 * static_cast<double>(n), 1e-7);
     }
@@ -67,7 +67,7 @@ TEST(RoundRobin, EqualBatchFinishesTogether) {
 TEST(RoundRobin, SmallerJobFinishesFirstInSharedRun) {
   const Instance inst = Instance::batch(std::vector<Work>{1.0, 3.0});
   RoundRobin rr;
-  const Schedule s = simulate(inst, rr);
+  const Schedule s = EngineCore().run(inst, rr);
   // Shared until job 0 done at t=2 (each got 1); job 1 has 2 left -> C=4.
   EXPECT_DOUBLE_EQ(s.completion(0), 2.0);
   EXPECT_DOUBLE_EQ(s.completion(1), 4.0);
@@ -81,8 +81,8 @@ TEST(RoundRobin, WorksNonClairvoyantly) {
   EngineOptions open;
   EngineOptions blind;
   blind.hide_sizes = true;
-  const Schedule a = simulate(inst, rr_open, open);
-  const Schedule b = simulate(inst, rr_blind, blind);
+  const Schedule a = EngineCore().run(inst, rr_open, open);
+  const Schedule b = EngineCore().run(inst, rr_blind, blind);
   for (JobId j = 0; j < inst.n(); ++j) {
     EXPECT_DOUBLE_EQ(a.completion(j), b.completion(j));
   }
@@ -97,7 +97,7 @@ TEST(RoundRobin, MatchesPaperRateFormula) {
   EngineOptions eo;
   eo.machines = 3;
   eo.speed = 2.0;
-  const Schedule s = simulate(inst, rr, eo);
+  const Schedule s = EngineCore().run(inst, rr, eo);
   for (const TraceIntervalView iv : s.trace()) {
     const double expect =
         2.0 * std::min(1.0, 3.0 / static_cast<double>(iv.alive_count()));
@@ -117,7 +117,7 @@ TEST(RoundRobin, FlowTimesWeaklyDecreaseWithSpeed) {
     EngineOptions eo;
     eo.speed = speed;
     eo.record_trace = false;
-    const double l2 = flow_lk_norm(simulate(inst, rr, eo), 2.0);
+    const double l2 = flow_lk_norm(EngineCore().run(inst, rr, eo), 2.0);
     EXPECT_LE(l2, prev + 1e-9);
     prev = l2;
   }
@@ -133,7 +133,7 @@ TEST(RoundRobin, MoreMachinesNeverHurt) {
     EngineOptions eo;
     eo.machines = m;
     eo.record_trace = false;
-    const double l2 = flow_lk_norm(simulate(inst, rr, eo), 2.0);
+    const double l2 = flow_lk_norm(EngineCore().run(inst, rr, eo), 2.0);
     EXPECT_LE(l2, prev + 1e-9);
     prev = l2;
   }

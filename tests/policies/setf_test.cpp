@@ -25,8 +25,8 @@ TEST(Setf, EqualBatchBehavesLikeRoundRobin) {
   const Instance inst = Instance::batch(sizes);
   Setf setf;
   RoundRobin rr;
-  const Schedule a = simulate(inst, setf);
-  const Schedule b = simulate(inst, rr);
+  const Schedule a = EngineCore().run(inst, setf);
+  const Schedule b = EngineCore().run(inst, rr);
   for (JobId j = 0; j < 6; ++j) EXPECT_NEAR(a.completion(j), b.completion(j), 1e-6);
 }
 
@@ -37,7 +37,7 @@ TEST(Setf, NewArrivalGetsExclusiveServiceUntilCatchUp) {
   const Instance inst =
       Instance::from_pairs(std::vector<std::pair<Time, Work>>{{0.0, 4.0}, {2.0, 3.0}});
   Setf setf;
-  const Schedule s = simulate(inst, setf);
+  const Schedule s = EngineCore().run(inst, setf);
   // Catch-up at t=4 (both attained 2).  Then share at 1/2: job 1 needs 1
   // more -> done at t=6; job 0 needs 2 more: shares until 6 (attained 3),
   // then alone until attained 4 at t=7.
@@ -51,7 +51,7 @@ TEST(Setf, ShortJobCompletesBeforeCatchingUp) {
   const Instance inst =
       Instance::from_pairs(std::vector<std::pair<Time, Work>>{{0.0, 20.0}, {10.0, 1.0}});
   Setf setf;
-  const Schedule s = simulate(inst, setf);
+  const Schedule s = EngineCore().run(inst, setf);
   EXPECT_NEAR(s.completion(1), 11.0, 1e-6);
   EXPECT_NEAR(s.completion(0), 21.0, 1e-6);
 }
@@ -68,8 +68,8 @@ TEST(Setf, FavorsSmallJobsLikeSrptDoesForL1) {
   RoundRobin rr;
   EngineOptions eo;
   eo.record_trace = false;
-  const double setf_l1 = flow_lk_norm(simulate(inst, setf, eo), 1.0);
-  const double rr_l1 = flow_lk_norm(simulate(inst, rr, eo), 1.0);
+  const double setf_l1 = flow_lk_norm(EngineCore().run(inst, setf, eo), 1.0);
+  const double rr_l1 = flow_lk_norm(EngineCore().run(inst, rr, eo), 1.0);
   EXPECT_LT(setf_l1, rr_l1);
 }
 
@@ -112,8 +112,8 @@ TEST(Setf, WorksNonClairvoyantly) {
   EngineOptions hidden;
   hidden.machines = 2;
   hidden.hide_sizes = true;
-  const Schedule a = simulate(inst, open, visible);
-  const Schedule b = simulate(inst, blind, hidden);
+  const Schedule a = EngineCore().run(inst, open, visible);
+  const Schedule b = EngineCore().run(inst, blind, hidden);
   for (JobId j = 0; j < inst.n(); ++j) {
     EXPECT_NEAR(a.completion(j), b.completion(j), 1e-7);
   }
@@ -129,7 +129,7 @@ TEST(Setf, HandlesManyTiedGroupsWithoutStepExplosion) {
   EngineOptions eo;
   eo.record_trace = false;
   eo.max_steps = 2'000'000;
-  const Schedule s = simulate(inst, setf, eo);
+  const Schedule s = EngineCore().run(inst, setf, eo);
   s.validate();
   EXPECT_GT(s.makespan(), 0.0);
 }

@@ -25,7 +25,7 @@ TEST(Hdf, RunsHighestDensityFirst) {
   const Instance inst =
       weighted_batch({{4.0, 1.0}, {3.0, 3.0}, {2.0, 1.0}});
   Hdf hdf;
-  const Schedule s = simulate(inst, hdf);
+  const Schedule s = EngineCore().run(inst, hdf);
   EXPECT_DOUBLE_EQ(s.completion(1), 3.0);
   EXPECT_DOUBLE_EQ(s.completion(2), 5.0);
   EXPECT_DOUBLE_EQ(s.completion(0), 9.0);
@@ -40,8 +40,8 @@ TEST(Hdf, EqualWeightsReduceToSjf) {
   Sjf sjf;
   EngineOptions eo;
   eo.record_trace = false;
-  const Schedule a = simulate(inst, hdf, eo);
-  const Schedule b = simulate(inst, sjf, eo);
+  const Schedule a = EngineCore().run(inst, hdf, eo);
+  const Schedule b = EngineCore().run(inst, sjf, eo);
   for (JobId j = 0; j < inst.n(); ++j) {
     EXPECT_NEAR(a.completion(j), b.completion(j), 1e-9);
   }
@@ -58,10 +58,10 @@ TEST(Hdf, MinimizesWeightedL1AmongTestedPolicies) {
   Hrdf hrdf;
   RoundRobin rr;
   WeightProportionalRoundRobin wprr;
-  const double hdf_cost = weighted_flow_lk_power(simulate(inst, hdf, eo), 1.0);
-  const double hrdf_cost = weighted_flow_lk_power(simulate(inst, hrdf, eo), 1.0);
-  const double rr_cost = weighted_flow_lk_power(simulate(inst, rr, eo), 1.0);
-  const double wprr_cost = weighted_flow_lk_power(simulate(inst, wprr, eo), 1.0);
+  const double hdf_cost = weighted_flow_lk_power(EngineCore().run(inst, hdf, eo), 1.0);
+  const double hrdf_cost = weighted_flow_lk_power(EngineCore().run(inst, hrdf, eo), 1.0);
+  const double rr_cost = weighted_flow_lk_power(EngineCore().run(inst, rr, eo), 1.0);
+  const double wprr_cost = weighted_flow_lk_power(EngineCore().run(inst, wprr, eo), 1.0);
   const double best = std::min(hdf_cost, hrdf_cost);
   EXPECT_LE(best, rr_cost * (1.0 + 1e-9));
   EXPECT_LE(best, wprr_cost * (1.0 + 1e-9));
@@ -74,10 +74,10 @@ TEST(Hrdf, PreemptsByResidualDensity) {
   std::vector<Job> jobs{Job{0, 0.0, 4.0, 1.0}, Job{1, 3.0, 2.0, 1.5}};
   const Instance inst = Instance::from_jobs(std::move(jobs));
   Hrdf hrdf;
-  const Schedule s = simulate(inst, hrdf);
+  const Schedule s = EngineCore().run(inst, hrdf);
   EXPECT_DOUBLE_EQ(s.completion(0), 4.0);
   Hdf hdf;
-  const Schedule h = simulate(inst, hdf);
+  const Schedule h = EngineCore().run(inst, hdf);
   EXPECT_DOUBLE_EQ(h.completion(1), 5.0);  // HDF runs job 1 first at t=3
   EXPECT_DOUBLE_EQ(h.completion(0), 6.0);
 }
@@ -102,8 +102,8 @@ TEST(Wprr, UnitWeightsEqualRoundRobin) {
   EngineOptions eo;
   eo.machines = 2;
   eo.record_trace = false;
-  const Schedule a = simulate(inst, wprr, eo);
-  const Schedule b = simulate(inst, rr, eo);
+  const Schedule a = EngineCore().run(inst, wprr, eo);
+  const Schedule b = EngineCore().run(inst, rr, eo);
   for (JobId j = 0; j < inst.n(); ++j) {
     EXPECT_NEAR(a.completion(j), b.completion(j), 1e-7);
   }
@@ -131,8 +131,8 @@ TEST(Wprr, IsNonClairvoyant) {
   WeightProportionalRoundRobin open, blind;
   EngineOptions hidden;
   hidden.hide_sizes = true;
-  const Schedule a = simulate(inst, open);
-  const Schedule b = simulate(inst, blind, hidden);
+  const Schedule a = EngineCore().run(inst, open);
+  const Schedule b = EngineCore().run(inst, blind, hidden);
   for (JobId j = 0; j < inst.n(); ++j) {
     EXPECT_NEAR(a.completion(j), b.completion(j), 1e-7);
   }

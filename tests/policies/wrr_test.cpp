@@ -99,7 +99,7 @@ TEST(WeightedRoundRobin, CompletesEverythingAndConservesWork) {
   const Instance inst =
       workload::poisson_load(40, 1, 0.9, workload::ExponentialSize{1.0}, rng);
   WeightedRoundRobin wrr;
-  const Schedule s = simulate(inst, wrr);
+  const Schedule s = EngineCore().run(inst, wrr);
   s.validate();
 }
 
@@ -123,7 +123,7 @@ TEST(WeightedRoundRobin, HelpsL2OverRrOnStarvedBigJob) {
   WeightedRoundRobin wrr;
   EngineOptions eo;
   eo.record_trace = false;
-  const double wrr_l2 = flow_lk_norm(simulate(inst, wrr, eo), 2.0);
+  const double wrr_l2 = flow_lk_norm(EngineCore().run(inst, wrr, eo), 2.0);
   EXPECT_GT(wrr_l2, 0.0);
   EXPECT_TRUE(std::isfinite(wrr_l2));
 }

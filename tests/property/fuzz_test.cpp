@@ -56,7 +56,7 @@ TEST_P(FuzzSweep, EveryPolicyProducesConsistentSchedules) {
     eo.machines = machines;
     eo.speed = speed;
     eo.max_steps = 5'000'000;
-    const Schedule s = simulate(inst, *policy, eo);
+    const Schedule s = EngineCore().run(inst, *policy, eo);
     ASSERT_NO_THROW(s.validate()) << spec << " on " << inst.summary();
   }
 }
@@ -67,10 +67,10 @@ TEST_P(FuzzSweep, SrptMinimizesTotalFlowOnOneMachine) {
   EngineOptions eo;
   eo.record_trace = false;
   auto srpt = make_policy("srpt");
-  const double best = flow_lk_power(simulate(inst, *srpt, eo), 1.0);
+  const double best = flow_lk_power(EngineCore().run(inst, *srpt, eo), 1.0);
   for (const std::string& spec : builtin_policy_specs()) {
     auto policy = make_policy(spec);
-    const double cost = flow_lk_power(simulate(inst, *policy, eo), 1.0);
+    const double cost = flow_lk_power(EngineCore().run(inst, *policy, eo), 1.0);
     EXPECT_GE(cost, best * (1.0 - 1e-7)) << spec;
   }
 }
@@ -84,7 +84,7 @@ TEST_P(FuzzSweep, DualFitAlgebraHoldsAtArbitrarySpeed) {
   EngineOptions eo;
   eo.machines = machines;
   eo.speed = speed;
-  const Schedule s = simulate(inst, *rr, eo);
+  const Schedule s = EngineCore().run(inst, *rr, eo);
   analysis::DualFitOptions opt;
   opt.k = static_cast<double>(rng.uniform_int(1, 3));
   opt.eps = 0.05;
@@ -111,8 +111,8 @@ TEST_P(FuzzSweep, TimeScalingInvariance) {
     auto p2 = make_policy(spec);
     EngineOptions eo;
     eo.record_trace = false;
-    const Schedule a = simulate(inst, *p1, eo);
-    const Schedule b = simulate(scaled_inst, *p2, eo);
+    const Schedule a = EngineCore().run(inst, *p1, eo);
+    const Schedule b = EngineCore().run(scaled_inst, *p2, eo);
     for (JobId j = 0; j < inst.n(); ++j) {
       EXPECT_NEAR(b.completion(j), c * a.completion(j),
                   1e-6 * std::max(1.0, c * a.completion(j)))

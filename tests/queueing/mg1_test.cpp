@@ -158,7 +158,7 @@ TEST_P(SimulatorVsTheory, MeanFlowMatchesMg1) {
     auto policy = make_policy(policy_name);
     EngineOptions eo;
     eo.record_trace = false;
-    const Schedule s = simulate(inst, *policy, eo);
+    const Schedule s = EngineCore().run(inst, *policy, eo);
     double sum = 0.0;
     for (JobId j = static_cast<JobId>(warmup); j < n - warmup; ++j) {
       sum += s.flow(j);

@@ -57,7 +57,7 @@ TEST(RelatedRoundRobin, IdenticalSpeedsMatchCoreRr) {
   EngineOptions eo;
   eo.machines = 3;
   eo.record_trace = false;
-  const Schedule b = simulate(inst, core, eo);
+  const Schedule b = EngineCore().run(inst, core, eo);
   for (JobId j = 0; j < inst.n(); ++j) {
     EXPECT_NEAR(a.completion[j], b.completion(j), 1e-7) << "job " << j;
   }

@@ -20,6 +20,7 @@
 #include "serve/client.h"
 #include "serve/daemon.h"
 #include "workload/generators.h"
+#include "workload/source.h"
 
 namespace tempofair::serve {
 namespace {
@@ -355,6 +356,52 @@ TEST_F(DaemonTest, SemanticErrorsCarryMachineReadableCodes) {
   for (Job& job : tail) job.release += 1.0;
   (void)client.submit_chunk(tail, /*last=*/true);
   EXPECT_EQ(client.wait(open_run).completions.size(), 10u);
+}
+
+// The v3 acceptance path: a tenant names its workload with one spec string
+// instead of shipping job rows.  The daemon synthesizes the stream through
+// workload::make_source, so the result is byte-identical to a local
+// run_spec() with the same request -- and a malformed spec is a BAD_REQUEST
+// at submission time, not a dead run.
+TEST_F(DaemonTest, SpecNamedSubmitMatchesLocalRunSpec) {
+  DaemonConfig config;
+  config.workers = 2;
+  start(std::move(config));
+
+  const std::string spec = "poisson:n=250,load=0.9,dist=exp(1.2),seed=19";
+  RunRequest req;
+  req.policy = "rr";
+  req.record_trace = false;
+
+  Client client = Client::connect_tcp(port_, "spec-tenant");
+  const std::uint64_t run_id = client.submit_spec(spec, req);
+  const ResultMsg result = client.wait(run_id);
+
+  RunRequest local = req;
+  local.workload = spec;
+  const RunResult offline = workload::run_spec(local);
+  ASSERT_EQ(result.completions.size(), offline.schedule.n());
+  for (JobId j = 0; j < offline.schedule.n(); ++j) {
+    EXPECT_EQ(result.completions[j], offline.schedule.completion(j)) << j;
+  }
+  EXPECT_EQ(result.stats.l2, offline.stats.l2);
+  EXPECT_EQ(result.stats.p99, offline.stats.p99);
+
+  // Session accounting counts the synthesized jobs like streamed ones.
+  const StatsReplyMsg stats = client.stats();
+  const std::map<std::string, std::uint64_t> counters(stats.counters.begin(),
+                                                      stats.counters.end());
+  EXPECT_EQ(counters.at("runs.spec_named"), 1u);
+
+  // A bad spec never becomes a run.
+  try {
+    (void)client.submit_spec("zipf:n=10", req);
+    FAIL() << "expected BAD_REQUEST";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code, ErrorCode::kBadRequest);
+    EXPECT_NE(std::string(e.what()).find("workload spec"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST_F(DaemonTest, UnixSocketRoundTrip) {

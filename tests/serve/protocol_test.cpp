@@ -353,9 +353,10 @@ TEST(Protocol, DecodeRejectsBadInvariantMode) {
   RunRequest req;
   WireWriter w;
   encode_run_request(w, req);
-  // The mode byte is the third-from-last field (mode u8 + period u64).
+  // The request tail is mode u8, period u64, then the v3 workload string
+  // (u32 length prefix, empty here): the mode byte sits 13 from the end.
   std::vector<std::uint8_t> bytes(w.bytes().begin(), w.bytes().end());
-  bytes[bytes.size() - 9] = 7;  // out of range
+  bytes[bytes.size() - 13] = 7;  // out of range
   WireReader r(bytes);
   EXPECT_THROW((void)decode_run_request(r), WireError);
 }
@@ -365,8 +366,9 @@ TEST(Protocol, DecodeRejectsZeroSamplePeriod) {
   req.invariants = InvariantMode::kSampled;
   WireWriter w;
   encode_run_request(w, req);
+  // Period u64 sits just before the v3 workload string's u32 length prefix.
   std::vector<std::uint8_t> bytes(w.bytes().begin(), w.bytes().end());
-  for (int i = 1; i <= 8; ++i) bytes[bytes.size() - i] = 0;  // period = 0
+  for (int i = 5; i <= 12; ++i) bytes[bytes.size() - i] = 0;  // period = 0
   WireReader r(bytes);
   EXPECT_THROW((void)decode_run_request(r), WireError);
 }

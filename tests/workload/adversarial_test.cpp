@@ -40,8 +40,8 @@ TEST(RrL2Hard, RrIsMuchWorseThanSrptForL2AtSpeedOne) {
   Srpt srpt;
   EngineOptions eo;
   eo.record_trace = false;
-  const double rr_l2 = flow_lk_norm(simulate(inst, rr, eo), 2.0);
-  const double srpt_l2 = flow_lk_norm(simulate(inst, srpt, eo), 2.0);
+  const double rr_l2 = flow_lk_norm(EngineCore().run(inst, rr, eo), 2.0);
+  const double srpt_l2 = flow_lk_norm(EngineCore().run(inst, srpt, eo), 2.0);
   EXPECT_GT(rr_l2, 1.7 * srpt_l2);  // the family separates RR from OPT
 }
 
@@ -68,8 +68,8 @@ TEST(GeometricLevels, RrRatioGrowsWithDepthAtSpeedOne) {
     Srpt srpt;
     EngineOptions eo;
     eo.record_trace = false;
-    return flow_lk_norm(simulate(inst, rr, eo), 2.0) /
-           flow_lk_norm(simulate(inst, srpt, eo), 2.0);
+    return flow_lk_norm(EngineCore().run(inst, rr, eo), 2.0) /
+           flow_lk_norm(EngineCore().run(inst, srpt, eo), 2.0);
   };
   const double r4 = ratio(4), r8 = ratio(8), r11 = ratio(11);
   EXPECT_GT(r8, r4);
@@ -89,9 +89,9 @@ TEST(SrptStarvation, StructureAndBehaviour) {
   Srpt srpt;
   EngineOptions eo;
   eo.record_trace = false;
-  const double rr_max = flow_lk_norm(simulate(inst, rr, eo),
+  const double rr_max = flow_lk_norm(EngineCore().run(inst, rr, eo),
                                      std::numeric_limits<double>::infinity());
-  const double srpt_max = flow_lk_norm(simulate(inst, srpt, eo),
+  const double srpt_max = flow_lk_norm(EngineCore().run(inst, srpt, eo),
                                        std::numeric_limits<double>::infinity());
   EXPECT_GT(srpt_max, 2.0 * rr_max);
   EXPECT_NEAR(srpt_max, 52.0, 1e-6);
@@ -106,8 +106,8 @@ TEST(SrptStarvation, HugeBigJobAbsorbsSlackUnderEveryPolicy) {
   EngineOptions eo;
   eo.record_trace = false;
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  EXPECT_NEAR(flow_lk_norm(simulate(inst, rr, eo), kInf),
-              flow_lk_norm(simulate(inst, srpt, eo), kInf), 1e-6);
+  EXPECT_NEAR(flow_lk_norm(EngineCore().run(inst, rr, eo), kInf),
+              flow_lk_norm(EngineCore().run(inst, srpt, eo), kInf), 1e-6);
 }
 
 TEST(SrptStarvation, RejectsBadParameters) {
@@ -127,7 +127,7 @@ TEST(OverloadPulse, AlternatesLoadAndIdle) {
   RoundRobin rr;
   EngineOptions eo;
   eo.machines = 2;
-  const Schedule s = simulate(inst, rr, eo);
+  const Schedule s = EngineCore().run(inst, rr, eo);
   EXPECT_LE(s.completion(3), 4.0 + 1e-9);
 }
 

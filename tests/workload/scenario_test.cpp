@@ -1,0 +1,186 @@
+// Scenario layer: capacity timelines (hand-checked carryover semantics),
+// SLO attainment bookkeeping, and the closed-loop client simulator.
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.h"
+#include "workload/source.h"
+
+namespace tempofair::workload {
+namespace {
+
+// --- capacity timelines ------------------------------------------------------
+
+TEST(CapacityTimeline, ValidateRejectsBadPhaseLists) {
+  EXPECT_THROW(CapacityTimeline{}.validate(), std::invalid_argument);
+  EXPECT_THROW((CapacityTimeline{{{1.0, 1, 1.0}}}.validate()),
+               std::invalid_argument);  // must start at 0
+  EXPECT_THROW((CapacityTimeline{{{0.0, 1, 1.0}, {0.0, 2, 1.0}}}.validate()),
+               std::invalid_argument);  // strictly increasing
+  EXPECT_THROW((CapacityTimeline{{{0.0, -1, 1.0}}}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((CapacityTimeline{{{0.0, 1, 0.0}}}.validate()),
+               std::invalid_argument);  // speed > 0
+  EXPECT_NO_THROW((CapacityTimeline{{{0.0, 0, 1.0}, {2.0, 1, 1.0}}}.validate()));
+}
+
+TEST(CapacityTimeline, OutageDelaysAndCarriesRemainingWork) {
+  // One size-2 job released at 0.  Phase 1 serves [0,1) at speed 1 (1 unit
+  // done), the outage [1,3) serves nothing, service resumes at 3: the last
+  // unit finishes at 4.  Flow is measured from the ORIGINAL release.
+  const Instance inst = Instance::from_jobs({Job{0, 0.0, 2.0, 1.0}});
+  RunRequest req;
+  req.policy = "rr";
+  CapacityTimeline timeline;
+  timeline.phases = {{0.0, 1, 1.0}, {1.0, 0, 1.0}, {3.0, 1, 1.0}};
+  const TimelineResult r = run_capacity_timeline(inst, req, timeline);
+  ASSERT_EQ(r.completion.size(), 1u);
+  EXPECT_NEAR(r.completion[0], 4.0, 1e-9);
+  EXPECT_NEAR(r.flow[0], 4.0, 1e-9);
+  EXPECT_GE(r.carried, 1u);  // interrupted at least once
+}
+
+TEST(CapacityTimeline, SpeedPhaseShortensService) {
+  // Size-3 job at 0; speed 1 in [0,1) does 1 unit, speed 2 afterwards does
+  // the remaining 2 units in 1 time: completion 2.
+  const Instance inst = Instance::from_jobs({Job{0, 0.0, 3.0, 1.0}});
+  RunRequest req;
+  req.policy = "srpt";
+  CapacityTimeline timeline;
+  timeline.phases = {{0.0, 1, 1.0}, {1.0, 1, 2.0}};
+  const TimelineResult r = run_capacity_timeline(inst, req, timeline);
+  EXPECT_NEAR(r.completion[0], 2.0, 1e-9);
+}
+
+TEST(CapacityTimeline, FlatTimelineMatchesPlainRun) {
+  const Instance inst = make_instance("poisson:n=120,load=0.8,seed=6");
+  RunRequest req;
+  req.policy = "rr";
+  CapacityTimeline flat;
+  flat.phases = {{0.0, 1, 1.0}};
+  const TimelineResult tl = run_capacity_timeline(inst, req, flat);
+  const RunResult plain = run(inst, req);
+  ASSERT_EQ(tl.completion.size(), plain.schedule.n());
+  for (JobId j = 0; j < static_cast<JobId>(plain.schedule.n()); ++j) {
+    EXPECT_NEAR(tl.completion[j], plain.schedule.completion(j), 1e-9)
+        << "job " << j;
+  }
+  EXPECT_EQ(tl.segments, 1u);
+  EXPECT_EQ(tl.carried, 0u);
+}
+
+TEST(CapacityTimeline, EveryJobCompletesAfterItsRelease) {
+  const Instance inst = make_instance("mmpp:n=200,load=0.9,burst=8,on=5,off=20,seed=2");
+  RunRequest req;
+  req.policy = "rr";
+  CapacityTimeline timeline;
+  timeline.phases = {{0.0, 2, 1.0}, {20.0, 0, 1.0}, {30.0, 1, 1.5}};
+  const TimelineResult r = run_capacity_timeline(inst, req, timeline);
+  for (JobId j = 0; j < static_cast<JobId>(inst.n()); ++j) {
+    EXPECT_GE(r.completion[j], inst.job(j).release) << "job " << j;
+    EXPECT_GT(r.flow[j], 0.0) << "job " << j;
+  }
+}
+
+// --- SLO attainment ----------------------------------------------------------
+
+TEST(SloAttainment, CountsPerClassAndOverall) {
+  const std::vector<Time> flows = {0.5, 3.0, 1.0, 9.0};
+  const std::vector<SloClass> classes = {{"interactive", 1.0}, {"batch", 5.0}};
+  const std::vector<int> class_of = {0, 1, 0, 1};
+  const SloReport report = slo_attainment(flows, classes, class_of);
+  ASSERT_EQ(report.classes.size(), 2u);
+  EXPECT_EQ(report.classes[0].jobs, 2u);
+  EXPECT_EQ(report.classes[0].met, 2u);  // 0.5 and 1.0 both <= 1.0
+  EXPECT_DOUBLE_EQ(report.classes[0].attainment, 1.0);
+  EXPECT_EQ(report.classes[1].met, 1u);  // 3.0 <= 5, 9.0 misses
+  EXPECT_DOUBLE_EQ(report.classes[1].attainment, 0.5);
+  EXPECT_DOUBLE_EQ(report.overall_attainment, 0.75);
+  EXPECT_DOUBLE_EQ(report.classes[1].max_flow, 9.0);
+}
+
+TEST(SloAttainment, EmptyClassCountsAsFullyAttained) {
+  const std::vector<Time> flows = {1.0};
+  const std::vector<SloClass> classes = {{"used", 2.0}, {"unused", 1.0}};
+  const std::vector<int> class_of = {0};
+  const SloReport report = slo_attainment(flows, classes, class_of);
+  EXPECT_DOUBLE_EQ(report.classes[1].attainment, 1.0);
+}
+
+TEST(SloAttainment, RejectsMismatchedInputs) {
+  const std::vector<Time> flows = {1.0, 2.0};
+  const std::vector<SloClass> classes = {{"a", 1.0}};
+  const std::vector<int> short_map = {0};
+  EXPECT_THROW((void)slo_attainment(flows, classes, short_map),
+               std::invalid_argument);
+  const std::vector<int> out_of_range = {0, 1};
+  EXPECT_THROW((void)slo_attainment(flows, classes, out_of_range),
+               std::invalid_argument);
+}
+
+TEST(SloAttainment, CycleClassesIsDeterministicRoundRobin) {
+  const std::vector<int> assigned = cycle_classes(7, 3);
+  const std::vector<int> expect = {0, 1, 2, 0, 1, 2, 0};
+  EXPECT_EQ(assigned, expect);
+}
+
+// --- closed-loop clients -----------------------------------------------------
+
+TEST(ClosedLoop, DeterministicForEqualConfigs) {
+  ClosedLoopConfig config;
+  config.clients = 6;
+  config.requests = 500;
+  config.seed = 17;
+  const ClosedLoopResult a = run_closed_loop(config);
+  const ClosedLoopResult b = run_closed_loop(config);
+  EXPECT_EQ(a.stats.l1, b.stats.l1);
+  EXPECT_EQ(a.stats.p99, b.stats.p99);
+  EXPECT_EQ(a.throughput, b.throughput);
+}
+
+TEST(ClosedLoop, LittlesLawHoldsApproximately) {
+  ClosedLoopConfig config;
+  config.clients = 10;
+  config.requests = 4000;
+  config.think_mean = 2.0;
+  config.seed = 23;
+  for (const char* disc : {"ps", "fcfs"}) {
+    config.discipline = disc;
+    const ClosedLoopResult r = run_closed_loop(config);
+    const double implied = r.throughput * (config.think_mean + r.stats.mean);
+    EXPECT_NEAR(implied, static_cast<double>(config.clients),
+                0.08 * static_cast<double>(config.clients))
+        << disc;
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0 + 1e-9);
+  }
+}
+
+TEST(ClosedLoop, PopulationBoundsConcurrency) {
+  // With one client the system alternates think/serve: utilization is
+  // mean_size / (think + mean_size) within sampling noise, and throughput
+  // can never exceed 1 / mean_cycle.
+  ClosedLoopConfig config;
+  config.clients = 1;
+  config.requests = 2000;
+  config.think_mean = 1.0;
+  config.seed = 31;
+  const ClosedLoopResult r = run_closed_loop(config);
+  EXPECT_NEAR(r.utilization, 0.5, 0.1);
+  EXPECT_LT(r.throughput, 1.0);
+}
+
+TEST(ClosedLoop, BadConfigRejected) {
+  ClosedLoopConfig config;
+  config.clients = 0;
+  EXPECT_THROW((void)run_closed_loop(config), std::invalid_argument);
+  config.clients = 4;
+  config.discipline = "lifo";
+  EXPECT_THROW((void)run_closed_loop(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tempofair::workload

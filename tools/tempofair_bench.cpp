@@ -55,6 +55,10 @@ int main(int argc, char** argv) {
       .value("n", 0, "override every experiment's workload size")
       .value("eps", 0.05, "override eps where used (t2, t4)")
       .value("trials", 0, "override trial counts (t8, f5)")
+      .value("trace", std::string(),
+             "replay an external trace file where supported (s1)")
+      .value("workload", std::string(),
+             "override the workload spec where supported (s2, s3)")
       .value("out-dir", std::string(),
              "artifact directory (default runs/<timestamp>)")
       .flag("no-artifacts", "skip writing JSON run artifacts");
@@ -121,6 +125,12 @@ int main(int argc, char** argv) {
     text << parsed.get_double("eps");
     fwd.push_back("--eps");
     fwd.push_back(text.str());
+  }
+  for (const char* name : {"trace", "workload"}) {
+    if (parsed.given(name)) {
+      fwd.push_back(std::string("--") + name);
+      fwd.push_back(parsed.get_string(name));
+    }
   }
   if (parsed.flag("csv")) fwd.push_back("--csv");
   std::vector<const char*> fwd_argv;

@@ -3,11 +3,15 @@
 //
 //   tempofair_client --socket /tmp/tempofair.sock --instance jobs.csv
 //       --policy rr --k 2 [--watch] [--chunk 512] [--show-stats]
+//   tempofair_client --socket /tmp/tempofair.sock
+//       --workload poisson:n=5000,load=0.9,seed=7 --policy rr
 //
-// The instance travels over the wire in chunks, the daemon executes it with
-// the same RunRequest the offline tools use, and the final statistics are
-// byte-identical to a local `run()` on the same jobs.  --watch polls the
-// live metrics (QUERY_METRICS) while the run is in flight.
+// With --instance the jobs travel over the wire in chunks; with --workload
+// only the spec string travels (protocol v3) and the daemon synthesizes the
+// stream server-side.  Either way the daemon executes the same RunRequest
+// the offline tools use, and the final statistics are byte-identical to a
+// local `run()` on the same jobs.  --watch polls the live metrics
+// (QUERY_METRICS) while the run is in flight.
 #include <chrono>
 #include <iostream>
 #include <thread>
@@ -28,14 +32,13 @@ int run_client(const tempofair::harness::Parsed& parsed) {
     throw tempofair::harness::CliError(
         "need --socket PATH or --port N to reach a daemon");
   }
-  const std::string instance_path = parsed.get_string("instance");
-  if (instance_path.empty()) {
-    throw tempofair::harness::CliError("--instance: required");
-  }
-  const tempofair::Instance instance =
-      tempofair::workload::read_csv_file(instance_path);
   const tempofair::RunRequest request =
       tempofair::harness::run_request_from_flags(parsed);
+  const std::string instance_path = parsed.get_string("instance");
+  if (instance_path.empty() == request.workload.empty()) {
+    throw tempofair::harness::CliError(
+        "exactly one of --instance or --workload is required");
+  }
   const double k = parsed.get_double("k");
   const long chunk = parsed.get_int("chunk");
   if (chunk < 0) throw tempofair::harness::CliError("--chunk: must be >= 0");
@@ -47,13 +50,24 @@ int run_client(const tempofair::harness::Parsed& parsed) {
           : tempofair::serve::Client::connect_unix(socket_path,
                                                    parsed.get_string("tenant"));
   const bool quiet = parsed.flag("quiet");
-  if (!quiet) {
-    std::cerr << "connected to " << client.server() << " (session "
-              << client.session_id() << "); submitting " << instance.n()
-              << " jobs\n";
+  std::uint64_t run_id = 0;
+  if (!instance_path.empty()) {
+    const tempofair::Instance instance =
+        tempofair::workload::read_csv_file(instance_path);
+    if (!quiet) {
+      std::cerr << "connected to " << client.server() << " (session "
+                << client.session_id() << "); submitting " << instance.n()
+                << " jobs\n";
+    }
+    run_id = client.submit(instance, request, static_cast<std::size_t>(chunk));
+  } else {
+    if (!quiet) {
+      std::cerr << "connected to " << client.server() << " (session "
+                << client.session_id() << "); submitting spec "
+                << request.workload << "\n";
+    }
+    run_id = client.submit_spec(request.workload, request);
   }
-  const std::uint64_t run_id =
-      client.submit(instance, request, static_cast<std::size_t>(chunk));
 
   if (parsed.flag("watch")) {
     for (;;) {

@@ -1,18 +1,21 @@
 // tempofair-sim: command-line front end to the library.
 //
-//   tempofair-sim generate --out jobs.csv [--workload poisson|bursty|adv-geometric|adv-batchstream]
-//                 [--n 100] [--load 0.9] [--machines 1] [--dist exp:1.5|fixed:1|uniform:0.5,2|pareto:1.8,0.5|bimodal:0.9,1,20]
-//                 [--seed 1]
-//   tempofair-sim run --instance jobs.csv --policy rr [--machines 1] [--speed 1]
-//                 [--k 2] [--fairness] [--certificate] [--eps 0.05]
-//   tempofair-sim compare --instance jobs.csv [--machines 1] [--k 2]
+//   tempofair-sim generate --out jobs.csv --workload poisson:n=100,load=0.9,dist=exp(1.5),seed=1
+//                 [--format csv|binary|auto]
+//   tempofair-sim run --workload poisson:n=100,load=0.9 --policy rr
+//                 [--machines 1] [--speed 1] [--k 2] [--fairness]
+//                 [--certificate] [--eps 0.05]
+//   tempofair-sim run --instance jobs.csv --policy rr ...
+//   tempofair-sim compare --workload trace:jobs.csv [--machines 1] [--k 2]
 //
-// `run` prints the flow-time statistics (and optionally the fairness report
-// and the paper's dual-fitting certificate); `compare` tabulates every
-// built-in policy on the instance.  All three subcommands parse strictly
-// (unknown flags are errors) and `run` speaks the shared run-flag
-// vocabulary from harness/cli.h, so a RunRequest built here is spelled the
-// same as one built by tempofair_client or tempofaird.
+// All workload selection goes through the one WorkloadSpec grammar
+// (workload/spec.h): the same string names the same jobs here, in
+// tempofair_bench, and in a tempofaird SUBMIT.  `--instance PATH` is
+// shorthand for `--workload trace:PATH`.  `run` prints the flow-time
+// statistics (and optionally the fairness report and the paper's
+// dual-fitting certificate); `compare` tabulates every built-in policy.
+// All three subcommands parse strictly (unknown flags are errors) and `run`
+// speaks the shared run-flag vocabulary from harness/cli.h.
 #include <iostream>
 #include <limits>
 #include <string>
@@ -24,8 +27,7 @@
 #include "core/metrics.h"
 #include "harness/cli.h"
 #include "policies/registry.h"
-#include "workload/adversarial.h"
-#include "workload/generators.h"
+#include "workload/source.h"
 #include "workload/trace_io.h"
 
 using namespace tempofair;
@@ -36,52 +38,38 @@ int usage() {
   std::cerr << "usage: tempofair-sim generate|run|compare [options]\n"
                "       tempofair-sim COMMAND --help for the option listing\n"
                "policy specs: rr srpt sjf fcfs setf wrr mlfq hdf hrdf wprr "
-               "laps:B qrr:Q[,CS]\n";
+               "laps:B qrr:Q[,CS]\n"
+               "workload specs: poisson:n=..,load=..,dist=exp(1.5),seed=.. | "
+               "mmpp:.. | uniform:.. | bursty:.. |\n"
+               "                adv-rr-l2-hard:.. | adv-srpt-starvation:.. | "
+               "adv-overload-pulse:.. |\n"
+               "                adv-staircase:.. | adv-geometric:.. | "
+               "adv-batch-stream:.. | trace:PATH\n";
   return 2;
 }
 
-workload::SizeDist parse_dist(const std::string& spec) {
-  const auto colon = spec.find(':');
-  const std::string name = spec.substr(0, colon);
-  const std::string args = colon == std::string::npos ? "" : spec.substr(colon + 1);
-  auto nums = [&args] {
-    std::vector<double> out;
-    std::size_t pos = 0;
-    while (pos < args.size()) {
-      std::size_t next = args.find(',', pos);
-      if (next == std::string::npos) next = args.size();
-      out.push_back(std::stod(args.substr(pos, next - pos)));
-      pos = next + 1;
-    }
-    return out;
-  }();
-  if (name == "exp") return workload::ExponentialSize{nums.empty() ? 1.0 : nums[0]};
-  if (name == "fixed") return workload::FixedSize{nums.empty() ? 1.0 : nums[0]};
-  if (name == "uniform" && nums.size() >= 2) return workload::UniformSize{nums[0], nums[1]};
-  if (name == "pareto" && nums.size() >= 2) {
-    return workload::ParetoSize{nums[0], nums[1], nums.size() > 2 ? nums[2] : 0.0};
+/// Resolves the --workload / --instance pair shared by run and compare.
+workload::WorkloadSpec workload_spec_from(const harness::Parsed& cli) {
+  const std::string path = cli.get_string("instance");
+  const std::string spec = cli.get_string("workload");
+  if (!path.empty() && !spec.empty()) {
+    throw harness::CliError("--instance and --workload are exclusive");
   }
-  if (name == "bimodal" && nums.size() >= 3) {
-    return workload::BimodalSize{nums[0], nums[1], nums[2]};
+  if (!path.empty()) return workload::WorkloadSpec::trace(path);
+  if (spec.empty()) {
+    throw harness::CliError("one of --workload or --instance is required");
   }
-  throw std::invalid_argument("unknown --dist spec '" + spec + "'");
+  return workload::WorkloadSpec::parse(spec);
 }
 
 int cmd_generate(int argc, const char* const* argv) {
   harness::Options options("tempofair-sim generate",
-                           "generate a workload instance as a CSV file");
-  options.value("out", std::string(), "output CSV path (required)")
-      .value("workload", std::string("poisson"),
-             "poisson | bursty | adv-geometric | adv-batchstream")
-      .value("n", 100, "number of jobs")
-      .value("load", 0.9, "offered load rho (poisson)")
-      .value("gap", 10.0, "inter-burst gap (bursty)")
-      .value("depth", 8, "level count (adv-geometric)")
-      .value("machines", 1, "machine count the load is scaled for")
-      .value("dist", std::string("exp:1.5"),
-             "size distribution spec (exp:MEAN, fixed:S, uniform:LO,HI, "
-             "pareto:ALPHA,MIN[,CAP], bimodal:P,SMALL,LARGE)");
-  harness::add_seed_flag(options);
+                           "materialize a workload spec as a trace file");
+  options.value("out", std::string(), "output path (required)")
+      .value("workload", std::string("poisson:n=100,load=0.9,dist=exp(1.5)"),
+             "workload spec to materialize (see workload/spec.h)")
+      .value("format", std::string("auto"),
+             "csv | binary | auto (binary when --out ends in .bin)");
   const harness::Parsed cli = options.parse(argc, argv);
   if (cli.help_requested()) {
     options.print_help(std::cout);
@@ -89,35 +77,32 @@ int cmd_generate(int argc, const char* const* argv) {
   }
   const std::string out = cli.get_string("out");
   if (out.empty()) return usage();
-  const std::string kind = cli.get_string("workload");
-  const auto n = static_cast<std::size_t>(cli.get_int("n"));
-  const int machines = static_cast<int>(cli.get_int("machines"));
-  workload::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
-
-  Instance inst;
-  if (kind == "poisson") {
-    inst = workload::poisson_load(n, machines, cli.get_double("load"),
-                                  parse_dist(cli.get_string("dist")), rng);
-  } else if (kind == "bursty") {
-    inst = workload::bursty_stream(n / 10, 10, cli.get_double("gap"),
-                                   parse_dist(cli.get_string("dist")), rng);
-  } else if (kind == "adv-geometric") {
-    inst = workload::geometric_levels(static_cast<int>(cli.get_int("depth")));
-  } else if (kind == "adv-batchstream") {
-    inst = workload::rr_l2_hard(n);
-  } else {
-    std::cerr << "unknown --workload '" << kind << "'\n";
+  const std::string format = cli.get_string("format");
+  bool binary = false;
+  if (format == "binary") {
+    binary = true;
+  } else if (format == "auto") {
+    binary = out.size() >= 4 && out.compare(out.size() - 4, 4, ".bin") == 0;
+  } else if (format != "csv") {
+    std::cerr << "unknown --format '" << format << "'\n";
     return 2;
   }
-  workload::write_csv_file(inst, out);
-  std::cout << "wrote " << inst.summary() << " to " << out << "\n";
+  const Instance inst = workload::make_instance(cli.get_string("workload"));
+  if (binary) {
+    workload::write_binary_file(inst, out);
+  } else {
+    workload::write_csv_file(inst, out);
+  }
+  std::cout << "wrote " << inst.summary() << " to " << out << " ("
+            << (binary ? "binary" : "csv") << ")\n";
   return 0;
 }
 
 int cmd_run(int argc, const char* const* argv) {
   harness::Options options("tempofair-sim run",
-                           "simulate one policy on a CSV instance");
-  options.value("instance", std::string(), "input CSV path (required)")
+                           "simulate one policy on a workload");
+  options.value("instance", std::string(),
+                "trace path (shorthand for --workload trace:PATH)")
       .value("k", 2.0, "l_k norm to report")
       .flag("fairness", "also print the fairness report")
       .flag("certificate", "also run the dual-fitting certificate")
@@ -128,16 +113,14 @@ int cmd_run(int argc, const char* const* argv) {
     options.print_help(std::cout);
     return 0;
   }
-  const std::string path = cli.get_string("instance");
-  if (path.empty()) return usage();
-  const Instance inst = workload::read_csv_file(path);
-  const RunRequest req = harness::run_request_from_flags(cli);
+  RunRequest req = harness::run_request_from_flags(cli);
+  req.workload = workload_spec_from(cli).to_string();
   const double k = cli.get_double("k");
 
-  const RunResult result = tempofair::run(inst, req);
+  const RunResult result = workload::run_spec(req);
   result.schedule.validate();
   const FlowStats& st = result.stats;
-  std::cout << inst.summary() << "\npolicy " << result.policy << ", m="
+  std::cout << req.workload << "\npolicy " << result.policy << ", m="
             << req.machines << ", speed=" << req.speed << "\n"
             << "  total flow (l1): " << st.l1 << "\n  l" << k
             << " norm:         " << flow_lk_norm(result.schedule, k)
@@ -171,8 +154,10 @@ int cmd_run(int argc, const char* const* argv) {
 
 int cmd_compare(int argc, const char* const* argv) {
   harness::Options options("tempofair-sim compare",
-                           "tabulate every built-in policy on an instance");
-  options.value("instance", std::string(), "input CSV path (required)")
+                           "tabulate every built-in policy on a workload");
+  options.value("instance", std::string(),
+                "trace path (shorthand for --workload trace:PATH)")
+      .value("workload", std::string(), "workload spec")
       .value("machines", 1, "machine count")
       .value("k", 2.0, "l_k norm column");
   const harness::Parsed cli = options.parse(argc, argv);
@@ -180,9 +165,7 @@ int cmd_compare(int argc, const char* const* argv) {
     options.print_help(std::cout);
     return 0;
   }
-  const std::string path = cli.get_string("instance");
-  if (path.empty()) return usage();
-  const Instance inst = workload::read_csv_file(path);
+  const Instance inst = workload::make_instance(workload_spec_from(cli));
   RunRequest req;
   req.machines = static_cast<int>(cli.get_int("machines"));
   const double k = cli.get_double("k");
