@@ -165,6 +165,9 @@ DumbbellResult simulate_dumbbell(std::vector<Packet> packets,
       queued += p.size;
     }
     if (scheduler.empty()) {
+      // Tail-drop may have consumed every remaining arrival without
+      // admitting one (e.g. a packet larger than queue_capacity).
+      if (next >= merged.size()) break;
       now = merged[next].at_bottleneck;  // idle: jump to the next arrival
       continue;
     }

@@ -7,10 +7,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -42,6 +45,27 @@ namespace {
 void throw_errno(const std::string& what) {
   throw std::runtime_error("tempofaird: " + what + ": " +
                            std::strerror(errno));
+}
+
+/// Resolves a wire-submitted trace path against the daemon's trace root
+/// (relative paths are relative to the root) and refuses anything that
+/// escapes it after symlink/dot-dot resolution, so tenants can only name
+/// files the operator chose to serve.
+[[nodiscard]] std::optional<std::string> resolve_trace_path(
+    const std::string& root, const std::string& requested) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path canon_root = fs::weakly_canonical(fs::path(root), ec);
+  if (ec) return std::nullopt;
+  fs::path candidate(requested);
+  if (candidate.is_relative()) candidate = canon_root / candidate;
+  const fs::path canon = fs::weakly_canonical(candidate, ec);
+  if (ec) return std::nullopt;
+  auto mismatch =
+      std::mismatch(canon_root.begin(), canon_root.end(), canon.begin(),
+                    canon.end());
+  if (mismatch.first != canon_root.end()) return std::nullopt;
+  return canon.string();
 }
 
 [[nodiscard]] int listen_unix(const std::string& path) {
@@ -377,8 +401,33 @@ Frame Daemon::handle_submit(const std::shared_ptr<Session>& session,
                           "(the workload string replaces them)");
       }
       std::uint64_t total = 0;
+      std::string resolved_workload;
       try {
-        total = workload::make_source(msg.request.workload)->n();
+        workload::WorkloadSpec spec =
+            workload::WorkloadSpec::parse(msg.request.workload);
+        if (spec.kind == "trace") {
+          // Trace specs name daemon-host files; only resolve them inside
+          // the operator's trace root (and never when no root is
+          // configured), so wire submissions cannot probe the filesystem
+          // through echoed open/parse errors.
+          if (config_.trace_root.empty()) {
+            return make_error(ErrorCode::kBadRequest,
+                              "workload spec: trace workloads are disabled "
+                              "on this daemon (start it with a trace root "
+                              "to enable them)");
+          }
+          const std::string* path = spec.find("path");
+          const std::optional<std::string> resolved = resolve_trace_path(
+              config_.trace_root, path != nullptr ? *path : std::string());
+          if (!resolved) {
+            return make_error(ErrorCode::kBadRequest,
+                              "workload spec: trace path escapes the "
+                              "daemon's trace root");
+          }
+          spec.set("path", *resolved);
+        }
+        total = workload::make_source(spec)->n();
+        resolved_workload = spec.to_string();
       } catch (const workload::SpecError& e) {
         return make_error(ErrorCode::kBadRequest,
                           "workload spec: " + std::string(e.what()));
@@ -388,6 +437,7 @@ Frame Daemon::handle_submit(const std::shared_ptr<Session>& session,
       run->session_id = session->id;
       run->tag = msg.tag;
       run->request = msg.request;
+      run->request.workload = resolved_workload;
       run->request.live = &run->live;
       run->request.cancel = &run->cancel;
       run->synthesize = true;

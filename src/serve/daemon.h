@@ -44,6 +44,12 @@ struct DaemonConfig {
   /// Per-session cap on jobs buffered across all of its runs (streaming
   /// queues + materialized instances awaiting execution).
   std::size_t max_buffered_jobs = 1'000'000;
+  /// Directory wire-submitted `trace:` workload specs may read from; paths
+  /// are resolved against it and must not escape it.  Empty (the default)
+  /// rejects trace specs outright -- otherwise any tenant could make the
+  /// daemon open arbitrary host paths and probe the filesystem through the
+  /// echoed open/parse errors.
+  std::string trace_root;
   /// Server name announced in HELLO_OK.
   std::string server_name = "tempofaird";
 };

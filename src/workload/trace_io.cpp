@@ -123,6 +123,33 @@ BinaryHeader read_header(std::istream& in) {
 
 constexpr std::size_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint64_t) + 1;
 
+/// Truncation check that cannot overflow: a hostile header n (e.g. 2^61)
+/// must fail here, not wrap the byte product, pass, and defer the failure
+/// to a giant column resize or a mid-stream read error.
+void check_trace_bytes(std::uint64_t file_bytes, std::uint64_t n,
+                       std::uint64_t columns, const std::string& path) {
+  if (file_bytes < kHeaderBytes ||
+      n > (file_bytes - kHeaderBytes) / (columns * sizeof(double))) {
+    throw std::runtime_error("trace_io: truncated binary trace '" + path + "'");
+  }
+}
+
+/// Cheap peek at a row's first two fields for the streaming pre-pass; full
+/// validation still happens in parse_row() when the row is replayed.
+bool peek_id_release(std::string_view sv, double& id, double& release) {
+  const std::size_t c1 = sv.find(',');
+  if (c1 == std::string_view::npos) return false;
+  const std::size_t c2 = sv.find(',', c1 + 1);
+  if (c2 == std::string_view::npos) return false;
+  const auto parse = [](std::string_view f, double& out) {
+    const auto [ptr, ec] = std::from_chars(f.data(), f.data() + f.size(), out);
+    return ec == std::errc{} && ptr == f.data() + f.size() &&
+           std::isfinite(out);
+  };
+  return parse(sv.substr(0, c1), id) &&
+         parse(sv.substr(c1 + 1, c2 - c1 - 1), release);
+}
+
 void read_column(std::istream& in, std::vector<double>& col, std::size_t n,
                  std::string_view what) {
   col.resize(n);
@@ -252,17 +279,14 @@ TraceInfo probe_trace_file(const std::string& path) {
     f.seekg(0, std::ios::end);
     const auto bytes = static_cast<std::uint64_t>(f.tellg());
     const std::uint64_t columns = (h.flags & kFlagWeights) != 0 ? 3 : 2;
-    if (bytes < kHeaderBytes + columns * h.n * sizeof(double)) {
-      throw std::runtime_error("trace_io: truncated binary trace '" + path +
-                               "'");
-    }
+    check_trace_bytes(bytes, h.n, columns, path);
     info.n = h.n;
     info.streamable = (h.flags & kFlagSorted) != 0;
     return info;
   }
   const CsvTraceStream probe(path);
   info.n = probe.n();
-  info.streamable = true;
+  info.streamable = probe.sequential();
   return info;
 }
 
@@ -277,9 +301,21 @@ CsvTraceStream::CsvTraceStream(const std::string& path)
   }
   // Counting pre-pass: n() must be exact before the first next() (contract
   // S1), but nothing is parsed yet -- rows stay on disk until replayed.
+  // While counting, a cheap peek at the id/release fields records whether
+  // the rows honor the JobStream contract (sequential ids in release
+  // order); probe_trace_file() reads sequential() so valid-but-unsorted
+  // CSVs fall back to materializing instead of failing mid-replay.
   const std::streampos data_begin = in_.tellg();
+  double prev_release = 0.0;
   while (std::getline(in_, line)) {
-    if (!line.empty()) ++n_;
+    if (line.empty()) continue;
+    if (sequential_) {
+      double id = -1.0, release = -1.0;
+      sequential_ = peek_id_release(line, id, release) &&
+                    id == static_cast<double>(n_) && release >= prev_release;
+      prev_release = release;
+    }
+    ++n_;
   }
   in_.clear();
   in_.seekg(data_begin);
@@ -327,9 +363,7 @@ BinaryTraceStream::BinaryTraceStream(const std::string& path)
   in_.seekg(0, std::ios::end);
   const auto bytes = static_cast<std::uint64_t>(in_.tellg());
   const std::uint64_t columns = has_weights_ ? 3 : 2;
-  if (bytes < kHeaderBytes + columns * n_ * sizeof(double)) {
-    throw std::runtime_error("trace_io: truncated binary trace '" + path + "'");
-  }
+  check_trace_bytes(bytes, n_, columns, path);
 }
 
 void BinaryTraceStream::refill() {

@@ -58,10 +58,10 @@ void write_binary_file(const Instance& instance, const std::string& path);
 [[nodiscard]] Instance read_trace_file(const std::string& path);
 
 /// Cheap metadata probe: job count and whether the file supports streaming
-/// replay, without loading any column.  CSV streamability is optimistic
-/// (row order is only discovered while parsing); binary streamability is
-/// the sorted header flag.  Throws std::runtime_error on a missing file,
-/// bad header, or truncated columns.
+/// replay, without loading any column.  CSV streamability comes from the
+/// counting pre-pass (ids sequential in release order); binary
+/// streamability is the sorted header flag.  Throws std::runtime_error on a
+/// missing file, bad header, or truncated columns.
 struct TraceInfo {
   std::size_t n = 0;
   bool binary = false;
@@ -72,13 +72,17 @@ struct TraceInfo {
 /// Streams a CSV trace one job at a time (JobStream contract: ids sequential
 /// in nondecreasing release order -- the reader validates both and throws if
 /// the file needs relabeling, in which case use read_csv_file()).  A cheap
-/// counting pre-pass establishes n() without parsing; rows are parsed lazily
-/// in next().
+/// counting pre-pass establishes n() and whether the rows honor the
+/// contract (sequential()) without fully parsing; rows are parsed lazily in
+/// next().
 class CsvTraceStream final : public JobStream {
  public:
   explicit CsvTraceStream(const std::string& path);
 
   [[nodiscard]] std::size_t n() const noexcept override { return n_; }
+  /// True when the pre-pass saw sequential ids in release order; next() on
+  /// a non-sequential stream throws at the offending row.
+  [[nodiscard]] bool sequential() const noexcept { return sequential_; }
   [[nodiscard]] Job next() override;
 
  private:
@@ -88,6 +92,7 @@ class CsvTraceStream final : public JobStream {
   std::size_t emitted_ = 0;
   std::size_t line_no_ = 1;
   double last_release_ = 0.0;
+  bool sequential_ = true;
 };
 
 /// Streams a binary columnar trace block-by-block (kBlock jobs buffered per

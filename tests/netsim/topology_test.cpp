@@ -95,6 +95,30 @@ TEST(Dumbbell, FiniteBufferDropsAndConserves) {
   EXPECT_GT(inv.checks_run, 0u);
 }
 
+TEST(Dumbbell, OversizedPacketTailDropsWithoutCrashing) {
+  // A packet larger than the buffer can never be admitted.  When tail-drop
+  // consumes the last arrivals with the link idle, the bottleneck loop must
+  // terminate instead of reading past the arrival list.
+  FifoScheduler fifo;
+  TopologyConfig config;
+  config.queue_capacity = 2.0;
+  const DumbbellResult lone =
+      simulate_dumbbell({Packet{0, 5.0, 0.0}}, fifo, config);
+  EXPECT_TRUE(lone.records.empty());
+  EXPECT_EQ(lone.per_flow.at(0).dropped_packets, 1u);
+  EXPECT_DOUBLE_EQ(lone.per_flow.at(0).dropped_bytes, 5.0);
+  EXPECT_DOUBLE_EQ(lone.drop_fraction, 1.0);
+
+  // Same ending after a delivered packet and an idle gap.
+  const std::vector<Packet> packets = {Packet{0, 1.0, 0.0},
+                                       Packet{0, 5.0, 100.0}};
+  const DumbbellResult tail = simulate_dumbbell(packets, fifo, config);
+  ASSERT_EQ(tail.records.size(), 1u);
+  EXPECT_EQ(tail.per_flow.at(0).dropped_packets, 1u);
+  const InvariantStats inv = check_dumbbell_invariants(packets, tail, config);
+  EXPECT_EQ(inv.violations, 0u);
+}
+
 TEST(Dumbbell, ServiceWindowSeparatesDrrFromFifo) {
   // Flow 1 offers 3x the bytes of flow 0 into a congested bottleneck.
   // While both stay backlogged, DRR halves the link but FIFO serves in

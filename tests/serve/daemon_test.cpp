@@ -11,6 +11,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -402,6 +404,70 @@ TEST_F(DaemonTest, SpecNamedSubmitMatchesLocalRunSpec) {
     EXPECT_NE(std::string(e.what()).find("workload spec"), std::string::npos)
         << e.what();
   }
+}
+
+// Wire-submitted trace: specs name daemon-host files, so they are gated
+// behind DaemonConfig::trace_root: rejected outright when no root is
+// configured, and resolved paths must stay inside the root -- a tenant
+// cannot probe the daemon's filesystem through echoed open errors.
+TEST_F(DaemonTest, TraceSpecsGatedByTraceRoot) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() /
+                        ("tempofaird-traces-" + std::to_string(::getpid()));
+  fs::create_directories(root);
+  {
+    std::ofstream out(root / "sample.csv");
+    out << "id,release,size\n0,0.0,1.0\n1,0.5,2.0\n2,1.0,1.0\n";
+  }
+
+  RunRequest req;
+  req.policy = "rr";
+  req.record_trace = false;
+
+  {
+    DaemonConfig config;
+    config.workers = 1;
+    start(std::move(config));  // no trace root: every trace spec is refused
+    Client client = Client::connect_tcp(port_, "trace-tenant");
+    try {
+      (void)client.submit_spec("trace:" + (root / "sample.csv").string(), req);
+      FAIL() << "expected BAD_REQUEST";
+    } catch (const ServerError& e) {
+      EXPECT_EQ(e.code, ErrorCode::kBadRequest);
+      EXPECT_NE(std::string(e.what()).find("disabled"), std::string::npos)
+          << e.what();
+    }
+    daemon_->stop();
+    daemon_.reset();
+  }
+
+  DaemonConfig config;
+  config.workers = 1;
+  config.trace_root = root.string();
+  start(std::move(config));
+  Client client = Client::connect_tcp(port_, "trace-tenant");
+
+  // Inside the root -- spelled relative or absolute -- runs end-to-end.
+  const std::uint64_t rel = client.submit_spec("trace:sample.csv", req);
+  EXPECT_EQ(client.wait(rel).completions.size(), 3u);
+  const std::uint64_t abs =
+      client.submit_spec("trace:" + (root / "sample.csv").string(), req);
+  EXPECT_EQ(client.wait(abs).completions.size(), 3u);
+
+  // Escaping paths are refused before the daemon touches them.
+  for (const std::string& spec :
+       {std::string("trace:../sample.csv"), std::string("trace:/etc/hostname"),
+        std::string("trace:a/../../b.csv")}) {
+    try {
+      (void)client.submit_spec(spec, req);
+      FAIL() << "expected BAD_REQUEST for " << spec;
+    } catch (const ServerError& e) {
+      EXPECT_EQ(e.code, ErrorCode::kBadRequest);
+      EXPECT_NE(std::string(e.what()).find("escapes"), std::string::npos)
+          << e.what();
+    }
+  }
+  fs::remove_all(root);
 }
 
 TEST_F(DaemonTest, UnixSocketRoundTrip) {

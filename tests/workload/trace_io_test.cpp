@@ -242,8 +242,45 @@ TEST(TraceIoBinary, ProbeReadsHeaderOnly) {
   const TraceInfo csv_info = probe_trace_file(csv_path.string());
   EXPECT_EQ(csv_info.n, 17u);
   EXPECT_FALSE(csv_info.binary);
+  EXPECT_TRUE(csv_info.streamable);  // write_csv emits release order
   std::filesystem::remove(bin_path);
   std::filesystem::remove(csv_path);
+}
+
+TEST(TraceIoBinary, HugeHeaderCountRejectedWithoutAllocating) {
+  // A crafted n like 2^61 wraps the columns*n*sizeof(double) product in
+  // uint64; the truncation check must reject the header up front instead
+  // of passing and deferring failure to a giant column resize.
+  const auto path = temp_file("tempofair_huge_n.bin");
+  craft_binary(path, "TFTRACE1", std::uint64_t{1} << 61, 0x02, {0.0, 1.0});
+  EXPECT_THROW((void)probe_trace_file(path.string()), std::runtime_error);
+  EXPECT_THROW(BinaryTraceStream(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIoStream, ProbeDetectsUnsortedCsv) {
+  // A valid-but-unsorted CSV is not streamable: the counting pre-pass
+  // discovers the row order, so probe-driven callers (TraceSource)
+  // materialize instead of taking the streaming path and dying mid-replay.
+  const auto path = temp_file("tempofair_probe_unsorted.csv");
+  {
+    std::ofstream out(path);
+    out << "id,release,size\n0,5.0,1.0\n1,1.0,1.0\n";
+  }
+  const TraceInfo info = probe_trace_file(path.string());
+  EXPECT_EQ(info.n, 2u);
+  EXPECT_FALSE(info.streamable);
+  EXPECT_FALSE(CsvTraceStream(path.string()).sequential());
+
+  // Ids out of sequence are equally non-streamable, and the materializing
+  // reader still accepts both spellings.
+  {
+    std::ofstream out(path);
+    out << "id,release,size\n1,0.0,1.0\n0,1.0,1.0\n";
+  }
+  EXPECT_FALSE(probe_trace_file(path.string()).streamable);
+  EXPECT_EQ(read_csv_file(path.string()).n(), 2u);
+  std::filesystem::remove(path);
 }
 
 // --- streaming readers -------------------------------------------------------

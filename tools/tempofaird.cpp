@@ -1,7 +1,8 @@
 // tempofaird: long-running scheduling-as-a-service daemon.
 //
 //   tempofaird --socket /tmp/tempofair.sock [--port 7411] [--jobs 4]
-//              [--max-active-runs 16] [--max-buffered-jobs 1000000] [--quiet]
+//              [--max-active-runs 16] [--max-buffered-jobs 1000000]
+//              [--trace-root DIR] [--quiet]
 //
 // Tenants connect over the unix socket and/or loopback TCP, stream job sets
 // through the framed protocol (see DESIGN.md section 7), and query live
@@ -38,7 +39,10 @@ int main(int argc, char** argv) {
       .value("max-active-runs", 16L,
              "per-session cap on queued+running runs before THROTTLED")
       .value("max-buffered-jobs", 1'000'000L,
-             "per-session cap on buffered jobs before THROTTLED");
+             "per-session cap on buffered jobs before THROTTLED")
+      .value("trace-root", std::string(),
+             "directory trace: workload specs may read from "
+             "(empty = trace specs rejected)");
   tempofair::harness::add_jobs_flag(options);
   tempofair::harness::add_quiet_flag(options);
 
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
     }
     config.max_active_runs = static_cast<std::size_t>(max_runs);
     config.max_buffered_jobs = static_cast<std::size_t>(max_jobs);
+    config.trace_root = parsed.get_string("trace-root");
 
     tempofair::serve::Daemon daemon(config);
     daemon.start();
