@@ -1,6 +1,7 @@
 #include "analysis/competitive.h"
 
 #include <cmath>
+#include <limits>
 
 #include "core/engine.h"
 #include "core/metrics.h"
@@ -30,8 +31,13 @@ RatioMeasurement measure_ratio(const Instance& instance, Policy& policy,
   m.bounds = bounds;
   m.lb_certified = bounds.lb_certified;
   const double lb = bounds.lb_certified ? bounds.certified_lb : bounds.best_lb;
-  if (lb > 0.0) {
+  // A zero, denormal, or non-finite lower bound has no meaningful ratio:
+  // cost / lb would round to inf (or nan) and look like an unboundedly bad
+  // instance.  Flag it instead of reporting a poisoned ratio.
+  if (std::isfinite(lb) && lb >= std::numeric_limits<double>::min()) {
     m.ratio_vs_lb = std::pow(m.cost_power / lb, 1.0 / options.k);
+  } else {
+    m.lb_degenerate = true;
   }
   if (bounds.proxy_ub > 0.0) {
     m.ratio_vs_proxy = std::pow(m.cost_power / bounds.proxy_ub, 1.0 / options.k);

@@ -35,6 +35,12 @@ struct RatioMeasurement {
   /// True iff ratio_vs_lb's denominator is backed by an exact-rational
   /// certificate; experiments report this next to every ratio_vs_lb.
   bool lb_certified = false;
+  /// True when the lower-bound denominator was zero, denormal, or
+  /// non-finite.  ratio_vs_lb is left 0 in that case and must not be
+  /// consumed: dividing by such a denominator would silently turn the ratio
+  /// into inf/nan (and poison anything optimizing over it, e.g. the
+  /// adversary search, which skips lb-degenerate instances).
+  bool lb_degenerate = false;
 };
 
 struct RatioOptions {

@@ -3,17 +3,38 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace tempofair {
 
+namespace {
+
+/// Interpolated percentile over an already-sorted, non-empty vector; the one
+/// definition shared by the free percentile() and LiveMetrics' cached path.
+double percentile_sorted(std::span<const double> sorted, double p) {
+  const double pos = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 double lk_power_sum(std::span<const double> values, double k) {
   if (k < 1.0) throw std::invalid_argument("lk_power_sum: k must be >= 1");
-  double sum = 0.0;
+  double vmax = 0.0;
   for (double v : values) {
     if (v < 0.0) throw std::invalid_argument("lk_power_sum: negative value");
-    sum += std::pow(v, k);
+    vmax = std::max(vmax, v);
   }
-  return sum;
+  if (vmax <= 0.0) return 0.0;
+  // Accumulate in the vmax-rescaled form (every term in [0, 1]) and scale
+  // once at the end: the sum itself never overflows, so the result is inf
+  // only when sum v^k genuinely exceeds the double range.
+  double sum = 0.0;
+  for (double v : values) sum += std::pow(v / vmax, k);
+  return std::pow(vmax, k) * sum;
 }
 
 double lk_norm(std::span<const double> values, double k) {
@@ -43,11 +64,7 @@ double percentile(std::span<const double> values, double p) {
   if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p outside [0,100]");
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
-  const double pos = (p / 100.0) * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
-  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  return percentile_sorted(sorted, p);
 }
 
 FlowStats flow_stats(std::span<const double> flows) {
@@ -107,14 +124,38 @@ double flow_lk_power(const Schedule& schedule, double k) {
   if (k < 1.0) throw std::invalid_argument("lk_power_sum: k must be >= 1");
   const std::span<const Time> completion = schedule.completions();
   const std::span<const Time> release = schedule.releases();
-  double sum = 0.0;
+  double vmax = 0.0;
   for (std::size_t i = 0; i < completion.size(); ++i) {
     const double v = completion[i] - release[i];
     if (v < 0.0) throw std::invalid_argument("lk_power_sum: negative value");
-    sum += std::pow(v, k);
+    vmax = std::max(vmax, v);
   }
-  return sum;
+  if (vmax <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < completion.size(); ++i) {
+    sum += std::pow((completion[i] - release[i]) / vmax, k);
+  }
+  return std::pow(vmax, k) * sum;
 }
+
+namespace {
+
+/// Max value on the positive-weight support (weights act as a support
+/// filter, matching the k = infinity semantics); validates both spans.
+double weighted_support_max(std::span<const double> values,
+                            std::span<const double> weights, const char* who) {
+  double vmax = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] < 0.0 || weights[i] < 0.0) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": negative value or weight");
+    }
+    if (weights[i] > 0.0) vmax = std::max(vmax, values[i]);
+  }
+  return vmax;
+}
+
+}  // namespace
 
 double weighted_lk_power(std::span<const double> values,
                          std::span<const double> weights, double k) {
@@ -122,14 +163,14 @@ double weighted_lk_power(std::span<const double> values,
   if (values.size() != weights.size()) {
     throw std::invalid_argument("weighted_lk_power: size mismatch");
   }
+  const double vmax =
+      weighted_support_max(values, weights, "weighted_lk_power");
+  if (vmax <= 0.0) return 0.0;
   double sum = 0.0;
   for (std::size_t i = 0; i < values.size(); ++i) {
-    if (values[i] < 0.0 || weights[i] < 0.0) {
-      throw std::invalid_argument("weighted_lk_power: negative value or weight");
-    }
-    sum += weights[i] * std::pow(values[i], k);
+    sum += weights[i] * std::pow(values[i] / vmax, k);
   }
-  return sum;
+  return std::pow(vmax, k) * sum;
 }
 
 double weighted_lk_norm(std::span<const double> values,
@@ -138,18 +179,16 @@ double weighted_lk_norm(std::span<const double> values,
   if (values.size() != weights.size()) {
     throw std::invalid_argument("weighted_lk_norm: size mismatch");
   }
-  if (std::isinf(k)) {
-    double m = 0.0;
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      if (values[i] < 0.0 || weights[i] < 0.0) {
-        throw std::invalid_argument("weighted_lk_norm: negative value or weight");
-      }
-      if (weights[i] > 0.0) m = std::max(m, values[i]);
-    }
-    return m;
+  const double vmax = weighted_support_max(values, weights, "weighted_lk_norm");
+  if (std::isinf(k)) return vmax;
+  if (vmax <= 0.0) return 0.0;
+  // Root of the *rescaled* weighted power: the unscaled sum w v^k can
+  // overflow to inf even when the norm itself is representable.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    sum += weights[i] * std::pow(values[i] / vmax, k);
   }
-  const double power = weighted_lk_power(values, weights, k);
-  return std::pow(power, 1.0 / k);
+  return vmax * std::pow(sum, 1.0 / k);
 }
 
 double weighted_flow_lk_power(const Schedule& schedule, double k) {
@@ -170,12 +209,15 @@ void LiveMetrics::set_expected(std::size_t n) {
 void LiveMetrics::record(Time flow) {
   const std::lock_guard<std::mutex> lock(mutex_);
   flows_.push_back(flow);
+  sorted_valid_ = false;
 }
 
 void LiveMetrics::reset() {
   const std::lock_guard<std::mutex> lock(mutex_);
   flows_.clear();
   expected_ = 0;
+  sorted_.clear();
+  sorted_valid_ = false;
 }
 
 std::size_t LiveMetrics::completed() const {
@@ -193,7 +235,22 @@ FlowStats LiveMetrics::snapshot() const { return flow_stats(flows()); }
 double LiveMetrics::lk(double k) const { return lk_norm(flows(), k); }
 
 double LiveMetrics::percentile(double p) const {
-  return tempofair::percentile(flows(), p);
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p outside [0,100]");
+  }
+  // Percentile queries re-sort nothing while no job completes in between:
+  // the sorted view is cached under the same lock and invalidated by
+  // record()/reset().  Daemon QUERY_METRICS polls (often several percentiles
+  // per poll, many polls per completion) pay O(log n) lookups, not
+  // O(n log n) copies, on live runs.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (flows_.empty()) return 0.0;
+  if (!sorted_valid_) {
+    sorted_ = flows_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return percentile_sorted(sorted_, p);
 }
 
 std::vector<double> LiveMetrics::flows() const {

@@ -20,6 +20,9 @@ namespace tempofair {
 [[nodiscard]] double lk_norm(std::span<const double> values, double k);
 
 /// sum_j v_j^k -- the "k-th power" objective the analysis works with.
+/// Accumulated in the same vmax-rescaled form as lk_norm, so the result is
+/// inf only when the true sum exceeds the double range (never from an
+/// intermediate term alone).
 [[nodiscard]] double lk_power_sum(std::span<const double> values, double k);
 
 /// max_j v_j (the l_infinity norm).
@@ -76,7 +79,9 @@ class LiveMetrics {
   [[nodiscard]] FlowStats snapshot() const;
   /// l_k norm of the completed-so-far flows (k may be +infinity).
   [[nodiscard]] double lk(double k) const;
-  /// p-th percentile (p in [0,100]) of the completed-so-far flows.
+  /// p-th percentile (p in [0,100]) of the completed-so-far flows.  Served
+  /// from a sorted cache invalidated per completion, so repeated queries
+  /// between completions do not re-sort.
   [[nodiscard]] double percentile(double p) const;
   /// Copy of the completed-so-far flows, in completion order.
   [[nodiscard]] std::vector<double> flows() const;
@@ -85,6 +90,10 @@ class LiveMetrics {
   mutable std::mutex mutex_;
   std::vector<double> flows_;
   std::size_t expected_ = 0;
+  /// Sorted view of flows_, rebuilt lazily by percentile(); guarded by
+  /// mutex_ and invalidated by record()/reset().
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 /// Summary statistics of a schedule's flow times.
 [[nodiscard]] FlowStats flow_stats(const Schedule& schedule);
@@ -97,6 +106,7 @@ class LiveMetrics {
 // --- Weighted flow time (the weighted-flow literature [1,7,20]) ------------
 
 /// sum_j w_j v_j^k.  Requires matching lengths, k >= 1, v >= 0, w >= 0.
+/// Accumulated vmax-rescaled, like lk_power_sum.
 [[nodiscard]] double weighted_lk_power(std::span<const double> values,
                                        std::span<const double> weights,
                                        double k);

@@ -10,14 +10,7 @@
 
 namespace tempofair::lpsolve {
 
-namespace {
-
-/// Exact-rational version of the trivial bound sum_j p_j^k for *integer* k:
-/// each size is floored to a dyadic grid (a lower bound on p_j) and raised
-/// to the k-th power exactly, so the rounded-down sum is a machine-checked
-/// lower bound on sum_j p_j^k <= OPT^k.  Returns uncertified for
-/// non-integer k or when 128-bit arithmetic would overflow.
-CertifiedBound certified_trivial_lb(const Instance& instance, double k) {
+CertifiedBound certified_trivial_bound(const Instance& instance, double k) {
   CertifiedBound out;
   const double k_round = std::round(k);
   if (!(k >= 1.0) || k != k_round || k_round > 8.0) return out;
@@ -43,8 +36,6 @@ CertifiedBound certified_trivial_lb(const Instance& instance, double k) {
   return out;
 }
 
-}  // namespace
-
 OptBounds opt_bounds(const Instance& instance, const OptBoundsOptions& options) {
   OptBounds out;
   out.k = options.k;
@@ -53,7 +44,8 @@ OptBounds opt_bounds(const Instance& instance, const OptBoundsOptions& options) 
   for (const Job& j : instance.jobs()) {
     out.trivial_lb += std::pow(j.size, options.k);
   }
-  const CertifiedBound trivial_cert = certified_trivial_lb(instance, options.k);
+  const CertifiedBound trivial_cert =
+      certified_trivial_bound(instance, options.k);
 
   CertifiedBound lp_cert;
   if (options.with_lp && !instance.empty()) {

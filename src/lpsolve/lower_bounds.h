@@ -50,4 +50,13 @@ struct OptBoundsOptions {
 [[nodiscard]] OptBounds opt_bounds(const Instance& instance,
                                    const OptBoundsOptions& options);
 
+/// Exact-rational version of the trivial bound sum_j p_j^k for *integer*
+/// k <= 8: each size is floored to a dyadic grid (a lower bound on p_j) and
+/// raised to the k-th power exactly, so the rounded-down sum is a
+/// machine-checked lower bound on sum_j p_j^k <= OPT^k.  Uncertified for
+/// non-integer k or when 128-bit arithmetic would overflow.  Also the cheap
+/// certified denominator the adversary search (src/search) screens with.
+[[nodiscard]] CertifiedBound certified_trivial_bound(const Instance& instance,
+                                                     double k);
+
 }  // namespace tempofair::lpsolve

@@ -1,0 +1,276 @@
+#include "search/record.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace tempofair::search {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void append_array(std::string& out, const char* key,
+                  const std::vector<double>& values) {
+  out += "  \"";
+  out += key;
+  out += "\": [";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += fmt_double(values[i]);
+  }
+  out += "]";
+}
+
+/// Strict scanner for the v1 subset: one flat object whose values are
+/// numbers, strings, or arrays of numbers.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void parse_object() {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      const std::string key = parse_string();
+      expect(':');
+      parse_value(key);
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after object");
+  }
+
+  [[nodiscard]] double number(const std::string& key) const {
+    const auto it = numbers_.find(key);
+    if (it == numbers_.end()) fail("missing number field \"" + key + "\"");
+    return it->second.first;
+  }
+  [[nodiscard]] std::uint64_t integer(const std::string& key) const {
+    const auto it = numbers_.find(key);
+    if (it == numbers_.end()) fail("missing integer field \"" + key + "\"");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.second.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0') {
+      fail("field \"" + key + "\" is not an unsigned integer");
+    }
+    return static_cast<std::uint64_t>(v);
+  }
+  [[nodiscard]] const std::string& string(const std::string& key) const {
+    const auto it = strings_.find(key);
+    if (it == strings_.end()) fail("missing string field \"" + key + "\"");
+    return it->second;
+  }
+  [[nodiscard]] const std::vector<double>& array(const std::string& key) const {
+    const auto it = arrays_.find(key);
+    if (it == arrays_.end()) fail("missing array field \"" + key + "\"");
+    return it->second;
+  }
+
+ private:
+  void parse_value(const std::string& key) {
+    skip_ws();
+    const char c = peek();
+    if (c == '"') {
+      strings_[key] = parse_string();
+    } else if (c == '[') {
+      ++pos_;
+      std::vector<double> out;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+      } else {
+        while (true) {
+          out.push_back(parse_number().first);
+          skip_ws();
+          const char d = next();
+          if (d == ']') break;
+          if (d != ',') fail("expected ',' or ']'");
+        }
+      }
+      arrays_[key] = std::move(out);
+    } else {
+      numbers_[key] = parse_number();
+    }
+  }
+
+  [[nodiscard]] std::pair<double, std::string> parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == 'i' ||
+            text_[pos_] == 'n' || text_[pos_] == 'f' || text_[pos_] == 'a')) {
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty()) fail("expected a number");
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number " + token);
+    return {v, token};
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    skip_ws();
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        if (e == 'n') {
+          out.push_back('\n');
+        } else if (e == '"' || e == '\\') {
+          out.push_back(e);
+        } else {
+          fail("unsupported escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    skip_ws();
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+  [[noreturn]] static void fail(const std::string& what) {
+    throw std::invalid_argument("adversary record: " + what);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::pair<double, std::string>> numbers_;
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, std::vector<double>> arrays_;
+};
+
+}  // namespace
+
+std::string record_to_json(const AdversaryRecord& record) {
+  std::string out = "{\n";
+  out += "  \"format\": \"";
+  out += kRecordFormat;
+  out += "\",\n";
+  out += "  \"policy\": \"" + json_escape(record.policy) + "\",\n";
+  out += "  \"k\": " + fmt_double(record.k) + ",\n";
+  out += "  \"machines\": " + std::to_string(record.machines) + ",\n";
+  out += "  \"speed\": " + fmt_double(record.speed) + ",\n";
+  out += "  \"seed\": " + std::to_string(record.seed) + ",\n";
+  out += "  \"budget\": " + std::to_string(record.budget) + ",\n";
+  out += "  \"evals\": " + std::to_string(record.evals) + ",\n";
+  out += "  \"family\": \"" + json_escape(record.family) + "\",\n";
+  append_array(out, "releases", record.releases);
+  out += ",\n";
+  append_array(out, "sizes", record.sizes);
+  out += ",\n";
+  out += "  \"lp_slot\": " + fmt_double(record.lp_slot) + ",\n";
+  out += "  \"cost_power\": " + fmt_double(record.cost_power) + ",\n";
+  out += "  \"certified_lb\": " + fmt_double(record.certified_lb) + ",\n";
+  out += "  \"ratio\": " + fmt_double(record.ratio) + "\n";
+  out += "}\n";
+  return out;
+}
+
+AdversaryRecord record_from_json(const std::string& text) {
+  Scanner scanner(text);
+  scanner.parse_object();
+  if (scanner.string("format") != kRecordFormat) {
+    throw std::invalid_argument("adversary record: unknown format \"" +
+                                scanner.string("format") + "\"");
+  }
+  AdversaryRecord rec;
+  rec.policy = scanner.string("policy");
+  rec.k = scanner.number("k");
+  rec.machines = static_cast<int>(scanner.integer("machines"));
+  rec.speed = scanner.number("speed");
+  rec.seed = scanner.integer("seed");
+  rec.budget = scanner.integer("budget");
+  rec.evals = scanner.integer("evals");
+  rec.family = scanner.string("family");
+  rec.releases = scanner.array("releases");
+  rec.sizes = scanner.array("sizes");
+  rec.lp_slot = scanner.number("lp_slot");
+  rec.cost_power = scanner.number("cost_power");
+  rec.certified_lb = scanner.number("certified_lb");
+  rec.ratio = scanner.number("ratio");
+  if (rec.releases.size() != rec.sizes.size()) {
+    throw std::invalid_argument(
+        "adversary record: releases/sizes length mismatch");
+  }
+  if (rec.releases.empty()) {
+    throw std::invalid_argument("adversary record: empty instance");
+  }
+  return rec;
+}
+
+Instance record_instance(const AdversaryRecord& record) {
+  if (record.releases.size() != record.sizes.size()) {
+    throw std::invalid_argument(
+        "adversary record: releases/sizes length mismatch");
+  }
+  std::vector<std::pair<Time, Work>> pairs;
+  pairs.reserve(record.releases.size());
+  for (std::size_t i = 0; i < record.releases.size(); ++i) {
+    pairs.emplace_back(record.releases[i], record.sizes[i]);
+  }
+  return Instance::from_pairs(pairs);
+}
+
+}  // namespace tempofair::search

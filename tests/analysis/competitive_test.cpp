@@ -85,6 +85,36 @@ TEST(MeasureRatio, LbCertifiedPropagatesFromBounds) {
   EXPECT_GT(m.ratio_vs_lb, 0.0);
 }
 
+TEST(MeasureRatio, DenormalLowerBoundFlagsDegenerate) {
+  // Sizes so small that sum p^k underflows: cost / lb would round to inf and
+  // masquerade as an unboundedly bad instance.  The measurement must flag
+  // the degenerate denominator and leave ratio_vs_lb unset instead.
+  std::vector<std::pair<Time, Work>> pairs;
+  for (int i = 0; i < 4; ++i) pairs.emplace_back(0.0, 1e-170);
+  const Instance inst = Instance::from_pairs(pairs);
+  RoundRobin rr;
+  RatioOptions opt;
+  opt.k = 2.0;
+  opt.with_lp = false;
+  const RatioMeasurement m = measure_ratio(inst, rr, opt);
+  EXPECT_TRUE(m.lb_degenerate);
+  EXPECT_DOUBLE_EQ(m.ratio_vs_lb, 0.0);
+  EXPECT_FALSE(m.lb_certified);
+}
+
+TEST(MeasureRatio, HealthyLowerBoundIsNotFlagged) {
+  workload::Rng rng(19);
+  const Instance inst =
+      workload::poisson_load(20, 1, 0.8, workload::ExponentialSize{1.0}, rng);
+  RoundRobin rr;
+  RatioOptions opt;
+  opt.k = 2.0;
+  opt.with_lp = false;
+  const RatioMeasurement m = measure_ratio(inst, rr, opt);
+  EXPECT_FALSE(m.lb_degenerate);
+  EXPECT_GT(m.ratio_vs_lb, 0.0);
+}
+
 TEST(MeasureRatio, RecordsConfiguration) {
   workload::Rng rng(13);
   const Instance inst =

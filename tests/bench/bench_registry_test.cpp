@@ -27,7 +27,7 @@ TEST(ExperimentRegistry, AllSuiteExperimentsRegistered) {
   const std::set<std::string> expected{
       "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9",
       "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10",
-      "a1", "a2", "a3",
+      "a1", "a2", "a3", "a4",
       "s1", "s2", "s3", "s4", "s5", "s6"};
   std::set<std::string> actual;
   for (const ExperimentSpec* spec : registry.all()) actual.insert(spec->id);

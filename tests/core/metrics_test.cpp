@@ -84,6 +84,81 @@ TEST(LkPowerSum, NormConsistency) {
   }
 }
 
+TEST(LkPowerSum, MillionScaleFlowsAtK8) {
+  // Regression: k = 8 over ~1e6-scale flows used to be accumulated as raw
+  // pow(v, k) terms; the rescaled form must still match the analytic value
+  // sum v^8 = 1e48 * (1 + 2^8 + 3^8).
+  const std::vector<double> v{1e6, 2e6, 3e6};
+  const double expect = 1e48 * (1.0 + 256.0 + 6561.0);
+  EXPECT_NEAR(lk_power_sum(v, 8.0), expect, expect * 1e-12);
+  EXPECT_NEAR(std::pow(lk_norm(v, 8.0), 8.0), expect, expect * 1e-9);
+}
+
+TEST(LkPowerSum, SaturatesOnlyWhenTrueSumOverflows) {
+  // (1e38)^8 = 1e304: representable, must stay finite.
+  EXPECT_TRUE(std::isfinite(lk_power_sum(std::vector<double>{1e38}, 8.0)));
+  // (1e40)^8 = 1e320: the true sum exceeds the double range, inf is correct.
+  EXPECT_TRUE(std::isinf(lk_power_sum(std::vector<double>{1e40}, 8.0)));
+}
+
+TEST(WeightedLkNorm, HugeValuesDoNotOverflowToInf) {
+  // Regression: the norm used to take pow(sum w v^k, 1/k) on the *unscaled*
+  // power sum, so (3e160)^2 = inf poisoned a perfectly representable norm.
+  const std::vector<double> v{3e160, 4e160};
+  const std::vector<double> w{1.0, 1.0};
+  const double norm = weighted_lk_norm(v, w, 2.0);
+  EXPECT_TRUE(std::isfinite(norm));
+  EXPECT_NEAR(norm, 5e160, 5e160 * 1e-12);
+  // Same shape at k = 8 over ~1e6-scale values, against the analytic value.
+  const std::vector<double> v8{1e6, 2e6};
+  const std::vector<double> w8{2.0, 1.0};
+  // (2 * (1e6)^8 + 1 * (2e6)^8)^(1/8) = 1e6 * (2 + 256)^(1/8)
+  const double expect = 1e6 * std::pow(2.0 + 256.0, 1.0 / 8.0);
+  EXPECT_NEAR(weighted_lk_norm(v8, w8, 8.0), expect, expect * 1e-12);
+}
+
+TEST(WeightedLkPower, MillionScaleMatchesUnweighted) {
+  const std::vector<double> v{1e6, 2e6, 3e6};
+  const std::vector<double> ones{1.0, 1.0, 1.0};
+  EXPECT_NEAR(weighted_lk_power(v, ones, 8.0), lk_power_sum(v, 8.0),
+              lk_power_sum(v, 8.0) * 1e-12);
+}
+
+TEST(LiveMetricsPercentile, EmptyIsZero) {
+  const LiveMetrics live;
+  EXPECT_DOUBLE_EQ(live.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(live.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(live.percentile(100.0), 0.0);
+}
+
+TEST(LiveMetricsPercentile, EndpointsMatchFreeFunction) {
+  LiveMetrics live;
+  for (double f : {5.0, 1.0, 3.0}) live.record(f);
+  EXPECT_DOUBLE_EQ(live.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(live.percentile(50.0), 3.0);
+  EXPECT_DOUBLE_EQ(live.percentile(100.0), 5.0);
+}
+
+TEST(LiveMetricsPercentile, CacheInvalidatedByRecordAndReset) {
+  LiveMetrics live;
+  live.record(2.0);
+  // Prime the sorted cache, then complete another job: the next query must
+  // see the new value, not the stale cache.
+  EXPECT_DOUBLE_EQ(live.percentile(100.0), 2.0);
+  live.record(9.0);
+  EXPECT_DOUBLE_EQ(live.percentile(100.0), 9.0);
+  EXPECT_DOUBLE_EQ(live.percentile(0.0), 2.0);
+  live.reset();
+  EXPECT_DOUBLE_EQ(live.percentile(100.0), 0.0);
+}
+
+TEST(LiveMetricsPercentile, RejectsOutOfRange) {
+  LiveMetrics live;
+  live.record(1.0);
+  EXPECT_THROW((void)live.percentile(-0.5), std::invalid_argument);
+  EXPECT_THROW((void)live.percentile(100.5), std::invalid_argument);
+}
+
 TEST(Percentile, Endpoints) {
   const std::vector<double> v{5.0, 1.0, 3.0};
   EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);

@@ -1,0 +1,213 @@
+// Adversary-instance search CLI (src/search/).
+//
+//   tempofair_adversary [--policy rr] [--k 2] [--machines 1] [--speed 1.0]
+//                       [--seed 1] [--budget tiny|small|full|N]
+//                       [--max-jobs 12] [--out record.json]
+//                       [--committed record.json] [--quiet]
+//   tempofair_adversary --verify record.json [more.json ...]
+//
+// Search mode runs the budgeted optimizer for one (policy, k, machines,
+// speed) cell and prints the best certified ratio; --out archives the best
+// record as tempofair-adversary-v1 JSON, and --committed compares the result
+// against a previously committed record (after re-verifying it -- a
+// committed record that fails re-verification is a hard error).
+//
+// Verify mode re-verifies archived records from their JSON alone: re-run
+// the policy, rebuild the recorded LP grid, re-certify exactly.
+//
+// Exit codes: 0 ok, 1 a record failed re-verification (or the search found
+// nothing certifiable), 2 usage error.
+#include <cmath>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/cli.h"
+#include "search/adversary.h"
+#include "search/record.h"
+
+namespace {
+
+using tempofair::search::AdversaryRecord;
+
+std::size_t parse_budget(const std::string& text) {
+  if (text == "tiny") return 60;
+  if (text == "small") return 400;
+  if (text == "full") return 4000;
+  return static_cast<std::size_t>(
+      tempofair::harness::detail::parse_long("--budget", text));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+AdversaryRecord load_record(const std::string& path) {
+  return tempofair::search::record_from_json(read_file(path));
+}
+
+int verify_files(const std::vector<std::string>& paths) {
+  bool all_ok = true;
+  for (const std::string& path : paths) {
+    std::string verdict;
+    try {
+      const AdversaryRecord rec = load_record(path);
+      const tempofair::search::VerifyReport rep =
+          tempofair::search::verify_record(rec);
+      if (rep.ok) {
+        std::cout << path << ": ok (policy=" << rec.policy << " k=" << rec.k
+                  << " ratio=" << rec.ratio << ")\n";
+        continue;
+      }
+      verdict = rep.error;
+    } catch (const std::exception& e) {
+      verdict = e.what();
+    }
+    std::cout << path << ": FAILED (" << verdict << ")\n";
+    all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tempofair::harness::Options;
+  using tempofair::harness::Parsed;
+
+  Options options("tempofair_adversary",
+                  "Search for instances maximizing the certified l_k ratio");
+  options.value("policy", std::string("rr"), "policy spec to attack")
+      .value("k", 2.0, "l_k norm exponent")
+      .value("machines", 1, "machine count")
+      .value("speed", 1.0, "policy speed (OPT stays at speed 1)")
+      .value("seed", 1, "search seed")
+      .value("budget", std::string("small"),
+             "screening budget: tiny|small|full or a count")
+      .value("max-jobs", 12, "instance-size cap")
+      .value("out", std::string(), "write the best record as JSON")
+      .value("committed", std::string(),
+             "committed record to re-verify and compare against")
+      .flag("verify", "re-verify record files (positional args) and exit")
+      .flag("quiet", "only print the final summary line");
+
+  Parsed parsed;
+  try {
+    parsed = options.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "tempofair_adversary: " << e.what() << "\n";
+    return 2;
+  }
+  if (parsed.help_requested()) {
+    options.print_help(std::cout);
+    return 0;
+  }
+
+  if (parsed.flag("verify")) {
+    if (parsed.positional().empty()) {
+      std::cerr << "tempofair_adversary: --verify needs record files\n";
+      return 2;
+    }
+    try {
+      return verify_files(parsed.positional());
+    } catch (const std::exception& e) {
+      std::cerr << "tempofair_adversary: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (!parsed.positional().empty()) {
+    std::cerr << "tempofair_adversary: unexpected positional argument "
+              << parsed.positional().front() << "\n";
+    return 2;
+  }
+
+  tempofair::search::SearchOptions search;
+  search.policy = parsed.get_string("policy");
+  search.k = parsed.get_double("k");
+  search.machines = static_cast<int>(parsed.get_int("machines"));
+  search.speed = parsed.get_double("speed");
+  search.seed = static_cast<std::uint64_t>(parsed.get_int("seed"));
+  search.max_jobs = static_cast<std::size_t>(parsed.get_int("max-jobs"));
+  try {
+    search.budget = parse_budget(parsed.get_string("budget"));
+  } catch (const std::exception& e) {
+    std::cerr << "tempofair_adversary: " << e.what() << "\n";
+    return 2;
+  }
+
+  tempofair::search::SearchResult result;
+  try {
+    result = tempofair::search::search_adversary(search);
+  } catch (const std::exception& e) {
+    std::cerr << "tempofair_adversary: " << e.what() << "\n";
+    return 2;
+  }
+  if (!result.found) {
+    std::cerr << "tempofair_adversary: no candidate certified\n";
+    return 1;
+  }
+
+  if (!parsed.flag("quiet")) {
+    std::cout << "  evals=" << result.stats.evals
+              << " certifications=" << result.stats.certifications
+              << " improvements=" << result.stats.improvements
+              << " skipped_degenerate=" << result.stats.skipped_degenerate
+              << " restarts=" << result.stats.restarts << "\n"
+              << "  best: family=" << result.best.family
+              << " jobs=" << result.best.sizes.size()
+              << " cost_power=" << result.best.cost_power
+              << " certified_lb=" << result.best.certified_lb << "\n";
+  }
+
+  bool beats_committed = true;
+  const std::string committed_path = parsed.get_string("committed");
+  if (!committed_path.empty()) {
+    try {
+      const AdversaryRecord committed = load_record(committed_path);
+      const tempofair::search::VerifyReport rep =
+          tempofair::search::verify_record(committed);
+      if (!rep.ok) {
+        std::cerr << "tempofair_adversary: committed record " << committed_path
+                  << " failed re-verification: " << rep.error << "\n";
+        return 1;
+      }
+      // Relative slack matches verify_record's cross-libm tolerance.
+      beats_committed =
+          result.best.ratio >= committed.ratio * (1.0 - 1e-9);
+      if (!parsed.flag("quiet")) {
+        std::cout << "  committed: ratio=" << committed.ratio << " ("
+                  << committed_path << ") -> "
+                  << (beats_committed ? "matched-or-beaten" : "NOT matched")
+                  << "\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "tempofair_adversary: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  const std::string out_path = parsed.get_string("out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "tempofair_adversary: cannot write " << out_path << "\n";
+      return 2;
+    }
+    out << tempofair::search::record_to_json(result.best);
+  }
+
+  std::cout << "tempofair_adversary: policy=" << result.best.policy
+            << " k=" << result.best.k << " machines=" << result.best.machines
+            << " speed=" << result.best.speed << " seed=" << result.best.seed
+            << " budget=" << result.best.budget
+            << " ratio=" << result.best.ratio
+            << " beats_committed=" << (beats_committed ? "yes" : "no") << "\n";
+  return 0;
+}
