@@ -4,9 +4,21 @@
 // 1, size-aware ones slower; RR trades a bounded factor on the mean for its
 // fairness.  Expected: monotone growth in load; SRPT lowest mean; FCFS
 // worst; RR between.
+//
+// The grid runs through harness::run_sweep_sharded: contiguous shards of
+// cells share one EngineCore (alive-set buffers and the schedule's trace
+// arena are reused across the shard's cells), and results merge by cell
+// index, so the table -- and the optional --grid-out JSON artifact -- is
+// byte-identical for any --jobs value.  The CI determinism step diffs two
+// such artifacts.
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
 #include "common.h"
 #include "core/engine.h"
 #include "core/metrics.h"
+#include "harness/sweep.h"
 #include "policies/registry.h"
 #include "registry.h"
 #include "workload/source.h"
@@ -15,10 +27,22 @@ using namespace tempofair;
 
 namespace {
 
+struct Cell {
+  double mean = 0.0, stddev = 0.0;
+};
+
+/// Canonical decimal form shared by every run (%.17g round-trips doubles).
+std::string num_json(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
 int run(bench::RunContext& ctx) {
   const std::size_t n = ctx.size_param("n", 300);
   const std::uint64_t seed = ctx.seed_param(12);
   const int trials = static_cast<int>(ctx.size_param("trials", 2, 1));
+  const std::string grid_out = ctx.string_param("grid-out", "");
 
   ctx.banner("F5 (load sweep)",
              "mean and stddev of flow vs utilization for all policies",
@@ -34,40 +58,78 @@ int run(bench::RunContext& ctx) {
                           return cols;
                         }());
 
-  struct Cell {
-    double mean = 0.0, stddev = 0.0;
+  struct Config {
+    std::size_t li = 0, pi = 0;
   };
-  std::vector<std::vector<Cell>> grid(loads.size(),
-                                      std::vector<Cell>(policies.size()));
-
-  ctx.pool().parallel_for(loads.size() * policies.size(), [&](std::size_t idx) {
-    const std::size_t li = idx / policies.size();
-    const std::size_t pi = idx % policies.size();
-    double mean = 0.0, stddev = 0.0;
-    for (int t = 0; t < trials; ++t) {
-      const Instance inst = workload::make_instance(
-          workload::WorkloadSpec::poisson(n, loads[li],
-                                          workload::ExponentialSize{1.0},
-                                          seed + 1000 * t + li));
-      RunRequest req;
-      req.policy = policies[pi];
-      req.record_trace = false;
-      const FlowStats st = tempofair::run(inst, req).stats;
-      mean += st.mean;
-      stddev += st.stddev;
+  std::vector<Config> cells;
+  cells.reserve(loads.size() * policies.size());
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      cells.push_back({li, pi});
     }
-    grid[li][pi] = Cell{mean / trials, stddev / trials};
-  });
+  }
+
+  // Instance seeds stay a pure function of (load, trial) so every policy
+  // column sees the same arrival sequence; the derived per-cell stream is
+  // unused here but keeps the sharded call uniform with seeded sweeps.
+  const std::vector<Cell> flat = harness::run_sweep_sharded(
+      ctx.pool(), cells, seed, [] { return EngineCore{}; },
+      [&](EngineCore& engine, const Config& c, std::uint64_t /*stream*/) {
+        double mean = 0.0, stddev = 0.0;
+        for (int t = 0; t < trials; ++t) {
+          const Instance inst = workload::make_instance(
+              workload::WorkloadSpec::poisson(n, loads[c.li],
+                                              workload::ExponentialSize{1.0},
+                                              seed + 1000 * t + c.li));
+          RunRequest req;
+          req.policy = policies[c.pi];
+          req.record_trace = false;
+          const FlowStats st = engine.run(inst, req).stats;
+          mean += st.mean;
+          stddev += st.stddev;
+        }
+        return Cell{mean / trials, stddev / trials};
+      });
+
+  auto cell_at = [&](std::size_t li, std::size_t pi) -> const Cell& {
+    return flat[li * policies.size() + pi];
+  };
 
   for (std::size_t li = 0; li < loads.size(); ++li) {
     std::vector<std::string> row{analysis::Table::num(loads[li], 2)};
     for (std::size_t pi = 0; pi < policies.size(); ++pi) {
-      row.push_back(analysis::Table::num(grid[li][pi].mean, 2) + " (" +
-                    analysis::Table::num(grid[li][pi].stddev, 2) + ")");
+      row.push_back(analysis::Table::num(cell_at(li, pi).mean, 2) + " (" +
+                    analysis::Table::num(cell_at(li, pi).stddev, 2) + ")");
     }
     table.add_row(std::move(row));
   }
   ctx.emit(table);
+
+  if (!grid_out.empty()) {
+    // Canonical JSON (fixed key order, %.17g doubles, no timing or host
+    // data) -- diffable byte-for-byte across worker counts.
+    std::ofstream file(grid_out);
+    if (!file) {
+      throw std::runtime_error("f5: cannot write --grid-out file " + grid_out);
+    }
+    file << "{\n  \"experiment\": \"f5\",\n  \"seed\": " << seed
+         << ",\n  \"n\": " << n << ",\n  \"trials\": " << trials
+         << ",\n  \"policies\": [";
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      file << (pi == 0 ? "" : ", ") << '"' << policies[pi] << '"';
+    }
+    file << "],\n  \"rows\": [\n";
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+      file << "    {\"load\": " << num_json(loads[li]) << ", \"cells\": [";
+      for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+        const Cell& c = cell_at(li, pi);
+        file << (pi == 0 ? "" : ", ") << "{\"mean\": " << num_json(c.mean)
+             << ", \"stddev\": " << num_json(c.stddev) << "}";
+      }
+      file << "]}" << (li + 1 < loads.size() ? "," : "") << "\n";
+    }
+    file << "  ]\n}\n";
+  }
   return 0;
 }
 

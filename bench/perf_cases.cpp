@@ -9,8 +9,12 @@
 
 #include "core/engine.h"
 #include "core/metrics.h"
+#include "harness/sweep.h"
+#include "harness/thread_pool.h"
+#include "policies/mlfq.h"
 #include "policies/priority_policies.h"
 #include "policies/round_robin.h"
+#include "policies/setf.h"
 #include "workload/generators.h"
 #include "workload/rng.h"
 #include "workload/source.h"
@@ -178,6 +182,93 @@ Report run_fastpath_cases(const CaseOptions& options) {
     }
     report.cases.push_back(std::move(slow));
     report.cases.push_back(std::move(fast));
+  }
+
+  // --- SETF / LAPS / MLFQ: the shared-rule fast-forward kernels -------------
+  // Each pairs the generic event loop against its kEqualAttained /
+  // kLatestArrival / kLevelPriority descriptor (core/share_rules.h rule
+  // bodies over the kernel's SoA columns, SIMD advance + completion scan).
+  {
+    const Instance inst = workload::make_instance(workload::WorkloadSpec::poisson(
+        n_pair, 0.9, workload::ExponentialSize{1.5}, kSeed + 5));
+    Setf setf;
+    CaseResult slow = time_engine(
+        "setf_event_loop_" + std::to_string(n_pair) + suffix, repeats, inst,
+        setf, false);
+    CaseResult fast = time_engine("setf_fast_" + std::to_string(n_pair) + suffix,
+                                  repeats, inst, setf, true);
+    if (fast.median_s > 0.0) {
+      fast.stats["speedup_vs_event_loop"] = slow.median_s / fast.median_s;
+    }
+    report.cases.push_back(std::move(slow));
+    report.cases.push_back(std::move(fast));
+  }
+  {
+    const Instance inst = workload::make_instance(workload::WorkloadSpec::poisson(
+        n_pair, 0.9, workload::ExponentialSize{1.5}, kSeed + 6));
+    Laps laps(0.5);
+    CaseResult slow = time_engine(
+        "laps_event_loop_" + std::to_string(n_pair) + suffix, repeats, inst,
+        laps, false);
+    CaseResult fast = time_engine("laps_fast_" + std::to_string(n_pair) + suffix,
+                                  repeats, inst, laps, true);
+    if (fast.median_s > 0.0) {
+      fast.stats["speedup_vs_event_loop"] = slow.median_s / fast.median_s;
+    }
+    report.cases.push_back(std::move(slow));
+    report.cases.push_back(std::move(fast));
+  }
+  {
+    const Instance inst = workload::make_instance(workload::WorkloadSpec::poisson(
+        n_pair, 0.9, workload::ExponentialSize{1.5}, kSeed + 7));
+    Mlfq mlfq;
+    CaseResult slow = time_engine(
+        "mlfq_event_loop_" + std::to_string(n_pair) + suffix, repeats, inst,
+        mlfq, false);
+    CaseResult fast = time_engine("mlfq_fast_" + std::to_string(n_pair) + suffix,
+                                  repeats, inst, mlfq, true);
+    if (fast.median_s > 0.0) {
+      fast.stats["speedup_vs_event_loop"] = slow.median_s / fast.median_s;
+    }
+    report.cases.push_back(std::move(slow));
+    report.cases.push_back(std::move(fast));
+  }
+
+  // --- sharded sweep: per-shard EngineCore reuse over a policy grid ---------
+  // Times harness::run_sweep_sharded end to end (instance generation +
+  // engine) on the process pool.  On the one-core CI runner this measures
+  // the sequential sharded path; the determinism tests cover the parallel
+  // merge property.
+  {
+    const std::size_t grid = smoke ? 16 : 64;
+    const std::size_t n_cell = smoke ? 500 : 2'000;
+    harness::ThreadPool pool(0);
+    std::vector<std::size_t> cells(grid);
+    for (std::size_t i = 0; i < grid; ++i) cells[i] = i;
+    double l2_total = 0.0;
+    CaseResult c = measure(
+        "sweep_rr_sharded_" + std::to_string(grid) + "x" +
+            std::to_string(n_cell) + suffix,
+        repeats, [&] {
+          const std::vector<double> norms = harness::run_sweep_sharded(
+              pool, cells, kSeed + 8, [] { return EngineCore{}; },
+              [&](EngineCore& engine, std::size_t cell, std::uint64_t stream) {
+                // stream >> 1: WorkloadSpec seeds round-trip through a long.
+                const Instance inst = workload::make_instance(
+                    workload::WorkloadSpec::poisson(
+                        n_cell, 0.5 + 0.4 * static_cast<double>(cell) /
+                                          static_cast<double>(grid),
+                        workload::ExponentialSize{1.5}, stream >> 1));
+                RunRequest req;
+                req.record_trace = false;
+                return engine.run(inst, req).stats.l2;
+              });
+          for (const double v : norms) l2_total += v;
+        });
+    c.stats["cells"] = static_cast<double>(grid);
+    c.stats["jobs_per_cell"] = static_cast<double>(n_cell);
+    c.stats["l2_total"] = l2_total;
+    report.cases.push_back(std::move(c));
   }
 
   // --- RR streaming: generation + simulation, nothing materialized ----------

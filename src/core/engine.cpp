@@ -301,11 +301,14 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
       if (inv_.epoch_due()) {
         auto& inv_rem = inv_.scratch_remaining();
         auto& inv_size = inv_.scratch_sizes();
+        auto& inv_att = inv_.scratch_attained();
         inv_rem.resize(alive_.size());
         inv_size.resize(alive_.size());
+        inv_att.resize(alive_.size());
         for (std::size_t i = 0; i < alive_.size(); ++i) {
           inv_rem[i] = alive_[i].remaining;
           inv_size[i] = alive_[i].size;
+          inv_att[i] = alive_[i].attained;
         }
         InvariantEpoch epoch;
         epoch.begin = now;
@@ -314,6 +317,7 @@ Schedule EngineCore::run(const Instance& instance, Policy& policy,
         epoch.rates = decision.rates;
         epoch.remaining = inv_rem;
         epoch.sizes = inv_size;
+        epoch.attained = inv_att;
         inv_.check_epoch(epoch);
       }
       if (options.record_trace) {

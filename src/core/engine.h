@@ -31,6 +31,7 @@
 #include "core/metrics.h"
 #include "core/policy.h"
 #include "core/schedule.h"
+#include "core/share_rules.h"
 
 namespace tempofair {
 
@@ -192,6 +193,11 @@ class FastForwardCore {
   std::vector<Work> size_;
   std::vector<Time> release_;
   std::vector<double> weight_;
+  /// Attained service, maintained with the generic loop's exact per-job
+  /// arithmetic; only kept for the attained-dependent rule kinds
+  /// (kEqualAttained / kLevelPriority -- kLatestArrival rides along so all
+  /// three share one code path).
+  std::vector<Work> attained_;
   /// Alive ids sorted by the policy's completion/priority key: remaining
   /// work DESCENDING for kUniformShare (parallel to ord_rem_/ord_thr_),
   /// priority order for kTopPriority.
@@ -210,6 +216,11 @@ class FastForwardCore {
   /// kQuantumRR: the replicated ready queue (rotation order), mirroring
   /// QuantumRoundRobin::queue_ event for event.
   std::deque<JobId> rr_queue_;
+  /// Shared-rule scratch (core/share_rules.h) for the SETF/LAPS/MLFQ
+  /// kernels; buffers only, reused across events and runs.
+  share_rules::SetfScratch setf_scratch_;
+  share_rules::MlfqScratch mlfq_scratch_;
+  std::vector<std::size_t> laps_idx_;
   /// Per-run invariant battery (core/invariants.h), reused across runs.
   InvariantSet inv_;
 };

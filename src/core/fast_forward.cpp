@@ -47,6 +47,8 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/share_rules.h"
+#include "core/simd.h"
 #include "obs/obs.h"
 
 namespace tempofair {
@@ -100,6 +102,33 @@ void validate_descriptor(const FastForward& ff, std::string_view policy_name) {
             " advertises kQuantumRR with a negative switch cost");
       }
       break;
+    case FastForwardKind::kEqualAttained:
+      if (!(ff.level_tolerance >= 0.0) || !std::isfinite(ff.level_tolerance)) {
+        throw std::invalid_argument(
+            "fast_forward: policy " + std::string(policy_name) +
+            " advertises kEqualAttained with a negative or non-finite "
+            "level tolerance");
+      }
+      break;
+    case FastForwardKind::kLatestArrival:
+      if (!(ff.beta > 0.0) || ff.beta > 1.0) {
+        throw std::invalid_argument(
+            "fast_forward: policy " + std::string(policy_name) +
+            " advertises kLatestArrival with beta outside (0, 1]");
+      }
+      break;
+    case FastForwardKind::kLevelPriority:
+      if (!(ff.mlfq_base > 0.0) || !std::isfinite(ff.mlfq_base)) {
+        throw std::invalid_argument(
+            "fast_forward: policy " + std::string(policy_name) +
+            " advertises kLevelPriority with a non-positive base quantum");
+      }
+      if (!(ff.mlfq_growth > 1.0) || !std::isfinite(ff.mlfq_growth)) {
+        throw std::invalid_argument(
+            "fast_forward: policy " + std::string(policy_name) +
+            " advertises kLevelPriority with growth <= 1");
+      }
+      break;
   }
 }
 
@@ -108,19 +137,29 @@ void validate_descriptor(const FastForward& ff, std::string_view policy_name) {
 class InstanceArrivals {
  public:
   explicit InstanceArrivals(const Instance& instance)
-      : instance_(&instance), order_(instance.release_order()) {}
+      : instance_(&instance), order_(instance.release_order()) {
+    if (!order_.empty()) ahead_release_ = instance.job(order_[0]).release;
+  }
 
   [[nodiscard]] bool exhausted() const { return next_ == order_.size(); }
-  [[nodiscard]] Time peek_release() const {
-    return instance_->job(order_[next_]).release;
+  // The next release is cached at take() time: the kernel peeks it at least
+  // twice per event (the dt min and the admit loop), and each uncached peek
+  // is a bounds-checked Instance::job() lookup.
+  [[nodiscard]] Time peek_release() const { return ahead_release_; }
+  [[nodiscard]] Job take() {
+    const Job j = instance_->job(order_[next_++]);
+    if (next_ < order_.size()) {
+      ahead_release_ = instance_->job(order_[next_]).release;
+    }
+    return j;
   }
-  [[nodiscard]] Job take() { return instance_->job(order_[next_++]); }
   [[nodiscard]] std::size_t total() const { return order_.size(); }
 
  private:
   const Instance* instance_;
   std::span<const JobId> order_;
   std::size_t next_ = 0;
+  Time ahead_release_ = 0.0;
 };
 
 class StreamArrivals {
@@ -243,6 +282,7 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
   size_.clear();
   release_.clear();
   weight_.clear();
+  attained_.clear();
   order_.clear();
   ord_rem_.clear();
   ord_thr_.clear();
@@ -261,6 +301,13 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
   bool qphase_started = false;
 
   const bool uniform = ff.kind == FastForwardKind::kUniformShare;
+  // The shared-rule kinds (core/share_rules.h): rates are a pure function
+  // of the (attained, release) columns, evaluated per event by the very
+  // template the policy's rates() instantiates.  All three keep the
+  // id-sorted arrays primary plus the attained_ column.
+  const bool rule_kind = kind == FastForwardKind::kEqualAttained ||
+                         kind == FastForwardKind::kLatestArrival ||
+                         kind == FastForwardKind::kLevelPriority;
   // kUniformShare keeps only the ord_* arrays hot; the id-sorted alive list
   // exists purely to emit id-ordered trace rows.
   const bool keep_ids = !uniform || options.record_trace;
@@ -306,6 +353,7 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
           size_.insert(size_.begin() + p, j.size);
           release_.insert(release_.begin() + p, j.release);
           weight_.insert(weight_.begin() + p, j.weight);
+          if (rule_kind) attained_.insert(attained_.begin() + p, 0.0);
         }
       }
       max_size_admitted = std::max(max_size_admitted, j.size);
@@ -390,7 +438,9 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
     double share = 0.0;            // kUniformShare
     std::size_t run_count = 0;     // kTopPriority / kQuantumRR
     bool qrr_all = false;          // kQuantumRR: n <= m, everyone runs
-    Time breakpoint_dt = kInfiniteTime;  // kQuantumRR quantum/switch expiry
+    // kQuantumRR quantum/switch expiry; kEqualAttained/kLevelPriority
+    // shared-rule breakpoint (the policy's RateDecision::max_duration).
+    Time breakpoint_dt = kInfiniteTime;
     Time completion_dt = kInfiniteTime;
     switch (kind) {
       case FastForwardKind::kUniformShare:
@@ -413,12 +463,10 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
                       std::to_string(wrates.size()) + " rates for " +
                       std::to_string(n) + " alive jobs");
         }
-        for (std::size_t i = 0; i < n; ++i) {
-          if (wrates[i] > 0.0) {
-            const Time cdt = rem_[i] / wrates[i];
-            if (cdt < completion_dt) completion_dt = cdt;
-          }
-        }
+        // Zero-weight shares divide to +inf (rem > 0) and drop out of the
+        // min, so the unmasked kernel matches the positive-rate-guarded
+        // scalar min bitwise.
+        completion_dt = simd::min_ratio(rem_.data(), wrates.data(), n);
         break;
       case FastForwardKind::kQuantumRR: {
         const auto m = static_cast<std::size_t>(machines);
@@ -467,6 +515,34 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
         breakpoint_dt = std::max(qphase_end - now, kAbsEps);
         break;
       }
+      // The shared-rule kinds evaluate the policy's exact rule body
+      // (core/share_rules.h) over the kernel's own columns -- identical
+      // floating-point program, so identical rates and breakpoints -- then
+      // take the earliest completion as the generic loop does: min over
+      // positive-rate jobs of rem/rate.  simd::min_ratio divides rate-zero
+      // jobs to +inf (rem > 0 always), which cannot win the min, so the
+      // unmasked vector reduction matches the guarded scalar min bitwise.
+      case FastForwardKind::kEqualAttained:
+        breakpoint_dt = share_rules::setf_rates(
+            n, machines, speed, ff.level_tolerance,
+            [this](std::size_t i) { return attained_[i]; }, rates_,
+            setf_scratch_);
+        completion_dt = simd::min_ratio(rem_.data(), rates_.data(), n);
+        break;
+      case FastForwardKind::kLatestArrival:
+        share_rules::laps_rates(
+            n, machines, speed, ff.beta,
+            [this](std::size_t i) { return release_[i]; }, rates_, laps_idx_);
+        completion_dt = simd::min_ratio(rem_.data(), rates_.data(), n);
+        break;
+      case FastForwardKind::kLevelPriority:
+        breakpoint_dt = share_rules::mlfq_rates(
+            n, machines, speed, ff.mlfq_base, ff.mlfq_growth,
+            [this](std::size_t i) { return attained_[i]; },
+            [this](std::size_t i) { return release_[i]; }, rates_,
+            mlfq_scratch_);
+        completion_dt = simd::min_ratio(rem_.data(), rates_.data(), n);
+        break;
       case FastForwardKind::kNone:
         engine_fail("fast path invoked without a FastForward capability");
     }
@@ -502,6 +578,9 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
       epoch.rates = epoch_rates;
       epoch.remaining = rem_;
       epoch.sizes = size_;
+      // The attained-tracking kernels expose their column so the
+      // attained-accounting witness can audit it against size - remaining.
+      if (rule_kind) epoch.attained = attained_;
       inv_.check_epoch(epoch);
     };
     if (dt > 0.0) {
@@ -523,10 +602,11 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
             inv_.check_epoch(epoch);
           }
           // One shared delta (every rate is the same double), one fused
-          // contiguous pass; F2 keeps the descending order sorted through
+          // contiguous pass (vectorized; elementwise, so bitwise-equal to
+          // the scalar loop); F2 keeps the descending order sorted through
           // it.
           const Work delta = share * dt;
-          for (Work& r : ord_rem_) r -= delta;
+          simd::sub_scalar(ord_rem_.data(), ord_rem_.size(), delta);
           break;
         }
         case FastForwardKind::kTopPriority: {
@@ -555,9 +635,7 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
             schedule.push_interval(now, now + dt, ids_, wrates);
             ++intervals_emitted;
           }
-          for (std::size_t i = 0; i < n; ++i) {
-            rem_[i] -= wrates[i] * dt;
-          }
+          simd::sub_product(rem_.data(), wrates.data(), n, dt);
           break;
         case FastForwardKind::kQuantumRR: {
           if (trace || inv_due) {
@@ -578,7 +656,7 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
           // F3 again: only the running set loses work.
           const Work delta = speed * dt;
           if (qrr_all) {
-            for (Work& r : rem_) r -= delta;
+            simd::sub_scalar(rem_.data(), rem_.size(), delta);
           } else {
             for (std::size_t i = 0; i < run_count; ++i) {
               rem_[pos_of(rr_queue_[i])] -= delta;
@@ -586,6 +664,20 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
           }
           break;
         }
+        case FastForwardKind::kEqualAttained:
+        case FastForwardKind::kLatestArrival:
+        case FastForwardKind::kLevelPriority:
+          if (inv_due) check_id_epoch(rates_);
+          if (trace) {
+            schedule.push_interval(now, now + dt, ids_, rates_);
+            ++intervals_emitted;
+          }
+          // The generic loop's exact per-job advance (delta = rate * dt,
+          // attained += delta, remaining -= delta), fused over the SoA
+          // columns.  Rate-zero jobs keep their bits untouched (F3), so
+          // advancing everyone is safe and branch-free.
+          simd::advance(attained_.data(), rem_.data(), rates_.data(), n, dt);
+          break;
         case FastForwardKind::kNone:
           break;  // unreachable; rejected above
       }
@@ -633,7 +725,7 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
     } else {
       std::size_t order_scan_end = 0;  // prefix of order_ the scan covered
       if (degenerate_alive > 0 || kind == FastForwardKind::kWeightedShare ||
-          (kind == FastForwardKind::kQuantumRR && qrr_all)) {
+          rule_kind || (kind == FastForwardKind::kQuantumRR && qrr_all)) {
         for (std::size_t i = 0; i < n; ++i) {
           if (rem_[i] <= kRelEps * size_[i] + kAbsEps) {
             completing_.push_back(ids_[i]);
@@ -667,7 +759,7 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
                 std::find(rr_queue_.begin(), rr_queue_.end(), id);
             if (it != rr_queue_.end()) rr_queue_.erase(it);
           }
-        } else if (kind != FastForwardKind::kWeightedShare) {
+        } else if (kind == FastForwardKind::kTopPriority) {
           const auto scan_end =
               order_.begin() + static_cast<std::ptrdiff_t>(
                                    std::min(order_scan_end, order_.size()));
@@ -689,6 +781,7 @@ Schedule FastForwardCore::run_impl(Arrivals& arrivals, Schedule schedule,
           size_.erase(size_.begin() + p);
           release_.erase(release_.begin() + p);
           weight_.erase(weight_.begin() + p);
+          if (rule_kind) attained_.erase(attained_.begin() + p);
         }
       }
     }

@@ -26,14 +26,20 @@
 //       mirrors QuantumRoundRobin's queue/phase transitions event for
 //       event).  The fast path never invokes the callbacks.
 //   C3. The rule may depend only on the alive jobs' (id, release, size,
-//       remaining, weight), the run constants (machines, speed), and -- for
-//       kQuantumRR -- the replicated queue/phase state.  Breakpoints are
-//       allowed only when the kernel reproduces them bit for bit (the
-//       quantum/switch expiries of kQuantumRR).
+//       remaining, weight, attained -- the kernel maintains an attained
+//       column with the generic loop's exact per-job arithmetic), the run
+//       constants (machines, speed), and -- for kQuantumRR -- the
+//       replicated queue/phase state.  Breakpoints are allowed only when
+//       the kernel reproduces them bit for bit (the quantum/switch
+//       expiries of kQuantumRR, the shared-rule breakpoints of
+//       kEqualAttained/kLevelPriority).
 //
-// Policies with breakpoints the kernel does not model or with genuinely
-// dynamic state (SETF, MLFQ, age-weighted WRR, LAPS) keep kind = kNone and
-// run on the generic loop unchanged.
+// Attained-service and arrival-order rules (SETF, LAPS, MLFQ) qualify via
+// core/share_rules.h: the one rule body is a template both the policy's
+// rates() and the kernel instantiate, so the two paths execute identical
+// floating-point programs.  Policies with breakpoints the kernel does not
+// model or with genuinely dynamic allocation state (age-weighted WRR) keep
+// kind = kNone and run on the generic loop unchanged.
 #pragma once
 
 #include <cstddef>
@@ -66,6 +72,19 @@ enum class FastForwardKind : std::uint8_t {
   /// `switch_cost` fields below.  Epochs between quantum expiries are
   /// closed-form, so the run never queries the policy.
   kQuantumRR,
+  /// Fluid SETF: machines go to jobs in increasing attained-service order,
+  /// groups tied within `level_tolerance` share; the kernel maintains the
+  /// attained column itself and evaluates share_rules::setf_rates -- the
+  /// very template the policy's rates() instantiates -- each event,
+  /// breakpoints (group catch-up) included.
+  kEqualAttained,
+  /// LAPS(beta): the ceil(beta*n) latest arrivals split the machines
+  /// equally (share_rules::laps_rates); event-driven only, no breakpoint.
+  kLatestArrival,
+  /// MLFQ(base, growth): the m jobs of least (level, release, id) run at
+  /// full speed, with level-crossing breakpoints
+  /// (share_rules::mlfq_rates over the kernel's attained column).
+  kLevelPriority,
 };
 
 /// Priority orders for FastForwardKind::kTopPriority; each is the exact
@@ -95,6 +114,14 @@ struct FastForward {
   /// phase boundaries.
   double quantum = 0.0;
   double switch_cost = 0.0;
+  /// Only read when kind == kEqualAttained: Setf's level_tolerance, verbatim.
+  double level_tolerance = 0.0;
+  /// Only read when kind == kLatestArrival: Laps's beta, verbatim.
+  double beta = 0.0;
+  /// Only read when kind == kLevelPriority: Mlfq's construction parameters,
+  /// verbatim.
+  double mlfq_base = 0.0;
+  double mlfq_growth = 0.0;
 
   [[nodiscard]] bool enabled() const noexcept {
     return kind != FastForwardKind::kNone;

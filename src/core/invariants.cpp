@@ -290,6 +290,38 @@ class TemporalFairnessCheck final : public InvariantCheck {
   double tol_;
 };
 
+/// attained + remaining == size for every alive job -- the accounting
+/// witness of the attained-dependent fast-forward kernels (SETF / MLFQ).
+/// Both the generic loop and FastForwardCore expose their attained column
+/// when they track one; epochs without the column are skipped (the witness
+/// is then covered by monotone_remaining plus completion_consistency).
+/// The tolerance is generous (1e-6 relative) because attained accumulates
+/// one rounding error per epoch over the whole run.
+class AttainedAccountingCheck final : public InvariantCheck {
+ public:
+  explicit AttainedAccountingCheck(const InvariantRunProfile&) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "attained_accounting";
+  }
+  void on_epoch(const InvariantEpoch& e) override {
+    if (e.attained.empty() || e.remaining.empty() || e.sizes.empty()) return;
+    for (std::size_t i = 0; i < e.n(); ++i) {
+      const Work att = e.attained[i];
+      const Work size = e.sizes[i];
+      const Work tol = 1e-6 * std::max(1.0, size) + 1e-9;
+      if (att < -tol) {
+        report("attained service " + std::to_string(att) + " is negative",
+               e.begin, e.jobs[i]);
+      } else if (std::fabs(att + e.remaining[i] - size) > tol) {
+        report("attained " + std::to_string(att) + " + remaining " +
+                   std::to_string(e.remaining[i]) + " drifts from size " +
+                   std::to_string(size),
+               e.begin, e.jobs[i]);
+      }
+    }
+  }
+};
+
 }  // namespace
 
 // --- modes and defaults -----------------------------------------------------
@@ -422,6 +454,10 @@ InvariantRegistry::InvariantRegistry() : impl_(std::make_unique<Impl>()) {
         if (!p.traits.shares_all_alive) return nullptr;
         return std::make_unique<NoStarvationCheck>(p);
       });
+  impl_->entries.emplace_back(
+      "attained_accounting", always([](const InvariantRunProfile& p) {
+        return std::make_unique<AttainedAccountingCheck>(p);
+      }));
   impl_->entries.emplace_back(
       "temporal_fairness",
       [](const InvariantRunProfile& p) -> std::unique_ptr<InvariantCheck> {

@@ -137,6 +137,10 @@ struct InvariantEpoch {
   bool uniform = false;
   std::span<const Work> remaining;  ///< before the epoch; may be empty
   std::span<const Work> sizes;      ///< may be empty
+  /// Attained service before the epoch, parallel to jobs; empty when the
+  /// caller's layout does not track it.  Enables the attained-accounting
+  /// witness the attained-dependent fast-forward kernels register.
+  std::span<const Work> attained;
   /// True when `remaining` is sorted descending (the kUniformShare fast
   /// path's primary layout): with a uniform rate the per-epoch monotone
   /// checks collapse to the minimum element, keeping checked epochs O(1).
@@ -269,6 +273,9 @@ class InvariantSet {
   [[nodiscard]] std::vector<double>& scratch_rates() noexcept {
     return scratch_rates_;
   }
+  [[nodiscard]] std::vector<Work>& scratch_attained() noexcept {
+    return scratch_att_;
+  }
 
  private:
   friend class InvariantCheck;
@@ -285,6 +292,7 @@ class InvariantSet {
   std::vector<Work> scratch_rem_;
   std::vector<Work> scratch_size_;
   std::vector<double> scratch_rates_;
+  std::vector<Work> scratch_att_;
 };
 
 /// Offline battery: replays a recorded schedule (trace + completions)

@@ -83,9 +83,13 @@ FlowStats flow_stats(std::span<const double> flows) {
   s.mean = sum / static_cast<double>(s.n);
   s.variance = std::max(0.0, sq / static_cast<double>(s.n) - s.mean * s.mean);
   s.stddev = std::sqrt(s.variance);
-  s.p50 = percentile(flows, 50.0);
-  s.p95 = percentile(flows, 95.0);
-  s.p99 = percentile(flows, 99.0);
+  // One copy + one sort serves all three percentiles (sorting per
+  // percentile dominated the whole fast-path run on 100k-job instances).
+  std::vector<double> sorted(flows.begin(), flows.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.p50 = percentile_sorted(sorted, 50.0);
+  s.p95 = percentile_sorted(sorted, 95.0);
+  s.p99 = percentile_sorted(sorted, 99.0);
   return s;
 }
 

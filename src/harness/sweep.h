@@ -51,6 +51,52 @@ auto run_sweep(ThreadPool& pool, const std::vector<Config>& configs,
   return results;
 }
 
+/// Sharded overload for sweeps whose evaluator is worth amortizing: the
+/// cells are split into contiguous shards, each shard builds ONE context
+/// via `make_ctx()` and evaluates all its cells with it sequentially.  The
+/// context carries whatever per-worker state pays to reuse across cells --
+/// typically an EngineCore (alive-set buffers, the schedule's TraceArena)
+/// so a thousand-cell sweep does not reallocate per cell.
+///
+/// Determinism: each cell's seed is derive_seed(seed, cell_index) -- a pure
+/// function of the cell, never of the shard geometry -- and each result is
+/// written to results[cell_index], so the merged output is byte-identical
+/// for ANY shard count, worker count, or execution order (the CI
+/// determinism gate diffs two --jobs values over exactly this path).
+/// `shards` = 0 picks 2 shards per worker (enough slack for the
+/// work-stealing pool to balance uneven shards without fragmenting
+/// context reuse).
+template <typename Config, typename MakeCtx, typename F>
+auto run_sweep_sharded(ThreadPool& pool, const std::vector<Config>& configs,
+                       std::uint64_t seed, MakeCtx&& make_ctx, F&& eval,
+                       std::size_t shards = 0)
+    -> std::vector<std::invoke_result_t<F&, std::invoke_result_t<MakeCtx&>&,
+                                        const Config&, std::uint64_t>> {
+  using Context = std::invoke_result_t<MakeCtx&>;
+  using Result =
+      std::invoke_result_t<F&, Context&, const Config&, std::uint64_t>;
+  const std::size_t n = configs.size();
+  std::vector<Result> results(n);
+  if (n == 0) return results;
+  if (shards == 0) shards = 2 * pool.size();
+  shards = std::max<std::size_t>(1, std::min(shards, n));
+  const std::size_t per_shard = (n + shards - 1) / shards;
+  // Grain 1: one task per shard, so a shard's cells never split across
+  // workers (context reuse) while distinct shards still steal freely.
+  pool.parallel_for(
+      shards,
+      [&](std::size_t s) {
+        Context ctx = make_ctx();
+        const std::size_t lo = s * per_shard;
+        const std::size_t hi = std::min(n, lo + per_shard);
+        for (std::size_t i = lo; i < hi; ++i) {
+          results[i] = eval(ctx, configs[i], derive_seed(seed, i));
+        }
+      },
+      /*grain=*/1);
+  return results;
+}
+
 /// Convenience: linear sweep over [lo, hi] with `count` points (inclusive).
 [[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t count);
 

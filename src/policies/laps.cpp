@@ -1,8 +1,6 @@
-#include <algorithm>
-#include <cmath>
-#include <numeric>
 #include <stdexcept>
 
+#include "core/share_rules.h"
 #include "policies/priority_policies.h"
 
 namespace tempofair {
@@ -14,30 +12,19 @@ Laps::Laps(double beta) : beta_(beta) {
 }
 
 RateDecision Laps::rates(const SchedulerContext& ctx) {
-  const std::size_t n = ctx.n_alive();
-  const std::size_t share_count = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(beta_ * static_cast<double>(n))));
-
-  // The ceil(beta*n) *latest*-arriving jobs split the machines equally.
-  std::vector<std::size_t> idx(n);
-  std::iota(idx.begin(), idx.end(), std::size_t{0});
-  auto alive = ctx.alive;
-  std::partial_sort(idx.begin(),
-                    idx.begin() + static_cast<std::ptrdiff_t>(share_count),
-                    idx.end(), [alive](std::size_t a, std::size_t b) {
-                      if (alive[a].release != alive[b].release) {
-                        return alive[a].release > alive[b].release;
-                      }
-                      return alive[a].id > alive[b].id;
-                    });
-
-  const double rate =
-      ctx.speed * std::min(1.0, static_cast<double>(ctx.machines) /
-                                    static_cast<double>(share_count));
+  const auto alive = ctx.alive;
   RateDecision d;
-  d.rates.assign(n, 0.0);
-  for (std::size_t i = 0; i < share_count; ++i) d.rates[idx[i]] = rate;
+  share_rules::laps_rates(
+      ctx.n_alive(), ctx.machines, ctx.speed, beta_,
+      [alive](std::size_t i) { return alive[i].release; }, d.rates, idx_);
   return d;
+}
+
+FastForward Laps::fast_forward() const noexcept {
+  FastForward ff;
+  ff.kind = FastForwardKind::kLatestArrival;
+  ff.beta = beta_;
+  return ff;
 }
 
 }  // namespace tempofair

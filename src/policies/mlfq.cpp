@@ -1,10 +1,6 @@
 #include "policies/mlfq.h"
 
-#include <algorithm>
-#include <cmath>
-#include <numeric>
 #include <stdexcept>
-#include <vector>
 
 namespace tempofair {
 
@@ -19,55 +15,29 @@ Mlfq::Mlfq(double base_quantum, double growth)
 }
 
 double Mlfq::threshold(int level) const noexcept {
-  return base_ * std::pow(growth_, level);
+  return share_rules::mlfq_threshold(base_, growth_, level);
 }
 
 int Mlfq::level_of(double attained) const noexcept {
-  if (attained < base_) return 0;
-  // Smallest L with attained < base * growth^L.
-  const int lvl =
-      static_cast<int>(std::floor(std::log(attained / base_) / std::log(growth_))) + 1;
-  // Guard against log rounding at exact threshold values.
-  int l = std::max(lvl - 1, 0);
-  while (attained >= threshold(l)) ++l;
-  return l;
+  return share_rules::mlfq_level_of(base_, growth_, attained);
 }
 
 RateDecision Mlfq::rates(const SchedulerContext& ctx) {
-  const std::size_t n = ctx.n_alive();
-  auto alive = ctx.alive;
-
-  std::vector<int> levels(n);
-  for (std::size_t i = 0; i < n; ++i) levels[i] = level_of(alive[i].attained);
-
-  std::vector<std::size_t> idx(n);
-  std::iota(idx.begin(), idx.end(), std::size_t{0});
-  const std::size_t run = std::min<std::size_t>(n, static_cast<std::size_t>(ctx.machines));
-  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(run),
-                    idx.end(), [&](std::size_t a, std::size_t b) {
-                      if (levels[a] != levels[b]) return levels[a] < levels[b];
-                      if (alive[a].release != alive[b].release) {
-                        return alive[a].release < alive[b].release;
-                      }
-                      return alive[a].id < alive[b].id;
-                    });
-
+  const auto alive = ctx.alive;
   RateDecision d;
-  d.rates.assign(n, 0.0);
-  Time breakpoint = kInfiniteTime;
-  for (std::size_t i = 0; i < run; ++i) {
-    const std::size_t a = idx[i];
-    d.rates[a] = ctx.speed;
-    // Re-query when this job crosses into the next level (it may then be
-    // preempted by a lower-level waiter).
-    const double to_demotion = threshold(levels[a]) - alive[a].attained;
-    if (to_demotion > 0.0) {
-      breakpoint = std::min(breakpoint, to_demotion / ctx.speed);
-    }
-  }
-  if (breakpoint <= 0.0) breakpoint = kAbsEps;
-  d.max_duration = breakpoint;
+  d.max_duration = share_rules::mlfq_rates(
+      ctx.n_alive(), ctx.machines, ctx.speed, base_, growth_,
+      [alive](std::size_t i) { return alive[i].attained; },
+      [alive](std::size_t i) { return alive[i].release; }, d.rates, scratch_);
   return d;
+}
+
+FastForward Mlfq::fast_forward() const noexcept {
+  FastForward ff;
+  ff.kind = FastForwardKind::kLevelPriority;
+  ff.mlfq_base = base_;
+  ff.mlfq_growth = growth_;
+  return ff;
 }
 
 }  // namespace tempofair

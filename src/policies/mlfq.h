@@ -5,9 +5,14 @@
 // a has passed.  The m alive jobs of lexicographically least (level, release,
 // id) run at full speed; a running job is demoted (re-queried via the
 // breakpoint) when its attained service crosses its current threshold.
+//
+// The allocation rule lives in core/share_rules.h (mlfq_rates / mlfq_level_of
+// / mlfq_threshold), shared with FastForwardCore's kLevelPriority kernel so
+// the fast path is bitwise-equal to the event loop.
 #pragma once
 
 #include "core/policy.h"
+#include "core/share_rules.h"
 
 namespace tempofair {
 
@@ -19,6 +24,10 @@ class Mlfq final : public Policy {
   [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
   [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
 
+  /// Epoch-coalescing closed form: the kernel evaluates the same
+  /// share_rules::mlfq_rates over its attained column (contract C1).
+  [[nodiscard]] FastForward fast_forward() const noexcept override;
+
   /// Threshold above which a job leaves `level` (T_level).
   [[nodiscard]] double threshold(int level) const noexcept;
   /// Level of a job with attained service `attained`.
@@ -27,6 +36,7 @@ class Mlfq final : public Policy {
  private:
   double base_;
   double growth_;
+  share_rules::MlfqScratch scratch_;  // buffers only; no rule state (C2)
 };
 
 }  // namespace tempofair

@@ -75,6 +75,10 @@ class Laps final : public Policy {
   [[nodiscard]] double beta() const noexcept { return beta_; }
   [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
 
+  /// Epoch-coalescing closed form: the kernel evaluates the same
+  /// share_rules::laps_rates over its release column (contract C1).
+  [[nodiscard]] FastForward fast_forward() const noexcept override;
+
   /// LAPS shares only among the ceil(beta*n) latest arrivals with a per-job
   /// cap of one machine, so whenever ceil(beta*n) < m it idles capacity by
   /// design -- not work conserving.
@@ -87,6 +91,7 @@ class Laps final : public Policy {
 
  private:
   double beta_;
+  std::vector<std::size_t> idx_;  // laps_rates scratch; no rule state (C2)
 };
 
 }  // namespace tempofair

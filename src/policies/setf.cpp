@@ -1,9 +1,6 @@
 #include "policies/setf.h"
 
-#include <algorithm>
-#include <numeric>
 #include <stdexcept>
-#include <vector>
 
 namespace tempofair {
 
@@ -14,75 +11,19 @@ Setf::Setf(double level_tolerance) : tol_(level_tolerance) {
 }
 
 RateDecision Setf::rates(const SchedulerContext& ctx) {
-  const std::size_t n = ctx.n_alive();
-  auto alive = ctx.alive;
-
-  // Sort indices by attained service (ties by id for determinism).
-  std::vector<std::size_t> idx(n);
-  std::iota(idx.begin(), idx.end(), std::size_t{0});
-  std::sort(idx.begin(), idx.end(), [alive](std::size_t a, std::size_t b) {
-    if (alive[a].attained != alive[b].attained) {
-      return alive[a].attained < alive[b].attained;
-    }
-    return alive[a].id < alive[b].id;
-  });
-
+  const auto alive = ctx.alive;
   RateDecision d;
-  d.rates.assign(n, 0.0);
-
-  // Walk groups of (approximately) equal attained service, granting machines.
-  double machines_left = static_cast<double>(ctx.machines);
-  std::size_t i = 0;
-  // Per group: (group rate, group attained level) for catch-up computation.
-  struct GroupInfo {
-    double rate;
-    double level;
-  };
-  std::vector<GroupInfo> groups;
-  // Groups are built by chaining: job j joins the current group when its
-  // attained service is within tolerance of its predecessor's.  (Comparing to
-  // the group head instead would split groups spuriously right after two
-  // groups merge, forcing the engine into tiny catch-up steps.)
-  auto group_end = [&](std::size_t start) {
-    std::size_t j = start + 1;
-    while (j < n && approx_equal(alive[idx[j]].attained,
-                                 alive[idx[j - 1]].attained, tol_, tol_)) {
-      ++j;
-    }
-    return j;
-  };
-
-  while (i < n && machines_left > 0.0) {
-    const double level = alive[idx[i]].attained;
-    const std::size_t j = group_end(i);
-    const double group_size = static_cast<double>(j - i);
-    const double per_job = ctx.speed * std::min(1.0, machines_left / group_size);
-    for (std::size_t g = i; g < j; ++g) d.rates[idx[g]] = per_job;
-    machines_left -= (per_job / ctx.speed) * group_size;
-    groups.push_back(GroupInfo{per_job, level});
-    i = j;
-  }
-  // Remaining groups (if any) get zero rate but we still need their levels
-  // for the catch-up breakpoint.
-  while (i < n) {
-    const double level = alive[idx[i]].attained;
-    groups.push_back(GroupInfo{0.0, level});
-    i = group_end(i);
-  }
-
-  // Breakpoint: the earliest time a faster lower group catches the level of
-  // the group above it (their rates then change as the groups merge).
-  Time breakpoint = kInfiniteTime;
-  for (std::size_t g = 0; g + 1 < groups.size(); ++g) {
-    const double closing = groups[g].rate - groups[g + 1].rate;
-    if (closing > kAbsEps) {
-      const double gap = groups[g + 1].level - groups[g].level;
-      breakpoint = std::min(breakpoint, std::max(gap, 0.0) / closing);
-    }
-  }
-  if (breakpoint <= 0.0) breakpoint = kAbsEps;  // merged this instant; take a tiny step
-  d.max_duration = breakpoint;
+  d.max_duration = share_rules::setf_rates(
+      ctx.n_alive(), ctx.machines, ctx.speed, tol_,
+      [alive](std::size_t i) { return alive[i].attained; }, d.rates, scratch_);
   return d;
+}
+
+FastForward Setf::fast_forward() const noexcept {
+  FastForward ff;
+  ff.kind = FastForwardKind::kEqualAttained;
+  ff.level_tolerance = tol_;
+  return ff;
 }
 
 }  // namespace tempofair

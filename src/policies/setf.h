@@ -9,9 +9,14 @@
 // Between events the lowest group catches up to the next attained level, so
 // the policy reports a breakpoint at the earliest catch-up time -- the engine
 // then re-queries and the groups merge.  This makes the simulation exact.
+//
+// The allocation rule itself lives in core/share_rules.h (setf_rates), the
+// one body both this rates() and FastForwardCore's kEqualAttained kernel
+// instantiate -- which is what makes the fast path bitwise-equal.
 #pragma once
 
 #include "core/policy.h"
+#include "core/share_rules.h"
 
 namespace tempofair {
 
@@ -26,8 +31,13 @@ class Setf final : public Policy {
   [[nodiscard]] bool clairvoyant() const noexcept override { return false; }
   [[nodiscard]] RateDecision rates(const SchedulerContext& ctx) override;
 
+  /// Epoch-coalescing closed form: the kernel evaluates the same
+  /// share_rules::setf_rates over its own attained column (contract C1).
+  [[nodiscard]] FastForward fast_forward() const noexcept override;
+
  private:
   double tol_;
+  share_rules::SetfScratch scratch_;  // buffers only; no rule state (C2)
 };
 
 }  // namespace tempofair

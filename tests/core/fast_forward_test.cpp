@@ -114,7 +114,8 @@ void run_both_and_compare(const Instance& instance, const std::string& policy,
 }
 
 const std::vector<std::string> kFastPolicies = {
-    "rr", "fcfs", "sjf", "srpt", "wprr", "qrr:0.7", "qrr:0.5,0.03"};
+    "rr",      "fcfs",   "sjf",           "srpt", "wprr",
+    "qrr:0.7", "qrr:0.5,0.03", "setf",    "laps:0.5", "mlfq"};
 
 TEST(FastForwardEquivalence, PoissonInstances) {
   for (const int machines : {1, 4}) {

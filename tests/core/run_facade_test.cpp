@@ -136,7 +136,9 @@ TEST(RunFacade, StreamingRequiresFastPathCapablePolicy) {
   const Instance inst = small_instance();
   workload::InstanceJobStream stream(inst);
   RunRequest req;
-  req.policy = "mlfq";  // no FastForward capability
+  // hdf's age-dependent weights keep it off the fast path (kNone); mlfq
+  // and friends grew descriptors, so they stream fine now.
+  req.policy = "hdf";
   EXPECT_THROW((void)run(stream, req), std::invalid_argument);
 }
 

@@ -59,6 +59,9 @@ int main(int argc, char** argv) {
              "replay an external trace file where supported (s1)")
       .value("workload", std::string(),
              "override the workload spec where supported (s2, s3)")
+      .value("grid-out", std::string(),
+             "write a deterministic sweep-grid JSON where supported (f5); "
+             "byte-identical for any --jobs value")
       .value("out-dir", std::string(),
              "artifact directory (default runs/<timestamp>)")
       .flag("no-artifacts", "skip writing JSON run artifacts");
@@ -126,7 +129,7 @@ int main(int argc, char** argv) {
     fwd.push_back("--eps");
     fwd.push_back(text.str());
   }
-  for (const char* name : {"trace", "workload"}) {
+  for (const char* name : {"trace", "workload", "grid-out"}) {
     if (parsed.given(name)) {
       fwd.push_back(std::string("--") + name);
       fwd.push_back(parsed.get_string(name));
